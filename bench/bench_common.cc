@@ -1,0 +1,64 @@
+#include "bench/bench_common.h"
+
+namespace lachesis::bench {
+
+SweepResult RunSweep(const ScenarioFactory& factory,
+                     const std::vector<double>& rates,
+                     const std::vector<Variant>& variants,
+                     const BenchMode& mode) {
+  SweepResult sweep;
+  sweep.runs.resize(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    sweep.runs[v].resize(rates.size());
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      ScenarioSpec spec = factory(rates[r]);
+      spec.scheduler = variants[v].scheduler;
+      spec.label = variants[v].name;
+      spec.warmup = mode.warmup;
+      spec.measure = mode.measure;
+      sweep.runs[v][r] = exp::RunRepetitions(spec, mode.repetitions);
+      std::fflush(stdout);
+    }
+  }
+  return sweep;
+}
+
+void PrintMetricTable(
+    const std::string& title, const std::vector<double>& rates,
+    const std::vector<Variant>& variants, const SweepResult& sweep,
+    const std::function<double(const RunResult&)>& extract) {
+  std::vector<std::string> header{"rate(t/s)"};
+  for (const Variant& v : variants) header.push_back(v.name);
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::vector<std::string> row;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", rates[r]);
+    row.emplace_back(buffer);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      row.push_back(exp::FormatCi(exp::Aggregate(sweep.runs[v][r], extract)));
+    }
+    rows.push_back(std::move(row));
+  }
+  exp::PrintTable(title, header, rows);
+}
+
+SweepResult RunAndPrintSweep(const std::string& title,
+                             const ScenarioFactory& factory,
+                             const std::vector<double>& rates,
+                             const std::vector<Variant>& variants,
+                             const BenchMode& mode) {
+  SweepResult sweep = RunSweep(factory, rates, variants, mode);
+  PrintMetricTable(title + " | Throughput (t/s)", rates, variants, sweep,
+                   [](const RunResult& r) { return r.throughput_tps; });
+  PrintMetricTable(title + " | Avg processing latency (ms)", rates, variants,
+                   sweep, [](const RunResult& r) { return r.avg_latency_ms; });
+  PrintMetricTable(title + " | Avg end-to-end latency (ms)", rates, variants,
+                   sweep,
+                   [](const RunResult& r) { return r.avg_e2e_latency_ms; });
+  PrintMetricTable(title + " | QS goal (queue-size variance)", rates, variants,
+                   sweep, [](const RunResult& r) { return r.qs_goal; });
+  return sweep;
+}
+
+}  // namespace lachesis::bench

@@ -1,0 +1,56 @@
+// Shared harness for the per-figure benches: rate sweeps over scheduler
+// variants, printed as the series each paper figure plots.
+#ifndef LACHESIS_BENCH_BENCH_COMMON_H_
+#define LACHESIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+namespace lachesis::bench {
+
+using exp::BenchMode;
+using exp::RunResult;
+using exp::ScenarioSpec;
+using exp::SchedulerSpec;
+
+struct Variant {
+  std::string name;
+  SchedulerSpec scheduler;
+};
+
+// Builds the scenario for (rate, variant); the callee sets workloads/flavor.
+using ScenarioFactory = std::function<ScenarioSpec(double rate)>;
+
+struct SweepResult {
+  // results[variant][rate] = repetitions
+  std::vector<std::vector<std::vector<RunResult>>> runs;
+};
+
+// Runs the sweep and prints the four standard series (throughput, latency,
+// end-to-end latency, QS goal) as tables with one row per offered rate --
+// the textual form of the paper's performance figures.
+SweepResult RunAndPrintSweep(const std::string& title,
+                             const ScenarioFactory& factory,
+                             const std::vector<double>& rates,
+                             const std::vector<Variant>& variants,
+                             const BenchMode& mode);
+
+// Only runs, no printing (for benches that post-process).
+SweepResult RunSweep(const ScenarioFactory& factory,
+                     const std::vector<double>& rates,
+                     const std::vector<Variant>& variants,
+                     const BenchMode& mode);
+
+void PrintMetricTable(
+    const std::string& title, const std::vector<double>& rates,
+    const std::vector<Variant>& variants, const SweepResult& sweep,
+    const std::function<double(const RunResult&)>& extract);
+
+}  // namespace lachesis::bench
+
+#endif  // LACHESIS_BENCH_BENCH_COMMON_H_

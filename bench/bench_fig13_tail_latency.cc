@@ -1,0 +1,71 @@
+// Reproduces Fig 13: letter-value ("boxen") summaries of the full latency
+// distributions for LR/VS on the Storm and Flink flavors, OS vs Lachesis-QS,
+// at the high end of each query's rate range (paper §6.3.1).
+//
+// Paper shape: Lachesis improves not only the mean but the tails -- for LR
+// and VS on Storm the 99th/99.9th percentiles drop by one to two orders of
+// magnitude; on Flink improvements are small (LR ~2x; VS can be slightly
+// worse in the extreme upper percentiles).
+#include "bench/bench_common.h"
+#include "queries/linear_road.h"
+#include "queries/voip_stream.h"
+
+int main() {
+  using namespace lachesis;
+  using namespace lachesis::bench;
+
+  const auto mode = BenchMode::FromEnv();
+
+  struct Setup {
+    std::string name;
+    spe::SpeFlavor flavor;
+    queries::Workload (*make)(std::uint64_t);
+    double rate;
+  };
+  const std::vector<Setup> setups = {
+      {"LR @ Storm", spe::StormFlavor(), queries::MakeLinearRoad, 6500},
+      {"VS @ Storm", spe::StormFlavor(), queries::MakeVoipStream, 2750},
+      {"LR @ Flink", spe::FlinkFlavor(), queries::MakeLinearRoad, 5000},
+      {"VS @ Flink", spe::FlinkFlavor(), queries::MakeVoipStream, 2500},
+  };
+
+  std::vector<Variant> variants;
+  variants.push_back({"OS", {}});
+  exp::SchedulerSpec lachesis;
+  lachesis.kind = exp::SchedulerKind::kLachesis;
+  lachesis.policy = exp::PolicyKind::kQueueSize;
+  lachesis.translator = exp::TranslatorKind::kNice;
+  variants.push_back({"LACHESIS-QS", lachesis});
+
+  std::printf("Fig 13: latency distributions (letter values, ms)\n");
+  for (const Setup& setup : setups) {
+    for (const Variant& variant : variants) {
+      exp::ScenarioSpec spec;
+      spec.cores = 4;
+      spec.flavor = setup.flavor;
+      exp::WorkloadSpec w;
+      w.workload = setup.make(101);
+      w.rate_tps = setup.rate;
+      spec.workloads.push_back(std::move(w));
+      spec.scheduler = variant.scheduler;
+      spec.warmup = mode.warmup;
+      spec.measure = mode.measure;
+
+      std::vector<double> pooled;
+      HdrHistogram exact_tails;
+      for (const exp::RunResult& run :
+           exp::RunRepetitions(spec, mode.repetitions)) {
+        pooled.insert(pooled.end(), run.latency_samples_ms.begin(),
+                      run.latency_samples_ms.end());
+        exact_tails.Merge(run.latency_histogram_ns);
+      }
+      exp::PrintLetterValues(setup.name + " / " + variant.name,
+                             std::move(pooled));
+      std::printf("  exact  p99 %10.3f ms   p99.9 %10.3f ms  (HDR, n=%llu)\n",
+                  static_cast<double>(exact_tails.ValueAtQuantile(0.99)) / 1e6,
+                  static_cast<double>(exact_tails.ValueAtQuantile(0.999)) / 1e6,
+                  static_cast<unsigned long long>(exact_tails.total_count()));
+    }
+  }
+  return 0;
+}

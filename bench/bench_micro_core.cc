@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) of Lachesis' own machinery: the
+// middleware must stay lightweight (the paper reports ~1% CPU on an
+// Odroid), so the per-period costs of metric resolution, policy evaluation,
+// normalization and the CFS simulator's hot operations are tracked here.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/metric_provider.h"
+#include "core/normalize.h"
+#include "core/policies.h"
+#include "core/sim_driver.h"
+#include "core/translators.h"
+#include "queries/synthetic.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "spe/runtime.h"
+#include "tsdb/scraper.h"
+#include "tsdb/tsdb.h"
+
+namespace {
+
+using namespace lachesis;
+
+// Shared fixture: 20 SYN queries (100 operators) on a Liebre-flavored
+// instance with a populated metric store.
+struct CoreFixture {
+  sim::Simulator sim;
+  sim::Machine machine{sim, 4};
+  spe::SpeInstance instance{spe::LiebreFlavor(), {&machine}, "liebre"};
+  tsdb::TimeSeriesStore store;
+  std::unique_ptr<core::SimSpeDriver> driver;
+
+  CoreFixture() {
+    queries::SyntheticConfig config;
+    for (auto& workload : queries::MakeSynthetic(config)) {
+      spe::DeployOptions options;
+      options.create_threads = false;  // metrics only
+      instance.Deploy(workload.query, options);
+    }
+    tsdb::Scraper scraper(sim, store, Seconds(1));
+    scraper.AddInstance(instance);
+    scraper.ScrapeOnce();
+    driver = std::make_unique<core::SimSpeDriver>(instance, store);
+  }
+};
+
+CoreFixture& Fixture() {
+  static CoreFixture fixture;
+  return fixture;
+}
+
+void BM_MetricProviderUpdate(benchmark::State& state) {
+  auto& fixture = Fixture();
+  core::MetricProvider provider;
+  provider.Register(core::MetricId::kQueueSize);
+  provider.Register(core::MetricId::kHighestRate);
+  provider.Register(core::MetricId::kHeadTupleAge);
+  std::vector<core::SpeDriver*> drivers{fixture.driver.get()};
+  for (auto _ : state) {
+    provider.Update(drivers, Seconds(1));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(provider.EntitiesOf(*fixture.driver).size()));
+}
+BENCHMARK(BM_MetricProviderUpdate);
+
+void BM_PolicyQueueSize(benchmark::State& state) {
+  auto& fixture = Fixture();
+  core::MetricProvider provider;
+  provider.Register(core::MetricId::kQueueSize);
+  std::vector<core::SpeDriver*> drivers{fixture.driver.get()};
+  provider.Update(drivers, Seconds(1));
+  core::QueueSizePolicy policy;
+  Rng rng(1);
+  core::PolicyContext ctx;
+  ctx.provider = &provider;
+  ctx.drivers = drivers;
+  ctx.rng = &rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.ComputeSchedule(ctx));
+  }
+}
+BENCHMARK(BM_PolicyQueueSize);
+
+void BM_PolicyHighestRate(benchmark::State& state) {
+  auto& fixture = Fixture();
+  core::MetricProvider provider;
+  provider.Register(core::MetricId::kHighestRate);
+  std::vector<core::SpeDriver*> drivers{fixture.driver.get()};
+  provider.Update(drivers, Seconds(1));
+  core::HighestRatePolicy policy;
+  Rng rng(1);
+  core::PolicyContext ctx;
+  ctx.provider = &provider;
+  ctx.drivers = drivers;
+  ctx.rng = &rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.ComputeSchedule(ctx));
+  }
+}
+BENCHMARK(BM_PolicyHighestRate);
+
+void BM_NiceNormalization(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> priorities(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : priorities) p = rng.Uniform(0.1, 5000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PrioritiesToNice(priorities));
+  }
+}
+BENCHMARK(BM_NiceNormalization)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SharesNormalization(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> priorities(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : priorities) p = rng.Uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PrioritiesToShares(priorities));
+  }
+}
+BENCHMARK(BM_SharesNormalization)->Arg(10)->Arg(100)->Arg(1000);
+
+// CFS simulator hot path: how fast the discrete-event machine executes a
+// second of heavily contended scheduling.
+void BM_SimMachineSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::Machine machine(sim, 4);
+    struct Busy final : sim::ThreadBody {
+      sim::Action Next(sim::Machine&) override {
+        return sim::Action::Compute(Micros(100));
+      }
+    };
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      machine.CreateThread("t" + std::to_string(i), std::make_unique<Busy>(),
+                           machine.root_cgroup(), i % 10 - 5);
+    }
+    state.ResumeTiming();
+    sim.RunUntil(Seconds(1));
+    benchmark::DoNotOptimize(machine.total_busy_time());
+  }
+}
+BENCHMARK(BM_SimMachineSecond)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// lachesisd: the standalone middleware daemon for real hosts.
+//
+// Reads a config file describing one or more unmodified engine processes
+// (pids, operator thread-name patterns, the graphite-plaintext metrics file
+// they export to) and a policy/translator choice, then loops at the
+// configured period: refresh driver -> update metrics -> compute schedule
+// -> enforce via nice / cgroups (paper Algorithm 1, against the real OS).
+//
+// Usage:
+//   lachesisd <config-file> [--dry-run] [--iterations N]
+// --dry-run logs the schedule instead of touching the OS (no privileges
+// needed); see src/osctl/daemon_config.h for the config format.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "core/policies.h"
+#include "core/translators.h"
+#include "osctl/cgroupfs.h"
+#include "osctl/daemon_config.h"
+#include "osctl/linux_os_adapter.h"
+#include "osctl/native_driver.h"
+#include "osctl/nice.h"
+
+using namespace lachesis;
+
+namespace {
+
+// Adapter that only logs -- for --dry-run and unprivileged smoke tests.
+class LoggingOsAdapter final : public core::OsAdapter {
+ public:
+  void SetNice(const core::ThreadHandle& thread, int nice) override {
+    std::printf("  would set nice(%ld) = %d\n", thread.os_tid, nice);
+  }
+  void SetGroupShares(const std::string& group, std::uint64_t shares) override {
+    std::printf("  would set %s cpu.shares = %llu\n", group.c_str(),
+                static_cast<unsigned long long>(shares));
+  }
+  void MoveToGroup(const core::ThreadHandle& thread,
+                   const std::string& group) override {
+    std::printf("  would move tid %ld into %s\n", thread.os_tid, group.c_str());
+  }
+  void SetRtPriority(const core::ThreadHandle& thread, int priority) override {
+    std::printf("  would set SCHED_FIFO(%ld) = %d\n", thread.os_tid, priority);
+  }
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override {
+    std::printf("  would set %s cpu.max = %lld/%lld us\n", group.c_str(),
+                static_cast<long long>(quota / kMicrosecond),
+                static_cast<long long>(period / kMicrosecond));
+  }
+};
+
+std::unique_ptr<core::SchedulingPolicy> MakePolicy(const std::string& name) {
+  if (name == "queue-size") return std::make_unique<core::QueueSizePolicy>();
+  if (name == "fcfs") return std::make_unique<core::FcfsPolicy>();
+  if (name == "highest-rate") return std::make_unique<core::HighestRatePolicy>();
+  if (name == "random") return std::make_unique<core::RandomPolicy>();
+  if (name == "min-memory") return std::make_unique<core::MinMemoryPolicy>();
+  throw std::runtime_error("unknown policy: " + name);
+}
+
+std::unique_ptr<core::Translator> MakeTranslator(const std::string& name) {
+  if (name == "nice") return std::make_unique<core::NiceTranslator>();
+  if (name == "cpu.shares") return std::make_unique<core::CpuSharesTranslator>();
+  if (name == "quota") return std::make_unique<core::QuotaTranslator>();
+  if (name == "rt") return std::make_unique<core::RtBoostTranslator>();
+  throw std::runtime_error("unknown translator: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config-file> [--dry-run] [--iterations N]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool dry_run = false;
+  long iterations = -1;  // forever
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    const osctl::DaemonConfig config = osctl::LoadDaemonConfig(argv[1]);
+    osctl::NativeSpeDriver driver(config.spe);
+    auto policy = MakePolicy(config.policy);
+    auto translator = MakeTranslator(config.translator);
+
+    osctl::LinuxNiceController nice;
+    osctl::LinuxRtController rt;
+    const auto version = osctl::CgroupController::DetectVersion();
+    osctl::CgroupController cgroups(
+        config.cgroup_root.empty() ? "/tmp/lachesisd-cgroup"
+                                   : config.cgroup_root,
+        version);
+    osctl::LinuxOsAdapter real_os(nice, cgroups, &rt);
+    LoggingOsAdapter logging_os;
+    core::OsAdapter& os =
+        dry_run ? static_cast<core::OsAdapter&>(logging_os) : real_os;
+
+    core::MetricProvider provider;
+    for (const core::MetricId m : policy->RequiredMetrics()) {
+      provider.Register(m);
+    }
+    Rng rng(static_cast<std::uint64_t>(::getpid()));
+
+    std::printf("lachesisd: policy=%s translator=%s period=%ldms%s\n",
+                config.policy.c_str(), config.translator.c_str(),
+                config.period_ms, dry_run ? " (dry run)" : "");
+
+    const auto start = std::chrono::steady_clock::now();
+    for (long i = 0; iterations < 0 || i < iterations; ++i) {
+      const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      driver.Refresh(static_cast<SimTime>(now));
+
+      std::vector<core::SpeDriver*> drivers{&driver};
+      provider.Update(drivers, Millis(config.period_ms));
+
+      core::PolicyContext ctx;
+      ctx.provider = &provider;
+      ctx.drivers = drivers;
+      ctx.now = static_cast<SimTime>(now);
+      ctx.rng = &rng;
+      const core::Schedule schedule = policy->ComputeSchedule(ctx);
+      std::printf("tick %ld: %zu entities scheduled\n", i,
+                  schedule.entries.size());
+      translator->Apply(schedule, os);
+
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.period_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lachesisd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

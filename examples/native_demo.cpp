@@ -1,0 +1,111 @@
+// Native Linux demo: the same translator stack driving a REAL host instead
+// of the simulator. Spawns a tiny "SPE" of actual worker threads (named,
+// like Storm executors), discovers them via /proc, then enforces a schedule
+// with setpriority and -- when a writable cgroup root is given -- cgroupfs.
+//
+// Run:
+//   ./build/examples/native_demo [cgroup-root]
+// Without a cgroup root only nice is exercised. Lowering nice below 0
+// requires CAP_SYS_NICE/root; the demo degrades gracefully without it.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/syscall.h>
+
+#include "core/entities.h"
+#include "core/normalize.h"
+#include "core/schedule.h"
+#include "core/translators.h"
+#include "osctl/cgroupfs.h"
+#include "osctl/linux_os_adapter.h"
+#include "osctl/nice.h"
+#include "osctl/procfs.h"
+
+using namespace lachesis;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<std::uint64_t> g_work[3];
+
+void Operator(int index, const char* name) {
+  pthread_setname_np(pthread_self(), name);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    // Busy work standing in for tuple processing.
+    volatile double x = 1.0;
+    for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 0.5;
+    g_work[index].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. A miniature "engine": three operator threads with executor names.
+  std::vector<std::thread> operators;
+  operators.emplace_back(Operator, 0, "exec-ingest");
+  operators.emplace_back(Operator, 1, "exec-heavy");
+  operators.emplace_back(Operator, 2, "exec-sink");
+
+  // 2. Driver-style discovery through public OS interfaces only.
+  usleep(100 * 1000);
+  const long pid = getpid();
+  std::vector<core::EntityInfo> entities;
+  for (const osctl::OsThreadInfo& info : osctl::FindThreadsByName(pid, "exec-")) {
+    core::EntityInfo e;
+    e.id = OperatorId(entities.size());
+    e.path = info.comm;
+    e.query_name = "native-demo";
+    e.thread.os_tid = info.tid;
+    entities.push_back(e);
+    std::printf("discovered operator thread %-12s tid=%ld\n", info.comm.c_str(),
+                info.tid);
+  }
+  if (entities.size() != 3) {
+    std::fprintf(stderr, "expected 3 operator threads via /proc\n");
+    g_stop = true;
+    for (auto& t : operators) t.join();
+    return 1;
+  }
+
+  // 3. A schedule (what a QS policy would produce: boost "heavy") applied
+  //    through the real-OS adapter.
+  osctl::LinuxNiceController nice;
+  const auto version = osctl::CgroupController::DetectVersion();
+  osctl::CgroupController cgroups(
+      argc > 1 ? argv[1] : "/tmp/lachesis-demo-cgroup", version);
+  osctl::LinuxOsAdapter adapter(nice, cgroups);
+
+  core::Schedule schedule;
+  for (core::EntityInfo& e : entities) {
+    const double priority = e.path == "exec-heavy" ? 100.0 : 1.0;
+    schedule.entries.push_back({e, priority});
+  }
+  // Anchor at 0 so the demo works without CAP_SYS_NICE.
+  core::NiceTranslator translator(/*nice_best=*/0, /*nice_worst=*/19);
+  translator.Apply(schedule, adapter);
+
+  for (const core::EntityInfo& e : entities) {
+    const auto value = nice.GetNice(e.thread.os_tid);
+    std::printf("thread %-12s nice=%d\n", e.path.c_str(),
+                value.value_or(999));
+  }
+
+  // 4. Observe the effect: under contention the boosted thread makes more
+  //    progress per wall-clock second.
+  for (auto& counter : g_work) counter = 0;
+  sleep(2);
+  g_stop = true;
+  for (auto& t : operators) t.join();
+  std::printf("work done in 2s: ingest=%llu heavy=%llu sink=%llu\n",
+              static_cast<unsigned long long>(g_work[0]),
+              static_cast<unsigned long long>(g_work[1]),
+              static_cast<unsigned long long>(g_work[2]));
+  std::printf("(on a loaded machine, exec-heavy finishes the most work)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A standard Bloom filter.
+//
+// Used by the VoipStream query (telemarketer detection over call detail
+// records, per DSPBench) and the ETL query's duplicate detection. Double
+// hashing (Kirsch & Mitzenmacher) derives the k probe positions from two
+// SplitMix64-based hashes.
+#ifndef LACHESIS_COMMON_BLOOM_H_
+#define LACHESIS_COMMON_BLOOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lachesis {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_items` at `false_positive_rate`.
+  BloomFilter(std::size_t expected_items, double false_positive_rate) {
+    expected_items = expected_items > 0 ? expected_items : 1;
+    false_positive_rate =
+        false_positive_rate > 0 && false_positive_rate < 1 ? false_positive_rate
+                                                           : 0.01;
+    const double ln2 = 0.6931471805599453;
+    const double m = -static_cast<double>(expected_items) *
+                     std::log(false_positive_rate) / (ln2 * ln2);
+    bits_.assign((static_cast<std::size_t>(m) + 63) / 64 + 1, 0);
+    num_hashes_ = static_cast<int>(
+        std::ceil(m / static_cast<double>(expected_items) * ln2));
+    if (num_hashes_ < 1) num_hashes_ = 1;
+    if (num_hashes_ > 16) num_hashes_ = 16;
+  }
+
+  void Add(std::uint64_t key) {
+    auto [h1, h2] = Hashes(key);
+    for (int i = 0; i < num_hashes_; ++i) {
+      SetBit((h1 + static_cast<std::uint64_t>(i) * h2) % num_bits());
+    }
+  }
+
+  [[nodiscard]] bool MightContain(std::uint64_t key) const {
+    auto [h1, h2] = Hashes(key);
+    for (int i = 0; i < num_hashes_; ++i) {
+      if (!TestBit((h1 + static_cast<std::uint64_t>(i) * h2) % num_bits())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Adds and reports whether the key was (probably) already present --
+  // the common streaming "first time seen?" idiom.
+  bool TestAndAdd(std::uint64_t key) {
+    const bool present = MightContain(key);
+    Add(key);
+    return present;
+  }
+
+  void Clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+  [[nodiscard]] std::uint64_t num_bits() const {
+    return static_cast<std::uint64_t>(bits_.size()) * 64;
+  }
+  [[nodiscard]] int num_hashes() const { return num_hashes_; }
+
+ private:
+  static std::pair<std::uint64_t, std::uint64_t> Hashes(std::uint64_t key) {
+    std::uint64_t s1 = key ^ 0x2545F4914F6CDD1DULL;
+    std::uint64_t s2 = key + 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t h1 = SplitMix64(s1);
+    std::uint64_t h2 = SplitMix64(s2);
+    if (h2 % 2 == 0) ++h2;  // odd stride
+    return {h1, h2};
+  }
+
+  void SetBit(std::uint64_t i) { bits_[i / 64] |= (1ULL << (i % 64)); }
+  [[nodiscard]] bool TestBit(std::uint64_t i) const {
+    return (bits_[i / 64] >> (i % 64)) & 1;
+  }
+
+  std::vector<std::uint64_t> bits_;
+  int num_hashes_ = 1;
+};
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_BLOOM_H_

@@ -1,0 +1,140 @@
+// A bounded-memory, HDR-style latency histogram.
+//
+// Log-linear bucketing: values are grouped into half-decades of base-2
+// magnitude with `sub_bucket_bits` linear sub-buckets each, giving a fixed
+// relative error (~1/2^sub_bucket_bits) across the whole range. Unlike a
+// sampling reservoir, the tail quantiles (p99.9, max) are exact up to the
+// bucket resolution no matter how many values are recorded -- which is what
+// the letter-value/tail analysis (paper Fig 13) needs at high rates.
+#ifndef LACHESIS_COMMON_HDR_HISTOGRAM_H_
+#define LACHESIS_COMMON_HDR_HISTOGRAM_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace lachesis {
+
+class HdrHistogram {
+ public:
+  // Tracks values in [0, max_value] with relative error ~2^-sub_bucket_bits.
+  // Layout: magnitude 0 holds values [0, 2^b) exactly (2^b slots); each
+  // further magnitude m holds [2^(b+m-1), 2^(b+m)) in 2^(b-1) slots of
+  // width 2^m.
+  explicit HdrHistogram(std::uint64_t max_value = std::uint64_t{1} << 40,
+                        int sub_bucket_bits = 5)
+      : sub_bucket_bits_(sub_bucket_bits),
+        sub_buckets_(std::size_t{1} << sub_bucket_bits),
+        max_value_(max_value) {
+    int magnitudes = 0;
+    while ((std::uint64_t{1} << (sub_bucket_bits_ + magnitudes)) <= max_value) {
+      ++magnitudes;
+    }
+    counts_.assign(sub_buckets_ +
+                       static_cast<std::size_t>(magnitudes) * (sub_buckets_ / 2),
+                   0);
+  }
+
+  void Record(std::uint64_t value) {
+    value = std::min(value, max_value_);
+    ++counts_[IndexFor(value)];
+    ++total_;
+    min_ = total_ == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += value;
+  }
+
+  [[nodiscard]] std::uint64_t total_count() const { return total_; }
+  [[nodiscard]] std::uint64_t min() const { return total_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return total_ > 0 ? static_cast<double>(sum_) / static_cast<double>(total_)
+                      : 0.0;
+  }
+
+  // Value at quantile q in [0, 1] (bucket midpoint); 0 when empty.
+  [[nodiscard]] std::uint64_t ValueAtQuantile(double q) const {
+    if (total_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_) + 0.5);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      running += counts_[i];
+      if (running >= target && counts_[i] > 0) return MidpointFor(i);
+    }
+    return max_;
+  }
+
+  void Merge(const HdrHistogram& other) {
+    // Merging requires identical geometry.
+    if (other.counts_.size() != counts_.size() ||
+        other.sub_bucket_bits_ != sub_bucket_bits_) {
+      // Fall back to re-recording bucket midpoints.
+      for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+        for (std::uint64_t c = 0; c < other.counts_[i]; ++c) {
+          Record(other.MidpointFor(i));
+        }
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    if (other.total_ > 0) {
+      min_ = total_ > 0 ? std::min(min_, other.min_) : other.min_;
+      max_ = std::max(max_, other.max_);
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    min_ = 0;
+    max_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t IndexFor(std::uint64_t value) const {
+    const int bits = 64 - std::countl_zero(value | 1);
+    const int magnitude = std::max(0, bits - sub_bucket_bits_);
+    if (magnitude == 0) {
+      return static_cast<std::size_t>(value);  // exact, < sub_buckets_
+    }
+    // value in [2^(b+m-1), 2^(b+m)): value >> m lands in the upper half
+    // [2^(b-1), 2^b) of the sub-bucket range.
+    const std::uint64_t sub = value >> magnitude;
+    const std::size_t half = sub_buckets_ / 2;
+    const std::size_t index =
+        sub_buckets_ + (static_cast<std::size_t>(magnitude) - 1) * half +
+        static_cast<std::size_t>(sub - half);
+    return std::min(index, counts_.size() - 1);
+  }
+
+  [[nodiscard]] std::uint64_t MidpointFor(std::size_t index) const {
+    if (index < sub_buckets_) return static_cast<std::uint64_t>(index);
+    const std::size_t half = sub_buckets_ / 2;
+    const std::size_t magnitude = (index - sub_buckets_) / half + 1;
+    const std::uint64_t sub = (index - sub_buckets_) % half + half;
+    const std::uint64_t base = sub << magnitude;
+    const std::uint64_t width = std::uint64_t{1} << magnitude;
+    return base + width / 2;
+  }
+
+  int sub_bucket_bits_;
+  std::size_t sub_buckets_;
+  std::uint64_t max_value_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;  // of clamped values
+};
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_HDR_HISTOGRAM_H_

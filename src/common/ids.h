@@ -1,0 +1,71 @@
+// Strongly-typed integral identifiers.
+//
+// Simulation, SPE, and middleware layers all pass small integer handles
+// around (threads, operators, cgroups, queries, ...). Mixing them up is a
+// classic source of silent bugs, so each layer gets its own tag type that
+// does not implicitly convert to any other.
+#ifndef LACHESIS_COMMON_IDS_H_
+#define LACHESIS_COMMON_IDS_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lachesis {
+
+// A type-safe wrapper around an integer id. `Tag` is an empty struct used
+// only to make distinct instantiations incompatible.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = 0;
+};
+
+struct ThreadIdTag {};
+struct CoreIdTag {};
+struct CgroupIdTag {};
+struct OperatorIdTag {};
+struct QueryIdTag {};
+struct NodeIdTag {};
+
+// A simulated kernel thread (one per physical operator in the SPE model).
+using ThreadId = Id<ThreadIdTag>;
+// A simulated CPU core.
+using CoreId = Id<CoreIdTag>;
+// A node of the simulated control-group hierarchy.
+using CgroupId = Id<CgroupIdTag>;
+// A physical operator instance.
+using OperatorId = Id<OperatorIdTag>;
+// A continuous query (DAG of operators).
+using QueryId = Id<QueryIdTag>;
+// A simulated machine in scale-out deployments.
+using NodeId = Id<NodeIdTag>;
+
+}  // namespace lachesis
+
+namespace std {
+template <typename Tag>
+struct hash<lachesis::Id<Tag>> {
+  size_t operator()(lachesis::Id<Tag> id) const noexcept {
+    return std::hash<typename lachesis::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // LACHESIS_COMMON_IDS_H_

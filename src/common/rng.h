@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be exactly reproducible across runs and platforms, so we
+// avoid std::mt19937/std::uniform_* (whose distributions are
+// implementation-defined) and ship a small xoshiro256** generator with
+// portable distribution helpers. Streams are split via SplitMix64 so that
+// per-component generators are statistically independent.
+#ifndef LACHESIS_COMMON_RNG_H_
+#define LACHESIS_COMMON_RNG_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace lachesis {
+
+// SplitMix64: used for seeding and stream splitting.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed); fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Derives an independent generator; `stream` distinguishes children of the
+  // same parent.
+  [[nodiscard]] Rng Split(std::uint64_t stream) const {
+    std::uint64_t sm = state_[0] ^ (state_[3] + 0x9E3779B97F4A7C15ULL * (stream + 1));
+    return Rng(SplitMix64(sm));
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (>0); used for Poisson arrivals.
+  double Exponential(double mean) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller (deterministic, portable).
+  double Normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// All simulation code measures time as nanoseconds since simulation start,
+// held in a signed 64-bit value (signed so that subtraction is safe). Helper
+// literals keep call sites readable without pulling in <chrono> conversions
+// everywhere.
+#ifndef LACHESIS_COMMON_SIM_TIME_H_
+#define LACHESIS_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace lachesis {
+
+// Nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration Micros(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_SIM_TIME_H_

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lachesis {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  assert(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+double PopulationVariance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  const double n = static_cast<double>(values.size());
+  // Convert sample variance (n-1) back to population variance (n).
+  return stat.variance() * (n - 1.0) / n;
+}
+
+std::vector<LetterValue> LetterValues(std::vector<double> values,
+                                      std::size_t min_tail) {
+  std::vector<LetterValue> result;
+  if (values.empty()) return result;
+  std::sort(values.begin(), values.end());
+  const double median = QuantileSorted(values, 0.5);
+  result.push_back({1, median, median});
+  double tail_fraction = 0.5;
+  for (int depth = 2;; ++depth) {
+    tail_fraction /= 2.0;  // 0.25, 0.125, ...
+    const auto tail_count =
+        static_cast<std::size_t>(tail_fraction * static_cast<double>(values.size()));
+    if (tail_count < min_tail) break;
+    result.push_back({depth, QuantileSorted(values, tail_fraction),
+                      QuantileSorted(values, 1.0 - tail_fraction)});
+  }
+  return result;
+}
+
+namespace {
+
+// Two-sided 97.5% Student-t critical values for small n; converges to the
+// normal value 1.96 for large samples.
+double TCritical95(std::size_t df) {
+  static constexpr double kTable[] = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262, 2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101, 2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052, 2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df < std::size(kTable)) return kTable[df];
+  return 1.96;
+}
+
+}  // namespace
+
+MeanCi ConfidenceInterval95(std::span<const double> samples) {
+  RunningStat stat;
+  for (double s : samples) stat.Add(s);
+  MeanCi ci;
+  ci.n = stat.count();
+  ci.mean = stat.mean();
+  if (stat.count() >= 2) {
+    const double sem = stat.stddev() / std::sqrt(static_cast<double>(stat.count()));
+    ci.half_width = TCritical95(stat.count() - 1) * sem;
+  }
+  return ci;
+}
+
+}  // namespace lachesis

@@ -1,0 +1,74 @@
+// Statistics utilities used by metrics, policies and the experiment harness.
+//
+// Includes Welford running moments, linear-interpolation quantiles,
+// letter-value summaries (the "boxen" plots of Fig. 13), and Student-t 95%
+// confidence intervals for cross-repetition aggregation.
+#ifndef LACHESIS_COMMON_STATS_H_
+#define LACHESIS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lachesis {
+
+// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Quantile of `sorted` (ascending) with linear interpolation, q in [0, 1].
+// Precondition: !sorted.empty().
+double QuantileSorted(std::span<const double> sorted, double q);
+
+// Sorts a copy of `values` and returns the quantile. Precondition: non-empty.
+double Quantile(std::vector<double> values, double q);
+
+// Population variance of `values` (n denominator); 0 if empty.
+double PopulationVariance(std::span<const double> values);
+
+// One letter-value box of a letter-value ("boxen") plot.
+struct LetterValue {
+  int depth;     // 1 = median, 2 = fourths, 3 = eighths, ...
+  double lower;  // lower letter value (quantile 2^-depth)
+  double upper;  // upper letter value (quantile 1 - 2^-depth)
+};
+
+// Letter values per Hofmann, Wickham & Kafadar (2017): successive halved
+// quantiles, stopping when a box would summarize fewer than `min_tail`
+// observations. Returns at least the median (depth 1) for non-empty input.
+std::vector<LetterValue> LetterValues(std::vector<double> values,
+                                      std::size_t min_tail = 8);
+
+// Mean and half-width of a 95% confidence interval over repetitions.
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;
+};
+
+// Student-t based 95% CI. With fewer than two samples the half-width is 0.
+MeanCi ConfidenceInterval95(std::span<const double> samples);
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_STATS_H_

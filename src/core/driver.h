@@ -1,0 +1,44 @@
+// SPE driver interface (paper §4).
+//
+// A driver bridges one SPE (possibly spanning several processes/nodes) and
+// Lachesis by reading PUBLIC APIs only: the entity graph from the engine's
+// deployment state and raw metrics from the metric store the engine already
+// reports to. It never touches engine internals, which is what keeps
+// Lachesis decoupled (G2) and lets one driver serve multiple engine
+// versions.
+#ifndef LACHESIS_CORE_DRIVER_H_
+#define LACHESIS_CORE_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/entities.h"
+#include "core/metric.h"
+
+namespace lachesis::core {
+
+class SpeDriver {
+ public:
+  virtual ~SpeDriver() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  // Snapshot of all physical operators currently deployed.
+  virtual std::vector<EntityInfo> Entities() = 0;
+
+  // Logical topology of a query (for transformation rules / path metrics).
+  virtual const LogicalTopology& Topology(QueryId query) = 0;
+
+  // True if the SPE's public metric API exposes `metric` (directly or via a
+  // trivial unit conversion the driver performs).
+  [[nodiscard]] virtual bool Provides(MetricId metric) const = 0;
+
+  // Fetches a provided metric for an entity. Values come from the metric
+  // store, i.e. they are up to one scrape period stale. Precondition:
+  // Provides(metric).
+  virtual double Fetch(MetricId metric, const EntityInfo& entity) = 0;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_DRIVER_H_

@@ -1,0 +1,256 @@
+#include "core/metric_provider.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+namespace lachesis::core {
+
+namespace {
+
+// --- built-in derived metrics (the paper's Fig 4 style graph) ---------------
+
+class QueueSizeMetric final : public DerivedMetric {
+ public:
+  [[nodiscard]] MetricId id() const override { return MetricId::kQueueSize; }
+  [[nodiscard]] std::vector<MetricId> deps() const override {
+    return {MetricId::kBufferUsage, MetricId::kBufferCapacity};
+  }
+  double Compute(MetricResolver& r, const EntityInfo& e) override {
+    return r.Get(MetricId::kBufferUsage, e) * r.Get(MetricId::kBufferCapacity, e);
+  }
+};
+
+class CostMetric final : public DerivedMetric {
+ public:
+  [[nodiscard]] MetricId id() const override { return MetricId::kCost; }
+  [[nodiscard]] std::vector<MetricId> deps() const override {
+    return {MetricId::kBusyDeltaNs, MetricId::kTuplesInDelta};
+  }
+  double Compute(MetricResolver& r, const EntityInfo& e) override {
+    const double in = r.Get(MetricId::kTuplesInDelta, e);
+    if (in <= 0) return 0.0;
+    return r.Get(MetricId::kBusyDeltaNs, e) / in;
+  }
+};
+
+class SelectivityMetric final : public DerivedMetric {
+ public:
+  [[nodiscard]] MetricId id() const override { return MetricId::kSelectivity; }
+  [[nodiscard]] std::vector<MetricId> deps() const override {
+    return {MetricId::kTuplesOutDelta, MetricId::kTuplesInDelta};
+  }
+  double Compute(MetricResolver& r, const EntityInfo& e) override {
+    const double in = r.Get(MetricId::kTuplesInDelta, e);
+    if (in <= 0) return 0.0;
+    return r.Get(MetricId::kTuplesOutDelta, e) / in;
+  }
+};
+
+class InputRateMetric final : public DerivedMetric {
+ public:
+  [[nodiscard]] MetricId id() const override { return MetricId::kInputRate; }
+  [[nodiscard]] std::vector<MetricId> deps() const override {
+    return {MetricId::kTuplesInDelta};
+  }
+  double Compute(MetricResolver& r, const EntityInfo& e) override {
+    const double window_s = ToSeconds(r.window());
+    if (window_s <= 0) return 0.0;
+    return r.Get(MetricId::kTuplesInDelta, e) / window_s;
+  }
+};
+
+// Highest Rate (Sharaf et al. [50]): for each operator, the best output rate
+// of any path from it to a sink: max over paths of prod(selectivity) /
+// sum(cost). Logical-level values are aggregated over the physical replicas
+// implementing each logical operator, then the per-entity value is the best
+// over the entity's (possibly fused) logical operators.
+class HighestRateMetric final : public DerivedMetric {
+ public:
+  [[nodiscard]] MetricId id() const override { return MetricId::kHighestRate; }
+  [[nodiscard]] std::vector<MetricId> deps() const override {
+    return {MetricId::kCost, MetricId::kSelectivity};
+  }
+  double Compute(MetricResolver& r, const EntityInfo& e) override {
+    const LogicalTopology& topo = r.Topology(e.query);
+    const auto& entities = r.QueryEntities(e.query);
+    const int n = topo.size();
+
+    // Aggregate physical cost/selectivity onto logical operators.
+    std::vector<double> cost(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> sel(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> replicas(static_cast<std::size_t>(n), 0);
+    for (const EntityInfo& other : entities) {
+      const double c = r.Get(MetricId::kCost, other);
+      const double s = r.Get(MetricId::kSelectivity, other);
+      for (const int l : other.logical_indices) {
+        cost[static_cast<std::size_t>(l)] += c;
+        sel[static_cast<std::size_t>(l)] += s;
+        ++replicas[static_cast<std::size_t>(l)];
+      }
+    }
+    for (int l = 0; l < n; ++l) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (replicas[idx] > 0) {
+        cost[idx] /= replicas[idx];
+        sel[idx] /= replicas[idx];
+      }
+      // Unmeasured operators fall back to static hints / neutral values so
+      // HR still produces a usable schedule during warm-up.
+      if (cost[idx] <= 0) {
+        cost[idx] = topo.base_costs.empty() || topo.base_costs[idx] <= 0
+                        ? 1000.0
+                        : topo.base_costs[idx];
+      }
+      if (sel[idx] <= 0) sel[idx] = 1.0;
+    }
+
+    double best = 0.0;
+    for (const int l : e.logical_indices) {
+      best = std::max(best, BestPathRate(topo, cost, sel, l));
+    }
+    return best;
+  }
+
+ private:
+  // DFS over the DAG enumerating (selectivity product, cost sum) per path to
+  // a sink; returns the best ratio. Query DAGs are small, so enumeration is
+  // fine.
+  static double BestPathRate(const LogicalTopology& topo,
+                             const std::vector<double>& cost,
+                             const std::vector<double>& sel, int from) {
+    double best = 0.0;
+    struct Frame {
+      int op;
+      double sel_product;
+      double cost_sum;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({from, sel[static_cast<std::size_t>(from)],
+                     cost[static_cast<std::size_t>(from)]});
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const auto down = topo.Downstream(f.op);
+      if (down.empty()) {
+        if (f.cost_sum > 0) best = std::max(best, f.sel_product / f.cost_sum);
+        continue;
+      }
+      for (const int d : down) {
+        stack.push_back({d, f.sel_product * sel[static_cast<std::size_t>(d)],
+                         f.cost_sum + cost[static_cast<std::size_t>(d)]});
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+// Per-driver resolver implementing Algorithm 3's compute() with cache.
+class DriverResolver final : public MetricResolver {
+ public:
+  DriverResolver(MetricProvider& provider, SpeDriver& driver,
+                 MetricProvider::DriverState& state, SimDuration window)
+      : provider_(&provider), driver_(&driver), state_(&state), window_(window) {}
+
+  double Get(MetricId metric, const EntityInfo& entity) override {
+    const auto key = std::make_pair(metric, entity.id);
+    // L10-11: already computed in this period.
+    if (const auto it = state_->values.find(key); it != state_->values.end()) {
+      return it->second;
+    }
+    // L12-13: available directly from the driver.
+    if (driver_->Provides(metric)) {
+      const double value = driver_->Fetch(metric, entity);
+      state_->values.emplace(key, value);
+      return value;
+    }
+    // L14-15: primitive metric missing -> configuration error.
+    const auto derived_it = provider_->derived_.find(metric);
+    if (derived_it == provider_->derived_.end()) {
+      throw ConfigurationError(std::string("metric '") + MetricName(metric) +
+                               "' is neither provided by driver '" +
+                               driver_->name() + "' nor derivable");
+    }
+    // A user-installed derived metric may (transitively) depend on itself;
+    // Algorithm 3's recursion must fail loudly instead of overflowing.
+    if (!in_flight_.insert(key).second) {
+      throw ConfigurationError(std::string("metric '") + MetricName(metric) +
+                               "' has a cyclic dependency");
+    }
+    // L16-18: compute recursively from dependencies.
+    const double value = derived_it->second->Compute(*this, entity);
+    in_flight_.erase(key);
+    state_->values.emplace(key, value);
+    return value;
+  }
+
+  const std::vector<EntityInfo>& QueryEntities(QueryId query) override {
+    return state_->by_query[query];
+  }
+
+  const LogicalTopology& Topology(QueryId query) override {
+    return driver_->Topology(query);
+  }
+
+  [[nodiscard]] SimDuration window() const override { return window_; }
+
+ private:
+  MetricProvider* provider_;
+  SpeDriver* driver_;
+  MetricProvider::DriverState* state_;
+  SimDuration window_;
+  std::set<std::pair<MetricId, OperatorId>> in_flight_;
+};
+
+MetricProvider::MetricProvider() {
+  InstallDerived(std::make_unique<QueueSizeMetric>());
+  InstallDerived(std::make_unique<CostMetric>());
+  InstallDerived(std::make_unique<SelectivityMetric>());
+  InstallDerived(std::make_unique<InputRateMetric>());
+  InstallDerived(std::make_unique<HighestRateMetric>());
+}
+
+void MetricProvider::InstallDerived(std::unique_ptr<DerivedMetric> metric) {
+  const MetricId id = metric->id();
+  derived_[id] = std::move(metric);
+}
+
+void MetricProvider::Update(const std::vector<SpeDriver*>& drivers,
+                            SimDuration window) {
+  for (SpeDriver* driver : drivers) {
+    DriverState& state = states_[driver];
+    state.values.clear();  // L4: fresh per-driver cache each period
+    state.entities = driver->Entities();
+    state.by_query.clear();
+    for (const EntityInfo& e : state.entities) {
+      state.by_query[e.query].push_back(e);
+    }
+    DriverResolver resolver(*this, *driver, state, window);
+    for (const MetricId metric : registered_) {  // L5-7
+      for (const EntityInfo& e : state.entities) {
+        resolver.Get(metric, e);
+      }
+    }
+  }
+}
+
+double MetricProvider::Value(const SpeDriver& driver, MetricId metric,
+                             OperatorId entity) const {
+  const auto state_it = states_.find(&driver);
+  assert(state_it != states_.end() && "Update must run before Value");
+  const auto it = state_it->second.values.find({metric, entity});
+  assert(it != state_it->second.values.end() && "metric not computed");
+  return it->second;
+}
+
+const std::vector<EntityInfo>& MetricProvider::EntitiesOf(
+    const SpeDriver& driver) const {
+  const auto it = states_.find(&driver);
+  assert(it != states_.end());
+  return it->second.entities;
+}
+
+}  // namespace lachesis::core

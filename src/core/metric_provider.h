@@ -1,0 +1,80 @@
+// The metric provider (paper §4, §5.2, Algorithm 3).
+//
+// Single component responsible for computing the metrics policies request.
+// Per scheduling period it iterates the drivers and computes every
+// registered metric for every entity, using a per-driver cache, fetching
+// directly from the driver when the SPE exposes the metric and recursively
+// resolving the dependency graph otherwise. A missing primitive dependency
+// is a configuration error.
+#ifndef LACHESIS_CORE_METRIC_PROVIDER_H_
+#define LACHESIS_CORE_METRIC_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/entities.h"
+#include "core/metric.h"
+
+namespace lachesis::core {
+
+// Thrown when a registered metric can be neither fetched nor derived for a
+// driver (Algorithm 3 L15).
+class ConfigurationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MetricProvider {
+ public:
+  // Installs the built-in derived metrics (queue size, cost, selectivity,
+  // input rate, highest rate).
+  MetricProvider();
+
+  // Registers a metric required by some policy (Algorithm 1 L1). Leaf
+  // dependencies are registered implicitly during resolution.
+  void Register(MetricId metric) { registered_.insert(metric); }
+  [[nodiscard]] const std::set<MetricId>& registered() const {
+    return registered_;
+  }
+
+  // Adds or replaces a derived metric (the set is user-extensible).
+  void InstallDerived(std::unique_ptr<DerivedMetric> metric);
+
+  // Computes all registered metrics for all entities of all drivers
+  // (Algorithm 3, update()). `window` is the delta window used by
+  // windowed metrics, normally the scheduling period.
+  void Update(const std::vector<SpeDriver*>& drivers, SimDuration window);
+
+  // Reads a computed value from the last Update. Precondition: the metric
+  // was registered and Update ran.
+  [[nodiscard]] double Value(const SpeDriver& driver, MetricId metric,
+                             OperatorId entity) const;
+
+  // Entities snapshot taken during the last Update.
+  [[nodiscard]] const std::vector<EntityInfo>& EntitiesOf(
+      const SpeDriver& driver) const;
+
+ private:
+  friend class DriverResolver;
+
+  std::set<MetricId> registered_;
+  std::map<MetricId, std::unique_ptr<DerivedMetric>> derived_;
+
+  struct DriverState {
+    std::vector<EntityInfo> entities;
+    std::unordered_map<QueryId, std::vector<EntityInfo>> by_query;
+    // (metric, entity) -> value; rebuilt each Update.
+    std::map<std::pair<MetricId, OperatorId>, double> values;
+  };
+  std::map<const SpeDriver*, DriverState> states_;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_METRIC_PROVIDER_H_

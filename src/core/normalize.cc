@@ -1,0 +1,126 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace lachesis::core {
+
+namespace {
+constexpr double kLog125 = 0.22314355131420976;  // log(1.25)
+
+// Replaces non-finite policy outputs (a misbehaving metric source) with the
+// nearest finite extreme so they cannot poison the normalization: NaN and
+// -inf collapse to the finite minimum, +inf to the finite maximum.
+std::vector<double> SanitizeFinite(const std::vector<double>& values) {
+  double finite_min = std::numeric_limits<double>::infinity();
+  double finite_max = -std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    if (std::isfinite(v)) {
+      finite_min = std::min(finite_min, v);
+      finite_max = std::max(finite_max, v);
+    }
+  }
+  if (!std::isfinite(finite_min)) {  // nothing finite at all
+    return std::vector<double>(values.size(), 0.0);
+  }
+  std::vector<double> result(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::isfinite(values[i])) {
+      result[i] = values[i];
+    } else if (values[i] > 0) {  // +inf
+      result[i] = finite_max;
+    } else {  // -inf or NaN
+      result[i] = finite_min;
+    }
+  }
+  return result;
+}
+
+// Smallest positive value in `values`, or fallback when none exists.
+double SmallestPositive(const std::vector<double>& values, double fallback) {
+  double smallest = std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    if (v > 0) smallest = std::min(smallest, v);
+  }
+  return std::isfinite(smallest) ? smallest : fallback;
+}
+}  // namespace
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& raw_values,
+                                    double lo, double hi) {
+  std::vector<double> result(raw_values.size());
+  if (raw_values.empty()) return result;
+  const std::vector<double> values = SanitizeFinite(raw_values);
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double min = *min_it;
+  const double max = *max_it;
+  if (max - min <= 0) {
+    std::fill(result.begin(), result.end(), (lo + hi) / 2);
+    return result;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    result[i] = lo + (hi - lo) * (values[i] - min) / (max - min);
+  }
+  return result;
+}
+
+std::vector<double> LogMinMaxNormalize(const std::vector<double>& raw_values,
+                                       double lo, double hi) {
+  const std::vector<double> values = SanitizeFinite(raw_values);
+  std::vector<double> logs(values.size());
+  const double floor_value = SmallestPositive(values, 1.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    logs[i] = std::log(std::max(values[i], floor_value));
+  }
+  return MinMaxNormalize(logs, lo, hi);
+}
+
+std::vector<int> PrioritiesToNice(const std::vector<double>& raw_priorities,
+                                  int nice_max) {
+  std::vector<int> result(raw_priorities.size());
+  if (raw_priorities.empty()) return result;
+  const std::vector<double> priorities = SanitizeFinite(raw_priorities);
+  const double floor_value = SmallestPositive(priorities, 1.0);
+  double p_max = floor_value;
+  for (const double p : priorities) p_max = std::max(p_max, p);
+
+  // F(x) = n_max + (log(p_max) - log(x)) / log(1.25)
+  std::vector<double> nices(priorities.size());
+  double worst = static_cast<double>(nice_max);
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    const double x = std::max(priorities[i], floor_value);
+    nices[i] = static_cast<double>(nice_max) +
+               (std::log(p_max) - std::log(x)) / kLog125;
+    worst = std::max(worst, nices[i]);
+  }
+  // If the ratio p_max/p_min does not fit in the nice range, compress with a
+  // min-max pass (paper §5.3).
+  if (worst > 19.0) {
+    nices = MinMaxNormalize(nices, static_cast<double>(nice_max), 19.0);
+  }
+  for (std::size_t i = 0; i < nices.size(); ++i) {
+    result[i] = std::clamp(static_cast<int>(std::lround(nices[i])), -20, 19);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> PrioritiesToShares(
+    const std::vector<double>& normalized, std::uint64_t min_shares,
+    std::uint64_t max_shares) {
+  std::vector<std::uint64_t> result(normalized.size());
+  const double log_min = std::log(static_cast<double>(min_shares));
+  const double log_max = std::log(static_cast<double>(max_shares));
+  for (std::size_t i = 0; i < normalized.size(); ++i) {
+    const double f =
+        std::isfinite(normalized[i]) ? std::clamp(normalized[i], 0.0, 1.0) : 0.0;
+    const double shares = std::exp(log_min + f * (log_max - log_min));
+    result[i] = static_cast<std::uint64_t>(std::lround(
+        std::clamp(shares, static_cast<double>(min_shares),
+                   static_cast<double>(max_shares))));
+  }
+  return result;
+}
+
+}  // namespace lachesis::core

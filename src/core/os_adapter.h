@@ -1,0 +1,114 @@
+// OS-mechanism abstraction used by translators.
+//
+// Lachesis enforces schedules through two Linux mechanisms (paper §2): the
+// per-thread nice value and cgroup cpu.shares. Translators speak to this
+// interface so the same policy/translator stack drives either the CFS
+// simulator (sim_os_adapter.h) or a real Linux host (src/osctl/).
+#ifndef LACHESIS_CORE_OS_ADAPTER_H_
+#define LACHESIS_CORE_OS_ADAPTER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/entities.h"
+#include "sim/machine.h"
+
+namespace lachesis::core {
+
+class OsAdapter {
+ public:
+  virtual ~OsAdapter() = default;
+
+  virtual void SetNice(const ThreadHandle& thread, int nice) = 0;
+  // Creates/updates the named cgroup with the given cpu.shares. Group names
+  // are flat, nested under Lachesis' private root group (§6.1: "Lachesis
+  // nests the SPE threads under a custom root cgroup").
+  virtual void SetGroupShares(const std::string& group, std::uint64_t shares) = 0;
+  virtual void MoveToGroup(const ThreadHandle& thread,
+                           const std::string& group) = 0;
+
+  // --- additional mechanisms (paper §8 future work) -------------------------
+  // SCHED_FIFO-like priority; 0 returns the thread to the fair class.
+  // Default no-op so adapters without RT support stay valid.
+  virtual void SetRtPriority(const ThreadHandle& thread, int rt_priority) {
+    (void)thread;
+    (void)rt_priority;
+  }
+  // CFS bandwidth: the group may use at most `quota` CPU per `period`
+  // (cpu.cfs_quota_us / cpu.max). quota = 0 removes the limit.
+  virtual void SetGroupQuota(const std::string& group, SimDuration quota,
+                             SimDuration period) {
+    (void)group;
+    (void)quota;
+    (void)period;
+  }
+};
+
+// Drives the simulated machines. Cgroups are created lazily per (machine,
+// name) under a per-machine "lachesis" root group.
+class SimOsAdapter final : public OsAdapter {
+ public:
+  void SetNice(const ThreadHandle& thread, int nice) override {
+    thread.machine->SetNice(thread.sim_tid, nice);
+  }
+
+  void SetGroupShares(const std::string& group, std::uint64_t shares) override {
+    desired_shares_[group] = shares;
+    for (auto& [key, cgroup] : groups_) {
+      if (key.second == group) key.first->SetShares(cgroup, shares);
+    }
+  }
+
+  void MoveToGroup(const ThreadHandle& thread, const std::string& group) override {
+    thread.machine->MoveToCgroup(thread.sim_tid,
+                                 EnsureGroup(*thread.machine, group));
+  }
+
+  void SetRtPriority(const ThreadHandle& thread, int rt_priority) override {
+    thread.machine->SetRtPriority(thread.sim_tid, rt_priority);
+  }
+
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override {
+    desired_quota_[group] = {quota, period};
+    for (auto& [key, cgroup] : groups_) {
+      if (key.second == group) key.first->SetQuota(cgroup, quota, period);
+    }
+  }
+
+ private:
+  CgroupId EnsureGroup(sim::Machine& machine, const std::string& group) {
+    const auto key = std::make_pair(&machine, group);
+    if (const auto it = groups_.find(key); it != groups_.end()) {
+      return it->second;
+    }
+    CgroupId root;
+    if (const auto rit = roots_.find(&machine); rit != roots_.end()) {
+      root = rit->second;
+    } else {
+      root = machine.CreateCgroup("lachesis", machine.root_cgroup());
+      roots_.emplace(&machine, root);
+    }
+    std::uint64_t shares = sim::kNice0Weight;
+    if (const auto sit = desired_shares_.find(group); sit != desired_shares_.end()) {
+      shares = sit->second;
+    }
+    const CgroupId cgroup = machine.CreateCgroup(group, root, shares);
+    if (const auto qit = desired_quota_.find(group); qit != desired_quota_.end()) {
+      machine.SetQuota(cgroup, qit->second.first, qit->second.second);
+    }
+    groups_.emplace(key, cgroup);
+    return cgroup;
+  }
+
+  std::map<std::pair<sim::Machine*, std::string>, CgroupId> groups_;
+  std::map<sim::Machine*, CgroupId> roots_;
+  std::map<std::string, std::uint64_t> desired_shares_;
+  std::map<std::string, std::pair<SimDuration, SimDuration>> desired_quota_;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_OS_ADAPTER_H_

@@ -1,0 +1,120 @@
+#include "core/policies.h"
+
+#include <cassert>
+
+#include "core/transform.h"
+
+namespace lachesis::core {
+
+Schedule QueueSizePolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+    const double queue = ctx.provider->Value(driver, MetricId::kQueueSize, e.id);
+    schedule.entries.push_back({e, queue});
+  });
+  return schedule;
+}
+
+Schedule HighestRatePolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLogarithmic;
+  ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+    const double hr = ctx.provider->Value(driver, MetricId::kHighestRate, e.id);
+    schedule.entries.push_back({e, hr});
+  });
+  return schedule;
+}
+
+Schedule FcfsPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+    const double age = ctx.provider->Value(driver, MetricId::kHeadTupleAge, e.id);
+    schedule.entries.push_back({e, age});
+  });
+  return schedule;
+}
+
+Schedule RandomPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  ctx.ForEachEntity([&](SpeDriver&, const EntityInfo& e) {
+    schedule.entries.push_back({e, ctx.rng->NextDouble()});
+  });
+  return schedule;
+}
+
+Schedule MinMemoryPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+    const double cost = ctx.provider->Value(driver, MetricId::kCost, e.id);
+    const double sel = ctx.provider->Value(driver, MetricId::kSelectivity, e.id);
+    // Data shed per CPU nanosecond; negative for expanding operators, which
+    // correctly deprioritizes them when memory is the goal.
+    const double priority = cost > 0 ? (1.0 - sel) / cost : 0.0;
+    schedule.entries.push_back({e, priority});
+  });
+  return schedule;
+}
+
+Schedule PressureStallPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+    const double pressure =
+        ctx.provider->Value(driver, MetricId::kCpuPressure, e.id);
+    schedule.entries.push_back({e, pressure});
+  });
+  return schedule;
+}
+
+SwitchablePolicy::SwitchablePolicy(
+    std::vector<std::unique_ptr<SchedulingPolicy>> candidates,
+    Selector selector)
+    : candidates_(std::move(candidates)), selector_(std::move(selector)) {
+  assert(!candidates_.empty());
+}
+
+std::vector<MetricId> SwitchablePolicy::RequiredMetrics() const {
+  std::vector<MetricId> all;
+  for (const auto& candidate : candidates_) {
+    for (const MetricId m : candidate->RequiredMetrics()) all.push_back(m);
+  }
+  return all;
+}
+
+Schedule SwitchablePolicy::ComputeSchedule(const PolicyContext& ctx) {
+  active_ = std::min(selector_(ctx), candidates_.size() - 1);
+  return candidates_[active_]->ComputeSchedule(ctx);
+}
+
+Schedule LogicalPriorityPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule;
+  schedule.spacing = PrioritySpacing::kLinear;
+  for (SpeDriver* driver : ctx.drivers) {
+    // Group this driver's entities by query, then apply Algorithm 2 to each
+    // query that has configured logical priorities.
+    std::map<QueryId, std::vector<EntityInfo>> by_query;
+    std::map<QueryId, std::string> query_names;
+    for (const EntityInfo& e : ctx.provider->EntitiesOf(*driver)) {
+      if (ctx.filter && !ctx.filter(e)) continue;
+      by_query[e.query].push_back(e);
+      query_names[e.query] = e.query_name;
+    }
+    for (const auto& [query, entities] : by_query) {
+      const auto it = priorities_.find(query_names[query]);
+      if (it == priorities_.end()) continue;
+      LogicalSchedule logical;
+      logical.query = query;
+      logical.priorities = it->second;
+      const auto physical = TransformLogicalSchedule(logical, entities);
+      schedule.entries.insert(schedule.entries.end(), physical.begin(),
+                              physical.end());
+    }
+  }
+  return schedule;
+}
+
+}  // namespace lachesis::core

@@ -1,0 +1,91 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace lachesis::core {
+
+LachesisRunner::LachesisRunner(sim::Simulator& sim, OsAdapter& os,
+                               std::uint64_t seed)
+    : sim_(&sim), os_(&os), rng_(seed) {}
+
+std::size_t LachesisRunner::AddBinding(PolicyBinding binding) {
+  assert(binding.policy && binding.translator);
+  assert(binding.period > 0);
+  assert(!binding.drivers.empty());
+  bindings_.push_back(std::move(binding));
+  enabled_.push_back(true);
+  return bindings_.size() - 1;
+}
+
+void LachesisRunner::SetBindingEnabled(std::size_t index, bool enabled) {
+  enabled_.at(index) = enabled;
+}
+
+SimDuration LachesisRunner::WakeInterval() const {
+  SimDuration gcd = 0;
+  for (const PolicyBinding& b : bindings_) {
+    gcd = std::gcd(gcd, b.period);
+  }
+  return gcd > 0 ? gcd : Seconds(1);
+}
+
+void LachesisRunner::Start(SimTime until) {
+  until_ = until;
+  // Algorithm 1 L1: register the union of required metrics.
+  for (const PolicyBinding& b : bindings_) {
+    for (const MetricId m : b.policy->RequiredMetrics()) {
+      provider_.Register(m);
+    }
+  }
+  next_run_.assign(bindings_.size(), sim_->now() + WakeInterval());
+  sim_->ScheduleAt(sim_->now() + WakeInterval(), [this] { Tick(); });
+}
+
+void LachesisRunner::Tick() {
+  const SimTime now = sim_->now();
+  bool any_due = false;
+  for (std::size_t i = 0; i < bindings_.size(); ++i) {
+    if (!enabled_[i]) {
+      // Keep cadence while disabled so re-enabling resumes on period
+      // boundaries instead of firing a burst of missed runs.
+      if (next_run_[i] <= now) next_run_[i] = now + bindings_[i].period;
+      continue;
+    }
+    if (next_run_[i] <= now) any_due = true;
+  }
+  if (any_due) {
+    // Algorithm 1 L4: update metrics for all drivers of due policies.
+    std::set<SpeDriver*> driver_set;
+    SimDuration window = 0;
+    for (std::size_t i = 0; i < bindings_.size(); ++i) {
+      if (!enabled_[i] || next_run_[i] > now) continue;
+      driver_set.insert(bindings_[i].drivers.begin(), bindings_[i].drivers.end());
+      window = window == 0 ? bindings_[i].period
+                           : std::min(window, bindings_[i].period);
+    }
+    provider_.Update({driver_set.begin(), driver_set.end()}, window);
+
+    // L5-8: run each due policy and apply through its translator.
+    for (std::size_t i = 0; i < bindings_.size(); ++i) {
+      if (!enabled_[i] || next_run_[i] > now) continue;
+      PolicyBinding& b = bindings_[i];
+      PolicyContext ctx;
+      ctx.provider = &provider_;
+      ctx.drivers = b.drivers;
+      ctx.filter = b.filter;
+      ctx.now = now;
+      ctx.rng = &rng_;
+      const Schedule schedule = b.policy->ComputeSchedule(ctx);
+      b.translator->Apply(schedule, *os_);
+      ++schedules_applied_;
+      next_run_[i] = now + b.period;
+    }
+  }
+  // L9: sleep until the next check.
+  const SimTime next = now + WakeInterval();
+  if (next <= until_) sim_->ScheduleAt(next, [this] { Tick(); });
+}
+
+}  // namespace lachesis::core

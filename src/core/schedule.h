@@ -1,0 +1,57 @@
+// Schedules: the output of scheduling policies (paper §5.3).
+//
+// A single-priority schedule maps entities (threads) to real-valued
+// priorities; a grouping schedule maps group ids to a priority plus member
+// entities. Policies produce single-priority schedules over physical
+// operators (Def 3.2); translators turn them into OS parameters, optionally
+// forming groups first.
+#ifndef LACHESIS_CORE_SCHEDULE_H_
+#define LACHESIS_CORE_SCHEDULE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/entities.h"
+
+namespace lachesis::core {
+
+// Hints translators use to pick the right normalization (paper §5.3):
+// linearly spaced priorities (e.g. QS) get min-max normalization;
+// logarithmically spaced ones (e.g. HR) are normalized on their logarithms.
+enum class PrioritySpacing { kLinear, kLogarithmic };
+
+struct ScheduleEntry {
+  EntityInfo entity;
+  double priority;  // higher = more CPU
+};
+
+struct Schedule {
+  std::vector<ScheduleEntry> entries;
+  PrioritySpacing spacing = PrioritySpacing::kLinear;
+};
+
+// Grouping schedule: gid -> (priority, member threads); produced by
+// translators that group entities (per query, per operator, ...).
+struct ScheduleGroup {
+  std::string gid;
+  double priority;
+  std::vector<EntityInfo> members;
+};
+
+struct GroupingSchedule {
+  std::vector<ScheduleGroup> groups;
+  PrioritySpacing spacing = PrioritySpacing::kLinear;
+};
+
+// High-level schedules assign priorities to LOGICAL operators (paper §5.1);
+// a transformation rule converts them to physical schedules (Algorithm 2).
+struct LogicalSchedule {
+  QueryId query;
+  std::map<int, double> priorities;  // logical index -> priority
+  PrioritySpacing spacing = PrioritySpacing::kLinear;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_SCHEDULE_H_

@@ -1,0 +1,144 @@
+#include "core/translators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/normalize.h"
+
+namespace lachesis::core {
+
+void NiceTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  if (schedule.entries.empty()) return;
+  std::vector<double> priorities;
+  priorities.reserve(schedule.entries.size());
+  for (const ScheduleEntry& entry : schedule.entries) {
+    priorities.push_back(entry.priority);
+  }
+
+  std::vector<int> nices;
+  if (schedule.spacing == PrioritySpacing::kLogarithmic) {
+    nices = PrioritiesToNice(priorities, nice_best_);
+  } else {
+    // Linear: min-max into the nice interval, best priority -> nice_best.
+    const auto normalized = MinMaxNormalize(priorities, 0.0, 1.0);
+    nices.resize(normalized.size());
+    for (std::size_t i = 0; i < normalized.size(); ++i) {
+      const double nice =
+          nice_worst_ - normalized[i] * (nice_worst_ - nice_best_);
+      nices[i] = std::clamp(static_cast<int>(std::lround(nice)), -20, 19);
+    }
+  }
+  for (std::size_t i = 0; i < schedule.entries.size(); ++i) {
+    os.SetNice(schedule.entries[i].entity.thread, nices[i]);
+  }
+}
+
+CpuSharesTranslator::CpuSharesTranslator(GroupKeyFn group_of)
+    : group_of_(std::move(group_of)) {
+  if (!group_of_) {
+    group_of_ = [](const EntityInfo& e) { return "op-" + e.path; };
+  }
+}
+
+GroupingSchedule CpuSharesTranslator::BuildGroups(const Schedule& schedule) const {
+  std::map<std::string, ScheduleGroup> groups;
+  for (const ScheduleEntry& entry : schedule.entries) {
+    const std::string gid = group_of_(entry.entity);
+    auto [it, inserted] = groups.try_emplace(gid);
+    if (inserted) {
+      it->second.gid = gid;
+      it->second.priority = entry.priority;
+    } else {
+      it->second.priority = std::max(it->second.priority, entry.priority);
+    }
+    it->second.members.push_back(entry.entity);
+  }
+  GroupingSchedule result;
+  result.spacing = schedule.spacing;
+  result.groups.reserve(groups.size());
+  for (auto& [gid, group] : groups) result.groups.push_back(std::move(group));
+  return result;
+}
+
+void CpuSharesTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  if (schedule.entries.empty()) return;
+  const GroupingSchedule grouping = BuildGroups(schedule);
+
+  std::vector<double> priorities;
+  priorities.reserve(grouping.groups.size());
+  for (const ScheduleGroup& g : grouping.groups) priorities.push_back(g.priority);
+
+  const auto normalized = grouping.spacing == PrioritySpacing::kLogarithmic
+                              ? LogMinMaxNormalize(priorities, 0.0, 1.0)
+                              : MinMaxNormalize(priorities, 0.0, 1.0);
+  const auto shares = PrioritiesToShares(normalized);
+
+  for (std::size_t i = 0; i < grouping.groups.size(); ++i) {
+    const ScheduleGroup& group = grouping.groups[i];
+    os.SetGroupShares(group.gid, shares[i]);
+    for (const EntityInfo& member : group.members) {
+      os.MoveToGroup(member.thread, group.gid);
+    }
+  }
+}
+
+QuotaTranslator::QuotaTranslator(double min_cores, double max_cores,
+                                 SimDuration period, GroupKeyFn group_of)
+    : min_cores_(min_cores),
+      max_cores_(max_cores),
+      period_(period),
+      grouping_helper_(std::move(group_of)) {}
+
+void QuotaTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  if (schedule.entries.empty()) return;
+  const GroupingSchedule grouping = grouping_helper_.BuildGroups(schedule);
+  std::vector<double> priorities;
+  priorities.reserve(grouping.groups.size());
+  for (const ScheduleGroup& g : grouping.groups) priorities.push_back(g.priority);
+  const auto normalized = grouping.spacing == PrioritySpacing::kLogarithmic
+                              ? LogMinMaxNormalize(priorities, 0.0, 1.0)
+                              : MinMaxNormalize(priorities, 0.0, 1.0);
+  for (std::size_t i = 0; i < grouping.groups.size(); ++i) {
+    const ScheduleGroup& group = grouping.groups[i];
+    const double cores =
+        min_cores_ + normalized[i] * (max_cores_ - min_cores_);
+    os.SetGroupQuota(group.gid, static_cast<SimDuration>(
+                                    cores * static_cast<double>(period_)),
+                     period_);
+    for (const EntityInfo& member : group.members) {
+      os.MoveToGroup(member.thread, group.gid);
+    }
+  }
+}
+
+void RtBoostTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  if (schedule.entries.empty()) return;
+  const ScheduleEntry* top = &schedule.entries.front();
+  for (const ScheduleEntry& entry : schedule.entries) {
+    if (entry.priority > top->priority) top = &entry;
+  }
+  // Demote previous boosts that are no longer on top.
+  std::set<std::string> next_boosted{top->entity.path};
+  for (const ScheduleEntry& entry : schedule.entries) {
+    if (boosted_.count(entry.entity.path) > 0 &&
+        next_boosted.count(entry.entity.path) == 0) {
+      os.SetRtPriority(entry.entity.thread, 0);
+    }
+  }
+  os.SetRtPriority(top->entity.thread, rt_priority_);
+  boosted_ = std::move(next_boosted);
+  nice_.Apply(schedule, os);
+}
+
+void QuerySharesPlusNiceTranslator::Apply(const Schedule& schedule,
+                                          OsAdapter& os) {
+  for (const ScheduleEntry& entry : schedule.entries) {
+    const std::string gid = "query-" + entry.entity.query_name;
+    os.SetGroupShares(gid, query_shares_);
+    os.MoveToGroup(entry.entity.thread, gid);
+  }
+  nice_.Apply(schedule, os);
+}
+
+}  // namespace lachesis::core

@@ -1,0 +1,129 @@
+// Translators: schedule -> OS scheduling parameters (paper §4, §5.3).
+//
+// Orthogonal to policies: the same policy can be enforced through nice, or
+// cgroup cpu.shares, or both. Each translator normalizes the policy's
+// real-valued priorities into the mechanism's discrete range using the
+// schedule's spacing hint.
+#ifndef LACHESIS_CORE_TRANSLATORS_H_
+#define LACHESIS_CORE_TRANSLATORS_H_
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "core/os_adapter.h"
+#include "core/schedule.h"
+
+namespace lachesis::core {
+
+class Translator {
+ public:
+  virtual ~Translator() = default;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  virtual void Apply(const Schedule& schedule, OsAdapter& os) = 0;
+};
+
+// Single-priority schedules -> per-thread nice values. The highest priority
+// is anchored at `nice_best`; linear priorities are min-max normalized over
+// the nice interval, logarithmic ones use the paper's
+// F(x) = n_max + (log p_max - log x)/log 1.25 mapping.
+class NiceTranslator final : public Translator {
+ public:
+  // Linear priorities are min-max normalized into [nice_best, nice_worst]
+  // (the paper's "min-max normalization ... to the required interval");
+  // log-spaced ones anchor their max at nice_best via F(x).
+  explicit NiceTranslator(int nice_best = -20, int nice_worst = 19)
+      : nice_best_(nice_best), nice_worst_(nice_worst) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+ private:
+  int nice_best_;
+  int nice_worst_;
+  std::string name_ = "nice";
+};
+
+// Grouping schedules -> cgroup cpu.shares. Entities are grouped by
+// `group_of` (default: one cgroup per operator, as in the paper's
+// multi-query experiment where 100 operators exceed nice's 40 levels);
+// each group's priority is the max over members.
+class CpuSharesTranslator final : public Translator {
+ public:
+  using GroupKeyFn = std::function<std::string(const EntityInfo&)>;
+
+  explicit CpuSharesTranslator(GroupKeyFn group_of = nullptr);
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+  // Builds the grouping schedule without applying it (exposed for tests).
+  [[nodiscard]] GroupingSchedule BuildGroups(const Schedule& schedule) const;
+
+ private:
+  GroupKeyFn group_of_;
+  std::string name_ = "cpu.shares";
+};
+
+// CFS-bandwidth translator (paper §8's "CPU quotas" mechanism): groups
+// entities like CpuSharesTranslator but enforces priorities as HARD per-
+// period CPU budgets instead of relative weights. Unlike shares, quotas are
+// not work-conserving: a low-priority group stays capped even when the CPU
+// is otherwise idle -- useful for strict multi-tenant isolation.
+class QuotaTranslator final : public Translator {
+ public:
+  using GroupKeyFn = std::function<std::string(const EntityInfo&)>;
+
+  // Normalized priority 0 maps to `min_cores`, 1 to `max_cores` worth of CPU
+  // per `period`.
+  explicit QuotaTranslator(double min_cores = 0.25, double max_cores = 4.0,
+                           SimDuration period = Millis(100),
+                           GroupKeyFn group_of = nullptr);
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+ private:
+  double min_cores_;
+  double max_cores_;
+  SimDuration period_;
+  CpuSharesTranslator grouping_helper_;  // reuses the grouping logic
+  std::string name_ = "cpu.quota";
+};
+
+// Real-time boost translator (paper §8's "real-time threads" mechanism):
+// promotes the single highest-priority operator to SCHED_FIFO (it preempts
+// everything fair-class) and enforces the rest of the schedule with nice.
+// Operators that lose the top spot are demoted back to the fair class.
+class RtBoostTranslator final : public Translator {
+ public:
+  explicit RtBoostTranslator(int rt_priority = 10, int nice_best = -20)
+      : rt_priority_(rt_priority), nice_(nice_best) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+ private:
+  int rt_priority_;
+  NiceTranslator nice_;
+  std::set<std::string> boosted_;  // entity paths currently in the RT class
+  std::string name_ = "rt+nice";
+};
+
+// The multi-dimensional scheme of §6.6 (Fig 18): each query is confined to
+// its own cgroup with equal cpu.shares (fair inter-query split), while the
+// policy's priorities are enforced WITHIN each query through nice. Possible
+// because nice values only compete inside their cgroup (§2).
+class QuerySharesPlusNiceTranslator final : public Translator {
+ public:
+  explicit QuerySharesPlusNiceTranslator(std::uint64_t query_shares = 1024,
+                                         int nice_best = -20)
+      : query_shares_(query_shares), nice_(nice_best) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+ private:
+  std::uint64_t query_shares_;
+  NiceTranslator nice_;
+  std::string name_ = "cpu.shares+nice";
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_TRANSLATORS_H_

@@ -1,0 +1,84 @@
+#include "osctl/cgroupfs.h"
+
+#include <fstream>
+#include <utility>
+
+namespace lachesis::osctl {
+
+namespace fs = std::filesystem;
+
+CgroupController::CgroupController(fs::path root, CgroupVersion version)
+    : root_(std::move(root)), version_(version) {}
+
+fs::path CgroupController::GroupDir(const std::string& group) const {
+  return root_ / group;
+}
+
+bool CgroupController::WriteFile(const fs::path& path, const std::string& value,
+                                 bool append) {
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+  if (!out) return false;
+  out << value << "\n";
+  return static_cast<bool>(out);
+}
+
+bool CgroupController::EnsureGroup(const std::string& group) {
+  std::error_code ec;
+  const fs::path dir = GroupDir(group);
+  if (!fs::exists(dir, ec)) {
+    if (!fs::create_directories(dir, ec) || ec) return false;
+  }
+  if (version_ == CgroupVersion::kV2) {
+    // Thread-granular scheduling requires the threaded cgroup type; the
+    // write is idempotent. Best effort: a fake root in tests has no kernel
+    // semantics, the file simply records the request.
+    WriteFile(dir / "cgroup.type", "threaded", /*append=*/false);
+  }
+  return true;
+}
+
+bool CgroupController::SetShares(const std::string& group,
+                                 std::uint64_t shares) {
+  if (!EnsureGroup(group)) return false;
+  if (version_ == CgroupVersion::kV1) {
+    return WriteFile(GroupDir(group) / "cpu.shares", std::to_string(shares),
+                     /*append=*/false);
+  }
+  return WriteFile(GroupDir(group) / "cpu.weight",
+                   std::to_string(SharesToWeight(shares)), /*append=*/false);
+}
+
+bool CgroupController::MoveThread(const std::string& group, long tid) {
+  if (!EnsureGroup(group)) return false;
+  const char* file = version_ == CgroupVersion::kV1 ? "tasks" : "cgroup.threads";
+  return WriteFile(GroupDir(group) / file, std::to_string(tid),
+                   /*append=*/true);
+}
+
+bool CgroupController::SetQuota(const std::string& group, long quota_us,
+                                long period_us) {
+  if (!EnsureGroup(group)) return false;
+  if (version_ == CgroupVersion::kV1) {
+    const bool quota_ok =
+        WriteFile(GroupDir(group) / "cpu.cfs_quota_us",
+                  std::to_string(quota_us > 0 ? quota_us : -1),
+                  /*append=*/false);
+    const bool period_ok =
+        period_us <= 0 ||
+        WriteFile(GroupDir(group) / "cpu.cfs_period_us",
+                  std::to_string(period_us), /*append=*/false);
+    return quota_ok && period_ok;
+  }
+  const std::string value =
+      quota_us > 0 ? std::to_string(quota_us) + " " + std::to_string(period_us)
+                   : std::string("max");
+  return WriteFile(GroupDir(group) / "cpu.max", value, /*append=*/false);
+}
+
+CgroupVersion CgroupController::DetectVersion(const fs::path& sysfs) {
+  std::error_code ec;
+  if (fs::exists(sysfs / "cgroup.controllers", ec)) return CgroupVersion::kV2;
+  return CgroupVersion::kV1;
+}
+
+}  // namespace lachesis::osctl

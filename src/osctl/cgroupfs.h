@@ -1,0 +1,62 @@
+// cgroup CPU control through the cgroup filesystem.
+//
+// Supports both hierarchies the paper-era kernels offer:
+//  - v1: <root>/<group>/cpu.shares (2..262144) and <root>/<group>/tasks
+//  - v2: <root>/<group>/cpu.weight (1..10000)  and <root>/<group>/cgroup.threads
+// The filesystem root is injectable so tests run against a temp directory;
+// production use points it at e.g. /sys/fs/cgroup/cpu/lachesis (v1) or a
+// delegated /sys/fs/cgroup/lachesis (v2, with cpu controller enabled and
+// threaded mode for thread-granular moves).
+#ifndef LACHESIS_OSCTL_CGROUPFS_H_
+#define LACHESIS_OSCTL_CGROUPFS_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace lachesis::osctl {
+
+enum class CgroupVersion { kV1, kV2 };
+
+// Kernel formula mapping v1 cpu.shares to v2 cpu.weight.
+constexpr std::uint64_t SharesToWeight(std::uint64_t shares) {
+  if (shares < 2) shares = 2;
+  if (shares > 262144) shares = 262144;
+  return 1 + ((shares - 2) * 9999) / 262142;
+}
+
+class CgroupController {
+ public:
+  CgroupController(std::filesystem::path root, CgroupVersion version);
+
+  // Creates the group directory if missing (and, for v2, enables threaded
+  // mode). Returns false on I/O errors.
+  bool EnsureGroup(const std::string& group);
+  // Writes cpu.shares (v1) or the converted cpu.weight (v2).
+  bool SetShares(const std::string& group, std::uint64_t shares);
+  // Appends the tid to tasks (v1) / cgroup.threads (v2).
+  bool MoveThread(const std::string& group, long tid);
+  // CFS bandwidth: cpu.cfs_quota_us + cpu.cfs_period_us (v1) or cpu.max
+  // (v2). quota_us <= 0 removes the limit ("-1" / "max").
+  bool SetQuota(const std::string& group, long quota_us, long period_us);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] CgroupVersion version() const { return version_; }
+
+  // Detects the mounted hierarchy under /sys/fs/cgroup; v2 when
+  // cgroup.controllers exists at the top.
+  static CgroupVersion DetectVersion(
+      const std::filesystem::path& sysfs = "/sys/fs/cgroup");
+
+ private:
+  [[nodiscard]] std::filesystem::path GroupDir(const std::string& group) const;
+  static bool WriteFile(const std::filesystem::path& path,
+                        const std::string& value, bool append);
+
+  std::filesystem::path root_;
+  CgroupVersion version_;
+};
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_CGROUPFS_H_

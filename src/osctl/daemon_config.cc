@@ -1,0 +1,169 @@
+#include "osctl/daemon_config.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace lachesis::osctl {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void Fail(int line, const std::string& message) {
+  throw std::runtime_error("config line " + std::to_string(line) + ": " +
+                           message);
+}
+
+core::MetricId MetricFromName(const std::string& name, int line) {
+  static const std::map<std::string, core::MetricId> kNames = {
+      {"tuples_in_total", core::MetricId::kTuplesInTotal},
+      {"tuples_out_total", core::MetricId::kTuplesOutTotal},
+      {"tuples_in_delta", core::MetricId::kTuplesInDelta},
+      {"tuples_out_delta", core::MetricId::kTuplesOutDelta},
+      {"busy_delta_ns", core::MetricId::kBusyDeltaNs},
+      {"buffer_usage", core::MetricId::kBufferUsage},
+      {"buffer_capacity", core::MetricId::kBufferCapacity},
+      {"queue_size", core::MetricId::kQueueSize},
+      {"cost", core::MetricId::kCost},
+      {"selectivity", core::MetricId::kSelectivity},
+      {"head_tuple_age", core::MetricId::kHeadTupleAge},
+  };
+  const auto it = kNames.find(name);
+  if (it == kNames.end()) Fail(line, "unknown metric '" + name + "'");
+  return it->second;
+}
+
+}  // namespace
+
+DaemonConfig ParseDaemonConfig(const std::string& text) {
+  DaemonConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  NativeQueryConfig* current_query = nullptr;
+  std::map<std::string, int> operator_index;  // within current query
+  bool in_lachesis_section = false;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') Fail(line_number, "unterminated section header");
+      const std::string header = Trim(line.substr(1, line.size() - 2));
+      if (header == "lachesis") {
+        in_lachesis_section = true;
+        current_query = nullptr;
+      } else if (header.rfind("query", 0) == 0) {
+        in_lachesis_section = false;
+        NativeQueryConfig query;
+        query.name = Trim(header.substr(5));
+        if (query.name.empty()) Fail(line_number, "query section needs a name");
+        config.spe.queries.push_back(std::move(query));
+        current_query = &config.spe.queries.back();
+        operator_index.clear();
+      } else {
+        Fail(line_number, "unknown section '" + header + "'");
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) Fail(line_number, "expected key = value");
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+
+    if (in_lachesis_section) {
+      if (key == "period_ms") {
+        config.period_ms = std::stol(value);
+        if (config.period_ms <= 0) Fail(line_number, "period must be positive");
+      } else if (key == "policy") {
+        config.policy = value;
+      } else if (key == "translator") {
+        config.translator = value;
+      } else if (key == "metrics_file") {
+        config.spe.metrics_file = value;
+      } else if (key == "cgroup_root") {
+        config.cgroup_root = value;
+      } else if (key == "proc_root") {
+        config.spe.proc_root = value;
+      } else if (key == "name") {
+        config.spe.name = value;
+      } else {
+        Fail(line_number, "unknown key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (current_query == nullptr) {
+      Fail(line_number, "key outside of any section");
+    }
+    if (key == "pid") {
+      current_query->pid = std::stol(value);
+    } else if (key.rfind("operator ", 0) == 0) {
+      const std::string op_name = Trim(key.substr(9));
+      std::istringstream fields(value);
+      NativeOperatorConfig op;
+      op.name = op_name;
+      std::string role;
+      if (!(fields >> op.thread_pattern >> op.series_prefix)) {
+        Fail(line_number, "operator needs '<thread-pattern> <series-prefix>'");
+      }
+      if (fields >> role) {
+        if (role == "ingress") {
+          op.is_ingress = true;
+        } else if (role == "egress") {
+          op.is_egress = true;
+        } else {
+          Fail(line_number, "role must be 'ingress' or 'egress'");
+        }
+      }
+      operator_index[op_name] =
+          static_cast<int>(current_query->operators.size());
+      current_query->operators.push_back(std::move(op));
+    } else if (key == "edge") {
+      std::istringstream fields(value);
+      std::string from;
+      std::string to;
+      if (!(fields >> from >> to)) Fail(line_number, "edge needs two names");
+      const auto from_it = operator_index.find(from);
+      const auto to_it = operator_index.find(to);
+      if (from_it == operator_index.end() || to_it == operator_index.end()) {
+        Fail(line_number, "edge references unknown operator");
+      }
+      current_query->edges.emplace_back(from_it->second, to_it->second);
+    } else if (key == "provides") {
+      std::istringstream fields(value);
+      std::string metric;
+      while (fields >> metric) {
+        config.spe.provided.insert(MetricFromName(metric, line_number));
+      }
+    } else {
+      Fail(line_number, "unknown key '" + key + "'");
+    }
+  }
+  if (config.spe.queries.empty()) {
+    throw std::runtime_error("config declares no [query ...] sections");
+  }
+  return config;
+}
+
+DaemonConfig LoadDaemonConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read config file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseDaemonConfig(text.str());
+}
+
+}  // namespace lachesis::osctl

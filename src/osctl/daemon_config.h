@@ -1,0 +1,49 @@
+// Configuration for lachesisd, the standalone middleware daemon.
+//
+// A small INI-like format (sections + key=value, '#' comments) keeps the
+// daemon dependency-free:
+//
+//   [lachesis]
+//   period_ms   = 1000
+//   policy      = queue-size        # queue-size|fcfs|highest-rate|pressure-stall|random
+//   translator  = nice              # nice|cpu.shares|quota|rt
+//   metrics_file = /var/lib/engine/graphite.log
+//   cgroup_root  = /sys/fs/cgroup/cpu/lachesis
+//
+//   [query my-topology]
+//   pid = 12345
+//   # operator <name> = <thread-pattern> <series-prefix> [ingress|egress]
+//   operator spout = exec-spout storm.my.spout ingress
+//   operator parse = exec-parse storm.my.parse
+//   operator sink  = exec-sink  storm.my.sink  egress
+//   edge = spout parse
+//   edge = parse sink
+//   provides = queue_size tuples_in_total
+#ifndef LACHESIS_OSCTL_DAEMON_CONFIG_H_
+#define LACHESIS_OSCTL_DAEMON_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "osctl/native_driver.h"
+
+namespace lachesis::osctl {
+
+struct DaemonConfig {
+  long period_ms = 1000;
+  std::string policy = "queue-size";
+  std::string translator = "nice";
+  std::string cgroup_root;  // empty: cgroup mechanisms unavailable
+  NativeSpeConfig spe;
+};
+
+// Parses the INI-like text; throws std::runtime_error with a line-numbered
+// message on malformed input.
+DaemonConfig ParseDaemonConfig(const std::string& text);
+
+// Convenience: reads and parses a file.
+DaemonConfig LoadDaemonConfig(const std::string& path);
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_DAEMON_CONFIG_H_

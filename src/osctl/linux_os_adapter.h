@@ -1,0 +1,56 @@
+// core::OsAdapter backed by real Linux mechanisms.
+//
+// Lets the exact policy/translator stack that runs against the simulator
+// drive a live system: nice via setpriority, groups via cgroupfs. Entities
+// must carry os_tid (e.g. resolved through osctl::FindThreadsByName against
+// the SPE's process).
+#ifndef LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
+#define LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
+
+#include "core/os_adapter.h"
+#include "osctl/cgroupfs.h"
+#include "osctl/nice.h"
+
+namespace lachesis::osctl {
+
+class LinuxOsAdapter final : public core::OsAdapter {
+ public:
+  LinuxOsAdapter(NiceController& nice, CgroupController& cgroups,
+                 RtController* rt = nullptr)
+      : nice_(&nice), cgroups_(&cgroups), rt_(rt) {}
+
+  void SetNice(const core::ThreadHandle& thread, int nice) override {
+    if (thread.os_tid >= 0) nice_->SetNice(thread.os_tid, nice);
+  }
+
+  void SetGroupShares(const std::string& group, std::uint64_t shares) override {
+    cgroups_->SetShares(group, shares);
+  }
+
+  void MoveToGroup(const core::ThreadHandle& thread,
+                   const std::string& group) override {
+    if (thread.os_tid >= 0) cgroups_->MoveThread(group, thread.os_tid);
+  }
+
+  void SetRtPriority(const core::ThreadHandle& thread,
+                     int rt_priority) override {
+    if (rt_ != nullptr && thread.os_tid >= 0) {
+      rt_->SetRtPriority(thread.os_tid, rt_priority);
+    }
+  }
+
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override {
+    cgroups_->SetQuota(group, static_cast<long>(quota / kMicrosecond),
+                       static_cast<long>(period / kMicrosecond));
+  }
+
+ private:
+  NiceController* nice_;
+  CgroupController* cgroups_;
+  RtController* rt_;
+};
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_

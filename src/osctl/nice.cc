@@ -1,0 +1,27 @@
+#include "osctl/nice.h"
+
+#include <cerrno>
+#include <sched.h>
+#include <sys/resource.h>
+
+namespace lachesis::osctl {
+
+bool LinuxNiceController::SetNice(long tid, int nice) {
+  return setpriority(PRIO_PROCESS, static_cast<id_t>(tid), nice) == 0;
+}
+
+std::optional<int> LinuxNiceController::GetNice(long tid) {
+  errno = 0;
+  const int value = getpriority(PRIO_PROCESS, static_cast<id_t>(tid));
+  if (value == -1 && errno != 0) return std::nullopt;
+  return value;
+}
+
+bool LinuxRtController::SetRtPriority(long tid, int priority) {
+  sched_param param{};
+  param.sched_priority = priority;
+  const int policy = priority > 0 ? SCHED_FIFO : SCHED_OTHER;
+  return sched_setscheduler(static_cast<pid_t>(tid), policy, &param) == 0;
+}
+
+}  // namespace lachesis::osctl

@@ -1,0 +1,77 @@
+// Per-thread nice control on real Linux.
+//
+// The syscall surface is behind an interface so higher layers (and tests)
+// can run against a recording fake; the real implementation uses
+// setpriority/getpriority with PRIO_PROCESS ids, which on Linux address a
+// single thread.
+#ifndef LACHESIS_OSCTL_NICE_H_
+#define LACHESIS_OSCTL_NICE_H_
+
+#include <map>
+#include <optional>
+
+namespace lachesis::osctl {
+
+class NiceController {
+ public:
+  virtual ~NiceController() = default;
+  // Returns false (and leaves errno set, for the real impl) on failure.
+  virtual bool SetNice(long tid, int nice) = 0;
+  virtual std::optional<int> GetNice(long tid) = 0;
+};
+
+// Real syscalls.
+class LinuxNiceController final : public NiceController {
+ public:
+  bool SetNice(long tid, int nice) override;
+  std::optional<int> GetNice(long tid) override;
+};
+
+// SCHED_FIFO control (paper §8's "real-time threads" mechanism).
+class RtController {
+ public:
+  virtual ~RtController() = default;
+  // priority 1..99 = SCHED_FIFO; 0 = back to SCHED_OTHER.
+  virtual bool SetRtPriority(long tid, int priority) = 0;
+};
+
+class LinuxRtController final : public RtController {
+ public:
+  bool SetRtPriority(long tid, int priority) override;
+};
+
+class FakeRtController final : public RtController {
+ public:
+  bool SetRtPriority(long tid, int priority) override {
+    priorities_[tid] = priority;
+    return true;
+  }
+  [[nodiscard]] const std::map<long, int>& priorities() const {
+    return priorities_;
+  }
+
+ private:
+  std::map<long, int> priorities_;
+};
+
+// Recording fake for tests and --dry-run tooling.
+class FakeNiceController final : public NiceController {
+ public:
+  bool SetNice(long tid, int nice) override {
+    nices_[tid] = nice;
+    return true;
+  }
+  std::optional<int> GetNice(long tid) override {
+    const auto it = nices_.find(tid);
+    if (it == nices_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] const std::map<long, int>& nices() const { return nices_; }
+
+ private:
+  std::map<long, int> nices_;
+};
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_NICE_H_

@@ -1,0 +1,42 @@
+#include "osctl/procfs.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace lachesis::osctl {
+
+std::vector<OsThreadInfo> ListThreads(long pid, const std::string& proc_root) {
+  namespace fs = std::filesystem;
+  std::vector<OsThreadInfo> result;
+  const fs::path task_dir = fs::path(proc_root) / std::to_string(pid) / "task";
+  std::error_code ec;
+  if (!fs::is_directory(task_dir, ec)) return result;
+  for (const auto& entry : fs::directory_iterator(task_dir, ec)) {
+    if (ec) break;
+    OsThreadInfo info;
+    try {
+      info.tid = std::stol(entry.path().filename().string());
+    } catch (...) {
+      continue;
+    }
+    std::ifstream comm(entry.path() / "comm");
+    if (comm) {
+      std::getline(comm, info.comm);
+    }
+    result.push_back(std::move(info));
+  }
+  return result;
+}
+
+std::vector<OsThreadInfo> FindThreadsByName(long pid, const std::string& needle,
+                                            const std::string& proc_root) {
+  std::vector<OsThreadInfo> result;
+  for (OsThreadInfo& info : ListThreads(pid, proc_root)) {
+    if (info.comm.find(needle) != std::string::npos) {
+      result.push_back(std::move(info));
+    }
+  }
+  return result;
+}
+
+}  // namespace lachesis::osctl

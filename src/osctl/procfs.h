@@ -1,0 +1,31 @@
+// /proc scanning: enumerate the threads of a running SPE process.
+//
+// Real deployments attach Lachesis to unmodified engines; drivers map
+// operator names to kernel threads by matching the thread names (comm) the
+// engines set (e.g. Storm executor threads are named after their
+// component). The proc root is injectable for hermetic tests.
+#ifndef LACHESIS_OSCTL_PROCFS_H_
+#define LACHESIS_OSCTL_PROCFS_H_
+
+#include <string>
+#include <vector>
+
+namespace lachesis::osctl {
+
+struct OsThreadInfo {
+  long tid = -1;
+  std::string comm;  // thread name, /proc/<pid>/task/<tid>/comm
+};
+
+// Threads of process `pid`; empty when the process does not exist.
+std::vector<OsThreadInfo> ListThreads(long pid,
+                                      const std::string& proc_root = "/proc");
+
+// Threads whose comm contains `needle`.
+std::vector<OsThreadInfo> FindThreadsByName(
+    long pid, const std::string& needle,
+    const std::string& proc_root = "/proc");
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_PROCFS_H_

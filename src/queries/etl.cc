@@ -1,0 +1,158 @@
+#include "queries/etl.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/bloom.h"
+
+namespace lachesis::queries {
+
+namespace {
+
+using spe::OperatorLogic;
+using spe::Tuple;
+
+// Range filter: drops readings outside the plausible sensor range.
+class RangeFilterLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    if ((in.kind & 1u) != 0) {  // null readings pass through for interpolation
+      out.push_back(in);
+      return;
+    }
+    if (in.value < -50.0 || in.value > 150.0) return;  // outlier: drop
+    out.push_back(in);
+  }
+};
+
+// Bloom-filter duplicate detection: drops messages whose (sensor, sequence)
+// signature was already observed.
+class BloomDedupLogic final : public OperatorLogic {
+ public:
+  BloomDedupLogic() : filter_(1 << 20, 0.01) {}
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    // The generator marks duplicates via kind bit 1 by reusing the signature
+    // stored in the upper bits of `kind`.
+    const std::uint64_t signature =
+        (static_cast<std::uint64_t>(in.key) << 32) | (in.kind >> 2);
+    if (filter_.TestAndAdd(signature)) return;  // duplicate: drop
+    out.push_back(in);
+  }
+
+ private:
+  BloomFilter filter_;
+};
+
+// Interpolation: replaces null readings with the mean of the last readings
+// of the same sensor.
+class InterpolateLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& history = last_[in.key];
+    Tuple result = in;
+    if ((in.kind & 1u) != 0) {
+      result.value = history.count > 0 ? history.sum / history.count : 0.0;
+      result.kind &= ~1u;
+    } else {
+      history.sum += in.value;
+      if (++history.count > 10) {  // sliding-ish window
+        history.sum -= history.sum / history.count;
+        --history.count;
+      }
+    }
+    out.push_back(result);
+  }
+
+ private:
+  struct History {
+    double sum = 0;
+    int count = 0;
+  };
+  std::unordered_map<std::int64_t, History> last_;
+};
+
+// Join with static sensor metadata (location, type), modeled as a lookup
+// that annotates the tuple key space.
+class MetadataJoinLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    Tuple result = in;
+    std::uint64_t h = static_cast<std::uint64_t>(in.key);
+    result.kind |= static_cast<std::uint32_t>(SplitMix64(h) % 7) << 8;
+    out.push_back(result);
+  }
+};
+
+}  // namespace
+
+Workload MakeEtl(std::uint64_t seed) {
+  Workload w;
+  spe::LogicalQuery& q = w.query;
+  q.name = "etl";
+
+  const int ingress = q.Add(spe::MakeIngress("ingress", Micros(50)));
+  const int parse = q.Add(spe::MakeTransform("senml_parse", Micros(400), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int rfilter = q.Add(spe::MakeTransform("range_filter", Micros(150), [] {
+    return std::make_unique<RangeFilterLogic>();
+  }));
+  const int bfilter = q.Add(spe::MakeTransform("bloom_dedup", Micros(250), [] {
+    return std::make_unique<BloomDedupLogic>();
+  }));
+  const int interp = q.Add(spe::MakeTransform("interpolate", Micros(350), [] {
+    return std::make_unique<InterpolateLogic>();
+  }));
+  const int join = q.Add(spe::MakeTransform("metadata_join", Micros(300), [] {
+    return std::make_unique<MetadataJoinLogic>();
+  }));
+  const int annotate = q.Add(spe::MakeTransform("annotate", Micros(250), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int csv = q.Add(spe::MakeTransform("csv_to_senml", Micros(300), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int publish = q.Add(spe::MakeTransform("mqtt_publish", Micros(200), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int egress = q.Add(spe::MakeEgress("sink", Micros(100)));
+
+  q.Connect(ingress, parse);
+  q.Connect(parse, rfilter);
+  q.Connect(rfilter, bfilter);
+  q.Connect(bfilter, interp, spe::Partitioning::kKeyBy);
+  q.Connect(interp, join);
+  q.Connect(join, annotate);
+  q.Connect(annotate, csv);
+  q.Connect(csv, publish);
+  q.Connect(publish, egress);
+
+  // IoT sensor feed: 50 sensors; 2% nulls, 1% outliers, 2% duplicates. The
+  // sensor id is a deterministic function of the sequence number so that a
+  // replayed message reproduces the exact (sensor, sequence) signature the
+  // Bloom stage dedups on.
+  w.generator = [seed](Rng& rng, std::uint64_t seq) {
+    (void)seed;
+    if (rng.Chance(0.02) && seq > 100) {
+      seq -= rng.NextBounded(100) + 1;  // replay of a recent message
+    }
+    Tuple t;
+    std::uint64_t h = seq;
+    t.key = static_cast<std::int64_t>(SplitMix64(h) % 50);
+    t.kind = static_cast<std::uint32_t>(seq % (1u << 22)) << 2;
+    if (rng.Chance(0.02)) {
+      t.kind |= 1u;  // null reading
+      t.value = 0;
+    } else if (rng.Chance(0.01)) {
+      t.value = rng.Uniform(200.0, 500.0);  // outlier
+    } else {
+      t.value = rng.Normal(25.0, 8.0);
+    }
+    return t;
+  };
+  // EdgeWise-style on-device generator thread cost.
+  w.source_cost = Micros(80);
+  return w;
+}
+
+}  // namespace lachesis::queries

@@ -1,0 +1,23 @@
+// The RIoTBench ETL query (paper §6.1 query 1, evaluated in §6.2/Figs 5-6).
+//
+// A 10-operator pipeline over IoT sensor messages: parse, filter out-of-
+// range readings, drop Bloom-filter duplicates, interpolate missing values,
+// join with reference metadata, annotate, serialize and publish. Input data
+// mirrors the EdgeWise evaluation: sensor readings with occasional nulls,
+// outliers and duplicates, generated on-device.
+#ifndef LACHESIS_QUERIES_ETL_H_
+#define LACHESIS_QUERIES_ETL_H_
+
+#include <cstdint>
+
+#include "queries/workload.h"
+
+namespace lachesis::queries {
+
+// Tuple encoding: key = sensor id, value = reading, kind bit 0 = null
+// reading, bit 1 = duplicate marker (generator-side ground truth).
+Workload MakeEtl(std::uint64_t seed = 101);
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_ETL_H_

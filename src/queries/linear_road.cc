@@ -1,0 +1,181 @@
+#include "queries/linear_road.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lachesis::queries {
+
+namespace {
+
+using spe::OperatorLogic;
+using spe::Tuple;
+
+constexpr int kSegments = 100;
+
+int SegmentOf(const Tuple& t) { return static_cast<int>((t.kind >> 8) & 0xFF); }
+
+// Per-segment statistics: average speed and vehicle count over a count
+// window; emits one summary per closed window (selectivity < 1).
+class SegStatsLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    const int seg = SegmentOf(in) % kSegments;
+    auto& w = windows_[seg];
+    w.speed_sum += in.value;
+    w.vehicles.insert(in.key);
+    if (++w.count >= 5) {  // close the window
+      Tuple summary = in;
+      summary.key = seg;
+      summary.value = w.speed_sum / w.count;                 // avg speed
+      summary.kind = static_cast<std::uint32_t>(w.vehicles.size());  // #cars
+      out.push_back(summary);
+      w = {};
+    }
+  }
+
+ private:
+  struct Window {
+    double speed_sum = 0;
+    int count = 0;
+    std::unordered_set<std::int64_t> vehicles;
+  };
+  std::unordered_map<int, Window> windows_;
+};
+
+// Congestion detection: a segment is congested when its average speed drops
+// below 40 mph (LRB rule); forwards only congested-segment summaries.
+class CongestionLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    if (in.value < 40.0) out.push_back(in);
+  }
+};
+
+// Variable toll: LRB formula 2 * (cars - 50)^2 when congested, floored.
+class VarTollLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    const double cars = static_cast<double>(in.kind);
+    const double excess = cars > 50 ? cars - 50 : 0;
+    Tuple toll = in;
+    toll.value = 2.0 * excess * excess;
+    out.push_back(toll);
+  }
+};
+
+// Accident detection: a vehicle reporting speed 0 in the same segment four
+// consecutive times is considered stopped; emits an alert (low selectivity).
+class AccidentLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& s = stopped_[in.key];
+    if (in.value < 1.0 && SegmentOf(in) == s.segment) {
+      if (++s.count >= 4) {
+        Tuple alert = in;
+        alert.kind |= 1u << 16;  // accident flag
+        out.push_back(alert);
+        s.count = 0;
+      }
+    } else {
+      s.segment = SegmentOf(in);
+      s.count = in.value < 1.0 ? 1 : 0;
+    }
+  }
+
+ private:
+  struct Stopped {
+    int segment = -1;
+    int count = 0;
+  };
+  std::unordered_map<std::int64_t, Stopped> stopped_;
+};
+
+}  // namespace
+
+Workload MakeLinearRoad(std::uint64_t seed) {
+  Workload w;
+  spe::LogicalQuery& q = w.query;
+  q.name = "lr";
+
+  const int ingress = q.Add(spe::MakeIngress("ingress", Micros(30)));
+  const int parse = q.Add(spe::MakeTransform("parse", Micros(80), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int dispatch = q.Add(spe::MakeTransform("dispatch", Micros(40), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int segstats = q.Add(spe::MakeTransform("seg_stats", Micros(120), [] {
+    return std::make_unique<SegStatsLogic>();
+  }));
+  const int congestion = q.Add(spe::MakeTransform("congestion", Micros(150), [] {
+    return std::make_unique<CongestionLogic>();
+  }));
+  const int vartoll = q.Add(spe::MakeTransform("var_toll", Micros(100), [] {
+    return std::make_unique<VarTollLogic>();
+  }));
+  const int toll_egress = q.Add(spe::MakeEgress("toll_sink", Micros(30)));
+  const int accident = q.Add(spe::MakeTransform("accident", Micros(100), [] {
+    return std::make_unique<AccidentLogic>();
+  }));
+  const int alert_egress = q.Add(spe::MakeEgress("alert_sink", Micros(30)));
+
+  q.Connect(ingress, parse);
+  q.Connect(parse, dispatch);
+  q.Connect(dispatch, segstats, spe::Partitioning::kKeyBy);
+  q.Connect(segstats, congestion);
+  q.Connect(congestion, vartoll);
+  q.Connect(vartoll, toll_egress);
+  q.Connect(dispatch, accident, spe::Partitioning::kKeyBy);
+  q.Connect(accident, alert_egress);
+
+  // Vehicle position reports: 2000 vehicles over 100 segments; busy
+  // segments are slow (congested). A small population of vehicles gets
+  // stuck (accident!) and keeps reporting speed 0 from the same segment for
+  // a while, which is what the accident detector's 4-consecutive-stops rule
+  // needs to see (as in the original benchmark's re-entrant cars).
+  struct Stuck {
+    std::int64_t vehicle;
+    std::uint32_t segment;
+    int remaining;
+  };
+  auto stuck = std::make_shared<std::vector<Stuck>>();
+  w.generator = [seed, stuck](Rng& rng, std::uint64_t seq) {
+    (void)seed;
+    (void)seq;
+    Tuple t;
+    // Stuck vehicles re-report frequently (their transponders keep firing).
+    if (!stuck->empty() && rng.Chance(0.05)) {
+      const std::size_t i = rng.NextBounded(stuck->size());
+      Stuck& s = (*stuck)[i];
+      t.key = s.vehicle;
+      t.kind = (s.segment << 8);
+      t.value = 0.0;
+      if (--s.remaining <= 0) {
+        s = stuck->back();
+        stuck->pop_back();
+      }
+      return t;
+    }
+    t.key = static_cast<std::int64_t>(rng.NextBounded(2000));
+    // Zipf-ish segment popularity: low segments are busier.
+    const auto seg = static_cast<std::uint32_t>(
+        rng.NextDouble() * rng.NextDouble() * kSegments);
+    const auto lane = static_cast<std::uint32_t>(rng.NextBounded(4));
+    t.kind = (seg << 8) | lane;
+    if (rng.Chance(0.002) && stuck->size() < 8) {
+      // This vehicle just got stuck; it will re-report stopped ~10 times.
+      t.value = 0.0;
+      stuck->push_back({t.key, seg, 10});
+    } else {
+      // Busy segments are slower.
+      const double congestion_factor =
+          1.0 - 0.7 * (1.0 - static_cast<double>(seg) / kSegments);
+      t.value = rng.Uniform(20.0, 80.0) * congestion_factor + 10.0;
+    }
+    return t;
+  };
+  return w;
+}
+
+}  // namespace lachesis::queries

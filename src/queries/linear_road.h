@@ -1,0 +1,37 @@
+// The Linear Road (LR) query (paper §6.1 query 3, Figs 1-2, §6.3, §6.5).
+//
+// A tolling system for motor vehicle expressways: position reports are
+// parsed and dispatched into two branches (the structure sketched in the
+// paper's Fig 2): branch 1 aggregates per-segment statistics, detects
+// congestion and computes VARIABLE tolls delivered to vehicles; branch 2
+// detects accidents from stopped vehicles and emits alerts/fixed tolls.
+// 9 logical operators.
+#ifndef LACHESIS_QUERIES_LINEAR_ROAD_H_
+#define LACHESIS_QUERIES_LINEAR_ROAD_H_
+
+#include <cstdint>
+
+#include "queries/workload.h"
+
+namespace lachesis::queries {
+
+// Tuple encoding: key = vehicle id; kind packs (segment << 8 | lane);
+// value = speed (mph).
+Workload MakeLinearRoad(std::uint64_t seed = 103);
+
+// Logical operator indices (useful for branch-priority examples).
+struct LinearRoadOps {
+  static constexpr int kIngress = 0;
+  static constexpr int kParse = 1;
+  static constexpr int kDispatch = 2;
+  static constexpr int kSegStats = 3;     // branch 1
+  static constexpr int kCongestion = 4;   // branch 1
+  static constexpr int kVarToll = 5;      // branch 1
+  static constexpr int kTollEgress = 6;   // branch 1
+  static constexpr int kAccident = 7;     // branch 2
+  static constexpr int kAlertEgress = 8;  // branch 2
+};
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_LINEAR_ROAD_H_

@@ -1,0 +1,184 @@
+#include "queries/stats.h"
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+namespace lachesis::queries {
+
+namespace {
+
+using spe::OperatorLogic;
+using spe::Tuple;
+
+// SenML parse: each message carries 5 observations; flat-map them out.
+class SenmlFanoutLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      Tuple obs = in;
+      obs.kind = i;
+      // Derive per-observation values from the message payload.
+      std::uint64_t h =
+          static_cast<std::uint64_t>(in.key) * 31 + i + sequence_++;
+      obs.value = in.value + static_cast<double>(SplitMix64(h) % 100) / 50.0;
+      out.push_back(obs);
+    }
+  }
+
+ private:
+  std::uint64_t sequence_ = 0;
+};
+
+// Windowed average per sensor.
+class WindowAverageLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& window = windows_[in.key];
+    window.sum += in.value;
+    if (++window.count >= 10) {
+      Tuple result = in;
+      result.value = window.sum / window.count;
+      out.push_back(result);
+      window = {};
+      return;
+    }
+    Tuple result = in;  // running average per observation (selectivity ~1)
+    result.value = window.sum / window.count;
+    out.push_back(result);
+  }
+
+ private:
+  struct Window {
+    double sum = 0;
+    int count = 0;
+  };
+  std::unordered_map<std::int64_t, Window> windows_;
+};
+
+// 1-D Kalman filter per sensor: the STATS bottleneck operator.
+class KalmanLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& s = states_[in.key];
+    // Predict.
+    const double p_pred = s.p + kProcessNoise;
+    // Update.
+    const double gain = p_pred / (p_pred + kMeasurementNoise);
+    s.x = s.x + gain * (in.value - s.x);
+    s.p = (1.0 - gain) * p_pred;
+    Tuple result = in;
+    result.value = s.x;
+    out.push_back(result);
+  }
+
+ private:
+  static constexpr double kProcessNoise = 1e-3;
+  static constexpr double kMeasurementNoise = 0.64;
+  struct State {
+    double x = 0;
+    double p = 1;
+  };
+  std::unordered_map<std::int64_t, State> states_;
+};
+
+// Simple linear regression over a sliding count window per sensor.
+class SlrLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& s = acc_[in.key];
+    const double x = static_cast<double>(s.n);
+    s.n += 1;
+    s.sx += x;
+    s.sy += in.value;
+    s.sxx += x * x;
+    s.sxy += x * in.value;
+    Tuple result = in;
+    const double denom = s.n * s.sxx - s.sx * s.sx;
+    result.value = denom != 0 ? (s.n * s.sxy - s.sx * s.sy) / denom : 0.0;
+    out.push_back(result);
+  }
+
+ private:
+  struct Acc {
+    double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  };
+  std::unordered_map<std::int64_t, Acc> acc_;
+};
+
+// Approximate distinct count of quantized readings per sensor.
+class DistinctCountLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    auto& seen = seen_[in.key];
+    seen.insert(static_cast<std::int64_t>(std::lround(in.value * 10)));
+    if (seen.size() > 4096) seen.clear();  // bounded state
+    Tuple result = in;
+    result.value = static_cast<double>(seen.size());
+    out.push_back(result);
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::set<std::int64_t>> seen_;
+};
+
+}  // namespace
+
+Workload MakeStats(std::uint64_t seed) {
+  Workload w;
+  spe::LogicalQuery& q = w.query;
+  q.name = "stats";
+
+  const int ingress = q.Add(spe::MakeIngress("ingress", Micros(50)));
+  const int parse = q.Add(spe::MakeTransform("senml_parse", Micros(300), [] {
+    return std::make_unique<SenmlFanoutLogic>();
+  }));
+  const int average = q.Add(spe::MakeTransform("average", Micros(120), [] {
+    return std::make_unique<WindowAverageLogic>();
+  }));
+  const int kalman = q.Add(spe::MakeTransform("kalman", Micros(550), [] {
+    return std::make_unique<KalmanLogic>();
+  }));
+  const int slr = q.Add(spe::MakeTransform("slr", Micros(250), [] {
+    return std::make_unique<SlrLogic>();
+  }));
+  const int distinct = q.Add(spe::MakeTransform("distinct_count", Micros(80), [] {
+    return std::make_unique<DistinctCountLogic>();
+  }));
+  const int acc1 = q.Add(spe::MakeTransform("plot_avg", Micros(60), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int acc2 = q.Add(spe::MakeTransform("plot_slr", Micros(60), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int acc3 = q.Add(spe::MakeTransform("plot_distinct", Micros(60), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int egress = q.Add(spe::MakeEgress("sink", Micros(40)));
+
+  q.Connect(ingress, parse);
+  q.Connect(parse, average, spe::Partitioning::kKeyBy);
+  q.Connect(parse, kalman, spe::Partitioning::kKeyBy);
+  q.Connect(parse, distinct, spe::Partitioning::kKeyBy);
+  q.Connect(kalman, slr);
+  q.Connect(average, acc1);
+  q.Connect(slr, acc2);
+  q.Connect(distinct, acc3);
+  q.Connect(acc1, egress);
+  q.Connect(acc2, egress);
+  q.Connect(acc3, egress);
+
+  w.generator = [seed](Rng& rng, std::uint64_t seq) {
+    (void)seed;
+    (void)seq;
+    Tuple t;
+    t.key = static_cast<std::int64_t>(rng.NextBounded(30));
+    t.value = rng.Normal(20.0, 5.0);
+    return t;
+  };
+  w.source_cost = Micros(80);
+  return w;
+}
+
+}  // namespace lachesis::queries

@@ -1,0 +1,22 @@
+// The RIoTBench STATS query (paper §6.1 query 2, evaluated in §6.2/Figs 7-8).
+//
+// Statistical analytics over IoT observations: a SenML parse fans each
+// message out into its individual observations (high selectivity -- the
+// paper reports ~15 egress tuples per ingress tuple), which feed three
+// parallel analytics: windowed average, a Kalman filter followed by simple
+// linear regression (the single-operator bottleneck visible in Fig 8), and
+// an approximate distinct counter. 10 operators.
+#ifndef LACHESIS_QUERIES_STATS_H_
+#define LACHESIS_QUERIES_STATS_H_
+
+#include <cstdint>
+
+#include "queries/workload.h"
+
+namespace lachesis::queries {
+
+Workload MakeStats(std::uint64_t seed = 102);
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_STATS_H_

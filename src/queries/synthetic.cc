@@ -1,0 +1,85 @@
+#include "queries/synthetic.h"
+
+#include <memory>
+#include <string>
+
+namespace lachesis::queries {
+
+namespace {
+
+using spe::OperatorLogic;
+using spe::Tuple;
+
+// Probabilistic selectivity: emits floor(s) copies plus one more with
+// probability frac(s), so the long-run output/input ratio equals s.
+class SelectivityLogic final : public OperatorLogic {
+ public:
+  SelectivityLogic(double selectivity, std::uint64_t seed)
+      : selectivity_(selectivity), rng_(seed) {}
+
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    double s = selectivity_;
+    while (s >= 1.0) {
+      out.push_back(in);
+      s -= 1.0;
+    }
+    if (s > 0 && rng_.Chance(s)) out.push_back(in);
+  }
+
+ private:
+  double selectivity_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::vector<Workload> MakeSynthetic(const SyntheticConfig& config) {
+  std::vector<Workload> workloads;
+  Rng master(config.seed);
+  for (int i = 0; i < config.num_queries; ++i) {
+    Rng rng = master.Split(static_cast<std::uint64_t>(i));
+    Workload w;
+    spe::LogicalQuery& q = w.query;
+    q.name = "syn" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+
+    const int ingress = q.Add(spe::MakeIngress("ingress", Micros(20)));
+    int prev = ingress;
+    for (int o = 1; o + 1 < config.ops_per_query; ++o) {
+      const auto cost = static_cast<SimDuration>(
+          rng.UniformInt(config.min_cost, config.max_cost));
+      const double selectivity =
+          rng.Uniform(config.min_selectivity, config.max_selectivity);
+      const std::uint64_t logic_seed = rng.NextU64();
+      spe::LogicalOperator op = spe::MakeTransform(
+          "op" + std::to_string(o), cost, [selectivity, logic_seed] {
+            return std::make_unique<SelectivityLogic>(selectivity, logic_seed);
+          });
+      if (config.blocking_op_fraction > 0 &&
+          rng.Chance(config.blocking_op_fraction)) {
+        op.block_probability = config.block_probability;
+        op.block_max = config.block_max;
+      }
+      prev = q.Add(std::move(op));
+      if (o == 1) {
+        q.Connect(ingress, prev);
+      } else {
+        q.Connect(prev - 1, prev);
+      }
+    }
+    const int egress = q.Add(spe::MakeEgress("sink", Micros(20)));
+    q.Connect(prev, egress);
+
+    const std::uint64_t gen_seed = rng.NextU64();
+    w.generator = [gen_seed](Rng& grng, std::uint64_t seq) {
+      (void)gen_seed;
+      Tuple t;
+      t.key = static_cast<std::int64_t>(seq);
+      t.value = grng.NextDouble();
+      return t;
+    };
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+}  // namespace lachesis::queries

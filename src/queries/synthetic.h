@@ -1,0 +1,37 @@
+// Synthetic (SYN) queries (paper §6.1 query 5, evaluated in §6.4/Figs 14-16).
+//
+// A set of pipelines of 5 operators each, with uniformly random per-operator
+// cost and selectivity (as in the Haren evaluation), optionally with a
+// random subset of operators that simulate blocking I/O: with a small
+// probability per tuple they block for up to `block_max` (Fig 16).
+#ifndef LACHESIS_QUERIES_SYNTHETIC_H_
+#define LACHESIS_QUERIES_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "queries/workload.h"
+
+namespace lachesis::queries {
+
+struct SyntheticConfig {
+  int num_queries = 20;
+  int ops_per_query = 5;
+  SimDuration min_cost = Micros(80);
+  SimDuration max_cost = Micros(320);
+  double min_selectivity = 0.5;
+  double max_selectivity = 1.5;
+  // Blocking simulation (Fig 16): fraction of operators that may block,
+  // chance per tuple, and maximum block duration.
+  double blocking_op_fraction = 0.0;
+  double block_probability = 0.001;
+  SimDuration block_max = Millis(200);
+  std::uint64_t seed = 105;
+};
+
+// One workload per query; query names are "syn00".."synNN".
+std::vector<Workload> MakeSynthetic(const SyntheticConfig& config);
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_SYNTHETIC_H_

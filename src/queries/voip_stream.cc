@@ -1,0 +1,216 @@
+#include "queries/voip_stream.h"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bloom.h"
+
+namespace lachesis::queries {
+
+namespace {
+
+using spe::OperatorLogic;
+using spe::Tuple;
+
+// Variation detection: drops CDRs already seen (replayed records), the
+// DSPBench "VarDetect" stage.
+class VarDetectLogic final : public OperatorLogic {
+ public:
+  VarDetectLogic() : seen_(1 << 20, 0.01) {}
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    const auto signature = static_cast<std::uint64_t>(in.key) * 2654435761ULL +
+                           in.kind + static_cast<std::uint64_t>(in.value * 10);
+    if (seen_.TestAndAdd(signature)) return;
+    out.push_back(in);
+  }
+
+ private:
+  BloomFilter seen_;
+};
+
+// Bloom-filter-backed per-caller counter: approximates "how many events of
+// this kind has this caller produced", the common building block of the
+// ECR/RCR/ENCR/CT24 features.
+class RateFeatureLogic final : public OperatorLogic {
+ public:
+  // `established_only`: count only established calls; `track_new_callees`:
+  // count only first-contact callees (ENCR).
+  RateFeatureLogic(bool established_only, bool track_new_callees,
+                   std::uint32_t feature_tag)
+      : callees_(1 << 18, 0.01),
+        established_only_(established_only),
+        track_new_callees_(track_new_callees),
+        feature_tag_(feature_tag) {}
+
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    const bool established = (in.kind & 1u) != 0;
+    if (established_only_ && !established) return;
+    if (track_new_callees_) {
+      const std::uint64_t callee =
+          (static_cast<std::uint64_t>(in.key) << 24) | (in.kind >> 8);
+      if (callees_.TestAndAdd(callee)) return;  // known callee: not "new"
+    }
+    Tuple feature = in;
+    feature.value = static_cast<double>(++counts_[in.key]);
+    feature.kind = feature_tag_;
+    out.push_back(feature);
+  }
+
+ private:
+  BloomFilter callees_;
+  std::unordered_map<std::int64_t, std::uint64_t> counts_;
+  bool established_only_;
+  bool track_new_callees_;
+  std::uint32_t feature_tag_;
+};
+
+// Average call duration per caller (exponential moving average).
+class AcdLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    if ((in.kind & 1u) == 0) return;  // only established calls have durations
+    double& acd = acd_[in.key];
+    acd = acd == 0 ? in.value : 0.9 * acd + 0.1 * in.value;
+    Tuple feature = in;
+    feature.value = acd;
+    feature.kind = 100;  // ACD tag
+    out.push_back(feature);
+  }
+
+ private:
+  std::unordered_map<std::int64_t, double> acd_;
+};
+
+// Global ACD across all callers.
+class GlobalAcdLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    global_ = count_ == 0 ? in.value : global_ + (in.value - global_) / ++count_;
+    Tuple feature = in;
+    feature.value = global_;
+    out.push_back(feature);
+  }
+
+ private:
+  double global_ = 0;
+  std::uint64_t count_ = 1;
+};
+
+// Scorers: combine the features that reached them into a running per-caller
+// score (weighted geometric blend, as in DSPBench's FoFiR/URL modules).
+class ScorerLogic final : public OperatorLogic {
+ public:
+  explicit ScorerLogic(double weight) : weight_(weight) {}
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    double& score = scores_[in.key];
+    const double feature = std::log1p(std::max(in.value, 0.0));
+    score = (1.0 - weight_) * score + weight_ * feature;
+    Tuple scored = in;
+    scored.value = score;
+    out.push_back(scored);
+  }
+
+ private:
+  double weight_;
+  std::unordered_map<std::int64_t, double> scores_;
+};
+
+// Final decision: emits only callers whose blended score crosses the
+// telemarketer threshold.
+class ThresholdLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& in, std::vector<Tuple>& out) override {
+    if (in.value > 3.5) out.push_back(in);
+  }
+};
+
+}  // namespace
+
+Workload MakeVoipStream(std::uint64_t seed) {
+  Workload w;
+  spe::LogicalQuery& q = w.query;
+  q.name = "vs";
+
+  const int ingress = q.Add(spe::MakeIngress("ingress", Micros(20)));
+  const int parser = q.Add(spe::MakeTransform("parser", Micros(70), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int dispatcher = q.Add(spe::MakeTransform("dispatcher", Micros(35), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int vardetect = q.Add(spe::MakeTransform("var_detect", Micros(70), [] {
+    return std::make_unique<VarDetectLogic>();
+  }));
+  const int ecr = q.Add(spe::MakeTransform("ecr", Micros(55), [] {
+    return std::make_unique<RateFeatureLogic>(true, false, 1);
+  }));
+  const int rcr = q.Add(spe::MakeTransform("rcr", Micros(55), [] {
+    return std::make_unique<RateFeatureLogic>(false, false, 2);
+  }));
+  const int encr = q.Add(spe::MakeTransform("encr", Micros(50), [] {
+    return std::make_unique<RateFeatureLogic>(true, true, 3);
+  }));
+  const int ct24 = q.Add(spe::MakeTransform("ct24", Micros(50), [] {
+    return std::make_unique<RateFeatureLogic>(false, false, 4);
+  }));
+  const int ecr24 = q.Add(spe::MakeTransform("ecr24", Micros(50), [] {
+    return std::make_unique<RateFeatureLogic>(true, false, 5);
+  }));
+  const int acd = q.Add(spe::MakeTransform("acd", Micros(45), [] {
+    return std::make_unique<AcdLogic>();
+  }));
+  const int global_acd = q.Add(spe::MakeTransform("global_acd", Micros(35), [] {
+    return std::make_unique<GlobalAcdLogic>();
+  }));
+  const int fofir = q.Add(spe::MakeTransform("scorer_fofir", Micros(50), [] {
+    return std::make_unique<ScorerLogic>(0.3);
+  }));
+  const int url = q.Add(spe::MakeTransform("scorer_url", Micros(50), [] {
+    return std::make_unique<ScorerLogic>(0.2);
+  }));
+  const int main_scorer = q.Add(spe::MakeTransform("scorer_main", Micros(60), [] {
+    return std::make_unique<ThresholdLogic>();
+  }));
+  const int egress = q.Add(spe::MakeEgress("sink", Micros(25)));
+
+  q.Connect(ingress, parser);
+  q.Connect(parser, dispatcher);
+  q.Connect(dispatcher, vardetect, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, ecr, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, rcr, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, encr, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, ct24, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, ecr24, spe::Partitioning::kKeyBy);
+  q.Connect(vardetect, acd, spe::Partitioning::kKeyBy);
+  q.Connect(acd, global_acd);
+  q.Connect(ecr, fofir, spe::Partitioning::kKeyBy);
+  q.Connect(rcr, fofir, spe::Partitioning::kKeyBy);
+  q.Connect(encr, url, spe::Partitioning::kKeyBy);
+  q.Connect(ct24, url, spe::Partitioning::kKeyBy);
+  q.Connect(ecr24, main_scorer, spe::Partitioning::kKeyBy);
+  q.Connect(global_acd, main_scorer, spe::Partitioning::kKeyBy);
+  q.Connect(fofir, main_scorer, spe::Partitioning::kKeyBy);
+  q.Connect(url, main_scorer, spe::Partitioning::kKeyBy);
+  q.Connect(main_scorer, egress);
+
+  // CDR stream: 10k callers (telemarketers call many distinct callees),
+  // 80% established calls.
+  w.generator = [seed](Rng& rng, std::uint64_t seq) {
+    (void)seed;
+    (void)seq;
+    Tuple t;
+    const bool telemarketer = rng.Chance(0.05);
+    t.key = telemarketer
+                ? static_cast<std::int64_t>(rng.NextBounded(50))
+                : static_cast<std::int64_t>(50 + rng.NextBounded(10000));
+    const auto callee = static_cast<std::uint32_t>(
+        telemarketer ? rng.NextBounded(1 << 16) : rng.NextBounded(64));
+    t.kind = (callee << 8) | (rng.Chance(0.8) ? 1u : 0u);
+    t.value = telemarketer ? rng.Uniform(5.0, 40.0) : rng.Uniform(30.0, 600.0);
+    return t;
+  };
+  return w;
+}
+
+}  // namespace lachesis::queries

@@ -1,0 +1,22 @@
+// The VoipStream (VS) query (paper §6.1 query 4, from DSPBench [8]).
+//
+// Telemarketer detection over call detail records (CDRs) using Bloom
+// filters: per-caller call-rate features (ECR, RCR, ENCR, CT24, ECR24),
+// average call duration (ACD), and three scorers combining the features
+// into a spam likelihood. 15 operators with intensive key-by exchanges.
+#ifndef LACHESIS_QUERIES_VOIP_STREAM_H_
+#define LACHESIS_QUERIES_VOIP_STREAM_H_
+
+#include <cstdint>
+
+#include "queries/workload.h"
+
+namespace lachesis::queries {
+
+// Tuple encoding: key = caller id, value = call duration (s),
+// kind bit 0 = call established, bits 8.. = callee id hash.
+Workload MakeVoipStream(std::uint64_t seed = 104);
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_VOIP_STREAM_H_

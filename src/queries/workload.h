@@ -1,0 +1,23 @@
+// Common workload packaging: a logical query plus the generator for its
+// Data Source (paper §6.1, "Queries" and "Data Sources").
+#ifndef LACHESIS_QUERIES_WORKLOAD_H_
+#define LACHESIS_QUERIES_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "spe/logical.h"
+#include "spe/source.h"
+
+namespace lachesis::queries {
+
+struct Workload {
+  spe::LogicalQuery query;
+  spe::TupleGenerator generator;
+  // Per-tuple CPU of an on-device generator thread (ETL/STATS replicate the
+  // EdgeWise setup where data is generated on the device itself, §6.1).
+  SimDuration source_cost = 0;
+};
+
+}  // namespace lachesis::queries
+
+#endif  // LACHESIS_QUERIES_WORKLOAD_H_

@@ -1,0 +1,44 @@
+// Tunables of the simulated CFS scheduler.
+//
+// Defaults follow the Linux defaults on small-core machines (sched_latency
+// 6 ms, min granularity 0.75 ms, wakeup granularity 1 ms). The context-switch
+// cost models the direct plus cache-refill cost of a switch on Odroid-class
+// ARM cores; it is the main inefficiency that priority-driven batching (the
+// paper's Lachesis configurations) avoids relative to fair ping-ponging.
+#ifndef LACHESIS_SIM_CFS_PARAMS_H_
+#define LACHESIS_SIM_CFS_PARAMS_H_
+
+#include "common/sim_time.h"
+
+namespace lachesis::sim {
+
+struct CfsParams {
+  // Base sysctl values are 6 ms / 0.75 ms / 1 ms, but the kernel multiplies
+  // them at boot by (1 + ilog2(ncpus)) -- x3 on a 4-core Odroid big
+  // cluster. The defaults here are those effective (scaled) values; they
+  // are what suppresses per-tuple wakeup-preemption ping-pong in pipelines.
+  //
+  // Target period over which all runnable entities should run once.
+  SimDuration sched_latency = Millis(18);
+  // Lower bound on a timeslice.
+  SimDuration min_granularity = Micros(2250);
+  // A waking entity preempts the running one only if it lags by more than
+  // this (scaled by the wakee's weight, as in the kernel).
+  SimDuration wakeup_granularity = Millis(3);
+  // Sleeper-fairness credit: a waking entity's vruntime is clamped to
+  // min_vruntime minus half the sched latency.
+  SimDuration sleeper_bonus = Millis(9);
+  // Cost charged when a core switches between distinct threads: the direct
+  // switch plus the cache/TLB refill of bringing the next operator's working
+  // set back (dominant on Odroid-class cores with small caches; the same
+  // charge applies when a user-level scheduler's worker hops between
+  // operators, src/ulss/).
+  SimDuration context_switch_cost = Micros(50);
+  // CPU consumed by a woken thread re-checking its wait predicate before the
+  // body resumes useful work (futex wake path, queue recheck).
+  SimDuration wakeup_check_cost = Micros(5);
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_CFS_PARAMS_H_

@@ -1,0 +1,84 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence) so that simultaneous
+// events fire in a platform-independent order. Hot-path events (scheduler
+// bookkeeping, compute completions) carry an EventSink pointer plus small
+// integer payloads and allocate nothing; cold-path events may carry an
+// arbitrary closure.
+#ifndef LACHESIS_SIM_EVENT_QUEUE_H_
+#define LACHESIS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace lachesis::sim {
+
+// Receiver of hot-path events. `code` discriminates event kinds within the
+// sink; `a` and `b` are sink-defined payloads (ids, versions).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) = 0;
+};
+
+class EventQueue {
+ public:
+  void Push(SimTime time, EventSink* sink, std::int32_t code, std::uint64_t a,
+            std::uint64_t b) {
+    heap_.push(Event{time, next_seq_++, sink, code, a, b, {}});
+  }
+
+  void Push(SimTime time, std::function<void()> fn) {
+    heap_.push(Event{time, next_seq_++, nullptr, 0, 0, 0, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+
+  // Pops and dispatches the earliest event. Precondition: !empty().
+  // The caller must advance its clock to next_time() BEFORE calling, so that
+  // the handler observes the event's own timestamp.
+  void PopAndDispatch() {
+    // Moving the top out is safe: the element is removed before dispatch,
+    // and the heap's sift operations only read time/seq, which the move
+    // leaves intact.
+    auto& top = const_cast<Event&>(heap_.top());
+    const Event ev = std::move(top);
+    heap_.pop();
+    if (ev.sink != nullptr) {
+      ev.sink->HandleEvent(ev.code, ev.a, ev.b);
+    } else if (ev.fn) {
+      ev.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventSink* sink;
+    std::int32_t code;
+    std::uint64_t a, b;
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& lhs, const Event& rhs) const {
+      if (lhs.time != rhs.time) return lhs.time > rhs.time;
+      return lhs.seq > rhs.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,701 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace lachesis::sim {
+
+void WaitChannel::NotifyOne() { machine_->NotifyChannel(*this, 1); }
+void WaitChannel::NotifyAll() {
+  machine_->NotifyChannel(*this, std::numeric_limits<std::size_t>::max());
+}
+
+Machine::Machine(Simulator& sim, int num_cores, CfsParams params,
+                 std::string name)
+    : sim_(&sim), params_(params), name_(std::move(name)) {
+  assert(num_cores > 0);
+  cores_.resize(static_cast<std::size_t>(num_cores));
+  auto root = std::make_unique<CgroupNode>();
+  root->name = "/";
+  root->is_root = true;
+  root->ent.is_group = true;
+  root->ent.id = 0;
+  cgroups_.push_back(std::move(root));
+}
+
+Machine::~Machine() = default;
+
+// --- cgroups ----------------------------------------------------------------
+
+CgroupId Machine::CreateCgroup(std::string name, CgroupId parent,
+                               std::uint64_t shares) {
+  assert(parent.value() < cgroups_.size());
+  auto node = std::make_unique<CgroupNode>();
+  node->name = std::move(name);
+  node->ent.is_group = true;
+  node->ent.id = cgroups_.size();
+  node->ent.weight = ClampShares(shares);
+  node->ent.parent = parent.value();
+  // Start at the parent's current pace so a fresh group neither starves
+  // others nor is starved.
+  node->ent.vruntime = Group(parent.value()).min_vruntime;
+  node->min_vruntime = node->ent.vruntime;
+  cgroups_.push_back(std::move(node));
+  return CgroupId(cgroups_.size() - 1);
+}
+
+void Machine::SetShares(CgroupId group, std::uint64_t shares) {
+  assert(group.value() != 0 && group.value() < cgroups_.size());
+  CgroupNode& g = Group(group.value());
+  const std::uint64_t new_weight = ClampShares(shares);
+  if (g.ent.queued) {
+    CgroupNode& parent = Group(g.ent.parent);
+    parent.total_queued_weight += new_weight - g.ent.weight;
+  }
+  g.ent.weight = new_weight;
+}
+
+std::uint64_t Machine::GetShares(CgroupId group) const {
+  return Group(group.value()).ent.weight;
+}
+
+const std::string& Machine::CgroupName(CgroupId group) const {
+  return Group(group.value()).name;
+}
+
+void Machine::SetQuota(CgroupId group, SimDuration quota, SimDuration period) {
+  assert(group.value() != 0 && group.value() < cgroups_.size());
+  CgroupNode& g = Group(group.value());
+  ++g.quota_version;  // cancel any previous refill chain
+  g.quota = quota;
+  g.quota_period = period;
+  g.quota_used = 0;
+  if (g.throttled) {
+    // Unthrottle immediately under the new configuration.
+    g.throttled = false;
+    if (!g.rq.empty() && !g.ent.queued && !Group(g.ent.parent).throttled) {
+      EnqueueEntity(g.ent, /*sleeper_clamp=*/true);
+    }
+  }
+  if (quota > 0) {
+    assert(period > 0);
+    sim_->ScheduleAfter(period, this, kQuotaRefill, group.value(),
+                        g.quota_version);
+  }
+}
+
+void Machine::ThrottleGroup(std::uint64_t group_idx) {
+  CgroupNode& g = Group(group_idx);
+  if (g.throttled) return;
+  g.throttled = true;
+  if (g.ent.queued) DequeueEntity(g.ent);
+  // Deschedule CFS threads currently running under this group at the next
+  // scheduling point.
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (cores_[c].running < 0) continue;
+    const ThreadNode& runner =
+        Thread(static_cast<std::uint64_t>(cores_[c].running));
+    if (runner.rt_priority > 0) continue;  // RT exempt from CFS bandwidth
+    for (std::uint64_t a = runner.ent.parent; a != 0; a = Group(a).ent.parent) {
+      if (a == group_idx) {
+        TruncateCore(static_cast<int>(c));
+        break;
+      }
+    }
+  }
+}
+
+void Machine::OnQuotaRefill(std::uint64_t group_idx, std::uint64_t version) {
+  CgroupNode& g = Group(group_idx);
+  if (version != g.quota_version || g.quota <= 0) return;  // stale / disabled
+  g.quota_used = 0;
+  if (g.throttled) {
+    g.throttled = false;
+    if (!g.rq.empty() && !g.ent.queued && !Group(g.ent.parent).throttled) {
+      EnqueueEntity(g.ent, /*sleeper_clamp=*/true);
+      for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (cores_[c].running < 0) PickNext(static_cast<int>(c));
+      }
+    }
+  }
+  sim_->ScheduleAfter(g.quota_period, this, kQuotaRefill, group_idx, version);
+}
+
+bool Machine::PathThrottled(const ThreadNode& t) const {
+  if (t.rt_priority > 0) return false;
+  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+    if (Group(g).throttled) return true;
+  }
+  return false;
+}
+
+// --- threads ----------------------------------------------------------------
+
+ThreadId Machine::CreateThread(std::string name,
+                               std::unique_ptr<ThreadBody> body, CgroupId group,
+                               int nice) {
+  assert(group.value() < cgroups_.size());
+  auto node = std::make_unique<ThreadNode>();
+  node->name = std::move(name);
+  node->body = std::move(body);
+  node->nice = std::clamp(nice, kMinNice, kMaxNice);
+  node->ent.is_group = false;
+  node->ent.id = threads_.size();
+  node->ent.weight = NiceToWeight(node->nice);
+  node->ent.parent = group.value();
+  node->ent.vruntime = Group(group.value()).min_vruntime;
+  threads_.push_back(std::move(node));
+  const std::uint64_t idx = threads_.size() - 1;
+  WakeThread(idx, params_.wakeup_check_cost);
+  return ThreadId(idx);
+}
+
+void Machine::SetNice(ThreadId tid, int nice) {
+  ThreadNode& t = Thread(tid.value());
+  nice = std::clamp(nice, kMinNice, kMaxNice);
+  if (nice == t.nice) return;
+  t.nice = nice;
+  const std::uint64_t new_weight = NiceToWeight(nice);
+  if (t.ent.queued) {
+    Group(t.ent.parent).total_queued_weight += new_weight - t.ent.weight;
+  }
+  t.ent.weight = new_weight;
+}
+
+int Machine::GetNice(ThreadId tid) const { return Thread(tid.value()).nice; }
+
+void Machine::SetRtPriority(ThreadId tid, int rt_priority) {
+  rt_priority = std::clamp(rt_priority, 0, 99);
+  ThreadNode& t = Thread(tid.value());
+  if (rt_priority == t.rt_priority) return;
+  const int old_priority = t.rt_priority;
+  // Remove from whichever queue currently holds the thread.
+  if (t.rt_queued) {
+    auto& fifo = rt_queues_[old_priority];
+    fifo.erase(std::find(fifo.begin(), fifo.end(), tid.value()));
+    if (fifo.empty()) rt_queues_.erase(old_priority);
+    t.rt_queued = false;
+  } else if (t.ent.queued) {
+    DequeueEntity(t.ent);
+  }
+  t.rt_priority = rt_priority;
+  if (t.state == ThreadState::kRunnable) {
+    RequeueRunnable(t, /*preempted=*/false);
+    TryDispatchWake(tid.value());
+  } else if (t.state == ThreadState::kRunning) {
+    // Class change takes effect at the next scheduling point.
+    TruncateCore(t.core);
+  }
+}
+
+int Machine::GetRtPriority(ThreadId tid) const {
+  return Thread(tid.value()).rt_priority;
+}
+
+void Machine::MoveToCgroup(ThreadId tid, CgroupId group) {
+  ThreadNode& t = Thread(tid.value());
+  const std::uint64_t new_parent = group.value();
+  assert(new_parent < cgroups_.size());
+  if (t.ent.parent == new_parent) return;
+  const bool was_queued = t.ent.queued;
+  if (was_queued) DequeueEntity(t.ent);
+  if (t.state == ThreadState::kRunning) {
+    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+      --Group(g).running_children;
+    }
+  }
+  // Re-normalize vruntime into the destination group's frame (migration).
+  t.ent.vruntime += Group(new_parent).min_vruntime - Group(t.ent.parent).min_vruntime;
+  t.ent.parent = new_parent;
+  if (t.state == ThreadState::kRunning) {
+    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+      ++Group(g).running_children;
+    }
+  }
+  if (was_queued) EnqueueEntity(t.ent, /*sleeper_clamp=*/false);
+}
+
+CgroupId Machine::GetCgroup(ThreadId tid) const {
+  return CgroupId(Thread(tid.value()).ent.parent);
+}
+
+ThreadState Machine::GetState(ThreadId tid) const {
+  return Thread(tid.value()).state;
+}
+
+const ThreadStats& Machine::GetStats(ThreadId tid) const {
+  return Thread(tid.value()).stats;
+}
+
+const std::string& Machine::ThreadName(ThreadId tid) const {
+  return Thread(tid.value()).name;
+}
+
+SimDuration Machine::total_busy_time() const {
+  SimDuration total = 0;
+  for (const Core& core : cores_) {
+    total += core.busy;
+    if (core.running >= 0) {
+      total += now() - Thread(static_cast<std::uint64_t>(core.running)).run_start;
+    }
+  }
+  return total;
+}
+
+// --- runqueue maintenance -----------------------------------------------------
+
+Machine::SchedEntity& Machine::EntityFromKey(std::uint64_t key) {
+  const std::uint64_t id = key & ~(1ULL << 63);
+  if ((key >> 63) != 0) return Group(id).ent;
+  return Thread(id).ent;
+}
+
+void Machine::EnqueueEntity(SchedEntity& ent, bool sleeper_clamp) {
+  assert(!ent.queued);
+  CgroupNode& group = Group(ent.parent);
+  if (sleeper_clamp) {
+    ent.vruntime = std::max(
+        ent.vruntime,
+        group.min_vruntime - static_cast<double>(params_.sleeper_bonus));
+  }
+  const bool was_empty = group.rq.empty();
+  group.rq.emplace(ent.vruntime, ent.key());
+  group.total_queued_weight += ent.weight;
+  ent.queued = true;
+  // A throttled group stays off its parent's runqueue until the refill.
+  if (was_empty && !group.is_root && !group.ent.queued && !group.throttled) {
+    EnqueueEntity(group.ent, group.running_children == 0);
+  }
+}
+
+void Machine::DequeueEntity(SchedEntity& ent) {
+  assert(ent.queued);
+  CgroupNode& group = Group(ent.parent);
+  group.rq.erase({ent.vruntime, ent.key()});
+  group.total_queued_weight -= ent.weight;
+  ent.queued = false;
+  if (group.rq.empty() && !group.is_root && group.ent.queued) {
+    DequeueEntity(group.ent);
+  }
+}
+
+void Machine::ReinsertQueued(SchedEntity& ent, double new_vruntime) {
+  CgroupNode& group = Group(ent.parent);
+  group.rq.erase({ent.vruntime, ent.key()});
+  ent.vruntime = new_vruntime;
+  group.rq.emplace(ent.vruntime, ent.key());
+}
+
+void Machine::UpdateMinVruntime(CgroupNode& group, double candidate) {
+  double m = candidate;
+  if (!group.rq.empty()) m = std::min(m, group.rq.begin()->first);
+  group.min_vruntime = std::max(group.min_vruntime, m);
+}
+
+void Machine::ChargeRunning(ThreadNode& t, SimDuration delta) {
+  if (delta <= 0) return;
+  const SimDuration overhead = std::min(delta, t.pending_overhead);
+  t.pending_overhead -= overhead;
+  t.remaining_compute -= delta - overhead;
+  // Events never fire past compute_end, so work is never over-charged.
+  assert(t.remaining_compute + t.pending_overhead >= 0);
+  t.stats.cpu_time += delta;
+  assert(t.core >= 0);
+  cores_[static_cast<std::size_t>(t.core)].busy += delta;
+
+  // CFS bandwidth: charge the quota of every limited ancestor (RT threads
+  // are exempt, as in the kernel).
+  if (t.rt_priority == 0) {
+    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+      CgroupNode& group = Group(g);
+      if (group.quota <= 0) continue;
+      group.quota_used += delta;
+      if (group.quota_used >= group.quota) ThrottleGroup(g);
+    }
+  }
+
+  const auto d = static_cast<double>(delta);
+  t.ent.vruntime +=
+      d * static_cast<double>(kNice0Weight) / static_cast<double>(t.ent.weight);
+  UpdateMinVruntime(Group(t.ent.parent), t.ent.vruntime);
+  for (std::uint64_t g = t.ent.parent; g != 0;) {
+    CgroupNode& group = Group(g);
+    const double new_vr = group.ent.vruntime +
+                          d * static_cast<double>(kNice0Weight) /
+                              static_cast<double>(group.ent.weight);
+    if (group.ent.queued) {
+      ReinsertQueued(group.ent, new_vr);
+    } else {
+      group.ent.vruntime = new_vr;
+    }
+    UpdateMinVruntime(Group(group.ent.parent), group.ent.vruntime);
+    g = group.ent.parent;
+  }
+}
+
+SimDuration Machine::SliceFor(const ThreadNode& t) const {
+  const CgroupNode& group = Group(t.ent.parent);
+  const std::uint64_t total = group.total_queued_weight + t.ent.weight;
+  const double share = static_cast<double>(t.ent.weight) / static_cast<double>(total);
+  const auto slice = static_cast<SimDuration>(
+      static_cast<double>(params_.sched_latency) * share);
+  return std::clamp(slice, params_.min_granularity, params_.sched_latency);
+}
+
+void Machine::ScheduleCoreEvent(int core_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  assert(core.running >= 0);
+  const ThreadNode& t = Thread(static_cast<std::uint64_t>(core.running));
+  const SimTime compute_end = now() + t.pending_overhead + t.remaining_compute;
+  const SimTime when = std::min(core.slice_end, compute_end);
+  sim_->ScheduleAt(std::max(when, now()), this, kCoreEvent,
+                   static_cast<std::uint64_t>(core_idx), core.version);
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void Machine::Dispatch(int core_idx, std::uint64_t thread_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  ThreadNode& t = Thread(thread_idx);
+  assert(core.running < 0);
+  assert(t.state == ThreadState::kRunnable);
+  t.state = ThreadState::kRunning;
+  t.core = core_idx;
+  t.last_core = core_idx;
+  t.run_start = now();
+  if (core.last_thread != static_cast<std::int64_t>(thread_idx)) {
+    t.pending_overhead = std::max(t.pending_overhead, params_.context_switch_cost);
+    ++t.stats.nr_switches;
+  }
+  if (t.enqueued_at > 0) {
+    t.stats.wait_time += now() - t.enqueued_at;
+    t.enqueued_at = 0;
+  }
+  core.running = static_cast<std::int64_t>(thread_idx);
+  core.last_thread = static_cast<std::int64_t>(thread_idx);
+  ++core.version;
+  // RT threads have no timeslice (SCHED_FIFO): they run until they block,
+  // exit, or a higher-priority RT thread preempts them.
+  core.slice_end = t.rt_priority > 0
+                       ? std::numeric_limits<SimTime>::max() / 4
+                       : now() + SliceFor(t);
+  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+    ++Group(g).running_children;
+  }
+  ScheduleCoreEvent(core_idx);
+}
+
+void Machine::PickNext(int core_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  assert(core.running < 0);
+  // RT class first: highest priority, FIFO within a level.
+  if (!rt_queues_.empty()) {
+    auto it = std::prev(rt_queues_.end());
+    const std::uint64_t thread_idx = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) rt_queues_.erase(it);
+    Thread(thread_idx).rt_queued = false;
+    Dispatch(core_idx, thread_idx);
+    return;
+  }
+  CgroupNode* current = cgroups_[0].get();
+  while (true) {
+    if (current->rq.empty()) {
+      ++core.version;  // stay idle; cancel any stale events
+      return;
+    }
+    SchedEntity& ent = EntityFromKey(current->rq.begin()->second);
+    if (ent.is_group) {
+      current = cgroups_[ent.id].get();
+      continue;
+    }
+    DequeueEntity(ent);
+    Dispatch(core_idx, ent.id);
+    return;
+  }
+}
+
+void Machine::StopRunning(int core_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  assert(core.running >= 0);
+  ThreadNode& t = Thread(static_cast<std::uint64_t>(core.running));
+  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+    --Group(g).running_children;
+  }
+  t.core = -1;
+  core.running = -1;
+  ++core.version;
+}
+
+void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  ThreadNode& t = Thread(thread_idx);
+  // Bodies must eventually compute, block, or exit; this guards against a
+  // buggy body spinning at one instant of simulated time.
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    current_thread_ = static_cast<std::int64_t>(thread_idx);
+    const Action action = t.body->Next(*this);
+    current_thread_ = -1;
+    switch (action.kind) {
+      case Action::Kind::kCompute: {
+        if (action.duration <= 0) continue;  // free action, ask again
+        t.remaining_compute = action.duration;
+        if (now() >= core.slice_end) {
+          if (!cgroups_[0]->rq.empty() || !rt_queues_.empty() ||
+              PathThrottled(t)) {
+            // Slice exhausted and there is competition: involuntary switch.
+            t.state = ThreadState::kRunnable;
+            ++t.stats.nr_preemptions;
+            StopRunning(core_idx);
+            RequeueRunnable(t, /*preempted=*/true);
+            PickNext(core_idx);
+            return;
+          }
+          core.slice_end = now() + SliceFor(t);
+        }
+        ScheduleCoreEvent(core_idx);
+        return;
+      }
+      case Action::Kind::kWait: {
+        assert(action.channel != nullptr);
+        action.channel->waiters_.push_back(ThreadId(thread_idx));
+        t.waiting = action.channel;
+        t.state = ThreadState::kBlocked;
+        ++t.version;
+        StopRunning(core_idx);
+        PickNext(core_idx);
+        return;
+      }
+      case Action::Kind::kSleep: {
+        t.state = ThreadState::kSleeping;
+        ++t.version;
+        sim_->ScheduleAfter(std::max<SimDuration>(action.duration, 0), this,
+                            kTimerWake, thread_idx, t.version);
+        StopRunning(core_idx);
+        PickNext(core_idx);
+        return;
+      }
+      case Action::Kind::kExit: {
+        t.state = ThreadState::kExited;
+        ++t.version;
+        StopRunning(core_idx);
+        PickNext(core_idx);
+        return;
+      }
+    }
+  }
+  assert(false && "ThreadBody spun without consuming simulated time");
+}
+
+// --- wakeups -----------------------------------------------------------------
+
+void Machine::RequeueRunnable(ThreadNode& t, bool preempted) {
+  t.enqueued_at = now();
+  if (t.rt_priority > 0) {
+    assert(!t.rt_queued);
+    auto& fifo = rt_queues_[t.rt_priority];
+    // A preempted RT thread resumes ahead of its FIFO peers (SCHED_FIFO).
+    if (preempted) {
+      fifo.push_front(t.ent.id);
+    } else {
+      fifo.push_back(t.ent.id);
+    }
+    t.rt_queued = true;
+    return;
+  }
+  EnqueueEntity(t.ent, /*sleeper_clamp=*/!preempted);
+}
+
+void Machine::TruncateCore(int core_idx) {
+  Core& core = cores_[static_cast<std::size_t>(core_idx)];
+  if (core.running < 0 || core.slice_end <= now()) return;
+  core.slice_end = now();
+  ++core.version;
+  ScheduleCoreEvent(core_idx);
+}
+
+std::int64_t Machine::PeekRt() const {
+  if (rt_queues_.empty()) return -1;
+  const auto& fifo = rt_queues_.rbegin()->second;
+  assert(!fifo.empty());
+  return static_cast<std::int64_t>(fifo.front());
+}
+
+void Machine::WakeThread(std::uint64_t thread_idx, SimDuration startup_cost) {
+  ThreadNode& t = Thread(thread_idx);
+  assert(t.state == ThreadState::kNew || t.state == ThreadState::kBlocked ||
+         t.state == ThreadState::kSleeping);
+  ++t.stats.nr_wakeups;
+  t.state = ThreadState::kRunnable;
+  t.remaining_compute += startup_cost;
+  RequeueRunnable(t, /*preempted=*/false);
+  TryDispatchWake(thread_idx);
+}
+
+double Machine::PreemptMargin(const ThreadNode& wakee, const ThreadNode& runner) {
+  // Build root-first (group, vruntime, weight) paths for both threads; the
+  // runner's entities are projected forward by its uncharged runtime.
+  struct Level {
+    std::uint64_t group;
+    double vruntime;
+    std::uint64_t weight;
+  };
+  auto build = [&](const ThreadNode& t, double extra_runtime) {
+    std::vector<Level> path;
+    path.push_back({t.ent.parent,
+                    t.ent.vruntime + extra_runtime *
+                                         static_cast<double>(kNice0Weight) /
+                                         static_cast<double>(t.ent.weight),
+                    t.ent.weight});
+    for (std::uint64_t g = t.ent.parent; g != 0;) {
+      const CgroupNode& group = Group(g);
+      path.push_back({group.ent.parent,
+                      group.ent.vruntime +
+                          extra_runtime * static_cast<double>(kNice0Weight) /
+                              static_cast<double>(group.ent.weight),
+                      group.ent.weight});
+      g = group.ent.parent;
+    }
+    std::reverse(path.begin(), path.end());  // root-first
+    return path;
+  };
+  const auto delta = static_cast<double>(now() - runner.run_start);
+  const auto wakee_path = build(wakee, 0.0);
+  const auto runner_path = build(runner, delta);
+  // Find the deepest level where both paths share the containing group.
+  std::size_t level = 0;
+  const std::size_t max_level = std::min(wakee_path.size(), runner_path.size());
+  while (level + 1 < max_level &&
+         wakee_path[level + 1].group == runner_path[level + 1].group) {
+    ++level;
+  }
+  if (wakee_path[level].group != runner_path[level].group) return 0.0;
+  const double gran = static_cast<double>(params_.wakeup_granularity) *
+                      static_cast<double>(kNice0Weight) /
+                      static_cast<double>(wakee_path[level].weight);
+  return runner_path[level].vruntime - wakee_path[level].vruntime - gran;
+}
+
+void Machine::TryDispatchWake(std::uint64_t thread_idx) {
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (cores_[c].running < 0) {
+      PickNext(static_cast<int>(c));
+      return;
+    }
+  }
+  // RT wakee: preempt the weakest runner -- prefer any CFS thread, else the
+  // lowest-priority RT thread below the wakee (strict priority semantics).
+  if (Thread(thread_idx).rt_priority > 0) {
+    const int wakee_priority = Thread(thread_idx).rt_priority;
+    int best_core = -1;
+    int best_priority = wakee_priority;  // must be strictly below wakee
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      const ThreadNode& runner =
+          Thread(static_cast<std::uint64_t>(cores_[c].running));
+      if (runner.rt_priority < best_priority) {
+        best_priority = runner.rt_priority;
+        best_core = static_cast<int>(c);
+      }
+    }
+    if (best_core >= 0) TruncateCore(best_core);
+    return;
+  }
+  // No idle core: wakeup preemption. As in the kernel, the wakee contests
+  // only its target CPU rather than the globally most-preemptable core:
+  // for synchronous wakeups (a producer pushing to its consumer) that is
+  // the WAKER's CPU (wake affinity, WF_SYNC) -- the source of the classic
+  // pipeline ping-pong -- and otherwise the core the wakee last ran on.
+  // A positive margin truncates that core's slice (need_resched); the
+  // switch happens at the next scheduling point, picking the fairest
+  // queued entity.
+  const ThreadNode& wakee = Thread(thread_idx);
+  int target = wakee.last_core >= 0
+                   ? wakee.last_core
+                   : static_cast<int>(thread_idx % cores_.size());
+  if (current_thread_ >= 0 &&
+      Thread(static_cast<std::uint64_t>(current_thread_)).core >= 0) {
+    target = Thread(static_cast<std::uint64_t>(current_thread_)).core;
+  }
+  Core& core = cores_[static_cast<std::size_t>(target)];
+  const ThreadNode& runner = Thread(static_cast<std::uint64_t>(core.running));
+  if (runner.rt_priority > 0) return;  // CFS never preempts RT
+  if (PreemptMargin(wakee, runner) > 0 && core.slice_end > now()) {
+    core.slice_end = now();
+    ++core.version;
+    ScheduleCoreEvent(target);
+  }
+}
+
+void Machine::NotifyChannel(WaitChannel& channel, std::size_t max_wakeups) {
+  while (max_wakeups > 0 && !channel.waiters_.empty()) {
+    const ThreadId tid = channel.waiters_.front();
+    channel.waiters_.pop_front();
+    ThreadNode& t = Thread(tid.value());
+    assert(t.state == ThreadState::kBlocked && t.waiting == &channel);
+    t.waiting = nullptr;
+    WakeThread(tid.value(), params_.wakeup_check_cost);
+    --max_wakeups;
+  }
+}
+
+// --- event handling ------------------------------------------------------------
+
+void Machine::HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) {
+  switch (code) {
+    case kCoreEvent:
+      OnCoreEvent(a, b);
+      break;
+    case kTimerWake:
+      OnTimerWake(a, b);
+      break;
+    case kQuotaRefill:
+      OnQuotaRefill(a, b);
+      break;
+    default:
+      assert(false && "unknown event code");
+  }
+}
+
+void Machine::OnCoreEvent(std::uint64_t core_idx, std::uint64_t version) {
+  Core& core = cores_[core_idx];
+  if (version != core.version || core.running < 0) return;  // stale
+  const auto thread_idx = static_cast<std::uint64_t>(core.running);
+  ThreadNode& t = Thread(thread_idx);
+  ChargeRunning(t, now() - t.run_start);
+  t.run_start = now();
+
+  if (t.pending_overhead <= 0 && t.remaining_compute <= 0) {
+    AdvanceBody(static_cast<int>(core_idx), thread_idx);
+    return;
+  }
+  if (now() >= core.slice_end) {
+    const bool contested = !cgroups_[0]->rq.empty() || !rt_queues_.empty() ||
+                           PathThrottled(t);
+    if (!contested) {
+      // Nothing else runnable: extend the slice.
+      core.slice_end = now() + SliceFor(t);
+      ++core.version;
+      ScheduleCoreEvent(static_cast<int>(core_idx));
+      return;
+    }
+    t.state = ThreadState::kRunnable;
+    ++t.stats.nr_preemptions;
+    StopRunning(static_cast<int>(core_idx));
+    RequeueRunnable(t, /*preempted=*/true);
+    PickNext(static_cast<int>(core_idx));
+    return;
+  }
+  // Spurious wakeup of the core event (e.g. slice extended); rearm.
+  ++core.version;
+  ScheduleCoreEvent(static_cast<int>(core_idx));
+}
+
+void Machine::OnTimerWake(std::uint64_t thread_idx, std::uint64_t version) {
+  ThreadNode& t = Thread(thread_idx);
+  if (version != t.version || t.state != ThreadState::kSleeping) return;
+  WakeThread(thread_idx, params_.wakeup_check_cost);
+}
+
+}  // namespace lachesis::sim

@@ -1,0 +1,235 @@
+// A simulated multi-core host running a CFS-like scheduler.
+//
+// The Machine models exactly the knobs Lachesis turns (paper §2):
+//  - per-thread nice values mapped through the kernel's weight table,
+//  - a cgroup hierarchy whose cpu.shares act as group-entity weights,
+//  - vruntime-ordered fair scheduling with timeslices derived from
+//    sched_latency/min_granularity and weight-scaled wakeup preemption.
+//
+// Idealizations vs. the kernel (documented in DESIGN.md): a single global
+// hierarchical runqueue feeds all cores (no per-CPU balancing), and group
+// entities are charged the summed runtime of concurrently running children.
+// Both preserve the weighted-fairness semantics the paper relies on.
+#ifndef LACHESIS_SIM_MACHINE_H_
+#define LACHESIS_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "sim/cfs_params.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/thread.h"
+#include "sim/weights.h"
+
+namespace lachesis::sim {
+
+class Machine;
+
+// Condition-variable-like wakeup channel. Bodies block on it via
+// Action::Wait and producers wake them with NotifyOne/NotifyAll; a woken
+// body must re-check its predicate.
+class WaitChannel {
+ public:
+  explicit WaitChannel(Machine& machine) : machine_(&machine) {}
+  WaitChannel(const WaitChannel&) = delete;
+  WaitChannel& operator=(const WaitChannel&) = delete;
+
+  void NotifyOne();
+  void NotifyAll();
+  [[nodiscard]] bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  friend class Machine;
+  Machine* machine_;
+  std::deque<ThreadId> waiters_;
+};
+
+class Machine final : public EventSink {
+ public:
+  Machine(Simulator& sim, int num_cores, CfsParams params = {},
+          std::string name = "node0");
+  ~Machine() override;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- cgroups -------------------------------------------------------------
+  [[nodiscard]] CgroupId root_cgroup() const { return CgroupId(0); }
+  CgroupId CreateCgroup(std::string name, CgroupId parent,
+                        std::uint64_t shares = kNice0Weight);
+  void SetShares(CgroupId group, std::uint64_t shares);
+  [[nodiscard]] std::uint64_t GetShares(CgroupId group) const;
+  [[nodiscard]] const std::string& CgroupName(CgroupId group) const;
+
+  // Sets a CFS-bandwidth quota: the group's CFS threads may consume at most
+  // `quota` CPU time per `period` (summed over cores); when exhausted the
+  // group is throttled until the next refill. quota = 0 disables. Models the
+  // kernel's cpu.cfs_quota_us/cpu.cfs_period_us (cpu.max in v2), the
+  // additional mechanism the paper's §8 names.
+  void SetQuota(CgroupId group, SimDuration quota, SimDuration period);
+
+  // --- threads -------------------------------------------------------------
+  // Creates and immediately starts a thread. The machine owns the body.
+  ThreadId CreateThread(std::string name, std::unique_ptr<ThreadBody> body,
+                        CgroupId group, int nice = 0);
+  void SetNice(ThreadId tid, int nice);
+  [[nodiscard]] int GetNice(ThreadId tid) const;
+  // Real-time scheduling (SCHED_FIFO-like): priority 1..99 preempts all CFS
+  // threads; higher beats lower; FIFO within a level; no timeslice. 0
+  // returns the thread to CFS. RT threads are exempt from cgroup CPU
+  // quotas, as in the kernel.
+  void SetRtPriority(ThreadId tid, int rt_priority);
+  [[nodiscard]] int GetRtPriority(ThreadId tid) const;
+  void MoveToCgroup(ThreadId tid, CgroupId group);
+  [[nodiscard]] CgroupId GetCgroup(ThreadId tid) const;
+  [[nodiscard]] ThreadState GetState(ThreadId tid) const;
+  [[nodiscard]] const ThreadStats& GetStats(ThreadId tid) const;
+  [[nodiscard]] const std::string& ThreadName(ThreadId tid) const;
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] SimTime now() const { return sim_->now(); }
+  [[nodiscard]] Simulator& simulator() { return *sim_; }
+  [[nodiscard]] int num_cores() const { return static_cast<int>(cores_.size()); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const CfsParams& params() const { return params_; }
+  // Aggregate busy time over all cores since simulation start.
+  [[nodiscard]] SimDuration total_busy_time() const;
+
+  // EventSink:
+  void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) override;
+
+ private:
+  friend class WaitChannel;
+
+  // Scheduling entity: a thread or a cgroup inside its parent's runqueue.
+  struct SchedEntity {
+    bool is_group = false;
+    std::uint64_t id = 0;  // thread index or cgroup index
+    std::uint64_t weight = kNice0Weight;
+    double vruntime = 0.0;
+    std::uint64_t parent = 0;  // cgroup index of the containing group
+    bool queued = false;
+    [[nodiscard]] std::uint64_t key() const {
+      return (static_cast<std::uint64_t>(is_group) << 63) | id;
+    }
+  };
+
+  struct CgroupNode {
+    std::string name;
+    SchedEntity ent;
+    // Queued children ordered by (vruntime, key).
+    std::set<std::pair<double, std::uint64_t>> rq;
+    std::uint64_t total_queued_weight = 0;
+    double min_vruntime = 0.0;
+    int running_children = 0;  // running threads whose path crosses this group
+    bool is_root = false;
+    // CFS bandwidth control (0 = no quota).
+    SimDuration quota = 0;
+    SimDuration quota_period = 0;
+    SimDuration quota_used = 0;
+    bool throttled = false;
+    std::uint64_t quota_version = 0;  // invalidates refill chains
+  };
+
+  struct ThreadNode {
+    std::string name;
+    std::unique_ptr<ThreadBody> body;
+    ThreadState state = ThreadState::kNew;
+    int nice = 0;
+    int rt_priority = 0;        // 0 = CFS, 1..99 = SCHED_FIFO-like
+    bool rt_queued = false;     // on an RT runqueue
+    SimTime enqueued_at = 0;    // for runnable-wait (PSI-like) accounting
+    SchedEntity ent;
+    SimDuration remaining_compute = 0;
+    SimDuration pending_overhead = 0;
+    int core = -1;       // valid iff state == kRunning
+    int last_core = -1;  // for wake affinity (preemption targets this core)
+    SimTime run_start = 0;
+    std::uint64_t version = 0;  // invalidates stale timer events
+    WaitChannel* waiting = nullptr;
+    ThreadStats stats;
+  };
+
+  struct Core {
+    std::int64_t running = -1;      // thread index, -1 when idle
+    std::int64_t last_thread = -1;  // to skip switch cost on re-pick
+    SimTime slice_end = 0;
+    std::uint64_t version = 0;  // invalidates stale core events
+    SimDuration busy = 0;
+  };
+
+  // Event codes.
+  static constexpr std::int32_t kCoreEvent = 1;
+  static constexpr std::int32_t kTimerWake = 2;
+  static constexpr std::int32_t kQuotaRefill = 3;
+
+  SchedEntity& EntityFromKey(std::uint64_t key);
+  CgroupNode& Group(std::uint64_t idx) { return *cgroups_[idx]; }
+  const CgroupNode& Group(std::uint64_t idx) const { return *cgroups_[idx]; }
+  ThreadNode& Thread(std::uint64_t idx) { return *threads_[idx]; }
+  const ThreadNode& Thread(std::uint64_t idx) const { return *threads_[idx]; }
+
+  void EnqueueEntity(SchedEntity& ent, bool sleeper_clamp);
+  void DequeueEntity(SchedEntity& ent);
+  void ReinsertQueued(SchedEntity& ent, double new_vruntime);
+  void UpdateMinVruntime(CgroupNode& group, double candidate);
+
+  void ChargeRunning(ThreadNode& t, SimDuration delta);
+  SimDuration SliceFor(const ThreadNode& t) const;
+  void ScheduleCoreEvent(int core_idx);
+
+  void Dispatch(int core_idx, std::uint64_t thread_idx);
+  void PickNext(int core_idx);
+  // Deschedules the running thread of `core_idx` after charging; does not
+  // change the thread's state (caller decides requeue/block).
+  void StopRunning(int core_idx);
+  void AdvanceBody(int core_idx, std::uint64_t thread_idx);
+
+  void WakeThread(std::uint64_t thread_idx, SimDuration startup_cost);
+  void TryDispatchWake(std::uint64_t thread_idx);
+  // Requeues a runnable thread: RT threads to the front of their FIFO level
+  // (they were preempted), CFS threads into their group's tree.
+  void RequeueRunnable(ThreadNode& t, bool preempted);
+  // Marks a core for rescheduling at the current instant (need_resched).
+  void TruncateCore(int core_idx);
+  // True if any cgroup on the thread's path is quota-throttled.
+  [[nodiscard]] bool PathThrottled(const ThreadNode& t) const;
+  void ThrottleGroup(std::uint64_t group_idx);
+  void OnQuotaRefill(std::uint64_t group_idx, std::uint64_t version);
+  // > 0 if `wakee` should preempt `runner` (LCA vruntime comparison with
+  // weight-scaled wakeup granularity); value is the margin.
+  double PreemptMargin(const ThreadNode& wakee, const ThreadNode& runner);
+
+  void OnCoreEvent(std::uint64_t core_idx, std::uint64_t version);
+  void OnTimerWake(std::uint64_t thread_idx, std::uint64_t version);
+
+  // Highest-priority waiting RT thread, or -1.
+  [[nodiscard]] std::int64_t PeekRt() const;
+
+  void NotifyChannel(WaitChannel& channel, std::size_t max_wakeups);
+
+  Simulator* sim_;
+  CfsParams params_;
+  std::string name_;
+  // Thread whose body is currently executing (the "waker" during wakeups
+  // it triggers); -1 outside body callbacks.
+  std::int64_t current_thread_ = -1;
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<CgroupNode>> cgroups_;
+  std::vector<std::unique_ptr<ThreadNode>> threads_;
+  // RT runqueues: priority -> FIFO of thread indices.
+  std::map<int, std::deque<std::uint64_t>> rt_queues_;
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_MACHINE_H_

@@ -1,0 +1,74 @@
+// Simulated thread bodies.
+//
+// A simulated kernel thread executes a ThreadBody: a resumable state machine
+// that, each time it is asked, returns the next Action the thread performs
+// (burn CPU, wait on a channel, sleep, exit). This inverts control relative
+// to real threads but models the same scheduler-visible behaviour: threads
+// consume CPU while Running, leave the runqueue while Blocked/Sleeping, and
+// pay a context-switch cost when a core switches to them.
+#ifndef LACHESIS_SIM_THREAD_H_
+#define LACHESIS_SIM_THREAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace lachesis::sim {
+
+class WaitChannel;
+class Machine;
+
+// What a thread does next. Returned by ThreadBody::Next.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCompute,  // burn `duration` of CPU time, then ask again
+    kWait,     // block until `channel` is notified, then ask again
+    kSleep,    // leave the CPU for `duration` (timed block / blocking I/O)
+    kExit,     // terminate the thread
+  };
+
+  static Action Compute(SimDuration d) { return {Kind::kCompute, d, nullptr}; }
+  static Action Wait(WaitChannel& ch) { return {Kind::kWait, 0, &ch}; }
+  static Action Sleep(SimDuration d) { return {Kind::kSleep, d, nullptr}; }
+  static Action Exit() { return {Kind::kExit, 0, nullptr}; }
+
+  Kind kind = Kind::kExit;
+  SimDuration duration = 0;
+  WaitChannel* channel = nullptr;
+};
+
+// The logic run by a simulated thread. Next() is invoked when the previous
+// action has completed (compute consumed, wait notified, sleep elapsed).
+// Wait semantics are those of a condition variable: a woken body must
+// re-check its predicate and may wait again.
+class ThreadBody {
+ public:
+  virtual ~ThreadBody() = default;
+  virtual Action Next(Machine& machine) = 0;
+};
+
+enum class ThreadState : std::uint8_t {
+  kNew,       // created, not yet started
+  kRunnable,  // on a runqueue
+  kRunning,   // on a core
+  kBlocked,   // waiting on a WaitChannel
+  kSleeping,  // timed sleep
+  kExited,
+};
+
+// Per-thread statistics exposed to drivers and experiment reports.
+struct ThreadStats {
+  SimDuration cpu_time = 0;            // total CPU consumed (incl. overheads)
+  SimDuration wait_time = 0;           // time spent runnable-but-not-running
+                                       // (the per-task view of PSI "some" CPU
+                                       // pressure, paper S8 future work)
+  std::uint64_t nr_switches = 0;       // context switches paid
+  std::uint64_t nr_wakeups = 0;        // transitions blocked/sleeping -> runnable
+  std::uint64_t nr_preemptions = 0;    // involuntary descheduling
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_THREAD_H_

@@ -1,0 +1,47 @@
+// Linux CFS nice-to-weight mapping.
+//
+// This is the kernel's own prio_to_weight table (kernel/sched/core.c): each
+// nice step changes the weight by ~1.25x, with nice 0 anchored at 1024 — the
+// same constant used by cgroup cpu.shares. The paper's translator math
+// (§5.3, F(x) = n_max + (log p_max - log x)/log 1.25) assumes exactly this
+// geometry.
+#ifndef LACHESIS_SIM_WEIGHTS_H_
+#define LACHESIS_SIM_WEIGHTS_H_
+
+#include <cstdint>
+
+namespace lachesis::sim {
+
+inline constexpr int kMinNice = -20;
+inline constexpr int kMaxNice = 19;
+inline constexpr std::uint64_t kNice0Weight = 1024;
+
+// Weight for a nice value; out-of-range values are clamped.
+constexpr std::uint64_t NiceToWeight(int nice) {
+  constexpr std::uint64_t kTable[40] = {
+      // -20 .. -11
+      88761, 71755, 56483, 46273, 36291, 29154, 23254, 18705, 14949, 11916,
+      // -10 .. -1
+      9548, 7620, 6100, 4904, 3906, 3121, 2501, 1991, 1586, 1277,
+      // 0 .. 9
+      1024, 820, 655, 526, 423, 335, 272, 215, 172, 137,
+      // 10 .. 19
+      110, 87, 70, 56, 45, 36, 29, 23, 18, 15};
+  if (nice < kMinNice) nice = kMinNice;
+  if (nice > kMaxNice) nice = kMaxNice;
+  return kTable[nice - kMinNice];
+}
+
+// cgroup-v1 cpu.shares bounds (kernel: 2 .. 2^18).
+inline constexpr std::uint64_t kMinShares = 2;
+inline constexpr std::uint64_t kMaxShares = 262144;
+
+constexpr std::uint64_t ClampShares(std::uint64_t shares) {
+  if (shares < kMinShares) return kMinShares;
+  if (shares > kMaxShares) return kMaxShares;
+  return shares;
+}
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_WEIGHTS_H_

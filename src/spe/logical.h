@@ -1,0 +1,154 @@
+// Logical queries: the DAG a user defines (paper §2).
+//
+// A logical query is a DAG of logical operators connected by streams. The
+// SPE turns it into a physical DAG at deployment (operator fusion/fission,
+// spe/deployment.h). Operator behaviour is expressed as a per-tuple function
+// plus a cost/selectivity profile, which is all the evaluation workloads
+// need while still running real per-tuple logic (Bloom filters, toll
+// accounting, interpolation, ...).
+#ifndef LACHESIS_SPE_LOGICAL_H_
+#define LACHESIS_SPE_LOGICAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "spe/tuple.h"
+
+namespace lachesis::spe {
+
+enum class OperatorRole : std::uint8_t {
+  kIngress,    // consumes from the Data Source channel
+  kTransform,  // map / filter / flatmap / aggregate
+  kEgress,     // delivers results to the user (Sink)
+};
+
+// How tuples are routed to the replicas of the downstream operator.
+enum class Partitioning : std::uint8_t {
+  kShuffle,  // round-robin
+  kKeyBy,    // hash of Tuple::key
+};
+
+// Workload-specific per-tuple state & logic. Implementations run inside the
+// operator's physical replica: Process consumes one input and appends any
+// outputs. Stateful logic keeps its state in the object (one instance per
+// physical replica).
+class OperatorLogic {
+ public:
+  virtual ~OperatorLogic() = default;
+  virtual void Process(const Tuple& input, std::vector<Tuple>& outputs) = 0;
+};
+
+// A pass-through (used by ingress / pure-cost operators).
+class IdentityLogic final : public OperatorLogic {
+ public:
+  void Process(const Tuple& input, std::vector<Tuple>& outputs) override {
+    outputs.push_back(input);
+  }
+};
+
+// Adapts a plain function to OperatorLogic.
+class FnLogic final : public OperatorLogic {
+ public:
+  using Fn = std::function<void(const Tuple&, std::vector<Tuple>&)>;
+  explicit FnLogic(Fn fn) : fn_(std::move(fn)) {}
+  void Process(const Tuple& input, std::vector<Tuple>& outputs) override {
+    fn_(input, outputs);
+  }
+
+ private:
+  Fn fn_;
+};
+
+struct LogicalOperator {
+  std::string name;
+  OperatorRole role = OperatorRole::kTransform;
+  // One logic instance is created per physical replica.
+  std::function<std::unique_ptr<OperatorLogic>()> make_logic;
+  // Average CPU cost per input tuple and its relative jitter (uniform in
+  // [1-jitter, 1+jitter]).
+  SimDuration cost = Micros(100);
+  double cost_jitter = 0.1;
+  // Requested fission degree (may be scaled at deployment).
+  int parallelism = 1;
+  // Blocking-I/O simulation (paper §6.4/Fig 16): probability per tuple to
+  // block for Uniform(0, block_max).
+  double block_probability = 0.0;
+  SimDuration block_max = 0;
+};
+
+struct LogicalEdge {
+  int from = 0;
+  int to = 0;
+  Partitioning partitioning = Partitioning::kShuffle;
+};
+
+// A logical query DAG. Built via the fluent helpers; validated at deployment.
+struct LogicalQuery {
+  std::string name;
+  std::vector<LogicalOperator> operators;
+  std::vector<LogicalEdge> edges;
+
+  // Appends an operator; returns its index.
+  int Add(LogicalOperator op) {
+    operators.push_back(std::move(op));
+    return static_cast<int>(operators.size()) - 1;
+  }
+  void Connect(int from, int to, Partitioning p = Partitioning::kShuffle) {
+    edges.push_back({from, to, p});
+  }
+
+  [[nodiscard]] std::vector<int> Downstream(int op) const {
+    std::vector<int> result;
+    for (const auto& e : edges) {
+      if (e.from == op) result.push_back(e.to);
+    }
+    return result;
+  }
+  [[nodiscard]] std::vector<int> Upstream(int op) const {
+    std::vector<int> result;
+    for (const auto& e : edges) {
+      if (e.to == op) result.push_back(e.from);
+    }
+    return result;
+  }
+};
+
+// Convenience builders -------------------------------------------------------
+
+inline LogicalOperator MakeIngress(std::string name, SimDuration cost) {
+  LogicalOperator op;
+  op.name = std::move(name);
+  op.role = OperatorRole::kIngress;
+  op.make_logic = [] { return std::make_unique<IdentityLogic>(); };
+  op.cost = cost;
+  return op;
+}
+
+inline LogicalOperator MakeEgress(std::string name, SimDuration cost) {
+  LogicalOperator op;
+  op.name = std::move(name);
+  op.role = OperatorRole::kEgress;
+  op.make_logic = [] { return std::make_unique<IdentityLogic>(); };
+  op.cost = cost;
+  return op;
+}
+
+inline LogicalOperator MakeTransform(
+    std::string name, SimDuration cost,
+    std::function<std::unique_ptr<OperatorLogic>()> make_logic) {
+  LogicalOperator op;
+  op.name = std::move(name);
+  op.role = OperatorRole::kTransform;
+  op.make_logic = std::move(make_logic);
+  op.cost = cost;
+  return op;
+}
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_LOGICAL_H_

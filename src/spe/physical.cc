@@ -1,0 +1,168 @@
+#include "spe/physical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lachesis::spe {
+
+namespace {
+// Cap on retained latency samples per egress; beyond it, reservoir sampling
+// keeps the distribution unbiased for the letter-value analysis (Fig 13).
+constexpr std::size_t kMaxSamples = 100'000;
+
+void ReservoirAdd(std::vector<double>& samples, double value,
+                  std::uint64_t seen, Rng& rng) {
+  if (samples.size() < kMaxSamples) {
+    samples.push_back(value);
+    return;
+  }
+  const std::uint64_t slot = rng.NextBounded(seen);
+  if (slot < kMaxSamples) samples[slot] = value;
+}
+}  // namespace
+
+PhysicalOp::PhysicalOp(Config config, TupleQueue* input,
+                       std::vector<std::unique_ptr<OperatorLogic>> logic_chain)
+    : config_(std::move(config)),
+      input_(input),
+      logic_chain_(std::move(logic_chain)),
+      rng_(config_.seed) {
+  assert(input_ != nullptr);
+  assert(!logic_chain_.empty());
+}
+
+bool PhysicalOp::Begin(SimDuration& cost_out) {
+  assert(!in_flight_);
+  if (input_->empty()) return false;
+  current_ = input_->Pop();
+  in_flight_ = true;
+  ++tuples_in_;
+  const double jitter =
+      config_.cost_jitter > 0
+          ? rng_.Uniform(1.0 - config_.cost_jitter, 1.0 + config_.cost_jitter)
+          : 1.0;
+  current_cost_ =
+      static_cast<SimDuration>(static_cast<double>(config_.cost) * jitter) +
+      config_.per_tuple_overhead;
+  cost_out = current_cost_;
+  return true;
+}
+
+SimDuration PhysicalOp::Finish(SimTime now) {
+  assert(in_flight_);
+  in_flight_ = false;
+  busy_ns_ += current_cost_;
+
+  if (config_.role == OperatorRole::kIngress) current_.ingested = now;
+
+  // Run the fused logic chain.
+  scratch_in_.clear();
+  scratch_in_.push_back(current_);
+  for (const auto& logic : logic_chain_) {
+    scratch_out_.clear();
+    for (const Tuple& t : scratch_in_) logic->Process(t, scratch_out_);
+    scratch_in_.swap(scratch_out_);
+  }
+
+  if (config_.role == OperatorRole::kEgress) {
+    // Egress delivers to the user: record latency per produced result.
+    for (const Tuple& t : scratch_in_) {
+      const auto latency = static_cast<double>(now - t.ingested);
+      const auto e2e = static_cast<double>(now - t.produced);
+      egress_.latency.Add(latency);
+      egress_.e2e_latency.Add(e2e);
+      egress_.latency_histogram.Record(static_cast<std::uint64_t>(
+          std::max<SimDuration>(now - t.ingested, 0)));
+      egress_.e2e_latency_histogram.Record(static_cast<std::uint64_t>(
+          std::max<SimDuration>(now - t.produced, 0)));
+      ++egress_.tuples;
+      ReservoirAdd(egress_.latency_samples, latency, egress_.tuples, rng_);
+      ReservoirAdd(egress_.e2e_latency_samples, e2e, egress_.tuples, rng_);
+    }
+    tuples_out_ += scratch_in_.size();
+    scratch_in_.clear();
+  }
+
+  // Stage outputs for emission: each result goes to every downstream edge
+  // (streams are multicast to all consumers).
+  for (const Tuple& t : scratch_in_) {
+    ++tuples_out_;
+    RouteOutput(t);
+  }
+  scratch_in_.clear();
+
+  if (config_.block_probability > 0 && rng_.Chance(config_.block_probability)) {
+    return static_cast<SimDuration>(
+        rng_.Uniform(0.0, static_cast<double>(config_.block_max)));
+  }
+  return 0;
+}
+
+void PhysicalOp::RouteOutput(const Tuple& t) {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const std::size_t replica = edges_[e].PickReplica(t);
+    staged_.push_back({e, replica, t});
+  }
+}
+
+bool PhysicalOp::TryEmit() {
+  blocked_queue_ = nullptr;
+  while (staged_pos_ < staged_.size()) {
+    const Staged& s = staged_[staged_pos_];
+    PhysicalEdge& edge = edges_[s.edge];
+    TupleQueue* dest = edge.destinations[s.replica];
+    if (edge.remote[s.replica]) {
+      // Remote hop: delivered after the network delay; Kafka-like transport
+      // is unbounded, so no backpressure on the sender.
+      assert(remote_push_);
+      remote_push_(dest, s.tuple, config_.network_delay);
+    } else {
+      if (dest->full()) {
+        blocked_queue_ = dest;
+        return false;
+      }
+      dest->Push(s.tuple);
+    }
+    ++staged_pos_;
+  }
+  staged_.clear();
+  staged_pos_ = 0;
+  return true;
+}
+
+void PhysicalOp::EmitAllUnbounded() {
+  while (staged_pos_ < staged_.size()) {
+    const Staged& s = staged_[staged_pos_];
+    PhysicalEdge& edge = edges_[s.edge];
+    TupleQueue* dest = edge.destinations[s.replica];
+    if (edge.remote[s.replica]) {
+      assert(remote_push_);
+      remote_push_(dest, s.tuple, config_.network_delay);
+    } else {
+      dest->Push(s.tuple);
+    }
+    ++staged_pos_;
+  }
+  staged_.clear();
+  staged_pos_ = 0;
+}
+
+double PhysicalOp::MeasuredCostNs() const {
+  if (tuples_in_ == 0) return 0.0;
+  return static_cast<double>(busy_ns_) / static_cast<double>(tuples_in_);
+}
+
+double PhysicalOp::MeasuredSelectivity() const {
+  if (tuples_in_ == 0) return 0.0;
+  return static_cast<double>(tuples_out_) / static_cast<double>(tuples_in_);
+}
+
+void PhysicalOp::ResetMeasurements() {
+  // Counters (tuples_in/out, busy_ns) stay cumulative: the metric scraper
+  // and the harness both difference them over windows. Only the egress
+  // latency reservoirs are cleared (warmup trim).
+  egress_.Reset();
+}
+
+}  // namespace lachesis::spe

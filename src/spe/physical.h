@@ -1,0 +1,179 @@
+// Physical operators: the execution units of the SPE (paper §2).
+//
+// A physical operator is a replica of one logical operator or of a fused
+// chain of logical operators. It is passive: execution is driven either by a
+// dedicated simulated kernel thread (the mainstream one-thread-per-operator
+// model Lachesis schedules) or by a user-level scheduler's worker threads
+// (the EdgeWise/Haren baselines in src/ulss/). The two-phase Begin/Finish
+// protocol lets both executors charge the simulated CPU cost between popping
+// a tuple and applying its effects.
+#ifndef LACHESIS_SPE_PHYSICAL_H_
+#define LACHESIS_SPE_PHYSICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hdr_histogram.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "spe/logical.h"
+#include "spe/queue.h"
+#include "spe/tuple.h"
+
+namespace lachesis::spe {
+
+class PhysicalOp;
+
+// Routing from a physical operator to the replicas of one downstream
+// operator. Remote destinations (scale-out deployments) are delivered via a
+// simulated network hop instead of a direct push.
+struct PhysicalEdge {
+  std::vector<TupleQueue*> destinations;  // one per downstream replica
+  std::vector<bool> remote;               // destination on another machine?
+  Partitioning partitioning = Partitioning::kShuffle;
+  std::uint64_t rr_counter = 0;
+
+  [[nodiscard]] std::size_t PickReplica(const Tuple& t) {
+    if (destinations.size() == 1) return 0;
+    if (partitioning == Partitioning::kKeyBy) {
+      std::uint64_t h = static_cast<std::uint64_t>(t.key);
+      return SplitMix64(h) % destinations.size();
+    }
+    return rr_counter++ % destinations.size();
+  }
+};
+
+// Samples recorded by Egress operators (paper §3.2 latency definitions).
+// The reservoirs feed the letter-value analysis; the HDR histograms give
+// exact tail quantiles (p99/p99.9) regardless of volume.
+struct EgressMeasurements {
+  RunningStat latency;       // processing latency, ns
+  RunningStat e2e_latency;   // end-to-end latency, ns
+  std::vector<double> latency_samples;      // capped reservoir, ns
+  std::vector<double> e2e_latency_samples;  // capped reservoir, ns
+  HdrHistogram latency_histogram;
+  HdrHistogram e2e_latency_histogram;
+  std::uint64_t tuples = 0;
+
+  void Reset() { *this = {}; }
+};
+
+class PhysicalOp {
+ public:
+  struct Config {
+    std::string name;          // "<query>.<chain-name>.<replica>"
+    QueryId query;
+    std::vector<int> logical_indices;  // fused chain, upstream-first
+    int replica = 0;
+    OperatorRole role = OperatorRole::kTransform;
+    SimDuration cost = 0;      // summed chain cost
+    double cost_jitter = 0.0;
+    double block_probability = 0.0;
+    SimDuration block_max = 0;
+    SimDuration per_tuple_overhead = 0;  // engine framework overhead
+    SimDuration network_delay = 0;       // latency for remote pushes
+    std::uint64_t seed = 1;
+  };
+
+  PhysicalOp(Config config, TupleQueue* input,
+             std::vector<std::unique_ptr<OperatorLogic>> logic_chain);
+
+  // --- flow control ----------------------------------------------------------
+  // Ingress-side flow control (Storm's max.spout.pending): when configured
+  // and the query's internal queues hold more than `cap` tuples, the ingress
+  // pauses consumption from the source channel.
+  void set_flow_control(std::function<std::size_t()> pending_fn,
+                        std::size_t cap) {
+    pending_fn_ = std::move(pending_fn);
+    pending_cap_ = cap;
+  }
+  [[nodiscard]] bool Throttled() const {
+    return pending_fn_ && pending_fn_() > pending_cap_;
+  }
+
+  // --- two-phase execution -------------------------------------------------
+  // Pops the next tuple and returns the CPU cost to charge; false if the
+  // input queue is empty.
+  [[nodiscard]] bool Begin(SimDuration& cost_out);
+  // Applies the popped tuple after its cost was charged: runs the logic
+  // chain, stages outputs, records egress samples. Returns a blocking-I/O
+  // duration (0 for none).
+  SimDuration Finish(SimTime now);
+  // Pushes staged outputs; returns false if blocked on a full bounded queue
+  // (remaining outputs stay staged). `blocked_queue()` names the culprit.
+  [[nodiscard]] bool TryEmit();
+  // Pushes staged outputs ignoring capacity (user-level schedulers, which
+  // the paper only pairs with unbounded-queue engines).
+  void EmitAllUnbounded();
+  [[nodiscard]] TupleQueue* blocked_queue() const { return blocked_queue_; }
+
+  // --- wiring ----------------------------------------------------------------
+  void AddEdge(PhysicalEdge edge) { edges_.push_back(std::move(edge)); }
+  // Extra per-input-tuple cost for cross-node serialization; set by the
+  // deployment once edges are wired (scaled by the remote fan-out share).
+  void AddSerializationOverhead(SimDuration extra) {
+    config_.per_tuple_overhead += extra;
+  }
+  [[nodiscard]] TupleQueue& input() { return *input_; }
+  [[nodiscard]] const TupleQueue& input() const { return *input_; }
+  void set_remote_push(
+      std::function<void(TupleQueue*, const Tuple&, SimDuration)> fn) {
+    remote_push_ = std::move(fn);
+  }
+
+  // --- identity & metrics ------------------------------------------------------
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t tuples_in() const { return tuples_in_; }
+  [[nodiscard]] std::uint64_t tuples_out() const { return tuples_out_; }
+  [[nodiscard]] SimDuration busy_ns() const { return busy_ns_; }
+  [[nodiscard]] EgressMeasurements& egress() { return egress_; }
+  // Measured per-tuple cost (ns) and selectivity since the last reset;
+  // 0 while no tuple was processed.
+  [[nodiscard]] double MeasuredCostNs() const;
+  [[nodiscard]] double MeasuredSelectivity() const;
+
+  void ResetMeasurements();
+
+ private:
+  void RouteOutput(const Tuple& t);
+
+  Config config_;
+  TupleQueue* input_;
+  std::vector<std::unique_ptr<OperatorLogic>> logic_chain_;
+  std::vector<PhysicalEdge> edges_;
+  std::function<void(TupleQueue*, const Tuple&, SimDuration)> remote_push_;
+  std::function<std::size_t()> pending_fn_;
+  std::size_t pending_cap_ = 0;
+  Rng rng_;
+
+  // In-flight tuple between Begin and Finish.
+  Tuple current_{};
+  bool in_flight_ = false;
+  SimDuration current_cost_ = 0;
+
+  // Staged outputs: (edge index, tuple) pairs, emitted in order.
+  struct Staged {
+    std::size_t edge;
+    std::size_t replica;
+    Tuple tuple;
+  };
+  std::vector<Staged> staged_;
+  std::size_t staged_pos_ = 0;
+  TupleQueue* blocked_queue_ = nullptr;
+
+  std::vector<Tuple> scratch_in_;
+  std::vector<Tuple> scratch_out_;
+
+  std::uint64_t tuples_in_ = 0;
+  std::uint64_t tuples_out_ = 0;
+  SimDuration busy_ns_ = 0;
+  EgressMeasurements egress_;
+};
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_PHYSICAL_H_

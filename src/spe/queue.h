@@ -1,0 +1,78 @@
+// Inter-operator tuple queues.
+//
+// A TupleQueue connects physical operators. Capacity 0 models Storm/Liebre
+// unbounded in-memory queues; a positive capacity models Flink's credit-based
+// bounded exchanges, where a full queue blocks the producer thread
+// (backpressure). Counters feed the SPE metric registry.
+#ifndef LACHESIS_SPE_QUEUE_H_
+#define LACHESIS_SPE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/machine.h"
+#include "spe/tuple.h"
+
+namespace lachesis::spe {
+
+class TupleQueue {
+ public:
+  TupleQueue(sim::Machine& machine, std::size_t capacity)
+      : capacity_(capacity), not_empty_(machine), not_full_(machine) {}
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool bounded() const { return capacity_ > 0; }
+  [[nodiscard]] bool full() const {
+    return bounded() && items_.size() >= capacity_;
+  }
+
+  // Precondition: !full(). Producers must check and wait on not_full().
+  void Push(const Tuple& tuple) {
+    items_.push_back(tuple);
+    ++pushed_;
+    not_empty_.NotifyOne();
+    if (push_listener_ != nullptr) push_listener_->NotifyOne();
+  }
+
+  // Extra channel notified on every push; user-level schedulers park their
+  // idle workers on one shared channel across all queues.
+  void set_push_listener(sim::WaitChannel* listener) { push_listener_ = listener; }
+
+  // Precondition: !empty().
+  Tuple Pop() {
+    Tuple t = items_.front();
+    items_.pop_front();
+    ++popped_;
+    if (bounded()) not_full_.NotifyOne();
+    return t;
+  }
+
+  [[nodiscard]] const Tuple& Front() const { return items_.front(); }
+
+  [[nodiscard]] sim::WaitChannel& not_empty() { return not_empty_; }
+  [[nodiscard]] sim::WaitChannel& not_full() { return not_full_; }
+
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t total_popped() const { return popped_; }
+
+  // Age of the head-of-line tuple (time since it entered the system); 0 when
+  // empty. Used by the FCFS policy goal.
+  [[nodiscard]] SimDuration HeadAge(SimTime now) const {
+    return items_.empty() ? 0 : now - items_.front().produced;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Tuple> items_;
+  sim::WaitChannel not_empty_;
+  sim::WaitChannel not_full_;
+  sim::WaitChannel* push_listener_ = nullptr;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_QUEUE_H_

@@ -1,0 +1,125 @@
+// Data sources (paper §2, §6.1).
+//
+// A Data Source is external to the query: it produces ingress tuples at a
+// configured rate into unbounded Kafka-like channels read by the Ingress
+// operators. Two modes mirror the paper's setups:
+//  - ExternalSource: a Kafka producer on another device -- emission is pure
+//    simulation events and consumes no CPU on the query machine (LR, VS,
+//    SYN setups);
+//  - OnDeviceSource: a generator thread on the query machine itself, as in
+//    the EdgeWise evaluation replicated in §6.2 (ETL, STATS).
+#ifndef LACHESIS_SPE_SOURCE_H_
+#define LACHESIS_SPE_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "spe/queue.h"
+#include "spe/tuple.h"
+
+namespace lachesis::spe {
+
+// Produces the payload of the next tuple; `produced`/`ingested` timestamps
+// are managed by the source and the ingress operator.
+using TupleGenerator = std::function<Tuple(Rng& rng, std::uint64_t seq)>;
+
+// Event-driven source: no CPU cost on any machine.
+class ExternalSource {
+ public:
+  ExternalSource(sim::Simulator& sim, std::vector<TupleQueue*> channels,
+                 TupleGenerator generator, std::uint64_t seed)
+      : sim_(&sim),
+        channels_(std::move(channels)),
+        generator_(std::move(generator)),
+        rng_(seed) {}
+
+  // Emits uniformly spaced tuples at `rate_tps` until `until`.
+  void Start(double rate_tps, SimTime until) {
+    period_ = static_cast<SimDuration>(static_cast<double>(kSecond) / rate_tps);
+    until_ = until;
+    ScheduleNext(sim_->now() + period_);
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void ScheduleNext(SimTime when) {
+    if (when > until_) return;
+    sim_->ScheduleAt(when, [this, when] {
+      Tuple t = generator_(rng_, emitted_);
+      t.produced = when;
+      channels_[emitted_ % channels_.size()]->Push(t);
+      ++emitted_;
+      ScheduleNext(when + period_);
+    });
+  }
+
+  sim::Simulator* sim_;
+  std::vector<TupleQueue*> channels_;
+  TupleGenerator generator_;
+  Rng rng_;
+  SimDuration period_ = kSecond;
+  SimTime until_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+// Generator thread running on the query machine (consumes CPU there).
+class OnDeviceSourceBody final : public sim::ThreadBody {
+ public:
+  OnDeviceSourceBody(std::vector<TupleQueue*> channels, TupleGenerator generator,
+                     double rate_tps, SimDuration per_tuple_cost, SimTime until,
+                     std::uint64_t seed)
+      : channels_(std::move(channels)),
+        generator_(std::move(generator)),
+        period_(static_cast<SimDuration>(static_cast<double>(kSecond) / rate_tps)),
+        cost_(per_tuple_cost),
+        until_(until),
+        rng_(seed) {}
+
+  sim::Action Next(sim::Machine& machine) override {
+    switch (phase_) {
+      case Phase::kGenerate: {
+        if (machine.now() > until_) return sim::Action::Exit();
+        phase_ = Phase::kPush;
+        return sim::Action::Compute(cost_);
+      }
+      case Phase::kPush: {
+        Tuple t = generator_(rng_, emitted_);
+        t.produced = machine.now();
+        channels_[emitted_ % channels_.size()]->Push(t);
+        ++emitted_;
+        next_emit_ += period_;
+        phase_ = Phase::kGenerate;
+        const SimDuration gap = next_emit_ - machine.now();
+        if (gap > 0) return sim::Action::Sleep(gap);
+        return sim::Action::Compute(0);  // behind schedule: emit immediately
+      }
+    }
+    return sim::Action::Exit();
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  enum class Phase { kGenerate, kPush };
+  std::vector<TupleQueue*> channels_;
+  TupleGenerator generator_;
+  SimDuration period_;
+  SimDuration cost_;
+  SimTime until_;
+  Rng rng_;
+  Phase phase_ = Phase::kGenerate;
+  SimTime next_emit_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_SOURCE_H_

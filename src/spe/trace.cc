@@ -1,0 +1,123 @@
+#include "spe/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace lachesis::spe {
+
+std::vector<TraceRecord> ParseTrace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  SimDuration running_max = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    TraceRecord record;
+    if (!(fields >> record.offset >> record.key >> record.value >>
+          record.kind)) {
+      continue;  // malformed line
+    }
+    record.offset = std::max(record.offset, running_max);
+    running_max = record.offset;
+    records.push_back(record);
+  }
+  return records;
+}
+
+void WriteTrace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# offset_ns key value kind\n";
+  for (const TraceRecord& r : records) {
+    out << r.offset << ' ' << r.key << ' ' << r.value << ' ' << r.kind << '\n';
+  }
+}
+
+std::vector<TraceRecord> RecordTrace(
+    const std::function<Tuple(Rng&, std::uint64_t)>& generator, double rate,
+    SimDuration duration, std::uint64_t seed) {
+  std::vector<TraceRecord> records;
+  Rng rng(seed);
+  const auto period =
+      static_cast<SimDuration>(static_cast<double>(kSecond) / rate);
+  std::uint64_t seq = 0;
+  for (SimDuration offset = 0; offset < duration; offset += period) {
+    const Tuple t = generator(rng, seq++);
+    records.push_back({offset, t.key, t.value, t.kind});
+  }
+  return records;
+}
+
+TraceReplaySource::TraceReplaySource(sim::Simulator& sim,
+                                     std::vector<TupleQueue*> channels,
+                                     std::vector<TraceRecord> trace)
+    : sim_(&sim), channels_(std::move(channels)), trace_(std::move(trace)) {
+  assert(!channels_.empty());
+  if (!trace_.empty()) {
+    // The gap after the last record when looping: reuse the mean spacing.
+    const SimDuration last = trace_.back().offset;
+    const auto mean_gap = static_cast<SimDuration>(
+        trace_.size() > 1 ? last / static_cast<SimDuration>(trace_.size() - 1)
+                          : kMillisecond);
+    trace_span_ = last + std::max<SimDuration>(mean_gap, 1);
+  }
+}
+
+SimTime TraceReplaySource::NextEmissionTime(SimTime current) const {
+  if (fixed_period_ > 0) return current + fixed_period_;
+  const TraceRecord& record = trace_[position_];
+  return loop_base_ + static_cast<SimTime>(
+                          static_cast<double>(record.offset) / speedup_);
+}
+
+void TraceReplaySource::StartPaced(double speedup, SimTime until) {
+  if (trace_.empty()) return;
+  assert(speedup > 0);
+  speedup_ = speedup;
+  fixed_period_ = 0;
+  until_ = until;
+  loop_base_ = sim_->now();
+  position_ = 0;
+  const SimTime first = NextEmissionTime(sim_->now());
+  if (first <= until_) {
+    sim_->ScheduleAt(std::max(first, sim_->now()),
+                     [this, first] { EmitAndScheduleNext(first); });
+  }
+}
+
+void TraceReplaySource::StartAtRate(double rate_tps, SimTime until) {
+  if (trace_.empty()) return;
+  assert(rate_tps > 0);
+  fixed_period_ =
+      static_cast<SimDuration>(static_cast<double>(kSecond) / rate_tps);
+  until_ = until;
+  position_ = 0;
+  const SimTime first = sim_->now() + fixed_period_;
+  if (first <= until_) {
+    sim_->ScheduleAt(first, [this, first] { EmitAndScheduleNext(first); });
+  }
+}
+
+void TraceReplaySource::EmitAndScheduleNext(SimTime when) {
+  const TraceRecord& record = trace_[position_];
+  Tuple t;
+  t.produced = when;
+  t.key = record.key;
+  t.value = record.value;
+  t.kind = record.kind;
+  channels_[emitted_ % channels_.size()]->Push(t);
+  ++emitted_;
+
+  if (++position_ >= trace_.size()) {  // loop
+    position_ = 0;
+    loop_base_ += static_cast<SimTime>(
+        static_cast<double>(trace_span_) / (fixed_period_ > 0 ? 1.0 : speedup_));
+  }
+  const SimTime next = std::max(NextEmissionTime(when), when + 1);
+  if (next <= until_) {
+    sim_->ScheduleAt(next, [this, next] { EmitAndScheduleNext(next); });
+  }
+}
+
+}  // namespace lachesis::spe

@@ -1,0 +1,79 @@
+// Trace recording & replay (paper §6.1: "The Data Sources replay existing
+// input traces, allowing to run experiments with increasing input rates").
+//
+// A trace is a text file of "<offset_ns> <key> <value> <kind>" lines.
+// TraceReplaySource replays it through the Kafka-like source channels,
+// either at the recorded pacing scaled by a speedup factor, or at a fixed
+// rate (ignoring recorded offsets), and loops the trace when it is shorter
+// than the experiment.
+#ifndef LACHESIS_SPE_TRACE_H_
+#define LACHESIS_SPE_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+#include "spe/queue.h"
+#include "spe/tuple.h"
+
+namespace lachesis::spe {
+
+struct TraceRecord {
+  SimDuration offset = 0;  // ns since trace start
+  std::int64_t key = 0;
+  double value = 0;
+  std::uint32_t kind = 0;
+};
+
+// Parses a trace; malformed lines are skipped. Records must be
+// offset-ordered; out-of-order records are clamped to the running maximum.
+std::vector<TraceRecord> ParseTrace(std::istream& in);
+
+// Writes records in the trace format (round-trips with ParseTrace).
+void WriteTrace(std::ostream& out, const std::vector<TraceRecord>& records);
+
+// Records the tuples a generator would emit at `rate` for `duration` --
+// handy for turning the synthetic generators into replayable traces.
+std::vector<TraceRecord> RecordTrace(
+    const std::function<Tuple(Rng&, std::uint64_t)>& generator, double rate,
+    SimDuration duration, std::uint64_t seed);
+
+class TraceReplaySource {
+ public:
+  TraceReplaySource(sim::Simulator& sim, std::vector<TupleQueue*> channels,
+                    std::vector<TraceRecord> trace);
+
+  // Replays at the recorded pacing compressed/stretched by `speedup`
+  // (2.0 = twice the recorded rate), looping until `until`.
+  void StartPaced(double speedup, SimTime until);
+
+  // Replays the records in order at a fixed uniform rate, looping.
+  void StartAtRate(double rate_tps, SimTime until);
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void EmitAndScheduleNext(SimTime when);
+  [[nodiscard]] SimTime NextEmissionTime(SimTime current) const;
+
+  sim::Simulator* sim_;
+  std::vector<TupleQueue*> channels_;
+  std::vector<TraceRecord> trace_;
+  SimDuration trace_span_ = 0;  // offset of the last record + 1 gap
+  double speedup_ = 1.0;
+  SimDuration fixed_period_ = 0;  // >0: rate mode
+  SimTime until_ = 0;
+  SimTime loop_base_ = 0;  // sim time at which the current loop started
+  std::size_t position_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_TRACE_H_

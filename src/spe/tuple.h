@@ -1,0 +1,34 @@
+// Stream tuples.
+//
+// Tuples carry the two timestamps the paper's §3.2 latency definitions need:
+// `produced` (when the Data Source emitted the contributing input) and
+// `ingested` (when the Ingress operator consumed it). Operators that combine
+// several inputs propagate the *latest* contributor per the paper's "time
+// when all the ingress tuples that contribute to t were ingested".
+#ifndef LACHESIS_SPE_TUPLE_H_
+#define LACHESIS_SPE_TUPLE_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace lachesis::spe {
+
+struct Tuple {
+  SimTime produced = 0;  // emission at the data source
+  SimTime ingested = 0;  // consumption by the Ingress operator
+  std::int64_t key = 0;  // partition / group-by key
+  double value = 0.0;    // numeric payload
+  std::uint32_t kind = 0;  // workload-specific discriminator
+
+  // Combines contributor timestamps: a derived tuple is as old as its most
+  // recently produced/ingested contributor.
+  void MergeContributor(const Tuple& other) {
+    if (other.produced > produced) produced = other.produced;
+    if (other.ingested > ingested) ingested = other.ingested;
+  }
+};
+
+}  // namespace lachesis::spe
+
+#endif  // LACHESIS_SPE_TUPLE_H_

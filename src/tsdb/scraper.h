@@ -1,0 +1,81 @@
+// Periodic metric scraper: SPE -> time-series store.
+//
+// Models the reporting pipeline of §6.1: each SPE pushes its public metrics
+// to Graphite at a fixed resolution (1 s in the paper). Because Lachesis
+// reads the store rather than the engines, its view of the system is up to
+// one scrape period stale -- the key information disadvantage vs. UL-SS like
+// Haren, examined in Fig 15.
+#ifndef LACHESIS_TSDB_SCRAPER_H_
+#define LACHESIS_TSDB_SCRAPER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+#include "spe/flavor.h"
+#include "spe/runtime.h"
+#include "tsdb/tsdb.h"
+
+namespace lachesis::tsdb {
+
+// Human-readable series suffix for each raw metric.
+inline const char* RawMetricName(spe::RawMetric m) {
+  switch (m) {
+    case spe::RawMetric::kTuplesIn: return "tuples_in";
+    case spe::RawMetric::kTuplesOut: return "tuples_out";
+    case spe::RawMetric::kQueueSize: return "queue_size";
+    case spe::RawMetric::kBufferUsage: return "buffer_usage";
+    case spe::RawMetric::kBufferCapacity: return "buffer_capacity";
+    case spe::RawMetric::kAvgExecLatencyUs: return "avg_exec_latency_us";
+    case spe::RawMetric::kBusyTimeNs: return "busy_time_ns";
+    case spe::RawMetric::kCost: return "cost_ns";
+    case spe::RawMetric::kSelectivity: return "selectivity";
+    case spe::RawMetric::kHeadTupleAgeNs: return "head_tuple_age_ns";
+  }
+  return "unknown";
+}
+
+class Scraper {
+ public:
+  Scraper(sim::Simulator& sim, TimeSeriesStore& store, SimDuration period)
+      : sim_(&sim), store_(&store), period_(period) {}
+
+  void AddInstance(spe::SpeInstance& instance) { instances_.push_back(&instance); }
+
+  // Scrapes every `period` until `until`.
+  void Start(SimTime until) {
+    until_ = until;
+    ScheduleNext(sim_->now() + period_);
+  }
+
+  void ScrapeOnce() {
+    for (spe::SpeInstance* instance : instances_) {
+      instance->ForEachRawMetric([this](const spe::DeployedQuery&,
+                                        const spe::DeployedOp& op,
+                                        spe::RawMetric metric, double value) {
+        store_->Append(op.op->config().name + "." + RawMetricName(metric),
+                       sim_->now(), value);
+      });
+    }
+  }
+
+ private:
+  void ScheduleNext(SimTime when) {
+    if (when > until_) return;
+    sim_->ScheduleAt(when, [this, when] {
+      ScrapeOnce();
+      ScheduleNext(when + period_);
+    });
+  }
+
+  sim::Simulator* sim_;
+  TimeSeriesStore* store_;
+  SimDuration period_;
+  SimTime until_ = 0;
+  std::vector<spe::SpeInstance*> instances_;
+};
+
+}  // namespace lachesis::tsdb
+
+#endif  // LACHESIS_TSDB_SCRAPER_H_

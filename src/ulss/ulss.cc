@@ -1,0 +1,207 @@
+#include "ulss/ulss.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lachesis::ulss {
+
+namespace {
+
+// Worker thread: pick the best ready operator, run a non-preemptive batch
+// through it, repeat; park on the shared channel when nothing is ready.
+class UlssWorkerBody final : public sim::ThreadBody {
+ public:
+  explicit UlssWorkerBody(UlssScheduler& scheduler) : scheduler_(&scheduler) {}
+
+  sim::Action Next(sim::Machine& machine) override {
+    for (;;) {
+      switch (phase_) {
+        case Phase::kPick: {
+          SimDuration extra = 0;
+          if (current_ == nullptr || batch_left_ <= 0 ||
+              current_->op->input().empty()) {
+            if (current_ != nullptr) {
+              current_->claimed = false;
+              current_ = nullptr;
+            }
+            current_ = scheduler_->PickBest();
+            if (current_ == nullptr) {
+              return sim::Action::Wait(scheduler_->work_channel());
+            }
+            current_->claimed = true;
+            batch_left_ = scheduler_->config().batch_size;
+            extra = scheduler_->config().decision_cost;
+            if (current_->op != last_op_) {
+              // Switching operators disturbs the worker's cache exactly like
+              // a kernel-level context switch between operator threads does.
+              extra += machine.params().context_switch_cost;
+              last_op_ = current_->op;
+            }
+            scheduler_->RecordDecision();
+          }
+          SimDuration cost = 0;
+          if (!current_->op->Begin(cost)) {
+            current_->claimed = false;
+            current_ = nullptr;
+            continue;
+          }
+          --batch_left_;
+          phase_ = Phase::kFinish;
+          return sim::Action::Compute(cost + extra);
+        }
+        case Phase::kFinish: {
+          const SimDuration block = current_->op->Finish(machine.now());
+          // UL-SS are only paired with unbounded-queue engines in the paper;
+          // emission never blocks on capacity.
+          current_->op->EmitAllUnbounded();
+          phase_ = Phase::kPick;
+          if (block > 0) {
+            // Simulated blocking I/O inside an operator: the WHOLE worker
+            // stalls -- the drawback Fig 16 quantifies.
+            return sim::Action::Sleep(block);
+          }
+          continue;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class Phase { kPick, kFinish };
+  UlssScheduler* scheduler_;
+  UlssScheduler::ManagedOp* current_ = nullptr;
+  const spe::PhysicalOp* last_op_ = nullptr;
+  int batch_left_ = 0;
+  Phase phase_ = Phase::kPick;
+};
+
+}  // namespace
+
+UlssScheduler::UlssScheduler(sim::Machine& machine, UlssConfig config)
+    : machine_(&machine), config_(config), work_available_(machine) {}
+
+void UlssScheduler::AddQuery(spe::DeployedQuery& query) {
+  assert(!started_);
+  queries_.push_back(&query);
+  for (spe::DeployedOp& d : query.ops) {
+    assert(!d.has_thread && "deploy with create_threads=false for UL-SS");
+    ops_.push_back({d.op, &query, false, 0.0});
+    d.op->input().set_push_listener(&work_available_);
+  }
+}
+
+void UlssScheduler::Start(SimTime until) {
+  assert(!started_);
+  started_ = true;
+  RefreshPriorities();
+  for (int i = 0; i < config_.num_workers; ++i) {
+    machine_->CreateThread("ulss-worker-" + std::to_string(i),
+                           std::make_unique<UlssWorkerBody>(*this),
+                           machine_->root_cgroup());
+  }
+  if (config_.flavor == UlssFlavor::kHaren) {
+    // Haren refreshes priorities from fresh in-engine metrics periodically.
+    ScheduleRefresh(until);
+  }
+}
+
+void UlssScheduler::ScheduleRefresh(SimTime until) {
+  const SimTime when = machine_->now() + config_.refresh_period;
+  if (when > until) return;
+  machine_->simulator().ScheduleAt(when, [this, until] {
+    RefreshPriorities();
+    ScheduleRefresh(until);
+  });
+}
+
+void UlssScheduler::RefreshPriorities() {
+  for (ManagedOp& m : ops_) {
+    switch (config_.policy) {
+      case UlssPolicy::kQueueSize:
+        m.priority = static_cast<double>(m.op->input().size());
+        break;
+      case UlssPolicy::kFcfs:
+        m.priority =
+            static_cast<double>(m.op->input().HeadAge(machine_->now()));
+        break;
+      case UlssPolicy::kHighestRate:
+        m.priority = HighestRateOf(m);
+        break;
+    }
+  }
+}
+
+double UlssScheduler::HighestRateOf(const ManagedOp& managed) const {
+  // Path rate over the logical DAG using live measured cost/selectivity
+  // (fresh in-engine metrics: the information advantage Haren has over an
+  // external middleware).
+  const spe::LogicalQuery& topo = managed.query->logical;
+  const int n = static_cast<int>(topo.operators.size());
+  std::vector<double> cost(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sel(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> replicas(static_cast<std::size_t>(n), 0);
+  for (const spe::DeployedOp& d : managed.query->ops) {
+    for (const int l : d.logical_indices) {
+      cost[static_cast<std::size_t>(l)] += d.op->MeasuredCostNs();
+      sel[static_cast<std::size_t>(l)] += d.op->MeasuredSelectivity();
+      ++replicas[static_cast<std::size_t>(l)];
+    }
+  }
+  for (int l = 0; l < n; ++l) {
+    const auto i = static_cast<std::size_t>(l);
+    if (replicas[i] > 0) {
+      cost[i] /= replicas[i];
+      sel[i] /= replicas[i];
+    }
+    if (cost[i] <= 0) {
+      cost[i] = static_cast<double>(
+          topo.operators[i].cost > 0 ? topo.operators[i].cost : 1000);
+    }
+    if (sel[i] <= 0) sel[i] = 1.0;
+  }
+
+  double best = 0.0;
+  struct Frame {
+    int op;
+    double sel_product, cost_sum;
+  };
+  for (const int start : managed.op->config().logical_indices) {
+    std::vector<Frame> stack{{start, sel[static_cast<std::size_t>(start)],
+                              cost[static_cast<std::size_t>(start)]}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const auto down = topo.Downstream(f.op);
+      if (down.empty()) {
+        if (f.cost_sum > 0) best = std::max(best, f.sel_product / f.cost_sum);
+        continue;
+      }
+      for (const int d : down) {
+        stack.push_back({d, f.sel_product * sel[static_cast<std::size_t>(d)],
+                         f.cost_sum + cost[static_cast<std::size_t>(d)]});
+      }
+    }
+  }
+  return best;
+}
+
+UlssScheduler::ManagedOp* UlssScheduler::PickBest() {
+  // EdgeWise evaluates queue sizes at pick time (its fixed QS policy);
+  // Haren uses the last refreshed priorities.
+  ManagedOp* best = nullptr;
+  double best_priority = -1;
+  for (ManagedOp& m : ops_) {
+    if (m.claimed || m.op->input().empty() || m.op->Throttled()) continue;
+    const double priority =
+        config_.flavor == UlssFlavor::kEdgeWise
+            ? static_cast<double>(m.op->input().size())
+            : m.priority;
+    if (priority > best_priority) {
+      best_priority = priority;
+      best = &m;
+    }
+  }
+  return best;
+}
+
+}  // namespace lachesis::ulss

@@ -1,0 +1,87 @@
+// User-Level Streaming Scheduler (UL-SS) baselines (paper §1, §6.2, §6.4).
+//
+// The state-of-the-art custom schedulers Lachesis is compared against run
+// operators as user-level tasks on a small pool of worker kernel threads,
+// inside the SPE:
+//  - EdgeWise [18]: fixed Queue-Size policy; a worker picks the ready
+//    operator with the longest input queue and runs a non-preemptive batch.
+//  - Haren [43]: pluggable policies (QS/FCFS/HR here); operator priorities
+//    are refreshed from FRESH in-engine metrics at a configurable period
+//    (50 ms in its paper -- 20x more decisions than Lachesis, Fig 15).
+//
+// The structural drawback the paper examines (Fig 16) falls out naturally:
+// when an operator blocks (simulated I/O), the whole worker thread stalls,
+// because the UL-SS cannot preempt user-level tasks.
+#ifndef LACHESIS_ULSS_ULSS_H_
+#define LACHESIS_ULSS_ULSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/machine.h"
+#include "spe/runtime.h"
+
+namespace lachesis::ulss {
+
+enum class UlssFlavor { kEdgeWise, kHaren };
+enum class UlssPolicy { kQueueSize, kFcfs, kHighestRate };
+
+struct UlssConfig {
+  UlssFlavor flavor = UlssFlavor::kEdgeWise;
+  UlssPolicy policy = UlssPolicy::kQueueSize;
+  int num_workers = 4;  // typically = #cores
+  // Tuples a worker may process from one operator per decision
+  // (non-preemptive batch).
+  int batch_size = 16;
+  // CPU burned per scheduling decision (pick + queue scan).
+  SimDuration decision_cost = Micros(5);
+  // Haren: period of the priority-refresh task.
+  SimDuration refresh_period = Millis(50);
+};
+
+class UlssScheduler {
+ public:
+  struct ManagedOp {
+    spe::PhysicalOp* op;
+    spe::DeployedQuery* query;
+    bool claimed = false;
+    double priority = 0;
+  };
+
+  UlssScheduler(sim::Machine& machine, UlssConfig config);
+
+  // Registers a query deployed with DeployOptions::create_threads = false;
+  // the scheduler becomes its executor.
+  void AddQuery(spe::DeployedQuery& query);
+
+  // Spawns the worker threads (and Haren's refresh task).
+  void Start(SimTime until);
+
+  // --- worker interface ------------------------------------------------------
+  // Highest-priority unclaimed ready operator, or nullptr.
+  ManagedOp* PickBest();
+  [[nodiscard]] sim::WaitChannel& work_channel() { return work_available_; }
+  void RecordDecision() { ++decisions_; }
+
+  [[nodiscard]] const UlssConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  void ScheduleRefresh(SimTime until);
+  void RefreshPriorities();
+  [[nodiscard]] double HighestRateOf(const ManagedOp& managed) const;
+
+  sim::Machine* machine_;
+  UlssConfig config_;
+  std::vector<ManagedOp> ops_;
+  std::vector<spe::DeployedQuery*> queries_;
+  sim::WaitChannel work_available_;
+  std::uint64_t decisions_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace lachesis::ulss
+
+#endif  // LACHESIS_ULSS_ULSS_H_

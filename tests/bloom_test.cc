@@ -1,0 +1,72 @@
+#include "common/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lachesis {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000, 0.01);
+  for (std::uint64_t k = 0; k < 10000; ++k) filter.Add(k * 7919);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(filter.MightContain(k * 7919)) << k;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  BloomFilter filter(10000, 0.01);
+  for (std::uint64_t k = 0; k < 10000; ++k) filter.Add(k);
+  int false_positives = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MightContain(1'000'000 + static_cast<std::uint64_t>(i))) {
+      ++false_positives;
+    }
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03);  // within 3x of the 1% target
+}
+
+TEST(BloomFilterTest, TestAndAddDetectsRepeats) {
+  BloomFilter filter(1000, 0.01);
+  EXPECT_FALSE(filter.TestAndAdd(42));
+  EXPECT_TRUE(filter.TestAndAdd(42));
+  EXPECT_TRUE(filter.MightContain(42));
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter filter(1000, 0.01);
+  filter.Add(7);
+  EXPECT_TRUE(filter.MightContain(7));
+  filter.Clear();
+  EXPECT_FALSE(filter.MightContain(7));
+}
+
+TEST(BloomFilterTest, DegenerateParametersClamped) {
+  BloomFilter a(0, 0.5);       // zero items
+  BloomFilter b(100, 0.0);     // invalid fp rate
+  BloomFilter c(100, 2.0);     // invalid fp rate
+  a.Add(1);
+  b.Add(1);
+  c.Add(1);
+  EXPECT_TRUE(a.MightContain(1));
+  EXPECT_TRUE(b.MightContain(1));
+  EXPECT_TRUE(c.MightContain(1));
+  EXPECT_GE(a.num_hashes(), 1);
+  EXPECT_LE(a.num_hashes(), 16);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1000, 0.01);
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (filter.MightContain(rng.NextU64())) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+}  // namespace
+}  // namespace lachesis

@@ -1,0 +1,190 @@
+// Property-style sweeps over the CFS machine: for randomized mixes of nice
+// values, cgroup shares and core counts, CPU time must follow hierarchical
+// weight proportions, and global accounting invariants must hold.
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "sim/weights.h"
+#include "tests/sim_test_bodies.h"
+
+namespace lachesis::sim {
+namespace {
+
+using testing::BusyLoop;
+
+CfsParams NoOverheadParams() {
+  CfsParams p;
+  p.context_switch_cost = 0;
+  p.wakeup_check_cost = 0;
+  return p;
+}
+
+// --- flat weight fairness ----------------------------------------------------
+
+class FlatFairnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(FlatFairnessTest, CpuSplitsProportionallyToNiceWeights) {
+  const auto [num_threads, num_cores, seed] = GetParam();
+  Rng rng(seed);
+  Simulator sim;
+  Machine m(sim, num_cores, NoOverheadParams());
+  std::vector<ThreadId> tids;
+  std::vector<double> weights;
+  for (int i = 0; i < num_threads; ++i) {
+    const int nice = static_cast<int>(rng.UniformInt(-10, 10));
+    tids.push_back(m.CreateThread("t" + std::to_string(i),
+                                  std::make_unique<BusyLoop>(), m.root_cgroup(),
+                                  nice));
+    weights.push_back(static_cast<double>(NiceToWeight(nice)));
+  }
+  const SimDuration window = Seconds(5);
+  sim.RunUntil(window);
+
+  // With more threads than cores and all threads busy, CPU time should be
+  // weight-proportional -- except that a thread's share is capped at one
+  // core. Compute the expected allocation with the water-filling fixpoint.
+  std::vector<double> expected(weights.size(), 0.0);
+  {
+    std::vector<bool> capped(weights.size(), false);
+    double capacity = static_cast<double>(num_cores) * ToSeconds(window);
+    for (;;) {
+      double total_weight = 0;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (!capped[i]) total_weight += weights[i];
+      }
+      if (total_weight == 0) break;
+      bool newly_capped = false;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (capped[i]) continue;
+        const double alloc = capacity * weights[i] / total_weight;
+        if (alloc > ToSeconds(window)) {
+          expected[i] = ToSeconds(window);
+          capped[i] = true;
+          newly_capped = true;
+        } else {
+          expected[i] = alloc;
+        }
+      }
+      if (!newly_capped) break;
+      capacity = static_cast<double>(num_cores) * ToSeconds(window);
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (capped[i]) capacity -= ToSeconds(window);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < tids.size(); ++i) {
+    const double actual = ToSeconds(m.GetStats(tids[i]).cpu_time);
+    EXPECT_NEAR(actual, expected[i], std::max(0.12 * expected[i], 0.05))
+        << "thread " << i << " of " << num_threads << " on " << num_cores
+        << " cores";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatFairnessTest,
+    ::testing::Values(std::make_tuple(3, 1, 11ULL), std::make_tuple(5, 1, 12ULL),
+                      std::make_tuple(8, 2, 13ULL), std::make_tuple(10, 4, 14ULL),
+                      std::make_tuple(16, 4, 15ULL), std::make_tuple(6, 3, 16ULL),
+                      std::make_tuple(20, 2, 17ULL), std::make_tuple(4, 4, 18ULL)));
+
+// --- grouped fairness ----------------------------------------------------------
+
+class GroupFairnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupFairnessTest, GroupsSplitByShares) {
+  Rng rng(GetParam());
+  Simulator sim;
+  Machine m(sim, 1, NoOverheadParams());
+  const int num_groups = static_cast<int>(rng.UniformInt(2, 5));
+  std::vector<CgroupId> groups;
+  std::vector<double> shares;
+  std::vector<std::vector<ThreadId>> members(
+      static_cast<std::size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    const auto share = static_cast<std::uint64_t>(rng.UniformInt(256, 8192));
+    groups.push_back(m.CreateCgroup("g" + std::to_string(g), m.root_cgroup(),
+                                    share));
+    shares.push_back(static_cast<double>(m.GetShares(groups.back())));
+    const int num_threads = static_cast<int>(rng.UniformInt(1, 4));
+    for (int t = 0; t < num_threads; ++t) {
+      members[static_cast<std::size_t>(g)].push_back(m.CreateThread(
+          "g" + std::to_string(g) + "t" + std::to_string(t),
+          std::make_unique<BusyLoop>(), groups.back(),
+          static_cast<int>(rng.UniformInt(-5, 5))));
+    }
+  }
+  const SimDuration window = Seconds(5);
+  sim.RunUntil(window);
+
+  double total_shares = 0;
+  for (double s : shares) total_shares += s;
+  for (int g = 0; g < num_groups; ++g) {
+    SimDuration group_time = 0;
+    for (const ThreadId t : members[static_cast<std::size_t>(g)]) {
+      group_time += m.GetStats(t).cpu_time;
+    }
+    const double expected = ToSeconds(window) * shares[static_cast<std::size_t>(g)] /
+                            total_shares;
+    EXPECT_NEAR(ToSeconds(group_time), expected, 0.12 * expected + 0.02)
+        << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupFairnessTest,
+                         ::testing::Values(21ULL, 22ULL, 23ULL, 24ULL, 25ULL,
+                                           26ULL, 27ULL, 28ULL));
+
+// --- accounting invariants -----------------------------------------------------
+
+class AccountingInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccountingInvariantTest, BusyTimeMatchesPerThreadCpuTime) {
+  Rng rng(GetParam());
+  Simulator sim;
+  CfsParams params;  // default params, with overheads
+  const int cores = static_cast<int>(rng.UniformInt(1, 4));
+  Machine m(sim, cores, params);
+  std::vector<ThreadId> tids;
+  const int n = static_cast<int>(rng.UniformInt(2, 12));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.5)) {
+      tids.push_back(m.CreateThread("busy" + std::to_string(i),
+                                    std::make_unique<BusyLoop>(Micros(200)),
+                                    m.root_cgroup(),
+                                    static_cast<int>(rng.UniformInt(-8, 8))));
+    } else {
+      tids.push_back(m.CreateThread(
+          "per" + std::to_string(i),
+          std::make_unique<testing::PeriodicTask>(
+              Micros(rng.UniformInt(50, 400)), Millis(rng.UniformInt(1, 10))),
+          m.root_cgroup(), static_cast<int>(rng.UniformInt(-8, 8))));
+    }
+  }
+  const SimDuration window = Seconds(2);
+  sim.RunUntil(window);
+
+  SimDuration sum = 0;
+  for (const ThreadId t : tids) sum += m.GetStats(t).cpu_time;
+  // Every charged nanosecond belongs to exactly one thread on one core.
+  EXPECT_LE(m.total_busy_time(), static_cast<SimDuration>(cores) * window);
+  // In-flight time of currently running threads is included in
+  // total_busy_time but not yet in per-thread cpu_time.
+  EXPECT_LE(sum, m.total_busy_time());
+  EXPECT_GE(sum, m.total_busy_time() - static_cast<SimDuration>(cores) * Millis(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AccountingInvariantTest,
+                         ::testing::Values(31ULL, 32ULL, 33ULL, 34ULL, 35ULL,
+                                           36ULL, 37ULL, 38ULL, 39ULL, 40ULL));
+
+}  // namespace
+}  // namespace lachesis::sim

@@ -1,0 +1,141 @@
+// Property sweeps over cgroup dynamics: runtime share changes, thread
+// migration between groups, nested hierarchies with churn, and conservation
+// invariants under randomized mutation schedules.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "tests/sim_test_bodies.h"
+
+namespace lachesis::sim {
+namespace {
+
+using testing::BusyLoop;
+
+CfsParams NoOverheadParams() {
+  CfsParams p;
+  p.context_switch_cost = 0;
+  p.wakeup_check_cost = 0;
+  return p;
+}
+
+class CgroupChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CgroupChurnTest, RandomMutationsPreserveInvariants) {
+  Rng rng(GetParam());
+  Simulator sim;
+  Machine m(sim, static_cast<int>(rng.UniformInt(1, 4)), NoOverheadParams());
+
+  std::vector<CgroupId> groups{m.root_cgroup()};
+  for (int g = 0; g < 4; ++g) {
+    groups.push_back(m.CreateCgroup(
+        "g" + std::to_string(g),
+        groups[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(groups.size()) - 1))],
+        static_cast<std::uint64_t>(rng.UniformInt(128, 4096))));
+  }
+  std::vector<ThreadId> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.push_back(m.CreateThread(
+        "t" + std::to_string(t), std::make_unique<BusyLoop>(Micros(100)),
+        groups[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(groups.size()) - 1))],
+        static_cast<int>(rng.UniformInt(-10, 10))));
+  }
+
+  // Random mutations every 100 ms of simulated time.
+  for (int step = 1; step <= 30; ++step) {
+    sim.RunUntil(Millis(100) * step);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const auto g = 1 + rng.NextBounded(groups.size() - 1);
+        m.SetShares(groups[g],
+                    static_cast<std::uint64_t>(rng.UniformInt(64, 8192)));
+        break;
+      }
+      case 1: {
+        const auto t = rng.NextBounded(threads.size());
+        const auto g = rng.NextBounded(groups.size());
+        m.MoveToCgroup(threads[t], groups[g]);
+        EXPECT_EQ(m.GetCgroup(threads[t]), groups[g]);
+        break;
+      }
+      case 2: {
+        const auto t = rng.NextBounded(threads.size());
+        m.SetNice(threads[t], static_cast<int>(rng.UniformInt(-15, 15)));
+        break;
+      }
+    }
+  }
+  sim.RunUntil(Seconds(4));
+
+  // Invariants: capacity conserved, every busy thread made progress.
+  SimDuration total = 0;
+  for (const ThreadId t : threads) {
+    const SimDuration cpu = m.GetStats(t).cpu_time;
+    EXPECT_GT(cpu, 0) << "thread starved entirely";
+    total += cpu;
+  }
+  EXPECT_LE(total, static_cast<SimDuration>(m.num_cores()) * Seconds(4));
+  EXPECT_GE(total, std::min<SimDuration>(
+                       static_cast<SimDuration>(m.num_cores()) * Seconds(4),
+                       static_cast<SimDuration>(threads.size()) * Seconds(4)) -
+                       Millis(50));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CgroupChurnTest,
+                         ::testing::Values(101ULL, 102ULL, 103ULL, 104ULL,
+                                           105ULL, 106ULL, 107ULL, 108ULL));
+
+TEST(CgroupRuntimeTest, MoveWhileRunningKeepsFairness) {
+  Simulator sim;
+  Machine m(sim, 1, NoOverheadParams());
+  const CgroupId a = m.CreateCgroup("a", m.root_cgroup(), 1024);
+  const CgroupId b = m.CreateCgroup("b", m.root_cgroup(), 1024);
+  const ThreadId t1 = m.CreateThread("t1", std::make_unique<BusyLoop>(), a);
+  const ThreadId t2 = m.CreateThread("t2", std::make_unique<BusyLoop>(), a);
+  const ThreadId t3 = m.CreateThread("t3", std::make_unique<BusyLoop>(), b);
+  sim.RunUntil(Seconds(1));
+  // Move t2 into b: now a={t1}, b={t2,t3}; groups still split 50:50.
+  m.MoveToCgroup(t2, b);
+  const SimDuration t1_before = m.GetStats(t1).cpu_time;
+  const SimDuration t2_before = m.GetStats(t2).cpu_time;
+  const SimDuration t3_before = m.GetStats(t3).cpu_time;
+  sim.RunUntil(Seconds(5));
+  const double t1_delta = static_cast<double>(m.GetStats(t1).cpu_time - t1_before);
+  const double t2_delta = static_cast<double>(m.GetStats(t2).cpu_time - t2_before);
+  const double t3_delta = static_cast<double>(m.GetStats(t3).cpu_time - t3_before);
+  EXPECT_NEAR(t1_delta / (t2_delta + t3_delta), 1.0, 0.1);
+  EXPECT_NEAR(t2_delta / t3_delta, 1.0, 0.15);
+}
+
+TEST(CgroupRuntimeTest, EmptyGroupDoesNotAbsorbTime) {
+  Simulator sim;
+  Machine m(sim, 1, NoOverheadParams());
+  m.CreateCgroup("empty", m.root_cgroup(), 8192);  // no threads inside
+  const CgroupId busy_group = m.CreateCgroup("busy", m.root_cgroup(), 1024);
+  const ThreadId t = m.CreateThread("t", std::make_unique<BusyLoop>(), busy_group);
+  sim.RunUntil(Seconds(1));
+  // Work conservation: the lone thread gets the whole core despite the
+  // empty high-share sibling group.
+  EXPECT_NEAR(static_cast<double>(m.GetStats(t).cpu_time) /
+                  static_cast<double>(Seconds(1)),
+              1.0, 0.01);
+}
+
+TEST(CgroupRuntimeTest, SharesClampedToKernelBounds) {
+  Simulator sim;
+  Machine m(sim, 1);
+  const CgroupId g = m.CreateCgroup("g", m.root_cgroup(), 1);  // below min
+  EXPECT_EQ(m.GetShares(g), kMinShares);
+  m.SetShares(g, 1 << 30);  // above max
+  EXPECT_EQ(m.GetShares(g), kMaxShares);
+}
+
+}  // namespace
+}  // namespace lachesis::sim

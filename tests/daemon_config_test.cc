@@ -1,0 +1,140 @@
+// Tests of the lachesisd configuration parser.
+#include "osctl/daemon_config.h"
+
+#include <gtest/gtest.h>
+
+namespace lachesis::osctl {
+namespace {
+
+constexpr const char* kGoodConfig = R"(
+# lachesisd example
+[lachesis]
+period_ms   = 500
+policy      = fcfs
+translator  = cpu.shares
+metrics_file = /tmp/graphite.log
+cgroup_root  = /sys/fs/cgroup/cpu/lachesis
+proc_root    = /proc
+name         = storm-prod
+
+[query tolls]
+pid = 4242
+operator spout = exec-spout storm.tolls.spout ingress
+operator parse = exec-parse storm.tolls.parse
+operator sink  = exec-sink  storm.tolls.sink  egress
+edge = spout parse
+edge = parse sink
+provides = queue_size tuples_in_total head_tuple_age
+)";
+
+TEST(DaemonConfigTest, ParsesFullConfig) {
+  const DaemonConfig config = ParseDaemonConfig(kGoodConfig);
+  EXPECT_EQ(config.period_ms, 500);
+  EXPECT_EQ(config.policy, "fcfs");
+  EXPECT_EQ(config.translator, "cpu.shares");
+  EXPECT_EQ(config.cgroup_root, "/sys/fs/cgroup/cpu/lachesis");
+  EXPECT_EQ(config.spe.name, "storm-prod");
+  EXPECT_EQ(config.spe.metrics_file, "/tmp/graphite.log");
+  ASSERT_EQ(config.spe.queries.size(), 1u);
+  const NativeQueryConfig& query = config.spe.queries[0];
+  EXPECT_EQ(query.name, "tolls");
+  EXPECT_EQ(query.pid, 4242);
+  ASSERT_EQ(query.operators.size(), 3u);
+  EXPECT_EQ(query.operators[0].name, "spout");
+  EXPECT_EQ(query.operators[0].thread_pattern, "exec-spout");
+  EXPECT_EQ(query.operators[0].series_prefix, "storm.tolls.spout");
+  EXPECT_TRUE(query.operators[0].is_ingress);
+  EXPECT_TRUE(query.operators[2].is_egress);
+  EXPECT_EQ(query.edges,
+            (std::vector<std::pair<int, int>>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(config.spe.provided.size(), 3u);
+  EXPECT_TRUE(config.spe.provided.count(core::MetricId::kHeadTupleAge));
+}
+
+TEST(DaemonConfigTest, DefaultsApply) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[query q]
+pid = 1
+operator a = pat series
+)");
+  EXPECT_EQ(config.period_ms, 1000);
+  EXPECT_EQ(config.policy, "queue-size");
+  EXPECT_EQ(config.translator, "nice");
+}
+
+TEST(DaemonConfigTest, RejectsUnknownSection) {
+  EXPECT_THROW(ParseDaemonConfig("[wat]\n"), std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsKeyOutsideSection) {
+  EXPECT_THROW(ParseDaemonConfig("pid = 1\n"), std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsEdgeWithUnknownOperator) {
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[query q]
+operator a = pat series
+edge = a nonexistent
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsBadRole) {
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[query q]
+operator a = pat series sideways
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsUnknownMetric) {
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[query q]
+operator a = pat series
+provides = warp_factor
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsEmptyConfig) {
+  EXPECT_THROW(ParseDaemonConfig(""), std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[lachesis]\nperiod_ms = 100\n"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsNonPositivePeriod) {
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[lachesis]
+period_ms = 0
+[query q]
+operator a = pat series
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, ErrorsCarryLineNumbers) {
+  try {
+    ParseDaemonConfig("\n\n[query q]\nbogus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(DaemonConfigTest, CommentsAndWhitespaceIgnored)
+{
+  const DaemonConfig config = ParseDaemonConfig(R"(
+  # comment
+  [lachesis]   # trailing comment
+    period_ms =   250
+[query   spaced name  ]
+pid=7
+operator a = pat series
+)");
+  EXPECT_EQ(config.period_ms, 250);
+  EXPECT_EQ(config.spe.queries[0].name, "spaced name");
+  EXPECT_EQ(config.spe.queries[0].pid, 7);
+}
+
+}  // namespace
+}  // namespace lachesis::osctl

@@ -1,0 +1,97 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace lachesis::sim {
+namespace {
+
+class RecordingSink : public EventSink {
+ public:
+  void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) override {
+    events.push_back({code, a, b});
+  }
+  struct Record {
+    std::int32_t code;
+    std::uint64_t a, b;
+  };
+  std::vector<Record> events;
+};
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.PopAndDispatch();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.PopAndDispatch();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, SinkEventsCarryPayload) {
+  EventQueue q;
+  RecordingSink sink;
+  q.Push(1, &sink, 7, 11, 13);
+  q.PopAndDispatch();
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].code, 7);
+  EXPECT_EQ(sink.events[0].a, 11u);
+  EXPECT_EQ(sink.events[0].b, 13u);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&] { seen = sim.now(); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.ScheduleAt(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150);
+  sim.RunUntil(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.ScheduleAfter(10, tick);
+  };
+  sim.ScheduleAt(0, tick);
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<SimTime>{0, 10, 20, 30, 40}));
+}
+
+TEST(SimulatorTest, EventsAtExactBoundaryExecute) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(100, [&] { fired = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace lachesis::sim

@@ -1,0 +1,65 @@
+// Tests of the experiment-harness reporting utilities.
+#include "exp/report.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace lachesis::exp {
+namespace {
+
+TEST(BenchModeTest, DefaultsToQuick) {
+  unsetenv("LACHESIS_BENCH_MODE");
+  const BenchMode mode = BenchMode::FromEnv();
+  EXPECT_FALSE(mode.full);
+  EXPECT_GE(mode.repetitions, 2);
+}
+
+TEST(BenchModeTest, FullFromEnv) {
+  setenv("LACHESIS_BENCH_MODE", "full", 1);
+  const BenchMode mode = BenchMode::FromEnv();
+  EXPECT_TRUE(mode.full);
+  EXPECT_GE(mode.repetitions, 5);
+  EXPECT_GT(mode.measure, Seconds(30));
+  unsetenv("LACHESIS_BENCH_MODE");
+}
+
+TEST(BenchModeTest, UnknownValueFallsBackToQuick) {
+  setenv("LACHESIS_BENCH_MODE", "turbo", 1);
+  EXPECT_FALSE(BenchMode::FromEnv().full);
+  unsetenv("LACHESIS_BENCH_MODE");
+}
+
+TEST(AggregateTest, ExtractsAcrossRuns) {
+  std::vector<RunResult> runs(3);
+  runs[0].throughput_tps = 100;
+  runs[1].throughput_tps = 110;
+  runs[2].throughput_tps = 120;
+  const MeanCi ci = Aggregate(
+      runs, [](const RunResult& r) { return r.throughput_tps; });
+  EXPECT_DOUBLE_EQ(ci.mean, 110);
+  EXPECT_GT(ci.half_width, 0);
+}
+
+TEST(FormatCiTest, PrecisionAdaptsToMagnitude) {
+  EXPECT_EQ(FormatCi({12345.6, 78.9, 3}), "12346±79");
+  EXPECT_EQ(FormatCi({42.36, 1.23, 3}), "42.4±1.2");
+  EXPECT_EQ(FormatCi({0.5, 0.01, 3}), "0.500±0.010");
+}
+
+TEST(PercentileTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 1.0), 5.0);
+}
+
+TEST(PrintingTest, TablesAndLetterValuesDoNotCrash) {
+  PrintTable("smoke", {"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(i * 0.5);
+  PrintLetterValues("smoke-lv", samples);
+  PrintLetterValues("empty", {});
+}
+
+}  // namespace
+}  // namespace lachesis::exp

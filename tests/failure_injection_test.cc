@@ -1,0 +1,169 @@
+// Failure injection: adversarial metric values and degenerate schedules
+// must never crash the middleware or emit out-of-range OS parameters --
+// a misbehaving exporter must not take the scheduler down with it.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/runner.h"
+#include "core/translators.h"
+#include "sim/simulator.h"
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+using testing::RecordingOsAdapter;
+
+struct InjectionRig {
+  FakeDriver driver;
+  MetricProvider provider;
+  Rng rng{3};
+
+  PolicyContext Context() {
+    PolicyContext ctx;
+    ctx.provider = &provider;
+    ctx.drivers = {&driver};
+    ctx.rng = &rng;
+    return ctx;
+  }
+};
+
+void ExpectValidNices(const RecordingOsAdapter& os) {
+  for (const auto& [tid, nice] : os.nices) {
+    EXPECT_GE(nice, -20);
+    EXPECT_LE(nice, 19);
+  }
+}
+
+TEST(FailureInjectionTest, NanMetricValuesProduceValidNices) {
+  InjectionRig rig;
+  const EntityInfo a = rig.driver.AddEntity(QueryId(0), {0});
+  const EntityInfo b = rig.driver.AddEntity(QueryId(0), {1});
+  rig.driver.Provide(MetricId::kQueueSize);
+  rig.driver.SetValue(MetricId::kQueueSize, a.id,
+                      std::numeric_limits<double>::quiet_NaN());
+  rig.driver.SetValue(MetricId::kQueueSize, b.id, 10);
+  rig.provider.Register(MetricId::kQueueSize);
+  rig.provider.Update({&rig.driver}, Seconds(1));
+
+  QueueSizePolicy policy;
+  const Schedule schedule = policy.ComputeSchedule(rig.Context());
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(schedule, os);
+  ExpectValidNices(os);
+}
+
+TEST(FailureInjectionTest, InfiniteAndNegativeValues) {
+  InjectionRig rig;
+  const EntityInfo a = rig.driver.AddEntity(QueryId(0), {0});
+  const EntityInfo b = rig.driver.AddEntity(QueryId(0), {1});
+  const EntityInfo c = rig.driver.AddEntity(QueryId(0), {2});
+  rig.driver.Provide(MetricId::kQueueSize);
+  rig.driver.SetValue(MetricId::kQueueSize, a.id,
+                      std::numeric_limits<double>::infinity());
+  rig.driver.SetValue(MetricId::kQueueSize, b.id, -1e12);
+  rig.driver.SetValue(MetricId::kQueueSize, c.id, 42);
+  rig.provider.Register(MetricId::kQueueSize);
+  rig.provider.Update({&rig.driver}, Seconds(1));
+
+  QueueSizePolicy policy;
+  RecordingOsAdapter os;
+  NiceTranslator nice;
+  nice.Apply(policy.ComputeSchedule(rig.Context()), os);
+  ExpectValidNices(os);
+
+  CpuSharesTranslator shares;
+  shares.Apply(policy.ComputeSchedule(rig.Context()), os);
+  for (const auto& [gid, value] : os.group_shares) {
+    EXPECT_GE(value, 2u);
+    EXPECT_LE(value, 262144u);
+  }
+}
+
+TEST(FailureInjectionTest, ZeroCostOperatorsInHighestRate) {
+  // Cost 0 would divide by zero in path rates; the HR metric must fall back
+  // to hints and stay finite.
+  InjectionRig rig;
+  LogicalTopology topo;
+  topo.names = {"a", "sink"};
+  topo.base_costs = {0, 0};  // no hints either
+  topo.edges = {{0, 1}};
+  rig.driver.SetTopology(QueryId(0), topo);
+  const EntityInfo a = rig.driver.AddEntity(QueryId(0), {0});
+  const EntityInfo s = rig.driver.AddEntity(QueryId(0), {1});
+  rig.driver.Provide(MetricId::kCost);
+  rig.driver.Provide(MetricId::kSelectivity);
+  rig.driver.SetValue(MetricId::kCost, a.id, 0);
+  rig.driver.SetValue(MetricId::kCost, s.id, 0);
+  rig.driver.SetValue(MetricId::kSelectivity, a.id, 0);
+  rig.driver.SetValue(MetricId::kSelectivity, s.id, 0);
+  rig.provider.Register(MetricId::kHighestRate);
+  rig.provider.Update({&rig.driver}, Seconds(1));
+  const double hr = rig.provider.Value(rig.driver, MetricId::kHighestRate, a.id);
+  EXPECT_TRUE(std::isfinite(hr));
+  EXPECT_GT(hr, 0);
+}
+
+TEST(FailureInjectionTest, EmptyEntitySetIsHarmless) {
+  InjectionRig rig;  // no entities at all
+  rig.provider.Register(MetricId::kQueueSize);
+  rig.provider.Update({&rig.driver}, Seconds(1));
+  QueueSizePolicy policy;
+  const Schedule schedule = policy.ComputeSchedule(rig.Context());
+  EXPECT_TRUE(schedule.entries.empty());
+  RecordingOsAdapter os;
+  NiceTranslator nice;
+  nice.Apply(schedule, os);
+  CpuSharesTranslator shares;
+  shares.Apply(schedule, os);
+  QuerySharesPlusNiceTranslator combined;
+  combined.Apply(schedule, os);
+  EXPECT_EQ(os.nice_calls, 0);
+}
+
+TEST(FailureInjectionTest, RunnerSurvivesEntitiesAppearingMidFlight) {
+  // Entities appear between periods (query deployed later): the runner must
+  // pick them up without stale-cache issues.
+  sim::Simulator sim;
+  RecordingOsAdapter os;
+  FakeDriver driver;
+  driver.Provide(MetricId::kQueueSize);
+
+  LachesisRunner runner(sim, os);
+  PolicyBinding binding;
+  binding.policy = std::make_unique<QueueSizePolicy>();
+  binding.translator = std::make_unique<NiceTranslator>();
+  binding.period = Seconds(1);
+  binding.drivers = {&driver};
+  runner.AddBinding(std::move(binding));
+  runner.Start(Seconds(5));
+  sim.RunUntil(Seconds(2));
+  EXPECT_TRUE(os.nices.empty());  // nothing to schedule yet
+
+  const EntityInfo late = driver.AddEntity(QueryId(0), {0});
+  driver.SetValue(MetricId::kQueueSize, late.id, 9);
+  sim.RunUntil(Seconds(5));
+  EXPECT_TRUE(os.nices.count(late.thread.sim_tid.value()));
+}
+
+TEST(FailureInjectionTest, AllZeroPrioritiesStillSchedulable) {
+  InjectionRig rig;
+  for (int i = 0; i < 5; ++i) rig.driver.AddEntity(QueryId(0), {i});
+  rig.driver.Provide(MetricId::kQueueSize);  // all values default to 0
+  rig.provider.Register(MetricId::kQueueSize);
+  rig.provider.Update({&rig.driver}, Seconds(1));
+  QueueSizePolicy policy;
+  RecordingOsAdapter os;
+  NiceTranslator nice;
+  nice.Apply(policy.ComputeSchedule(rig.Context()), os);
+  ExpectValidNices(os);
+  EXPECT_EQ(os.nices.size(), 5u);
+}
+
+}  // namespace
+}  // namespace lachesis::core

@@ -1,0 +1,111 @@
+#include "common/hdr_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lachesis {
+namespace {
+
+TEST(HdrHistogramTest, EmptyHistogram) {
+  HdrHistogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HdrHistogramTest, SingleValue) {
+  HdrHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Within bucket resolution (~3% at 5 sub-bucket bits).
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.5)), 1000.0, 35.0);
+}
+
+TEST(HdrHistogramTest, QuantilesWithinRelativeError) {
+  HdrHistogram h;
+  // 1..100000 uniformly: pX should be ~X% of 100000.
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double expected = q * 100000.0;
+    const double actual = static_cast<double>(h.ValueAtQuantile(q));
+    EXPECT_NEAR(actual, expected, expected * 0.05) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(HdrHistogramTest, WideRangeKeepsRelativeAccuracy) {
+  HdrHistogram h;
+  Rng rng(5);
+  // Latencies spanning 1us .. 100s in ns.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double log_value = rng.Uniform(3.0, 11.0);  // 10^3 .. 10^11 ns
+    values.push_back(static_cast<std::uint64_t>(std::pow(10.0, log_value)));
+  }
+  for (const auto v : values) h.Record(v);
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.06)
+        << "q=" << q;
+  }
+}
+
+TEST(HdrHistogramTest, ValuesAboveMaxClamped) {
+  HdrHistogram h(/*max_value=*/1 << 20);
+  h.Record(std::uint64_t{1} << 40);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_LE(h.max(), std::uint64_t{1} << 20);
+}
+
+TEST(HdrHistogramTest, MergeEqualsCombinedRecording) {
+  HdrHistogram a;
+  HdrHistogram b;
+  HdrHistogram combined;
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.NextBounded(1u << 24);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), combined.total_count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(HdrHistogramTest, ResetClears) {
+  HdrHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+}
+
+TEST(HdrHistogramTest, MonotonicQuantiles) {
+  HdrHistogram h;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) h.Record(rng.NextBounded(1u << 30));
+  std::uint64_t previous = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const auto value = h.ValueAtQuantile(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace lachesis

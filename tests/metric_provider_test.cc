@@ -1,0 +1,241 @@
+// Tests of the metric provider: Algorithm 3's direct fetch, recursive
+// dependency resolution (the paper's Fig 4 example), per-period cache, and
+// configuration-error behaviour.
+#include "core/metric_provider.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+
+TEST(MetricProviderTest, FetchesDirectlyWhenDriverProvides) {
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kQueueSize);
+  driver.SetValue(MetricId::kQueueSize, e.id, 42);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kQueueSize);
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kQueueSize, e.id), 42);
+}
+
+TEST(MetricProviderTest, DerivesQueueSizeFromBufferMetrics) {
+  // Flink-style driver: no queue size, but buffer usage and capacity.
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kBufferUsage);
+  driver.Provide(MetricId::kBufferCapacity);
+  driver.SetValue(MetricId::kBufferUsage, e.id, 0.25);
+  driver.SetValue(MetricId::kBufferCapacity, e.id, 64);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kQueueSize);
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kQueueSize, e.id), 16);
+}
+
+TEST(MetricProviderTest, DerivesCostAndSelectivityFromDeltas) {
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kTuplesInDelta);
+  driver.Provide(MetricId::kTuplesOutDelta);
+  driver.Provide(MetricId::kBusyDeltaNs);
+  driver.SetValue(MetricId::kTuplesInDelta, e.id, 100);
+  driver.SetValue(MetricId::kTuplesOutDelta, e.id, 250);
+  driver.SetValue(MetricId::kBusyDeltaNs, e.id, 5'000'000);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kCost);
+  provider.Register(MetricId::kSelectivity);
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kCost, e.id), 50'000);
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kSelectivity, e.id), 2.5);
+}
+
+TEST(MetricProviderTest, PrefersDirectFetchOverDerivation) {
+  // Driver provides BOTH cost and its dependencies; Algorithm 3 L12-13 says
+  // fetch directly.
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kCost);
+  driver.Provide(MetricId::kTuplesInDelta);
+  driver.Provide(MetricId::kBusyDeltaNs);
+  driver.SetValue(MetricId::kCost, e.id, 777);
+  driver.SetValue(MetricId::kTuplesInDelta, e.id, 10);
+  driver.SetValue(MetricId::kBusyDeltaNs, e.id, 10'000);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kCost);
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kCost, e.id), 777);
+}
+
+TEST(MetricProviderTest, CachePreventsDuplicateFetchesWithinPeriod) {
+  // kCost and kSelectivity share the kTuplesInDelta dependency; with the
+  // per-driver cache it must be fetched once per entity per period.
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kTuplesInDelta);
+  driver.Provide(MetricId::kTuplesOutDelta);
+  driver.Provide(MetricId::kBusyDeltaNs);
+  driver.SetValue(MetricId::kTuplesInDelta, e.id, 100);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kCost);
+  provider.Register(MetricId::kSelectivity);
+  provider.Update({&driver}, Seconds(1));
+  // 3 distinct leaves -> exactly 3 fetches despite 2 consumers of in-delta.
+  EXPECT_EQ(driver.fetch_count(), 3);
+
+  // A new period clears the cache: fetches happen again.
+  driver.ResetFetchCount();
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_EQ(driver.fetch_count(), 3);
+}
+
+TEST(MetricProviderTest, ThrowsConfigurationErrorOnMissingPrimitive) {
+  FakeDriver driver;
+  driver.AddEntity(QueryId(0), {0});
+  // Queue size requested, but neither it nor buffer usage/capacity provided.
+  MetricProvider provider;
+  provider.Register(MetricId::kQueueSize);
+  EXPECT_THROW(provider.Update({&driver}, Seconds(1)), ConfigurationError);
+}
+
+TEST(MetricProviderTest, Fig4ExampleResolvesPerDriver) {
+  // SPE A (Liebre-like) exposes cost+selectivity directly; SPE B
+  // (Flink-like) exposes only counts and busy time. The same registered
+  // HIGHEST_RATE must resolve for both (goal G2).
+  LogicalTopology topo;
+  topo.names = {"src", "op", "sink"};
+  topo.base_costs = {1000, 1000, 1000};
+  topo.edges = {{0, 1}, {1, 2}};
+
+  FakeDriver spe_a("liebre");
+  spe_a.SetTopology(QueryId(0), topo);
+  for (int i = 0; i < 3; ++i) {
+    const EntityInfo e = spe_a.AddEntity(QueryId(0), {i});
+    spe_a.SetValue(MetricId::kCost, e.id, 1000.0 * (i + 1));
+    spe_a.SetValue(MetricId::kSelectivity, e.id, 1.0);
+  }
+  spe_a.Provide(MetricId::kCost);
+  spe_a.Provide(MetricId::kSelectivity);
+
+  FakeDriver spe_b("flink");
+  spe_b.SetTopology(QueryId(0), topo);
+  for (int i = 0; i < 3; ++i) {
+    const EntityInfo e = spe_b.AddEntity(QueryId(0), {i});
+    spe_b.SetValue(MetricId::kTuplesInDelta, e.id, 100);
+    spe_b.SetValue(MetricId::kTuplesOutDelta, e.id, 100);
+    spe_b.SetValue(MetricId::kBusyDeltaNs, e.id, 100 * 1000.0 * (i + 1));
+  }
+  spe_b.Provide(MetricId::kTuplesInDelta);
+  spe_b.Provide(MetricId::kTuplesOutDelta);
+  spe_b.Provide(MetricId::kBusyDeltaNs);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kHighestRate);
+  provider.Update({&spe_a, &spe_b}, Seconds(1));
+
+  // Identical effective cost/selectivity -> identical highest-rate values,
+  // computed through different dependency paths.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const double a =
+        provider.Value(spe_a, MetricId::kHighestRate, OperatorId(i));
+    const double b =
+        provider.Value(spe_b, MetricId::kHighestRate, OperatorId(i));
+    EXPECT_NEAR(a, b, 1e-12) << "entity " << i;
+    EXPECT_GT(a, 0);
+  }
+}
+
+TEST(MetricProviderTest, HighestRatePrefersCheapProductivePaths) {
+  // Two branches from op0: cheap (op1) and expensive (op2), both to sinks.
+  LogicalTopology topo;
+  topo.names = {"src", "cheap", "expensive", "sink1", "sink2"};
+  topo.base_costs = {1000, 1000, 1000, 1000, 1000};
+  topo.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 4}};
+
+  FakeDriver driver;
+  driver.SetTopology(QueryId(0), topo);
+  std::vector<EntityInfo> entities;
+  for (int i = 0; i < 5; ++i) {
+    entities.push_back(driver.AddEntity(QueryId(0), {i}));
+  }
+  driver.Provide(MetricId::kCost);
+  driver.Provide(MetricId::kSelectivity);
+  const double costs[] = {1000, 1000, 50000, 1000, 1000};
+  for (int i = 0; i < 5; ++i) {
+    driver.SetValue(MetricId::kCost, entities[static_cast<std::size_t>(i)].id,
+                    costs[i]);
+    driver.SetValue(MetricId::kSelectivity,
+                    entities[static_cast<std::size_t>(i)].id, 1.0);
+  }
+
+  MetricProvider provider;
+  provider.Register(MetricId::kHighestRate);
+  provider.Update({&driver}, Seconds(1));
+  const double cheap =
+      provider.Value(driver, MetricId::kHighestRate, entities[1].id);
+  const double expensive =
+      provider.Value(driver, MetricId::kHighestRate, entities[2].id);
+  EXPECT_GT(cheap, expensive);
+  // src's best path goes through the cheap branch.
+  const double src =
+      provider.Value(driver, MetricId::kHighestRate, entities[0].id);
+  EXPECT_GT(src, expensive);
+}
+
+TEST(MetricProviderTest, FusedEntityTakesBestLogicalRate) {
+  LogicalTopology topo;
+  topo.names = {"a", "b", "sink"};
+  topo.base_costs = {1000, 1000, 1000};
+  topo.edges = {{0, 1}, {1, 2}};
+
+  FakeDriver driver;
+  driver.SetTopology(QueryId(0), topo);
+  // One fused physical operator implementing logical 0 and 1, plus a sink.
+  const EntityInfo fused = driver.AddEntity(QueryId(0), {0, 1});
+  const EntityInfo sink = driver.AddEntity(QueryId(0), {2});
+  driver.Provide(MetricId::kCost);
+  driver.Provide(MetricId::kSelectivity);
+  driver.SetValue(MetricId::kCost, fused.id, 2000);
+  driver.SetValue(MetricId::kSelectivity, fused.id, 1.0);
+  driver.SetValue(MetricId::kCost, sink.id, 500);
+  driver.SetValue(MetricId::kSelectivity, sink.id, 1.0);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kHighestRate);
+  provider.Update({&driver}, Seconds(1));
+  // The fused entity's HR equals the max over logical 0 and 1; logical 1's
+  // remaining path (b -> sink) is shorter/cheaper, so it dominates.
+  const double value =
+      provider.Value(driver, MetricId::kHighestRate, fused.id);
+  EXPECT_GT(value, 0);
+}
+
+TEST(MetricProviderTest, UserInstalledDerivedMetricOverridesBuiltin) {
+  class ConstantCost final : public DerivedMetric {
+   public:
+    [[nodiscard]] MetricId id() const override { return MetricId::kCost; }
+    [[nodiscard]] std::vector<MetricId> deps() const override { return {}; }
+    double Compute(MetricResolver&, const EntityInfo&) override { return 5.0; }
+  };
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  MetricProvider provider;
+  provider.InstallDerived(std::make_unique<ConstantCost>());
+  provider.Register(MetricId::kCost);
+  provider.Update({&driver}, Seconds(1));
+  EXPECT_DOUBLE_EQ(provider.Value(driver, MetricId::kCost, e.id), 5.0);
+}
+
+}  // namespace
+}  // namespace lachesis::core

@@ -1,0 +1,117 @@
+// Tests of the priority-normalization functions (paper §5.3), including the
+// nice log-ratio mapping F(x) = n_max + (log p_max - log x)/log 1.25 and its
+// min-max fallback when the priority range exceeds nice's 40 levels.
+#include "core/normalize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/weights.h"
+
+namespace lachesis::core {
+namespace {
+
+TEST(MinMaxNormalizeTest, MapsToRange) {
+  const auto out = MinMaxNormalize({2.0, 4.0, 6.0}, 0.0, 1.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(MinMaxNormalizeTest, ConstantInputMapsToMidpoint) {
+  const auto out = MinMaxNormalize({5.0, 5.0}, -20.0, 19.0);
+  EXPECT_DOUBLE_EQ(out[0], -0.5);
+  EXPECT_DOUBLE_EQ(out[1], -0.5);
+}
+
+TEST(MinMaxNormalizeTest, EmptyInput) {
+  EXPECT_TRUE(MinMaxNormalize({}, 0, 1).empty());
+}
+
+TEST(LogMinMaxNormalizeTest, LogSpacingBecomesLinear) {
+  // 1, 10, 100 are log-equidistant.
+  const auto out = LogMinMaxNormalize({1.0, 10.0, 100.0}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(out[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(LogMinMaxNormalizeTest, NonPositiveValuesClamped) {
+  const auto out = LogMinMaxNormalize({0.0, -3.0, 4.0, 8.0}, 0.0, 1.0);
+  // 0 and -3 clamp to the smallest positive (4).
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 1.0);
+}
+
+TEST(PrioritiesToNiceTest, MaxPriorityAnchorsAtNiceBest) {
+  const auto nices = PrioritiesToNice({100.0, 80.0, 1.0}, -20);
+  EXPECT_EQ(nices[0], -20);
+  EXPECT_GT(nices[1], nices[0]);
+  EXPECT_GT(nices[2], nices[1]);
+}
+
+TEST(PrioritiesToNiceTest, RatioMatchesKernelWeightGeometry) {
+  // Priorities in ratio 1.25 should land exactly one nice step apart
+  // (paper: p1/p2 = 1.25^(n2-n1)).
+  const auto nices = PrioritiesToNice({1.25, 1.0}, -20);
+  EXPECT_EQ(nices[0], -20);
+  EXPECT_EQ(nices[1], -19);
+  // And the simulated weight table agrees with that geometry.
+  const double ratio = static_cast<double>(sim::NiceToWeight(-20)) /
+                       static_cast<double>(sim::NiceToWeight(-19));
+  EXPECT_NEAR(ratio, 1.25, 0.02);
+}
+
+TEST(PrioritiesToNiceTest, WideRangeTriggersMinMaxFallback) {
+  // p_max/p_min = 1e12 >> 1.25^39: without the fallback the worst value
+  // would be far beyond +19.
+  const auto nices = PrioritiesToNice({1e12, 1e6, 1.0}, -20);
+  EXPECT_EQ(nices.front(), -20);
+  EXPECT_EQ(nices.back(), 19);
+  for (const int n : nices) {
+    EXPECT_GE(n, -20);
+    EXPECT_LE(n, 19);
+  }
+}
+
+TEST(PrioritiesToNiceTest, AllEqualPrioritiesAllBest) {
+  const auto nices = PrioritiesToNice({7.0, 7.0, 7.0}, -20);
+  for (const int n : nices) EXPECT_EQ(n, -20);
+}
+
+TEST(PrioritiesToNiceTest, ZeroAndNegativeClampedToSmallestPositive) {
+  const auto nices = PrioritiesToNice({10.0, 0.0, -5.0}, -20);
+  EXPECT_EQ(nices[0], -20);
+  // Clamped values map like the smallest positive priority would... which
+  // here is 10 itself, so everything collapses to the anchor.
+  EXPECT_EQ(nices[1], nices[2]);
+}
+
+TEST(PrioritiesToSharesTest, EndpointsAndMonotonicity) {
+  const auto shares = PrioritiesToShares({0.0, 0.5, 1.0}, 64, 16384);
+  EXPECT_EQ(shares.front(), 64u);
+  EXPECT_EQ(shares.back(), 16384u);
+  EXPECT_GT(shares[1], shares[0]);
+  EXPECT_GT(shares[2], shares[1]);
+  // Geometric interpolation: midpoint = sqrt(64 * 16384) = 1024.
+  EXPECT_NEAR(static_cast<double>(shares[1]), 1024.0, 1.0);
+}
+
+TEST(PrioritiesToSharesTest, DefaultRangeIsModerate) {
+  const auto shares = PrioritiesToShares({0.0, 1.0});
+  EXPECT_EQ(shares.front(), 256u);
+  EXPECT_EQ(shares.back(), 8192u);
+}
+
+TEST(PrioritiesToSharesTest, OutOfRangeInputsClamped) {
+  const auto shares = PrioritiesToShares({-1.0, 2.0}, 64, 16384);
+  EXPECT_EQ(shares[0], 64u);
+  EXPECT_EQ(shares[1], 16384u);
+}
+
+}  // namespace
+}  // namespace lachesis::core

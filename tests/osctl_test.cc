@@ -1,0 +1,170 @@
+// Tests of the real-Linux control layer against fake roots: /proc scanning,
+// cgroupfs v1/v2 writes, shares->weight conversion, and the OsAdapter glue.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "osctl/cgroupfs.h"
+#include "osctl/linux_os_adapter.h"
+#include "osctl/nice.h"
+#include "osctl/procfs.h"
+
+namespace lachesis::osctl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("lachesis_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+void WriteFakeThread(const fs::path& proc, long pid, long tid,
+                     const std::string& comm) {
+  const fs::path dir = proc / std::to_string(pid) / "task" / std::to_string(tid);
+  fs::create_directories(dir);
+  std::ofstream(dir / "comm") << comm << "\n";
+}
+
+TEST(ProcfsTest, ListsThreadsWithNames) {
+  TempDir tmp;
+  WriteFakeThread(tmp.path(), 100, 100, "java");
+  WriteFakeThread(tmp.path(), 100, 101, "Thread-op-A");
+  WriteFakeThread(tmp.path(), 100, 102, "Thread-op-B");
+  const auto threads = ListThreads(100, tmp.path().string());
+  EXPECT_EQ(threads.size(), 3u);
+}
+
+TEST(ProcfsTest, MissingProcessYieldsEmpty) {
+  TempDir tmp;
+  EXPECT_TRUE(ListThreads(4242, tmp.path().string()).empty());
+}
+
+TEST(ProcfsTest, FindsThreadsByNameSubstring) {
+  TempDir tmp;
+  WriteFakeThread(tmp.path(), 100, 100, "java");
+  WriteFakeThread(tmp.path(), 100, 101, "executor-parse-1");
+  WriteFakeThread(tmp.path(), 100, 102, "executor-sink-2");
+  const auto found = FindThreadsByName(100, "executor", tmp.path().string());
+  ASSERT_EQ(found.size(), 2u);
+  const auto parse = FindThreadsByName(100, "parse", tmp.path().string());
+  ASSERT_EQ(parse.size(), 1u);
+  EXPECT_EQ(parse[0].tid, 101);
+}
+
+TEST(SharesToWeightTest, KernelFormulaEndpoints) {
+  EXPECT_EQ(SharesToWeight(2), 1u);
+  EXPECT_EQ(SharesToWeight(262144), 10000u);
+  // The linear kernel/systemd formula does NOT map the v1 default (1024)
+  // to the v2 default (100); it lands near 40.
+  EXPECT_EQ(SharesToWeight(1024), 1u + (1022u * 9999u) / 262142u);
+  // Clamping.
+  EXPECT_EQ(SharesToWeight(0), 1u);
+  EXPECT_EQ(SharesToWeight(1 << 30), 10000u);
+}
+
+TEST(CgroupfsTest, V1WritesSharesAndTasks) {
+  TempDir tmp;
+  CgroupController controller(tmp.path(), CgroupVersion::kV1);
+  EXPECT_TRUE(controller.SetShares("queryA", 2048));
+  EXPECT_EQ(ReadFile(tmp.path() / "queryA" / "cpu.shares"), "2048\n");
+  EXPECT_TRUE(controller.MoveThread("queryA", 1234));
+  EXPECT_TRUE(controller.MoveThread("queryA", 1235));
+  EXPECT_EQ(ReadFile(tmp.path() / "queryA" / "tasks"), "1234\n1235\n");
+}
+
+TEST(CgroupfsTest, V2WritesWeightAndThreads) {
+  TempDir tmp;
+  CgroupController controller(tmp.path(), CgroupVersion::kV2);
+  EXPECT_TRUE(controller.SetShares("g", 1024));
+  const std::string weight = ReadFile(tmp.path() / "g" / "cpu.weight");
+  EXPECT_EQ(weight, std::to_string(SharesToWeight(1024)) + "\n");
+  EXPECT_TRUE(controller.MoveThread("g", 77));
+  EXPECT_EQ(ReadFile(tmp.path() / "g" / "cgroup.threads"), "77\n");
+  // Threaded mode requested.
+  EXPECT_EQ(ReadFile(tmp.path() / "g" / "cgroup.type"), "threaded\n");
+}
+
+TEST(CgroupfsTest, EnsureGroupIsIdempotent) {
+  TempDir tmp;
+  CgroupController controller(tmp.path(), CgroupVersion::kV1);
+  EXPECT_TRUE(controller.EnsureGroup("g"));
+  EXPECT_TRUE(controller.EnsureGroup("g"));
+}
+
+TEST(CgroupfsTest, DetectVersion) {
+  TempDir v2;
+  std::ofstream(v2.path() / "cgroup.controllers") << "cpu\n";
+  EXPECT_EQ(CgroupController::DetectVersion(v2.path()), CgroupVersion::kV2);
+  TempDir v1;
+  EXPECT_EQ(CgroupController::DetectVersion(v1.path()), CgroupVersion::kV1);
+}
+
+TEST(FakeNiceTest, RecordsValues) {
+  FakeNiceController fake;
+  EXPECT_TRUE(fake.SetNice(10, -5));
+  EXPECT_EQ(fake.GetNice(10), -5);
+  EXPECT_FALSE(fake.GetNice(11).has_value());
+}
+
+TEST(LinuxNiceTest, CanReadOwnNice) {
+  LinuxNiceController real;
+  const auto nice = real.GetNice(0);  // 0 = calling thread
+  ASSERT_TRUE(nice.has_value());
+  EXPECT_GE(*nice, -20);
+  EXPECT_LE(*nice, 19);
+}
+
+TEST(LinuxOsAdapterTest, RoutesCallsToControllers) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  LinuxOsAdapter adapter(nice, cgroups);
+
+  core::ThreadHandle handle;
+  handle.os_tid = 555;
+  adapter.SetNice(handle, -10);
+  EXPECT_EQ(nice.GetNice(555), -10);
+
+  adapter.SetGroupShares("q1", 4096);
+  adapter.MoveToGroup(handle, "q1");
+  EXPECT_EQ(ReadFile(tmp.path() / "q1" / "cpu.shares"), "4096\n");
+  EXPECT_EQ(ReadFile(tmp.path() / "q1" / "tasks"), "555\n");
+}
+
+TEST(LinuxOsAdapterTest, IgnoresEntitiesWithoutOsTid) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  LinuxOsAdapter adapter(nice, cgroups);
+  core::ThreadHandle handle;  // os_tid = -1
+  adapter.SetNice(handle, -10);
+  adapter.MoveToGroup(handle, "g");
+  EXPECT_TRUE(nice.nices().empty());
+  EXPECT_FALSE(fs::exists(tmp.path() / "g" / "tasks"));
+}
+
+}  // namespace
+}  // namespace lachesis::osctl

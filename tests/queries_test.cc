@@ -1,0 +1,241 @@
+// Tests of the five evaluation workloads: DAG shapes match the paper's
+// descriptions, and the per-tuple logic behaves (dedup drops duplicates,
+// Kalman converges, tolls follow the LRB formula, selectivities hold).
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "queries/etl.h"
+#include "queries/linear_road.h"
+#include "queries/stats.h"
+#include "queries/synthetic.h"
+#include "queries/voip_stream.h"
+#include "sim/simulator.h"
+#include "spe/runtime.h"
+#include "spe/source.h"
+
+namespace lachesis::queries {
+namespace {
+
+// Drives a workload end-to-end on a fast machine and returns the deployed
+// query for inspection.
+struct QueryProbe {
+  sim::Simulator sim;
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<spe::SpeInstance> instance;
+  std::unique_ptr<spe::ExternalSource> source;
+  spe::DeployedQuery* deployed = nullptr;
+
+  explicit QueryProbe(Workload w, double rate = 200, SimTime duration = Seconds(5)) {
+    machine = std::make_unique<sim::Machine>(sim, 8);
+    instance = std::make_unique<spe::SpeInstance>(
+        spe::StormFlavor(), std::vector<sim::Machine*>{machine.get()}, "spe");
+    deployed = &instance->Deploy(w.query, {});
+    source = std::make_unique<spe::ExternalSource>(
+        sim, deployed->source_channels(), w.generator, 12345);
+    source->Start(rate, duration);
+    sim.RunUntil(duration + Seconds(1));
+  }
+
+  [[nodiscard]] const spe::DeployedOp* Op(const std::string& name) const {
+    for (const auto& op : deployed->ops) {
+      if (op.op->config().name.find("." + name + ".") != std::string::npos) {
+        return &op;
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST(EtlQueryTest, HasTenOperators) {
+  EXPECT_EQ(MakeEtl().query.operators.size(), 10u);
+}
+
+TEST(EtlQueryTest, ProcessesAndFiltersData) {
+  QueryProbe probe(MakeEtl());
+  // Range filter drops ~1% outliers; bloom dedup drops ~2% duplicates; the
+  // egress should still see the vast majority of inputs.
+  const auto* egress = probe.Op("sink");
+  ASSERT_NE(egress, nullptr);
+  const double delivered = static_cast<double>(egress->op->tuples_in());
+  const double emitted = static_cast<double>(probe.source->emitted());
+  EXPECT_GT(delivered, emitted * 0.9);
+  EXPECT_LT(delivered, emitted);  // something was dropped
+
+  // Duplicate detection is effective: the bloom stage's selectivity < 1.
+  const auto* bloom = probe.Op("bloom_dedup");
+  ASSERT_NE(bloom, nullptr);
+  EXPECT_LT(bloom->op->MeasuredSelectivity(), 0.995);
+}
+
+TEST(EtlQueryTest, InterpolationRemovesNullReadings) {
+  QueryProbe probe(MakeEtl());
+  // Interpolate fills nulls rather than dropping them; the join stage
+  // afterwards annotates everything it sees (selectivity exactly 1).
+  const auto* join = probe.Op("metadata_join");
+  ASSERT_NE(join, nullptr);
+  EXPECT_NEAR(join->op->MeasuredSelectivity(), 1.0, 0.001);
+}
+
+TEST(StatsQueryTest, HasTenOperatorsAndHighSelectivity) {
+  const Workload w = MakeStats();
+  EXPECT_EQ(w.query.operators.size(), 10u);
+  QueryProbe probe(MakeStats(), 100);
+  // Paper: ~15 egress tuples per ingress tuple (5 observations x 3 branches).
+  const auto* egress = probe.Op("sink");
+  ASSERT_NE(egress, nullptr);
+  const double ratio = static_cast<double>(egress->op->tuples_in()) /
+                       static_cast<double>(probe.deployed->TotalIngested());
+  EXPECT_NEAR(ratio, 15.0, 1.0);
+}
+
+TEST(StatsQueryTest, KalmanIsTheBottleneck) {
+  const Workload w = MakeStats();
+  SimDuration kalman_cost = 0;
+  SimDuration max_other = 0;
+  for (const auto& op : w.query.operators) {
+    if (op.name == "kalman") {
+      kalman_cost = op.cost;
+    } else if (op.role == spe::OperatorRole::kTransform) {
+      max_other = std::max(max_other, op.cost);
+    }
+  }
+  EXPECT_GT(kalman_cost, max_other);
+}
+
+TEST(LinearRoadQueryTest, HasNineOperatorsTwoBranches) {
+  const Workload w = MakeLinearRoad();
+  EXPECT_EQ(w.query.operators.size(), 9u);
+  // Dispatch fans out to both branches (Fig 2's structure).
+  const auto down = w.query.Downstream(LinearRoadOps::kDispatch);
+  EXPECT_EQ(down.size(), 2u);
+  // Two egresses.
+  int egress_count = 0;
+  for (const auto& op : w.query.operators) {
+    egress_count += op.role == spe::OperatorRole::kEgress;
+  }
+  EXPECT_EQ(egress_count, 2);
+}
+
+TEST(LinearRoadQueryTest, TollsFollowCongestionFormula) {
+  QueryProbe probe(MakeLinearRoad(), 2000);
+  const auto* vartoll = probe.Op("var_toll");
+  const auto* congestion = probe.Op("congestion");
+  ASSERT_NE(vartoll, nullptr);
+  ASSERT_NE(congestion, nullptr);
+  // Congestion filters to slow segments only: selectivity well below 1.
+  EXPECT_LT(congestion->op->MeasuredSelectivity(), 0.9);
+  EXPECT_GT(congestion->op->tuples_out(), 0u);
+  // Toll notifications flow to the toll sink.
+  const auto* toll_sink = probe.Op("toll_sink");
+  ASSERT_NE(toll_sink, nullptr);
+  EXPECT_GT(toll_sink->op->tuples_in(), 0u);
+}
+
+TEST(LinearRoadQueryTest, AccidentsDetectedFromStoppedVehicles) {
+  QueryProbe probe(MakeLinearRoad(), 4000, Seconds(10));
+  const auto* accident = probe.Op("accident");
+  ASSERT_NE(accident, nullptr);
+  // Stopped vehicles are rare (0.5%) and need 4 consecutive reports: the
+  // accident stream is sparse but not empty over 40k tuples.
+  EXPECT_GT(accident->op->tuples_in(), 0u);
+  EXPECT_LT(accident->op->MeasuredSelectivity(), 0.05);
+}
+
+TEST(VoipStreamQueryTest, HasFifteenOperatorsWithKeyBy) {
+  const Workload w = MakeVoipStream();
+  EXPECT_EQ(w.query.operators.size(), 15u);
+  int keyby_edges = 0;
+  for (const auto& e : w.query.edges) {
+    keyby_edges += e.partitioning == spe::Partitioning::kKeyBy;
+  }
+  // "making intensive use of group-by distributions" (paper §6.1).
+  EXPECT_GE(keyby_edges, 10);
+}
+
+TEST(VoipStreamQueryTest, DetectsTelemarketersNotNormalUsers) {
+  QueryProbe probe(MakeVoipStream(), 2000, Seconds(10));
+  const auto* sink = probe.Op("sink");
+  const auto* scorer = probe.Op("scorer_main");
+  ASSERT_NE(sink, nullptr);
+  ASSERT_NE(scorer, nullptr);
+  // Some callers cross the threshold...
+  EXPECT_GT(sink->op->tuples_in(), 0u);
+  // ...but the final threshold rejects most of the scored feature stream.
+  EXPECT_LT(scorer->op->MeasuredSelectivity(), 0.5);
+  EXPECT_GT(scorer->op->MeasuredSelectivity(), 0.0);
+}
+
+TEST(VoipStreamQueryTest, VarDetectDropsReplays) {
+  QueryProbe probe(MakeVoipStream(), 2000, Seconds(10));
+  const auto* vardetect = probe.Op("var_detect");
+  ASSERT_NE(vardetect, nullptr);
+  EXPECT_LT(vardetect->op->MeasuredSelectivity(), 1.0);
+  EXPECT_GT(vardetect->op->MeasuredSelectivity(), 0.5);
+}
+
+TEST(SyntheticQueryTest, GeneratesRequestedShape) {
+  SyntheticConfig config;
+  config.num_queries = 7;
+  config.ops_per_query = 5;
+  const auto workloads = MakeSynthetic(config);
+  ASSERT_EQ(workloads.size(), 7u);
+  for (const auto& w : workloads) {
+    EXPECT_EQ(w.query.operators.size(), 5u);
+    EXPECT_EQ(w.query.edges.size(), 4u);  // pipeline
+    for (const auto& op : w.query.operators) {
+      if (op.role == spe::OperatorRole::kTransform) {
+        EXPECT_GE(op.cost, config.min_cost);
+        EXPECT_LE(op.cost, config.max_cost);
+      }
+    }
+  }
+  // Distinct queries get distinct costs (random draw).
+  EXPECT_NE(workloads[0].query.operators[1].cost,
+            workloads[1].query.operators[1].cost);
+}
+
+TEST(SyntheticQueryTest, SelectivityHoldsInExpectation) {
+  SyntheticConfig config;
+  config.num_queries = 1;
+  config.min_selectivity = 1.5;
+  config.max_selectivity = 1.5;
+  auto workloads = MakeSynthetic(config);
+  QueryProbe probe(std::move(workloads[0]), 500, Seconds(8));
+  const auto* op1 = probe.Op("op1");
+  ASSERT_NE(op1, nullptr);
+  EXPECT_NEAR(op1->op->MeasuredSelectivity(), 1.5, 0.05);
+}
+
+TEST(SyntheticQueryTest, BlockingFractionMarksOperators) {
+  SyntheticConfig config;
+  config.num_queries = 40;
+  config.blocking_op_fraction = 0.25;
+  const auto workloads = MakeSynthetic(config);
+  int blocking = 0;
+  int transforms = 0;
+  for (const auto& w : workloads) {
+    for (const auto& op : w.query.operators) {
+      if (op.role != spe::OperatorRole::kTransform) continue;
+      ++transforms;
+      blocking += op.block_probability > 0;
+    }
+  }
+  const double fraction = static_cast<double>(blocking) / transforms;
+  EXPECT_NEAR(fraction, 0.25, 0.1);
+}
+
+TEST(SyntheticQueryTest, DeterministicForSameSeed) {
+  SyntheticConfig config;
+  const auto a = MakeSynthetic(config);
+  const auto b = MakeSynthetic(config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t o = 0; o < a[i].query.operators.size(); ++o) {
+      EXPECT_EQ(a[i].query.operators[o].cost, b[i].query.operators[o].cost);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lachesis::queries

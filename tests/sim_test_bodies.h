@@ -1,0 +1,115 @@
+// Reusable ThreadBody implementations for simulator tests.
+#ifndef LACHESIS_TESTS_SIM_TEST_BODIES_H_
+#define LACHESIS_TESTS_SIM_TEST_BODIES_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/machine.h"
+#include "sim/thread.h"
+
+namespace lachesis::sim::testing {
+
+// Burns CPU forever in fixed-size chunks.
+class BusyLoop : public ThreadBody {
+ public:
+  explicit BusyLoop(SimDuration chunk = Micros(100)) : chunk_(chunk) {}
+  Action Next(Machine&) override { return Action::Compute(chunk_); }
+
+ private:
+  SimDuration chunk_;
+};
+
+// Computes `n` chunks, then exits.
+class FiniteWork : public ThreadBody {
+ public:
+  FiniteWork(int n, SimDuration chunk) : remaining_(n), chunk_(chunk) {}
+  Action Next(Machine&) override {
+    if (remaining_-- > 0) return Action::Compute(chunk_);
+    return Action::Exit();
+  }
+
+ private:
+  int remaining_;
+  SimDuration chunk_;
+};
+
+// Alternates short computes with sleeps (an interactive / periodic task).
+class PeriodicTask : public ThreadBody {
+ public:
+  PeriodicTask(SimDuration busy, SimDuration sleep) : busy_(busy), sleep_(sleep) {}
+  Action Next(Machine&) override {
+    compute_turn_ = !compute_turn_;
+    return compute_turn_ ? Action::Compute(busy_) : Action::Sleep(sleep_);
+  }
+  int completed_bursts() const { return bursts_; }
+
+ private:
+  SimDuration busy_;
+  SimDuration sleep_;
+  bool compute_turn_ = false;
+  int bursts_ = 0;
+};
+
+// Minimal producer/consumer pair communicating through an int queue guarded
+// by a WaitChannel (condition-variable semantics: consumer re-checks).
+struct IntQueue {
+  explicit IntQueue(Machine& m) : not_empty(m) {}
+  std::deque<int> items;
+  WaitChannel not_empty;
+};
+
+class Producer : public ThreadBody {
+ public:
+  Producer(IntQueue& q, int count, SimDuration cost, SimDuration gap)
+      : q_(&q), remaining_(count), cost_(cost), gap_(gap) {}
+  Action Next(Machine&) override {
+    switch (phase_) {
+      case Phase::kProduce:
+        if (remaining_ == 0) return Action::Exit();
+        phase_ = Phase::kPush;
+        return Action::Compute(cost_);
+      case Phase::kPush:
+        q_->items.push_back(remaining_--);
+        q_->not_empty.NotifyOne();
+        phase_ = Phase::kProduce;
+        if (gap_ > 0) return Action::Sleep(gap_);
+        return Action::Compute(0);  // free transition
+    }
+    return Action::Exit();
+  }
+
+ private:
+  enum class Phase { kProduce, kPush };
+  IntQueue* q_;
+  int remaining_;
+  SimDuration cost_;
+  SimDuration gap_;
+  Phase phase_ = Phase::kProduce;
+};
+
+class Consumer : public ThreadBody {
+ public:
+  Consumer(IntQueue& q, SimDuration cost) : q_(&q), cost_(cost) {}
+  Action Next(Machine&) override {
+    if (popping_) {
+      popping_ = false;
+      ++consumed_;
+    }
+    if (q_->items.empty()) return Action::Wait(q_->not_empty);
+    q_->items.pop_front();
+    popping_ = true;
+    return Action::Compute(cost_);
+  }
+  int consumed() const { return consumed_; }
+
+ private:
+  IntQueue* q_;
+  SimDuration cost_;
+  bool popping_ = false;
+  int consumed_ = 0;
+};
+
+}  // namespace lachesis::sim::testing
+
+#endif  // LACHESIS_TESTS_SIM_TEST_BODIES_H_

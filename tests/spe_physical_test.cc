@@ -1,0 +1,293 @@
+// Unit tests of PhysicalOp and TupleQueue: two-phase execution, routing
+// (round-robin / key-by), staged emission with backpressure, egress
+// measurement, and the tuple-contributor timestamp rules.
+#include "spe/physical.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "spe/queue.h"
+
+namespace lachesis::spe {
+namespace {
+
+struct PhysicalRig {
+  sim::Simulator sim;
+  sim::Machine machine{sim, 1};
+
+  std::unique_ptr<TupleQueue> Queue(std::size_t capacity = 0) {
+    return std::make_unique<TupleQueue>(machine, capacity);
+  }
+
+  std::unique_ptr<PhysicalOp> Op(TupleQueue* input, OperatorRole role,
+                                 SimDuration cost = Micros(100)) {
+    PhysicalOp::Config config;
+    config.name = "spe.q.op.0";
+    config.role = role;
+    config.cost = cost;
+    config.cost_jitter = 0;
+    std::vector<std::unique_ptr<OperatorLogic>> logic;
+    logic.push_back(std::make_unique<IdentityLogic>());
+    return std::make_unique<PhysicalOp>(config, input, std::move(logic));
+  }
+};
+
+TEST(TupleQueueTest, FifoOrderAndCounters) {
+  PhysicalRig rig;
+  auto q = rig.Queue();
+  for (int i = 0; i < 5; ++i) {
+    Tuple t;
+    t.key = i;
+    q->Push(t);
+  }
+  EXPECT_EQ(q->size(), 5u);
+  EXPECT_EQ(q->total_pushed(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q->Pop().key, i);
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->total_popped(), 5u);
+}
+
+TEST(TupleQueueTest, BoundedFullness) {
+  PhysicalRig rig;
+  auto q = rig.Queue(2);
+  EXPECT_TRUE(q->bounded());
+  q->Push({});
+  EXPECT_FALSE(q->full());
+  q->Push({});
+  EXPECT_TRUE(q->full());
+  q->Pop();
+  EXPECT_FALSE(q->full());
+}
+
+TEST(TupleQueueTest, HeadAgeTracksOldestTuple) {
+  PhysicalRig rig;
+  auto q = rig.Queue();
+  EXPECT_EQ(q->HeadAge(Seconds(5)), 0);
+  Tuple t;
+  t.produced = Seconds(1);
+  q->Push(t);
+  EXPECT_EQ(q->HeadAge(Seconds(5)), Seconds(4));
+}
+
+TEST(PhysicalOpTest, BeginPopsAndReturnsCost) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kTransform, Micros(100));
+  SimDuration cost = 0;
+  EXPECT_FALSE(op->Begin(cost));  // empty queue
+  in->Push({});
+  ASSERT_TRUE(op->Begin(cost));
+  EXPECT_EQ(cost, Micros(100));  // no jitter, no overhead configured
+  EXPECT_EQ(op->tuples_in(), 1u);
+}
+
+TEST(PhysicalOpTest, PerTupleOverheadAddedToCost) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  PhysicalOp::Config config;
+  config.name = "x";
+  config.cost = Micros(100);
+  config.per_tuple_overhead = Micros(25);
+  std::vector<std::unique_ptr<OperatorLogic>> logic;
+  logic.push_back(std::make_unique<IdentityLogic>());
+  PhysicalOp op(config, in.get(), std::move(logic));
+  in->Push({});
+  SimDuration cost = 0;
+  ASSERT_TRUE(op.Begin(cost));
+  EXPECT_EQ(cost, Micros(125));
+}
+
+TEST(PhysicalOpTest, RoundRobinSpreadsAcrossReplicas) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto d0 = rig.Queue();
+  auto d1 = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kTransform);
+  PhysicalEdge edge;
+  edge.destinations = {d0.get(), d1.get()};
+  edge.remote = {false, false};
+  edge.partitioning = Partitioning::kShuffle;
+  op->AddEdge(std::move(edge));
+
+  for (int i = 0; i < 10; ++i) {
+    Tuple t;
+    t.key = 7;  // same key: shuffle must still spread
+    in->Push(t);
+    SimDuration cost;
+    ASSERT_TRUE(op->Begin(cost));
+    op->Finish(0);
+    ASSERT_TRUE(op->TryEmit());
+  }
+  EXPECT_EQ(d0->size(), 5u);
+  EXPECT_EQ(d1->size(), 5u);
+}
+
+TEST(PhysicalOpTest, KeyByIsDeterministicPerKey) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto d0 = rig.Queue();
+  auto d1 = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kTransform);
+  PhysicalEdge edge;
+  edge.destinations = {d0.get(), d1.get()};
+  edge.remote = {false, false};
+  edge.partitioning = Partitioning::kKeyBy;
+  op->AddEdge(std::move(edge));
+
+  for (int i = 0; i < 20; ++i) {
+    Tuple t;
+    t.key = i % 4;
+    in->Push(t);
+    SimDuration cost;
+    ASSERT_TRUE(op->Begin(cost));
+    op->Finish(0);
+    ASSERT_TRUE(op->TryEmit());
+  }
+  // Each key lands wholly in one destination.
+  while (!d0->empty()) {
+    const Tuple t = d0->Pop();
+    // Re-route the same key and confirm stability.
+    PhysicalEdge probe;
+    probe.destinations = {d0.get(), d1.get()};
+    probe.partitioning = Partitioning::kKeyBy;
+    const std::size_t replica = probe.PickReplica(t);
+    EXPECT_EQ(replica, 0u) << "key " << t.key;
+  }
+}
+
+TEST(PhysicalOpTest, FanOutDuplicatesToAllEdges) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto branch1 = rig.Queue();
+  auto branch2 = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kTransform);
+  {
+    PhysicalEdge e;
+    e.destinations = {branch1.get()};
+    e.remote = {false};
+    op->AddEdge(std::move(e));
+  }
+  {
+    PhysicalEdge e;
+    e.destinations = {branch2.get()};
+    e.remote = {false};
+    op->AddEdge(std::move(e));
+  }
+  in->Push({});
+  SimDuration cost;
+  ASSERT_TRUE(op->Begin(cost));
+  op->Finish(0);
+  ASSERT_TRUE(op->TryEmit());
+  EXPECT_EQ(branch1->size(), 1u);
+  EXPECT_EQ(branch2->size(), 1u);
+  EXPECT_EQ(op->tuples_out(), 1u);  // one logical output, multicast
+}
+
+TEST(PhysicalOpTest, TryEmitBlocksOnFullBoundedQueue) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto dest = rig.Queue(1);
+  auto op = rig.Op(in.get(), OperatorRole::kTransform);
+  PhysicalEdge e;
+  e.destinations = {dest.get()};
+  e.remote = {false};
+  op->AddEdge(std::move(e));
+
+  dest->Push({});  // fill destination
+  in->Push({});
+  SimDuration cost;
+  ASSERT_TRUE(op->Begin(cost));
+  op->Finish(0);
+  EXPECT_FALSE(op->TryEmit());
+  EXPECT_EQ(op->blocked_queue(), dest.get());
+  // Space frees up; emission resumes where it stopped.
+  dest->Pop();
+  EXPECT_TRUE(op->TryEmit());
+  EXPECT_EQ(dest->size(), 1u);
+}
+
+TEST(PhysicalOpTest, IngressStampsIngestedTime) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto dest = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kIngress);
+  PhysicalEdge e;
+  e.destinations = {dest.get()};
+  e.remote = {false};
+  op->AddEdge(std::move(e));
+  Tuple t;
+  t.produced = Seconds(1);
+  in->Push(t);
+  SimDuration cost;
+  ASSERT_TRUE(op->Begin(cost));
+  op->Finish(Seconds(2));
+  ASSERT_TRUE(op->TryEmit());
+  EXPECT_EQ(dest->Front().ingested, Seconds(2));
+  EXPECT_EQ(dest->Front().produced, Seconds(1));
+}
+
+TEST(PhysicalOpTest, EgressRecordsBothLatencies) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  auto op = rig.Op(in.get(), OperatorRole::kEgress);
+  Tuple t;
+  t.produced = Seconds(1);
+  t.ingested = Seconds(2);
+  in->Push(t);
+  SimDuration cost;
+  ASSERT_TRUE(op->Begin(cost));
+  op->Finish(Seconds(3));
+  const EgressMeasurements& m = op->egress();
+  EXPECT_EQ(m.tuples, 1u);
+  EXPECT_DOUBLE_EQ(m.latency.mean(), static_cast<double>(Seconds(1)));
+  EXPECT_DOUBLE_EQ(m.e2e_latency.mean(), static_cast<double>(Seconds(2)));
+}
+
+TEST(PhysicalOpTest, BlockingProbabilityProducesSleeps) {
+  PhysicalRig rig;
+  auto in = rig.Queue();
+  PhysicalOp::Config config;
+  config.name = "x";
+  config.cost = Micros(10);
+  config.block_probability = 0.5;
+  config.block_max = Millis(10);
+  std::vector<std::unique_ptr<OperatorLogic>> logic;
+  logic.push_back(std::make_unique<IdentityLogic>());
+  PhysicalOp op(config, in.get(), std::move(logic));
+  int blocks = 0;
+  for (int i = 0; i < 200; ++i) {
+    in->Push({});
+    SimDuration cost;
+    ASSERT_TRUE(op.Begin(cost));
+    const SimDuration block = op.Finish(0);
+    if (block > 0) {
+      ++blocks;
+      EXPECT_LE(block, Millis(10));
+    }
+  }
+  EXPECT_GT(blocks, 60);
+  EXPECT_LT(blocks, 140);
+}
+
+TEST(TupleTest, MergeContributorKeepsLatest) {
+  Tuple target;
+  target.produced = 10;
+  target.ingested = 20;
+  Tuple older;
+  older.produced = 5;
+  older.ingested = 15;
+  target.MergeContributor(older);
+  EXPECT_EQ(target.produced, 10);
+  EXPECT_EQ(target.ingested, 20);
+  Tuple newer;
+  newer.produced = 30;
+  newer.ingested = 35;
+  target.MergeContributor(newer);
+  EXPECT_EQ(target.produced, 30);
+  EXPECT_EQ(target.ingested, 35);
+}
+
+}  // namespace
+}  // namespace lachesis::spe

@@ -1,0 +1,177 @@
+// Property sweeps over the SPE: randomly generated DAGs are deployed with
+// random fusion/fission settings and driven end-to-end; tuple conservation
+// and measurement invariants must hold regardless of shape or scheduler
+// pressure.
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "spe/runtime.h"
+#include "spe/source.h"
+
+namespace lachesis::spe {
+namespace {
+
+// Builds a random DAG: one ingress, a layered random middle, one egress.
+// All logic is identity, so exactly one tuple must reach the egress per
+// (ingress tuple x distinct ingress->egress path).
+LogicalQuery RandomQuery(Rng& rng, int* expected_paths) {
+  LogicalQuery q;
+  q.name = "rand";
+  const int layers = static_cast<int>(rng.UniformInt(1, 3));
+  const int width = static_cast<int>(rng.UniformInt(1, 3));
+
+  const int ingress = q.Add(MakeIngress("in", Micros(5)));
+  std::vector<int> previous{ingress};
+  // Path counts from ingress to each node.
+  std::map<int, int> paths{{ingress, 1}};
+
+  for (int layer = 0; layer < layers; ++layer) {
+    std::vector<int> current;
+    for (int w = 0; w < width; ++w) {
+      const int op = q.Add(MakeTransform(
+          "l" + std::to_string(layer) + "w" + std::to_string(w),
+          Micros(rng.UniformInt(10, 60)),
+          [] { return std::make_unique<IdentityLogic>(); }));
+      // Connect from a random non-empty subset of the previous layer.
+      int in_paths = 0;
+      bool connected = false;
+      for (const int p : previous) {
+        if (rng.Chance(0.6) || (!connected && p == previous.back())) {
+          q.Connect(p, op,
+                    rng.Chance(0.5) ? Partitioning::kShuffle
+                                    : Partitioning::kKeyBy);
+          in_paths += paths[p];
+          connected = true;
+        }
+      }
+      paths[op] = in_paths;
+      current.push_back(op);
+    }
+    previous = std::move(current);
+  }
+  const int egress = q.Add(MakeEgress("out", Micros(5)));
+  int total_paths = 0;
+  for (const int p : previous) {
+    q.Connect(p, egress);
+    total_paths += paths[p];
+  }
+  *expected_paths = total_paths;
+  return q;
+}
+
+class RandomDagTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagTest, TupleConservationAcrossRandomDeployments) {
+  Rng rng(GetParam());
+  int expected_paths = 0;
+  const LogicalQuery query = RandomQuery(rng, &expected_paths);
+
+  sim::Simulator sim;
+  sim::Machine machine(sim, static_cast<int>(rng.UniformInt(2, 8)));
+  const bool flink = rng.Chance(0.5);
+  SpeInstance instance(flink ? FlinkFlavor() : StormFlavor(), {&machine},
+                       "spe");
+  DeployOptions options;
+  options.parallelism = static_cast<int>(rng.UniformInt(1, 2));
+  options.chaining = rng.Chance(0.5);
+  options.seed = GetParam();
+  DeployedQuery& dq = instance.Deploy(query, options);
+
+  const std::uint64_t count = 500;
+  const double rate = 500;
+  ExternalSource source(sim, dq.source_channels(),
+                        [](Rng& grng, std::uint64_t seq) {
+                          Tuple t;
+                          t.key = static_cast<std::int64_t>(grng.NextBounded(32));
+                          t.value = static_cast<double>(seq);
+                          return t;
+                        },
+                        GetParam());
+  source.Start(rate, Seconds(1));
+  sim.RunUntil(Seconds(30));  // generous drain time
+
+  EXPECT_EQ(source.emitted(), count);
+  EXPECT_EQ(dq.TotalIngested(), count);
+  // Conservation: identity logic + multicast fan-out => every ingress tuple
+  // arrives at the egress once per ingress->egress path.
+  std::uint64_t delivered = 0;
+  for (auto* egress : dq.Egresses()) delivered += egress->tuples;
+  EXPECT_EQ(delivered, count * static_cast<std::uint64_t>(expected_paths))
+      << "paths=" << expected_paths << " parallelism=" << options.parallelism
+      << " chaining=" << options.chaining << " flink=" << flink;
+
+  // All internal queues drained; no tuple stuck.
+  for (const DeployedOp& op : dq.ops) {
+    EXPECT_EQ(op.op->input().size(), 0u) << op.op->config().name;
+  }
+
+  // Latency measurements are sane: e2e >= processing >= 0.
+  for (auto* egress : dq.Egresses()) {
+    if (egress->tuples == 0) continue;
+    EXPECT_GE(egress->latency.min(), 0.0);
+    EXPECT_GE(egress->e2e_latency.mean(), egress->latency.mean());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDagTest,
+                         ::testing::Values(1001ULL, 1002ULL, 1003ULL, 1004ULL,
+                                           1005ULL, 1006ULL, 1007ULL, 1008ULL,
+                                           1009ULL, 1010ULL, 1011ULL, 1012ULL));
+
+// Conservation must also hold while Lachesis actively renices/moves threads.
+class ScheduledDagTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduledDagTest, ConservationUnderActiveRescheduling) {
+  Rng rng(GetParam());
+  int expected_paths = 0;
+  const LogicalQuery query = RandomQuery(rng, &expected_paths);
+
+  sim::Simulator sim;
+  sim::Machine machine(sim, 2);
+  SpeInstance instance(StormFlavor(), {&machine}, "spe");
+  DeployedQuery& dq = instance.Deploy(query, {});
+
+  ExternalSource source(sim, dq.source_channels(),
+                        [](Rng&, std::uint64_t seq) {
+                          Tuple t;
+                          t.key = static_cast<std::int64_t>(seq);
+                          return t;
+                        },
+                        GetParam());
+  source.Start(1000, Seconds(2));
+
+  // Aggressive random rescheduling every 100 ms: nice flips, cgroup moves.
+  const CgroupId ga = machine.CreateCgroup("a", machine.root_cgroup(), 512);
+  const CgroupId gb = machine.CreateCgroup("b", machine.root_cgroup(), 4096);
+  for (SimTime t = Millis(100); t < Seconds(4); t += Millis(100)) {
+    sim.ScheduleAt(t, [&machine, &dq, &rng, ga, gb] {
+      for (const DeployedOp& op : dq.ops) {
+        if (!op.has_thread) continue;
+        machine.SetNice(op.thread, static_cast<int>(rng.UniformInt(-20, 19)));
+        if (rng.Chance(0.3)) {
+          machine.MoveToCgroup(op.thread, rng.Chance(0.5) ? ga : gb);
+        }
+      }
+    });
+  }
+  sim.RunUntil(Seconds(30));
+
+  std::uint64_t delivered = 0;
+  for (auto* egress : dq.Egresses()) delivered += egress->tuples;
+  EXPECT_EQ(delivered,
+            source.emitted() * static_cast<std::uint64_t>(expected_paths));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduledDagTest,
+                         ::testing::Values(2001ULL, 2002ULL, 2003ULL, 2004ULL,
+                                           2005ULL, 2006ULL));
+
+}  // namespace
+}  // namespace lachesis::spe

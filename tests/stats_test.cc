@@ -1,0 +1,144 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lachesis {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0 + i;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStat target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  // Quartiles of {1, 2, 3, 4}: positions interpolate linearly.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0, 4.0}, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 5.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 5.0}, 2.0), 5.0);
+}
+
+TEST(PopulationVarianceTest, KnownValue) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(PopulationVariance(v), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PopulationVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(LetterValuesTest, EmptyInput) {
+  EXPECT_TRUE(LetterValues({}).empty());
+}
+
+TEST(LetterValuesTest, MedianAlwaysPresent) {
+  const auto lvs = LetterValues({1.0, 2.0, 3.0});
+  ASSERT_FALSE(lvs.empty());
+  EXPECT_EQ(lvs[0].depth, 1);
+  EXPECT_DOUBLE_EQ(lvs[0].lower, 2.0);
+  EXPECT_DOUBLE_EQ(lvs[0].upper, 2.0);
+}
+
+TEST(LetterValuesTest, DepthGrowsWithSampleSize) {
+  std::vector<double> small(32), large(4096);
+  for (std::size_t i = 0; i < small.size(); ++i) small[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < large.size(); ++i) large[i] = static_cast<double>(i);
+  const auto lv_small = LetterValues(small);
+  const auto lv_large = LetterValues(large);
+  EXPECT_GT(lv_large.size(), lv_small.size());
+  // Letter values must be nested: deeper boxes are wider.
+  for (std::size_t i = 1; i < lv_large.size(); ++i) {
+    EXPECT_LE(lv_large[i].lower, lv_large[i - 1].lower);
+    EXPECT_GE(lv_large[i].upper, lv_large[i - 1].upper);
+  }
+}
+
+TEST(ConfidenceIntervalTest, SingleSampleHasNoWidth) {
+  const double xs[] = {5.0};
+  const MeanCi ci = ConfidenceInterval95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, KnownTwoSample) {
+  const double xs[] = {1.0, 3.0};
+  const MeanCi ci = ConfidenceInterval95(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  // sd = sqrt(2), sem = 1, t(1) = 12.706
+  EXPECT_NEAR(ci.half_width, 12.706, 1e-9);
+}
+
+TEST(ConfidenceIntervalTest, WidthShrinksWithSamples) {
+  std::vector<double> few, many;
+  for (int i = 0; i < 5; ++i) few.push_back(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 500; ++i) many.push_back(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(ConfidenceInterval95(few).half_width,
+            ConfidenceInterval95(many).half_width);
+}
+
+}  // namespace
+}  // namespace lachesis

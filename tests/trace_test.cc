@@ -1,0 +1,122 @@
+// Tests of trace recording, parsing and replay (paper §6.1 data sources).
+#include "spe/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/simulator.h"
+
+namespace lachesis::spe {
+namespace {
+
+TEST(TraceTest, RoundTripsThroughText) {
+  const std::vector<TraceRecord> records = {
+      {0, 1, 2.5, 3}, {1000, -4, 0.125, 0}, {2500, 7, 9.0, 42}};
+  std::ostringstream out;
+  WriteTrace(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = ParseTrace(in);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].offset, records[i].offset);
+    EXPECT_EQ(parsed[i].key, records[i].key);
+    EXPECT_DOUBLE_EQ(parsed[i].value, records[i].value);
+    EXPECT_EQ(parsed[i].kind, records[i].kind);
+  }
+}
+
+TEST(TraceTest, SkipsCommentsAndMalformedLines) {
+  std::istringstream in("# header\n100 1 2.0 0\nnot a record\n200 2 3.0 1\n");
+  const auto parsed = ParseTrace(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].key, 2);
+}
+
+TEST(TraceTest, OutOfOrderOffsetsClamped) {
+  std::istringstream in("100 1 1.0 0\n50 2 2.0 0\n200 3 3.0 0\n");
+  const auto parsed = ParseTrace(in);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[1].offset, 100);  // clamped to running max
+  EXPECT_EQ(parsed[2].offset, 200);
+}
+
+TEST(TraceTest, RecordTraceSamplesGenerator) {
+  const auto records = RecordTrace(
+      [](Rng&, std::uint64_t seq) {
+        Tuple t;
+        t.key = static_cast<std::int64_t>(seq);
+        return t;
+      },
+      1000.0, Seconds(1), 5);
+  ASSERT_EQ(records.size(), 1000u);
+  EXPECT_EQ(records[0].offset, 0);
+  EXPECT_EQ(records[999].key, 999);
+  EXPECT_EQ(records[999].offset, 999 * Millis(1));
+}
+
+struct ReplayRig {
+  sim::Simulator sim;
+  sim::Machine machine{sim, 1};
+  TupleQueue channel{machine, 0};
+};
+
+TEST(TraceTest, PacedReplayHonorsRecordedSpacing) {
+  ReplayRig rig;
+  const std::vector<TraceRecord> trace = {
+      {0, 1, 0, 0}, {Millis(10), 2, 0, 0}, {Millis(30), 3, 0, 0}};
+  TraceReplaySource source(rig.sim, {&rig.channel}, trace);
+  source.StartPaced(1.0, Millis(25));
+  rig.sim.RunUntil(Millis(25));
+  // Only the records at offsets 0 and 10 ms fit before 25 ms.
+  EXPECT_EQ(source.emitted(), 2u);
+  EXPECT_EQ(rig.channel.size(), 2u);
+  EXPECT_EQ(rig.channel.Pop().key, 1);
+  const Tuple second = rig.channel.Pop();
+  EXPECT_EQ(second.key, 2);
+  EXPECT_EQ(second.produced, Millis(10));
+}
+
+TEST(TraceTest, SpeedupCompressesPacing) {
+  ReplayRig rig;
+  const std::vector<TraceRecord> trace = {{0, 1, 0, 0}, {Millis(20), 2, 0, 0}};
+  TraceReplaySource source(rig.sim, {&rig.channel}, trace);
+  source.StartPaced(2.0, Millis(11));
+  rig.sim.RunUntil(Millis(11));
+  // At 2x, the second record lands at 10 ms instead of 20 ms.
+  EXPECT_EQ(source.emitted(), 2u);
+}
+
+TEST(TraceTest, ReplayLoopsWhenTraceEnds) {
+  ReplayRig rig;
+  const std::vector<TraceRecord> trace = {{0, 1, 0, 0}, {Millis(5), 2, 0, 0}};
+  TraceReplaySource source(rig.sim, {&rig.channel}, trace);
+  source.StartPaced(1.0, Millis(100));
+  rig.sim.RunUntil(Millis(100));
+  // Span = 5ms + mean gap 5ms = 10 ms per loop -> ~10 loops x 2 records.
+  EXPECT_GE(source.emitted(), 18u);
+  EXPECT_LE(source.emitted(), 22u);
+}
+
+TEST(TraceTest, RateModeIgnoresOffsets) {
+  ReplayRig rig;
+  const std::vector<TraceRecord> trace = {
+      {0, 1, 0, 0}, {Seconds(100), 2, 0, 0}};  // huge recorded gap
+  TraceReplaySource source(rig.sim, {&rig.channel}, trace);
+  source.StartAtRate(1000.0, Millis(10));
+  rig.sim.RunUntil(Millis(10));
+  EXPECT_EQ(source.emitted(), 10u);  // 1 per ms regardless of offsets
+}
+
+TEST(TraceTest, EmptyTraceIsHarmless) {
+  ReplayRig rig;
+  TraceReplaySource source(rig.sim, {&rig.channel}, {});
+  source.StartPaced(1.0, Seconds(1));
+  source.StartAtRate(100.0, Seconds(1));
+  rig.sim.RunUntil(Seconds(1));
+  EXPECT_EQ(source.emitted(), 0u);
+}
+
+}  // namespace
+}  // namespace lachesis::spe

@@ -1,0 +1,145 @@
+// Tests of the translators (paper §5.3): nice for single-priority
+// schedules, cpu.shares for grouping schedules, and the combined
+// multi-dimensional scheme, against a recording OS adapter.
+#include "core/translators.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::RecordingOsAdapter;
+
+EntityInfo Entity(std::uint64_t id, const std::string& query_name = "q0") {
+  EntityInfo e;
+  e.id = OperatorId(id);
+  e.path = "spe." + query_name + ".op" + std::to_string(id);
+  e.query_name = query_name;
+  e.thread.sim_tid = ThreadId(id);
+  return e;
+}
+
+Schedule MakeSchedule(std::vector<double> priorities,
+                      PrioritySpacing spacing = PrioritySpacing::kLinear) {
+  Schedule s;
+  s.spacing = spacing;
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    s.entries.push_back({Entity(i), priorities[i]});
+  }
+  return s;
+}
+
+TEST(NiceTranslatorTest, HighestPriorityGetsBestNice) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(MakeSchedule({1.0, 50.0, 100.0}), os);
+  EXPECT_EQ(os.nices[2], -20);
+  EXPECT_EQ(os.nices[0], 19);
+  EXPECT_GT(os.nices[0], os.nices[1]);
+  EXPECT_GT(os.nices[1], os.nices[2]);
+}
+
+TEST(NiceTranslatorTest, EmptyScheduleIsNoop) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(Schedule{}, os);
+  EXPECT_EQ(os.nice_calls, 0);
+}
+
+TEST(NiceTranslatorTest, EqualPrioritiesMapToMidRange) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(MakeSchedule({5.0, 5.0, 5.0}), os);
+  for (const auto& [tid, nice] : os.nices) {
+    EXPECT_GE(nice, -2);  // midpoint of [nice_best, nice_worst]
+    EXPECT_LE(nice, 2);
+  }
+}
+
+TEST(NiceTranslatorTest, LogSpacingUsesRatioFormula) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  // Ratios of 1.25 -> one nice step per entry (paper's F(x)).
+  translator.Apply(
+      MakeSchedule({1.953125, 1.5625, 1.25, 1.0}, PrioritySpacing::kLogarithmic),
+      os);
+  EXPECT_EQ(os.nices[0], -20);
+  EXPECT_EQ(os.nices[1], -19);
+  EXPECT_EQ(os.nices[2], -18);
+  EXPECT_EQ(os.nices[3], -17);
+}
+
+TEST(NiceTranslatorTest, CustomInterval) {
+  RecordingOsAdapter os;
+  NiceTranslator translator(-5, 19);
+  translator.Apply(MakeSchedule({1.0, 2.0}), os);
+  EXPECT_EQ(os.nices[1], -5);
+  EXPECT_EQ(os.nices[0], 19);
+}
+
+TEST(CpuSharesTranslatorTest, DefaultGroupingIsPerOperator) {
+  RecordingOsAdapter os;
+  CpuSharesTranslator translator;
+  translator.Apply(MakeSchedule({1.0, 10.0, 100.0}), os);
+  EXPECT_EQ(os.group_shares.size(), 3u);
+  EXPECT_EQ(os.thread_group.size(), 3u);
+  // Each thread in its own group; higher priority -> more shares.
+  const auto shares_of = [&](std::uint64_t tid) {
+    return os.group_shares.at(os.thread_group.at(tid));
+  };
+  EXPECT_LT(shares_of(0), shares_of(1));
+  EXPECT_LT(shares_of(1), shares_of(2));
+}
+
+TEST(CpuSharesTranslatorTest, CustomGroupingAggregatesMaxPriority) {
+  RecordingOsAdapter os;
+  CpuSharesTranslator translator(
+      [](const EntityInfo& e) { return e.query_name; });
+  Schedule s;
+  s.entries.push_back({Entity(0, "qa"), 1.0});
+  s.entries.push_back({Entity(1, "qa"), 9.0});
+  s.entries.push_back({Entity(2, "qb"), 5.0});
+  translator.Apply(s, os);
+  ASSERT_EQ(os.group_shares.size(), 2u);
+  // qa's priority is max(1, 9) = 9 > qb's 5.
+  EXPECT_GT(os.group_shares.at("qa"), os.group_shares.at("qb"));
+  EXPECT_EQ(os.thread_group.at(0), "qa");
+  EXPECT_EQ(os.thread_group.at(1), "qa");
+  EXPECT_EQ(os.thread_group.at(2), "qb");
+}
+
+TEST(CpuSharesTranslatorTest, BuildGroupsExposesGroupingSchedule) {
+  CpuSharesTranslator translator(
+      [](const EntityInfo& e) { return e.query_name; });
+  Schedule s;
+  s.entries.push_back({Entity(0, "qa"), 1.0});
+  s.entries.push_back({Entity(1, "qa"), 9.0});
+  const GroupingSchedule grouping = translator.BuildGroups(s);
+  ASSERT_EQ(grouping.groups.size(), 1u);
+  EXPECT_EQ(grouping.groups[0].gid, "qa");
+  EXPECT_DOUBLE_EQ(grouping.groups[0].priority, 9.0);
+  EXPECT_EQ(grouping.groups[0].members.size(), 2u);
+}
+
+TEST(QuerySharesPlusNiceTest, QueriesGetEqualGroupsAndOperatorsGetNice) {
+  RecordingOsAdapter os;
+  QuerySharesPlusNiceTranslator translator(1024);
+  Schedule s;
+  s.entries.push_back({Entity(0, "qa"), 1.0});
+  s.entries.push_back({Entity(1, "qa"), 50.0});
+  s.entries.push_back({Entity(2, "qb"), 10.0});
+  translator.Apply(s, os);
+  // Per-query cgroups with the same shares.
+  EXPECT_EQ(os.group_shares.at("query-qa"), 1024u);
+  EXPECT_EQ(os.group_shares.at("query-qb"), 1024u);
+  EXPECT_EQ(os.thread_group.at(0), "query-qa");
+  EXPECT_EQ(os.thread_group.at(2), "query-qb");
+  // Nice applied across all operators (effective within each cgroup).
+  EXPECT_EQ(os.nices.at(1), -20);
+  EXPECT_EQ(os.nices.at(0), 19);
+}
+
+}  // namespace
+}  // namespace lachesis::core
