@@ -1,5 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <errno.h>  // program_invocation_short_name (glibc)
+
 namespace lachesis::bench {
 
 SweepResult RunSweep(const ScenarioFactory& factory,
@@ -7,6 +13,7 @@ SweepResult RunSweep(const ScenarioFactory& factory,
                      const std::vector<Variant>& variants,
                      const BenchMode& mode) {
   SweepResult sweep;
+  const auto wall_start = std::chrono::steady_clock::now();
   sweep.runs.resize(variants.size());
   for (std::size_t v = 0; v < variants.size(); ++v) {
     sweep.runs[v].resize(rates.size());
@@ -17,9 +24,16 @@ SweepResult RunSweep(const ScenarioFactory& factory,
       spec.warmup = mode.warmup;
       spec.measure = mode.measure;
       sweep.runs[v][r] = exp::RunRepetitions(spec, mode.repetitions);
+      sweep.sim_seconds += static_cast<double>(sweep.runs[v][r].size()) *
+                           static_cast<double>(spec.warmup + spec.measure) /
+                           static_cast<double>(kSecond);
       std::fflush(stdout);
     }
   }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return sweep;
 }
 
@@ -43,6 +57,80 @@ void PrintMetricTable(
   exp::PrintTable(title, header, rows);
 }
 
+namespace {
+
+// "bench_fig09_lr_storm" -> "fig09_lr_storm".
+std::string DefaultBenchName() {
+  std::string name = program_invocation_short_name;
+  if (name.rfind("bench_", 0) == 0) name.erase(0, 6);
+  return name;
+}
+
+void WriteCiField(std::FILE* out, const char* key, const MeanCi& ci) {
+  std::fprintf(out, "\"%s\": {\"mean\": %.6g, \"ci95\": %.6g}", key, ci.mean,
+               ci.half_width);
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::vector<double>& rates,
+                    const std::vector<Variant>& variants,
+                    const SweepResult& sweep, const BenchMode& mode,
+                    const std::string& bench) {
+  const std::string name = bench.empty() ? DefaultBenchName() : bench;
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return;
+  }
+  const double ratio =
+      sweep.wall_seconds > 0 ? sweep.sim_seconds / sweep.wall_seconds : 0;
+  std::fprintf(out,
+               "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n"
+               "  \"repetitions\": %d,\n  \"wall_seconds\": %.3f,\n"
+               "  \"sim_seconds\": %.3f,\n  \"sim_wall_ratio\": %.2f,\n"
+               "  \"series\": [\n",
+               name.c_str(), mode.full ? "full" : "quick", mode.repetitions,
+               sweep.wall_seconds, sweep.sim_seconds, ratio);
+  bool first = true;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      const auto& runs = sweep.runs[v][r];
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      std::fprintf(out, "    {\"variant\": \"%s\", \"rate_tps\": %.0f, ",
+                   variants[v].name.c_str(), rates[r]);
+      WriteCiField(out, "throughput_tps", exp::Aggregate(runs, [](const RunResult& x) {
+                     return x.throughput_tps;
+                   }));
+      std::fprintf(out, ", ");
+      WriteCiField(out, "avg_latency_ms", exp::Aggregate(runs, [](const RunResult& x) {
+                     return x.avg_latency_ms;
+                   }));
+      std::fprintf(out, ", ");
+      WriteCiField(out, "avg_e2e_latency_ms",
+                   exp::Aggregate(runs, [](const RunResult& x) {
+                     return x.avg_e2e_latency_ms;
+                   }));
+      std::fprintf(out, ", ");
+      WriteCiField(out, "qs_goal", exp::Aggregate(runs, [](const RunResult& x) {
+                     return x.qs_goal;
+                   }));
+      std::fprintf(out, ", ");
+      WriteCiField(out, "cpu_utilization",
+                   exp::Aggregate(runs, [](const RunResult& x) {
+                     return x.cpu_utilization;
+                   }));
+      std::fprintf(out, "}");
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("[bench-json] wrote %s (sim/wall %.1fx)\n", path.c_str(), ratio);
+}
+
 SweepResult RunAndPrintSweep(const std::string& title,
                              const ScenarioFactory& factory,
                              const std::vector<double>& rates,
@@ -58,6 +146,7 @@ SweepResult RunAndPrintSweep(const std::string& title,
                    [](const RunResult& r) { return r.avg_e2e_latency_ms; });
   PrintMetricTable(title + " | QS goal (queue-size variance)", rates, variants,
                    sweep, [](const RunResult& r) { return r.qs_goal; });
+  WriteBenchJson(rates, variants, sweep, mode);
   return sweep;
 }
 

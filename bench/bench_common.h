@@ -29,6 +29,8 @@ using ScenarioFactory = std::function<ScenarioSpec(double rate)>;
 struct SweepResult {
   // results[variant][rate] = repetitions
   std::vector<std::vector<std::vector<RunResult>>> runs;
+  double wall_seconds = 0;  // host time spent inside RunSweep
+  double sim_seconds = 0;   // simulated time covered (warmup + measure, summed)
 };
 
 // Runs the sweep and prints the four standard series (throughput, latency,
@@ -50,6 +52,17 @@ void PrintMetricTable(
     const std::string& title, const std::vector<double>& rates,
     const std::vector<Variant>& variants, const SweepResult& sweep,
     const std::function<double(const RunResult&)>& extract);
+
+// Machine-readable perf trajectory: writes BENCH_<bench>.json in the
+// working directory with per-(variant, rate) means + 95% CIs of the
+// standard metrics, repetition count, and the sweep's sim/wall ratio.
+// `bench` defaults to the binary name with its "bench_" prefix stripped.
+// RunAndPrintSweep calls this automatically; benches that post-process
+// (RunSweep only) should call it themselves.
+void WriteBenchJson(const std::vector<double>& rates,
+                    const std::vector<Variant>& variants,
+                    const SweepResult& sweep, const BenchMode& mode,
+                    const std::string& bench = {});
 
 }  // namespace lachesis::bench
 

@@ -4,6 +4,9 @@
 // normalization and the CFS simulator's hot operations are tracked here.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/metric_provider.h"
 #include "core/normalize.h"
@@ -121,6 +124,167 @@ void BM_SharesNormalization(benchmark::State& state) {
 }
 BENCHMARK(BM_SharesNormalization)->Arg(10)->Arg(100)->Arg(1000);
 
+// Event-queue hot lane: push/pop throughput of POD sink events with the
+// interleaved (partially sorted) arrival pattern the simulator produces.
+struct NullSink final : sim::EventSink {
+  std::uint64_t sum = 0;
+  void HandleEvent(std::int32_t, std::uint64_t a, std::uint64_t) override {
+    sum += a;
+  }
+};
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<SimTime> times(n);
+  SimTime base = 0;
+  for (auto& t : times) {
+    base += static_cast<SimTime>(rng.Uniform(0.0, 50.0));
+    // Jitter makes pushes land out of order, as wakeups/timers do.
+    t = base + static_cast<SimTime>(rng.Uniform(0.0, 1000.0));
+  }
+  sim::EventQueue q;  // reused across iterations: steady-state storage
+  NullSink sink;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      q.Push(times[i], &sink, 1, i, 0);
+    }
+    while (!q.empty()) q.PopAndDispatch();
+  }
+  benchmark::DoNotOptimize(sink.sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Mixed lanes: mostly sink events with a periodic closure event, the ratio
+// figure benches produce (per-tuple scheduler events + per-tuple source
+// emissions + rare control-plane closures).
+void BM_EventQueueMixedPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(43);
+  std::vector<SimTime> times(n);
+  SimTime base = 0;
+  for (auto& t : times) {
+    base += static_cast<SimTime>(rng.Uniform(0.0, 50.0));
+    t = base + static_cast<SimTime>(rng.Uniform(0.0, 1000.0));
+  }
+  sim::EventQueue q;
+  NullSink sink;
+  std::uint64_t closure_sum = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 16 == 0) {
+        q.Push(times[i], [&closure_sum, i] { closure_sum += i; });
+      } else {
+        q.Push(times[i], &sink, 1, i, 0);
+      }
+    }
+    while (!q.empty()) q.PopAndDispatch();
+  }
+  benchmark::DoNotOptimize(sink.sum);
+  benchmark::DoNotOptimize(closure_sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueMixedPushPop)->Arg(1024)->Arg(16384);
+
+// Runqueue enqueue/dequeue: threads in a 3-deep cgroup tree alternating
+// short bursts and sleeps under contention, so nearly every dispatched
+// event is an enqueue or dequeue walking the full ancestor chain.
+void BM_RunqueueEnqueueDequeue(benchmark::State& state) {
+  struct Churn final : sim::ThreadBody {
+    sim::Action Next(sim::Machine&) override {
+      compute = !compute;
+      return compute ? sim::Action::Compute(Micros(20))
+                     : sim::Action::Sleep(Micros(50));
+    }
+    bool compute = false;
+  };
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::Machine machine(sim, 2);
+    std::vector<CgroupId> leaves;
+    for (int g = 0; g < 4; ++g) {
+      const CgroupId mid = machine.CreateCgroup(
+          "g" + std::to_string(g), machine.root_cgroup(), 512 + 512 * g);
+      leaves.push_back(machine.CreateCgroup("leaf" + std::to_string(g), mid));
+    }
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      machine.CreateThread("t" + std::to_string(i), std::make_unique<Churn>(),
+                           leaves[static_cast<std::size_t>(i) % leaves.size()],
+                           i % 10 - 5);
+    }
+    state.ResumeTiming();
+    sim.RunUntil(Millis(200));
+    dispatched += sim.dispatched();
+    benchmark::DoNotOptimize(machine.total_busy_time());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(dispatched));
+}
+BENCHMARK(BM_RunqueueEnqueueDequeue)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Wakeup path: producer/consumer pairs ping-ponging on wait channels; every
+// notify runs the preemption-margin check against the running thread.
+void BM_WakeupPreempt(benchmark::State& state) {
+  struct Pair {
+    std::unique_ptr<sim::WaitChannel> channel;
+    int tokens = 0;
+  };
+  struct Producer final : sim::ThreadBody {
+    explicit Producer(Pair* p) : p(p) {}
+    sim::Action Next(sim::Machine&) override {
+      if (produced) {
+        ++p->tokens;
+        p->channel->NotifyOne();
+      }
+      produced = true;
+      return sim::Action::Compute(Micros(30));
+    }
+    Pair* p;
+    bool produced = false;
+  };
+  struct Consumer final : sim::ThreadBody {
+    explicit Consumer(Pair* p) : p(p) {}
+    sim::Action Next(sim::Machine&) override {
+      if (p->tokens == 0) return sim::Action::Wait(*p->channel);
+      --p->tokens;
+      return sim::Action::Compute(Micros(10));
+    }
+    Pair* p;
+  };
+  std::uint64_t wakeups = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::Machine machine(sim, 2);
+    std::vector<std::unique_ptr<Pair>> pairs;
+    std::vector<ThreadId> consumers;
+    const CgroupId group = machine.CreateCgroup("pipe", machine.root_cgroup());
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      auto pair = std::make_unique<Pair>();
+      pair->channel = std::make_unique<sim::WaitChannel>(machine);
+      machine.CreateThread("prod" + std::to_string(i),
+                           std::make_unique<Producer>(pair.get()),
+                           machine.root_cgroup());
+      consumers.push_back(machine.CreateThread(
+          "cons" + std::to_string(i), std::make_unique<Consumer>(pair.get()),
+          group));
+      pairs.push_back(std::move(pair));
+    }
+    state.ResumeTiming();
+    sim.RunUntil(Millis(200));
+    for (const ThreadId tid : consumers) {
+      wakeups += machine.GetStats(tid).nr_wakeups;
+    }
+    benchmark::DoNotOptimize(machine.total_busy_time());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(wakeups));
+}
+BENCHMARK(BM_WakeupPreempt)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
 // CFS simulator hot path: how fast the discrete-event machine executes a
 // second of heavily contended scheduling.
 void BM_SimMachineSecond(benchmark::State& state) {
@@ -146,4 +310,25 @@ BENCHMARK(BM_SimMachineSecond)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMill
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro_core.json so every run leaves a machine-readable record (the
+// google-benchmark JSON format); explicit --benchmark_out wins.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,16 +1,28 @@
 // Deterministic discrete-event queue.
 //
 // Events are ordered by (time, insertion sequence) so that simultaneous
-// events fire in a platform-independent order. Hot-path events (scheduler
-// bookkeeping, compute completions) carry an EventSink pointer plus small
-// integer payloads and allocate nothing; cold-path events may carry an
-// arbitrary closure.
+// events fire in a platform-independent order. The queue is split into two
+// lanes sharing one sequence counter:
+//
+//  - a HOT lane of small trivially-copyable events (an EventSink pointer
+//    plus integer payloads) in a flat binary heap -- pushing and popping
+//    allocates nothing once the backing vector has grown to the working-set
+//    size (or was Reserve()d up front);
+//  - a COLD lane for events carrying an arbitrary closure, kept in its own
+//    flat heap so the std::function payload is never dragged through the
+//    hot lane's sift operations.
+//
+// The lanes are merged at pop time by comparing (time, seq) heads, which
+// reproduces exactly the order a single combined heap would produce. Both
+// heaps expose PopInto(): the minimum is moved out *before* the invariant
+// is restored, so no moved-from element ever sits inside a heap.
 #ifndef LACHESIS_SIM_EVENT_QUEUE_H_
 #define LACHESIS_SIM_EVENT_QUEUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -26,56 +38,150 @@ class EventSink {
   virtual void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) = 0;
 };
 
+namespace internal {
+
+// Flat binary min-heap ordered by the event's (time, seq). Elements move by
+// hole-sifting: at most one element is in flight at any moment and it never
+// re-enters comparisons while moved-from. Storage is retained across
+// Clear(), so a reused heap reaches a steady state with zero allocations.
+template <typename Event>
+class FlatEventHeap {
+ public:
+  void Reserve(std::size_t capacity) { slots_.reserve(capacity); }
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const Event& top() const {
+    assert(!slots_.empty());
+    return slots_.front();
+  }
+
+  void Push(Event ev) {
+    // Hole-sift up: the new element's final slot is found by shifting
+    // later-ordered ancestors down, then it is moved in exactly once.
+    std::size_t hole = slots_.size();
+    slots_.emplace_back();
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!Earlier(ev, slots_[parent])) break;
+      slots_[hole] = std::move(slots_[parent]);
+      hole = parent;
+    }
+    slots_[hole] = std::move(ev);
+  }
+
+  // Moves the minimum into `out`, then restores the heap invariant.
+  void PopInto(Event& out) {
+    assert(!slots_.empty());
+    out = std::move(slots_.front());
+    Event last = std::move(slots_.back());
+    slots_.pop_back();
+    if (slots_.empty()) return;
+    // Hole-sift down from the root, placing `last` at its final slot.
+    std::size_t hole = 0;
+    const std::size_t n = slots_.size();
+    while (true) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && Earlier(slots_[child + 1], slots_[child])) ++child;
+      if (!Earlier(slots_[child], last)) break;
+      slots_[hole] = std::move(slots_[child]);
+      hole = child;
+    }
+    slots_[hole] = std::move(last);
+  }
+
+  // Drops all elements but keeps the backing storage.
+  void Clear() { slots_.clear(); }
+
+ private:
+  static bool Earlier(const Event& lhs, const Event& rhs) {
+    if (lhs.time != rhs.time) return lhs.time < rhs.time;
+    return lhs.seq < rhs.seq;
+  }
+
+  std::vector<Event> slots_;
+};
+
+}  // namespace internal
+
 class EventQueue {
  public:
+  // Pre-sizes the lanes so steady-state operation never reallocates.
+  void Reserve(std::size_t hot_events, std::size_t cold_events = 0) {
+    hot_.Reserve(hot_events);
+    cold_.Reserve(cold_events);
+  }
+
   void Push(SimTime time, EventSink* sink, std::int32_t code, std::uint64_t a,
             std::uint64_t b) {
-    heap_.push(Event{time, next_seq_++, sink, code, a, b, {}});
+    assert(sink != nullptr);
+    hot_.Push(HotEvent{time, next_seq_++, sink, code, a, b});
   }
 
   void Push(SimTime time, std::function<void()> fn) {
-    heap_.push(Event{time, next_seq_++, nullptr, 0, 0, 0, std::move(fn)});
+    cold_.Push(ColdEvent{time, next_seq_++, std::move(fn)});
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] SimTime next_time() const { return heap_.top().time; }
+  [[nodiscard]] bool empty() const { return hot_.empty() && cold_.empty(); }
+  [[nodiscard]] std::size_t size() const { return hot_.size() + cold_.size(); }
+
+  // Earliest event time over both lanes. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const {
+    if (cold_.empty()) return hot_.top().time;
+    if (hot_.empty()) return cold_.top().time;
+    return HotIsNext() ? hot_.top().time : cold_.top().time;
+  }
 
   // Pops and dispatches the earliest event. Precondition: !empty().
   // The caller must advance its clock to next_time() BEFORE calling, so that
   // the handler observes the event's own timestamp.
   void PopAndDispatch() {
-    // Moving the top out is safe: the element is removed before dispatch,
-    // and the heap's sift operations only read time/seq, which the move
-    // leaves intact.
-    auto& top = const_cast<Event&>(heap_.top());
-    const Event ev = std::move(top);
-    heap_.pop();
-    if (ev.sink != nullptr) {
+    if (cold_.empty() || (!hot_.empty() && HotIsNext())) {
+      HotEvent ev;
+      hot_.PopInto(ev);
       ev.sink->HandleEvent(ev.code, ev.a, ev.b);
-    } else if (ev.fn) {
+    } else {
+      ColdEvent ev;
+      cold_.PopInto(ev);
       ev.fn();
     }
   }
 
+  // Drops all pending events but keeps both lanes' storage, so a queue (or
+  // its Simulator) can be reused across runs without re-growing.
+  void Clear() {
+    hot_.Clear();
+    cold_.Clear();
+  }
+
  private:
-  struct Event {
+  struct HotEvent {
     SimTime time;
     std::uint64_t seq;
     EventSink* sink;
     std::int32_t code;
     std::uint64_t a, b;
+  };
+  static_assert(std::is_trivially_copyable_v<HotEvent>);
+
+  struct ColdEvent {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
     std::function<void()> fn;
   };
 
-  struct Later {
-    bool operator()(const Event& lhs, const Event& rhs) const {
-      if (lhs.time != rhs.time) return lhs.time > rhs.time;
-      return lhs.seq > rhs.seq;
-    }
-  };
+  // True if the hot head precedes the cold head in the global (time, seq)
+  // order. Both lanes draw seq from one counter, so this merge reproduces
+  // the order of a single combined heap. Preconditions: neither lane empty.
+  [[nodiscard]] bool HotIsNext() const {
+    const HotEvent& h = hot_.top();
+    const ColdEvent& c = cold_.top();
+    if (h.time != c.time) return h.time < c.time;
+    return h.seq < c.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  internal::FlatEventHeap<HotEvent> hot_;
+  internal::FlatEventHeap<ColdEvent> cold_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 #include <limits>
 
 namespace lachesis::sim {
@@ -32,6 +31,13 @@ Machine::~Machine() = default;
 CgroupId Machine::CreateCgroup(std::string name, CgroupId parent,
                                std::uint64_t shares) {
   assert(parent.value() < cgroups_.size());
+#ifndef NDEBUG
+  std::size_t depth = 1;
+  for (std::uint64_t g = parent.value(); g != 0; g = Group(g).ent.parent) {
+    ++depth;
+  }
+  assert(depth <= kMaxCgroupDepth && "cgroup hierarchy too deep");
+#endif
   auto node = std::make_unique<CgroupNode>();
   node->name = std::move(name);
   node->ent.is_group = true;
@@ -43,6 +49,8 @@ CgroupId Machine::CreateCgroup(std::string name, CgroupId parent,
   node->ent.vruntime = Group(parent.value()).min_vruntime;
   node->min_vruntime = node->ent.vruntime;
   cgroups_.push_back(std::move(node));
+  // Cached thread paths stay valid: creating a leaf group never changes an
+  // existing entity's ancestor chain (groups are never reparented).
   return CgroupId(cgroups_.size() - 1);
 }
 
@@ -52,7 +60,9 @@ void Machine::SetShares(CgroupId group, std::uint64_t shares) {
   const std::uint64_t new_weight = ClampShares(shares);
   if (g.ent.queued) {
     CgroupNode& parent = Group(g.ent.parent);
-    parent.total_queued_weight += new_weight - g.ent.weight;
+    assert(parent.total_queued_weight >= g.ent.weight);
+    parent.total_queued_weight -= g.ent.weight;
+    parent.total_queued_weight += new_weight;
   }
   g.ent.weight = new_weight;
 }
@@ -63,6 +73,15 @@ std::uint64_t Machine::GetShares(CgroupId group) const {
 
 const std::string& Machine::CgroupName(CgroupId group) const {
   return Group(group.value()).name;
+}
+
+std::uint64_t Machine::QueuedWeight(CgroupId group) const {
+  assert(group.value() < cgroups_.size());
+  return Group(group.value()).total_queued_weight;
+}
+
+SimDuration Machine::TimesliceFor(ThreadId tid) const {
+  return SliceFor(Thread(tid.value()));
 }
 
 void Machine::SetQuota(CgroupId group, SimDuration quota, SimDuration period) {
@@ -98,8 +117,8 @@ void Machine::ThrottleGroup(std::uint64_t group_idx) {
     const ThreadNode& runner =
         Thread(static_cast<std::uint64_t>(cores_[c].running));
     if (runner.rt_priority > 0) continue;  // RT exempt from CFS bandwidth
-    for (std::uint64_t a = runner.ent.parent; a != 0; a = Group(a).ent.parent) {
-      if (a == group_idx) {
+    for (std::uint32_t i = 0; i < runner.path_depth; ++i) {
+      if (runner.path[i] == group_idx) {
         TruncateCore(static_cast<int>(c));
         break;
       }
@@ -125,13 +144,22 @@ void Machine::OnQuotaRefill(std::uint64_t group_idx, std::uint64_t version) {
 
 bool Machine::PathThrottled(const ThreadNode& t) const {
   if (t.rt_priority > 0) return false;
-  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-    if (Group(g).throttled) return true;
+  for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+    if (Group(t.path[i]).throttled) return true;
   }
   return false;
 }
 
 // --- threads ----------------------------------------------------------------
+
+void Machine::BuildPath(ThreadNode& t) {
+  std::uint32_t depth = 0;
+  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
+    assert(depth < kMaxCgroupDepth);
+    t.path[depth++] = static_cast<std::uint32_t>(g);
+  }
+  t.path_depth = depth;
+}
 
 ThreadId Machine::CreateThread(std::string name,
                                std::unique_ptr<ThreadBody> body, CgroupId group,
@@ -146,6 +174,7 @@ ThreadId Machine::CreateThread(std::string name,
   node->ent.weight = NiceToWeight(node->nice);
   node->ent.parent = group.value();
   node->ent.vruntime = Group(group.value()).min_vruntime;
+  BuildPath(*node);
   threads_.push_back(std::move(node));
   const std::uint64_t idx = threads_.size() - 1;
   WakeThread(idx, params_.wakeup_check_cost);
@@ -159,7 +188,10 @@ void Machine::SetNice(ThreadId tid, int nice) {
   t.nice = nice;
   const std::uint64_t new_weight = NiceToWeight(nice);
   if (t.ent.queued) {
-    Group(t.ent.parent).total_queued_weight += new_weight - t.ent.weight;
+    CgroupNode& parent = Group(t.ent.parent);
+    assert(parent.total_queued_weight >= t.ent.weight);
+    parent.total_queued_weight -= t.ent.weight;
+    parent.total_queued_weight += new_weight;
   }
   t.ent.weight = new_weight;
 }
@@ -173,9 +205,7 @@ void Machine::SetRtPriority(ThreadId tid, int rt_priority) {
   const int old_priority = t.rt_priority;
   // Remove from whichever queue currently holds the thread.
   if (t.rt_queued) {
-    auto& fifo = rt_queues_[old_priority];
-    fifo.erase(std::find(fifo.begin(), fifo.end(), tid.value()));
-    if (fifo.empty()) rt_queues_.erase(old_priority);
+    rt_queues_.Erase(old_priority, tid.value());
     t.rt_queued = false;
   } else if (t.ent.queued) {
     DequeueEntity(t.ent);
@@ -202,16 +232,17 @@ void Machine::MoveToCgroup(ThreadId tid, CgroupId group) {
   const bool was_queued = t.ent.queued;
   if (was_queued) DequeueEntity(t.ent);
   if (t.state == ThreadState::kRunning) {
-    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-      --Group(g).running_children;
+    for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+      --Group(t.path[i]).running_children;
     }
   }
   // Re-normalize vruntime into the destination group's frame (migration).
   t.ent.vruntime += Group(new_parent).min_vruntime - Group(t.ent.parent).min_vruntime;
   t.ent.parent = new_parent;
+  BuildPath(t);
   if (t.state == ThreadState::kRunning) {
-    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-      ++Group(g).running_children;
+    for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+      ++Group(t.path[i]).running_children;
     }
   }
   if (was_queued) EnqueueEntity(t.ent, /*sleeper_clamp=*/false);
@@ -246,12 +277,6 @@ SimDuration Machine::total_busy_time() const {
 
 // --- runqueue maintenance -----------------------------------------------------
 
-Machine::SchedEntity& Machine::EntityFromKey(std::uint64_t key) {
-  const std::uint64_t id = key & ~(1ULL << 63);
-  if ((key >> 63) != 0) return Group(id).ent;
-  return Thread(id).ent;
-}
-
 void Machine::EnqueueEntity(SchedEntity& ent, bool sleeper_clamp) {
   assert(!ent.queued);
   CgroupNode& group = Group(ent.parent);
@@ -261,7 +286,7 @@ void Machine::EnqueueEntity(SchedEntity& ent, bool sleeper_clamp) {
         group.min_vruntime - static_cast<double>(params_.sleeper_bonus));
   }
   const bool was_empty = group.rq.empty();
-  group.rq.emplace(ent.vruntime, ent.key());
+  group.rq.Insert(ent);
   group.total_queued_weight += ent.weight;
   ent.queued = true;
   // A throttled group stays off its parent's runqueue until the refill.
@@ -273,7 +298,8 @@ void Machine::EnqueueEntity(SchedEntity& ent, bool sleeper_clamp) {
 void Machine::DequeueEntity(SchedEntity& ent) {
   assert(ent.queued);
   CgroupNode& group = Group(ent.parent);
-  group.rq.erase({ent.vruntime, ent.key()});
+  group.rq.Erase(ent);
+  assert(group.total_queued_weight >= ent.weight);
   group.total_queued_weight -= ent.weight;
   ent.queued = false;
   if (group.rq.empty() && !group.is_root && group.ent.queued) {
@@ -282,15 +308,12 @@ void Machine::DequeueEntity(SchedEntity& ent) {
 }
 
 void Machine::ReinsertQueued(SchedEntity& ent, double new_vruntime) {
-  CgroupNode& group = Group(ent.parent);
-  group.rq.erase({ent.vruntime, ent.key()});
-  ent.vruntime = new_vruntime;
-  group.rq.emplace(ent.vruntime, ent.key());
+  Group(ent.parent).rq.Update(ent, new_vruntime);
 }
 
 void Machine::UpdateMinVruntime(CgroupNode& group, double candidate) {
   double m = candidate;
-  if (!group.rq.empty()) m = std::min(m, group.rq.begin()->first);
+  if (!group.rq.empty()) m = std::min(m, group.rq.MinVruntime());
   group.min_vruntime = std::max(group.min_vruntime, m);
 }
 
@@ -308,11 +331,11 @@ void Machine::ChargeRunning(ThreadNode& t, SimDuration delta) {
   // CFS bandwidth: charge the quota of every limited ancestor (RT threads
   // are exempt, as in the kernel).
   if (t.rt_priority == 0) {
-    for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-      CgroupNode& group = Group(g);
+    for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+      CgroupNode& group = Group(t.path[i]);
       if (group.quota <= 0) continue;
       group.quota_used += delta;
-      if (group.quota_used >= group.quota) ThrottleGroup(g);
+      if (group.quota_used >= group.quota) ThrottleGroup(t.path[i]);
     }
   }
 
@@ -320,8 +343,8 @@ void Machine::ChargeRunning(ThreadNode& t, SimDuration delta) {
   t.ent.vruntime +=
       d * static_cast<double>(kNice0Weight) / static_cast<double>(t.ent.weight);
   UpdateMinVruntime(Group(t.ent.parent), t.ent.vruntime);
-  for (std::uint64_t g = t.ent.parent; g != 0;) {
-    CgroupNode& group = Group(g);
+  for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+    CgroupNode& group = Group(t.path[i]);
     const double new_vr = group.ent.vruntime +
                           d * static_cast<double>(kNice0Weight) /
                               static_cast<double>(group.ent.weight);
@@ -331,7 +354,6 @@ void Machine::ChargeRunning(ThreadNode& t, SimDuration delta) {
       group.ent.vruntime = new_vr;
     }
     UpdateMinVruntime(Group(group.ent.parent), group.ent.vruntime);
-    g = group.ent.parent;
   }
 }
 
@@ -381,8 +403,9 @@ void Machine::Dispatch(int core_idx, std::uint64_t thread_idx) {
   core.slice_end = t.rt_priority > 0
                        ? std::numeric_limits<SimTime>::max() / 4
                        : now() + SliceFor(t);
-  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-    ++Group(g).running_children;
+  Trace(SchedTransition::kDispatch, thread_idx);
+  for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+    ++Group(t.path[i]).running_children;
   }
   ScheduleCoreEvent(core_idx);
 }
@@ -391,11 +414,9 @@ void Machine::PickNext(int core_idx) {
   Core& core = cores_[static_cast<std::size_t>(core_idx)];
   assert(core.running < 0);
   // RT class first: highest priority, FIFO within a level.
-  if (!rt_queues_.empty()) {
-    auto it = std::prev(rt_queues_.end());
-    const std::uint64_t thread_idx = it->second.front();
-    it->second.pop_front();
-    if (it->second.empty()) rt_queues_.erase(it);
+  const int rt_priority = rt_queues_.HighestPriority();
+  if (rt_priority > 0) {
+    const std::uint64_t thread_idx = rt_queues_.PopFront(rt_priority);
     Thread(thread_idx).rt_queued = false;
     Dispatch(core_idx, thread_idx);
     return;
@@ -406,7 +427,7 @@ void Machine::PickNext(int core_idx) {
       ++core.version;  // stay idle; cancel any stale events
       return;
     }
-    SchedEntity& ent = EntityFromKey(current->rq.begin()->second);
+    SchedEntity& ent = *current->rq.Min().ent;
     if (ent.is_group) {
       current = cgroups_[ent.id].get();
       continue;
@@ -421,8 +442,8 @@ void Machine::StopRunning(int core_idx) {
   Core& core = cores_[static_cast<std::size_t>(core_idx)];
   assert(core.running >= 0);
   ThreadNode& t = Thread(static_cast<std::uint64_t>(core.running));
-  for (std::uint64_t g = t.ent.parent; g != 0; g = Group(g).ent.parent) {
-    --Group(g).running_children;
+  for (std::uint32_t i = 0; i < t.path_depth; ++i) {
+    --Group(t.path[i]).running_children;
   }
   t.core = -1;
   core.running = -1;
@@ -448,6 +469,7 @@ void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
             // Slice exhausted and there is competition: involuntary switch.
             t.state = ThreadState::kRunnable;
             ++t.stats.nr_preemptions;
+            Trace(SchedTransition::kPreempt, thread_idx);
             StopRunning(core_idx);
             RequeueRunnable(t, /*preempted=*/true);
             PickNext(core_idx);
@@ -464,6 +486,7 @@ void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
         t.waiting = action.channel;
         t.state = ThreadState::kBlocked;
         ++t.version;
+        Trace(SchedTransition::kBlock, thread_idx);
         StopRunning(core_idx);
         PickNext(core_idx);
         return;
@@ -471,6 +494,7 @@ void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
       case Action::Kind::kSleep: {
         t.state = ThreadState::kSleeping;
         ++t.version;
+        Trace(SchedTransition::kSleep, thread_idx);
         sim_->ScheduleAfter(std::max<SimDuration>(action.duration, 0), this,
                             kTimerWake, thread_idx, t.version);
         StopRunning(core_idx);
@@ -480,6 +504,7 @@ void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
       case Action::Kind::kExit: {
         t.state = ThreadState::kExited;
         ++t.version;
+        Trace(SchedTransition::kExit, thread_idx);
         StopRunning(core_idx);
         PickNext(core_idx);
         return;
@@ -495,12 +520,11 @@ void Machine::RequeueRunnable(ThreadNode& t, bool preempted) {
   t.enqueued_at = now();
   if (t.rt_priority > 0) {
     assert(!t.rt_queued);
-    auto& fifo = rt_queues_[t.rt_priority];
     // A preempted RT thread resumes ahead of its FIFO peers (SCHED_FIFO).
     if (preempted) {
-      fifo.push_front(t.ent.id);
+      rt_queues_.PushFront(t.rt_priority, t.ent.id);
     } else {
-      fifo.push_back(t.ent.id);
+      rt_queues_.PushBack(t.rt_priority, t.ent.id);
     }
     t.rt_queued = true;
     return;
@@ -517,10 +541,9 @@ void Machine::TruncateCore(int core_idx) {
 }
 
 std::int64_t Machine::PeekRt() const {
-  if (rt_queues_.empty()) return -1;
-  const auto& fifo = rt_queues_.rbegin()->second;
-  assert(!fifo.empty());
-  return static_cast<std::int64_t>(fifo.front());
+  const int priority = rt_queues_.HighestPriority();
+  if (priority < 0) return -1;
+  return static_cast<std::int64_t>(rt_queues_.Front(priority));
 }
 
 void Machine::WakeThread(std::uint64_t thread_idx, SimDuration startup_cost) {
@@ -529,44 +552,49 @@ void Machine::WakeThread(std::uint64_t thread_idx, SimDuration startup_cost) {
          t.state == ThreadState::kSleeping);
   ++t.stats.nr_wakeups;
   t.state = ThreadState::kRunnable;
+  Trace(SchedTransition::kWake, thread_idx);
   t.remaining_compute += startup_cost;
   RequeueRunnable(t, /*preempted=*/false);
   TryDispatchWake(thread_idx);
 }
 
 double Machine::PreemptMargin(const ThreadNode& wakee, const ThreadNode& runner) {
-  // Build root-first (group, vruntime, weight) paths for both threads; the
-  // runner's entities are projected forward by its uncharged runtime.
+  // Root-first (group, vruntime, weight) paths for both threads; the
+  // runner's entities are projected forward by its uncharged runtime. The
+  // cached ancestor chains bound the depth, so both paths live in inline
+  // arrays -- no allocation on the wakeup path.
   struct Level {
     std::uint64_t group;
     double vruntime;
     std::uint64_t weight;
   };
-  auto build = [&](const ThreadNode& t, double extra_runtime) {
-    std::vector<Level> path;
-    path.push_back({t.ent.parent,
-                    t.ent.vruntime + extra_runtime *
-                                         static_cast<double>(kNice0Weight) /
-                                         static_cast<double>(t.ent.weight),
-                    t.ent.weight});
-    for (std::uint64_t g = t.ent.parent; g != 0;) {
-      const CgroupNode& group = Group(g);
-      path.push_back({group.ent.parent,
-                      group.ent.vruntime +
-                          extra_runtime * static_cast<double>(kNice0Weight) /
-                              static_cast<double>(group.ent.weight),
-                      group.ent.weight});
-      g = group.ent.parent;
+  using Path = std::array<Level, kMaxCgroupDepth + 1>;
+  // Fills `out` root-first and returns the level count: ancestor groups
+  // from the top-level group down, then the thread itself.
+  auto build = [&](const ThreadNode& t, double extra_runtime, Path& out) {
+    const std::uint32_t depth = t.path_depth;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      const CgroupNode& group = Group(t.path[depth - 1 - i]);
+      out[i] = {group.ent.parent,
+                group.ent.vruntime +
+                    extra_runtime * static_cast<double>(kNice0Weight) /
+                        static_cast<double>(group.ent.weight),
+                group.ent.weight};
     }
-    std::reverse(path.begin(), path.end());  // root-first
-    return path;
+    out[depth] = {t.ent.parent,
+                  t.ent.vruntime + extra_runtime *
+                                       static_cast<double>(kNice0Weight) /
+                                       static_cast<double>(t.ent.weight),
+                  t.ent.weight};
+    return static_cast<std::size_t>(depth) + 1;
   };
   const auto delta = static_cast<double>(now() - runner.run_start);
-  const auto wakee_path = build(wakee, 0.0);
-  const auto runner_path = build(runner, delta);
+  Path wakee_path, runner_path;
+  const std::size_t wakee_levels = build(wakee, 0.0, wakee_path);
+  const std::size_t runner_levels = build(runner, delta, runner_path);
   // Find the deepest level where both paths share the containing group.
   std::size_t level = 0;
-  const std::size_t max_level = std::min(wakee_path.size(), runner_path.size());
+  const std::size_t max_level = std::min(wakee_levels, runner_levels);
   while (level + 1 < max_level &&
          wakee_path[level + 1].group == runner_path[level + 1].group) {
     ++level;
@@ -682,6 +710,7 @@ void Machine::OnCoreEvent(std::uint64_t core_idx, std::uint64_t version) {
     }
     t.state = ThreadState::kRunnable;
     ++t.stats.nr_preemptions;
+    Trace(SchedTransition::kPreempt, thread_idx);
     StopRunning(static_cast<int>(core_idx));
     RequeueRunnable(t, /*preempted=*/true);
     PickNext(static_cast<int>(core_idx));

@@ -13,11 +13,10 @@
 #ifndef LACHESIS_SIM_MACHINE_H_
 #define LACHESIS_SIM_MACHINE_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "common/sim_time.h"
 #include "sim/cfs_params.h"
 #include "sim/event_queue.h"
+#include "sim/runqueue.h"
 #include "sim/simulator.h"
 #include "sim/thread.h"
 #include "sim/weights.h"
@@ -33,6 +33,27 @@
 namespace lachesis::sim {
 
 class Machine;
+
+// Scheduler state transitions observable through SchedTraceObserver. The
+// numeric values are part of the golden-trace digest format; do not reorder.
+enum class SchedTransition : std::int32_t {
+  kWake = 0,      // blocked/sleeping/new -> runnable
+  kDispatch = 1,  // runnable -> running on a core
+  kPreempt = 2,   // involuntarily descheduled (slice end / need_resched)
+  kBlock = 3,     // running -> blocked on a WaitChannel
+  kSleep = 4,     // running -> timed sleep
+  kExit = 5,      // running -> exited
+};
+
+// Observer of scheduler transitions, used by the golden-trace determinism
+// tests and schedule debugging. Callbacks fire synchronously on the
+// scheduler's hot path; implementations must not mutate the machine.
+class SchedTraceObserver {
+ public:
+  virtual ~SchedTraceObserver() = default;
+  virtual void OnSchedTransition(SimTime time, ThreadId tid,
+                                 SchedTransition kind) = 0;
+};
 
 // Condition-variable-like wakeup channel. Bodies block on it via
 // Action::Wait and producers wake them with NotifyOne/NotifyAll; a woken
@@ -94,6 +115,11 @@ class Machine final : public EventSink {
   [[nodiscard]] const ThreadStats& GetStats(ThreadId tid) const;
   [[nodiscard]] const std::string& ThreadName(ThreadId tid) const;
   [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  // Sum of the weights currently queued in `group`'s runqueue (diagnostic;
+  // the denominator of SliceFor for that group's children).
+  [[nodiscard]] std::uint64_t QueuedWeight(CgroupId group) const;
+  // The CFS timeslice the thread would receive if dispatched now.
+  [[nodiscard]] SimDuration TimesliceFor(ThreadId tid) const;
 
   // --- introspection -------------------------------------------------------
   [[nodiscard]] SimTime now() const { return sim_->now(); }
@@ -104,30 +130,22 @@ class Machine final : public EventSink {
   // Aggregate busy time over all cores since simulation start.
   [[nodiscard]] SimDuration total_busy_time() const;
 
+  // Installs (or clears, with nullptr) the transition observer.
+  void set_trace_observer(SchedTraceObserver* observer) {
+    trace_observer_ = observer;
+  }
+
   // EventSink:
   void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) override;
 
  private:
   friend class WaitChannel;
 
-  // Scheduling entity: a thread or a cgroup inside its parent's runqueue.
-  struct SchedEntity {
-    bool is_group = false;
-    std::uint64_t id = 0;  // thread index or cgroup index
-    std::uint64_t weight = kNice0Weight;
-    double vruntime = 0.0;
-    std::uint64_t parent = 0;  // cgroup index of the containing group
-    bool queued = false;
-    [[nodiscard]] std::uint64_t key() const {
-      return (static_cast<std::uint64_t>(is_group) << 63) | id;
-    }
-  };
-
   struct CgroupNode {
     std::string name;
     SchedEntity ent;
     // Queued children ordered by (vruntime, key).
-    std::set<std::pair<double, std::uint64_t>> rq;
+    CfsRunQueue rq;
     std::uint64_t total_queued_weight = 0;
     double min_vruntime = 0.0;
     int running_children = 0;  // running threads whose path crosses this group
@@ -157,6 +175,13 @@ class Machine final : public EventSink {
     std::uint64_t version = 0;  // invalidates stale timer events
     WaitChannel* waiting = nullptr;
     ThreadStats stats;
+    // Cached ancestor cgroup chain, deepest (the direct parent) first and
+    // excluding the root. Rebuilt eagerly by CreateThread/MoveToCgroup --
+    // the only operations that change a thread's containing chain, since
+    // cgroups are never reparented. ChargeRunning, PathThrottled, and the
+    // running_children walks iterate this instead of chasing parent links.
+    std::array<std::uint32_t, kMaxCgroupDepth> path{};
+    std::uint32_t path_depth = 0;
   };
 
   struct Core {
@@ -172,7 +197,15 @@ class Machine final : public EventSink {
   static constexpr std::int32_t kTimerWake = 2;
   static constexpr std::int32_t kQuotaRefill = 3;
 
-  SchedEntity& EntityFromKey(std::uint64_t key);
+  void Trace(SchedTransition kind, std::uint64_t thread_idx) {
+    if (trace_observer_ != nullptr) {
+      trace_observer_->OnSchedTransition(now(), ThreadId(thread_idx), kind);
+    }
+  }
+
+  // Rebuilds t.path from the current cgroup hierarchy.
+  void BuildPath(ThreadNode& t);
+
   CgroupNode& Group(std::uint64_t idx) { return *cgroups_[idx]; }
   const CgroupNode& Group(std::uint64_t idx) const { return *cgroups_[idx]; }
   ThreadNode& Thread(std::uint64_t idx) { return *threads_[idx]; }
@@ -226,8 +259,9 @@ class Machine final : public EventSink {
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<CgroupNode>> cgroups_;
   std::vector<std::unique_ptr<ThreadNode>> threads_;
-  // RT runqueues: priority -> FIFO of thread indices.
-  std::map<int, std::deque<std::uint64_t>> rt_queues_;
+  // RT runqueues: fixed priority levels plus bitmap (SCHED_FIFO).
+  RtRunQueue rt_queues_;
+  SchedTraceObserver* trace_observer_ = nullptr;
 };
 
 }  // namespace lachesis::sim

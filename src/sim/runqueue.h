@@ -1,0 +1,278 @@
+// Allocation-free runqueues for the simulated CFS/RT scheduler.
+//
+// CfsRunQueue replaces the per-cgroup std::set<pair<vruntime, key>> of the
+// seed implementation: an index-based flat binary min-heap over scheduling
+// entities, ordered by (vruntime, key). Each entity carries its current
+// heap position (SchedEntity::rq_pos), so erase and reposition are O(log n)
+// with no per-node allocation. Because the (vruntime, key) order is a total
+// order (keys are unique), the heap minimum is the exact element std::set's
+// begin() produced -- scheduling decisions are bit-identical.
+//
+// RtRunQueue mirrors the kernel's RT runqueue: a fixed 100-level array of
+// FIFO rings plus a two-word priority bitmap for O(1) highest-priority
+// lookup. Rings grow once to the working-set size and are then reused.
+#ifndef LACHESIS_SIM_RUNQUEUE_H_
+#define LACHESIS_SIM_RUNQUEUE_H_
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/weights.h"
+
+namespace lachesis::sim {
+
+// Maximum supported depth of the cgroup hierarchy (number of non-root
+// ancestors of any entity). The paper's translators create at most
+// query-group -> operator-group nests; 16 leaves ample headroom and lets
+// per-thread ancestor paths live in fixed inline arrays.
+inline constexpr std::size_t kMaxCgroupDepth = 16;
+
+// Scheduling entity: a thread or a cgroup inside its parent's runqueue.
+struct SchedEntity {
+  bool is_group = false;
+  std::uint64_t id = 0;  // thread index or cgroup index
+  std::uint64_t weight = kNice0Weight;
+  double vruntime = 0.0;
+  std::uint64_t parent = 0;   // cgroup index of the containing group
+  bool queued = false;
+  std::int32_t rq_pos = -1;   // heap slot while queued, -1 otherwise
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(is_group) << 63) | id;
+  }
+};
+
+// Flat min-heap of queued children of one cgroup, ordered by
+// (vruntime, key). Entries cache the entity pointer so the scheduler can go
+// from heap minimum to entity without an index lookup.
+class CfsRunQueue {
+ public:
+  struct Entry {
+    double vruntime;
+    std::uint64_t key;
+    SchedEntity* ent;
+  };
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // The queued child with the smallest (vruntime, key). Precondition:
+  // !empty().
+  [[nodiscard]] const Entry& Min() const {
+    assert(!heap_.empty());
+    return heap_.front();
+  }
+
+  [[nodiscard]] double MinVruntime() const { return Min().vruntime; }
+
+  void Insert(SchedEntity& ent) {
+    assert(ent.rq_pos < 0);
+    heap_.push_back(Entry{ent.vruntime, ent.key(), &ent});
+    SiftUp(heap_.size() - 1);
+  }
+
+  void Erase(SchedEntity& ent) {
+    assert(ent.rq_pos >= 0 &&
+           static_cast<std::size_t>(ent.rq_pos) < heap_.size());
+    const auto hole = static_cast<std::size_t>(ent.rq_pos);
+    ent.rq_pos = -1;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (hole == heap_.size()) return;  // removed the tail slot
+    heap_[hole] = last;
+    heap_[hole].ent->rq_pos = static_cast<std::int32_t>(hole);
+    Resift(hole);
+  }
+
+  // Repositions a queued entity after its vruntime changed.
+  void Update(SchedEntity& ent, double new_vruntime) {
+    assert(ent.rq_pos >= 0 &&
+           static_cast<std::size_t>(ent.rq_pos) < heap_.size());
+    ent.vruntime = new_vruntime;
+    const auto pos = static_cast<std::size_t>(ent.rq_pos);
+    heap_[pos].vruntime = new_vruntime;
+    Resift(pos);
+  }
+
+ private:
+  static bool Less(const Entry& lhs, const Entry& rhs) {
+    if (lhs.vruntime != rhs.vruntime) return lhs.vruntime < rhs.vruntime;
+    return lhs.key < rhs.key;
+  }
+
+  void Place(std::size_t pos, const Entry& entry) {
+    heap_[pos] = entry;
+    entry.ent->rq_pos = static_cast<std::int32_t>(pos);
+  }
+
+  void SiftUp(std::size_t hole) {
+    const Entry entry = heap_[hole];
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!Less(entry, heap_[parent])) break;
+      Place(hole, heap_[parent]);
+      hole = parent;
+    }
+    Place(hole, entry);
+  }
+
+  void SiftDown(std::size_t hole) {
+    const Entry entry = heap_[hole];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * hole + 1;
+      if (child >= n) break;
+      if (child + 1 < n && Less(heap_[child + 1], heap_[child])) ++child;
+      if (!Less(heap_[child], entry)) break;
+      Place(hole, heap_[child]);
+      hole = child;
+    }
+    Place(hole, entry);
+  }
+
+  void Resift(std::size_t pos) {
+    if (pos > 0 && Less(heap_[pos], heap_[(pos - 1) / 2])) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  std::vector<Entry> heap_;
+};
+
+// 100-level SCHED_FIFO runqueue with a priority bitmap, as in the kernel.
+// Each level is a ring buffer supporting push-front (preempted threads
+// resume ahead of their FIFO peers) without allocation in steady state.
+class RtRunQueue {
+ public:
+  static constexpr int kLevels = 100;  // priorities 0..99; 0 unused (CFS)
+
+  [[nodiscard]] bool empty() const { return bitmap_[0] == 0 && bitmap_[1] == 0; }
+
+  // Highest non-empty priority, or -1 when the queue is empty.
+  [[nodiscard]] int HighestPriority() const {
+    if (bitmap_[1] != 0) {
+      return 64 + 63 - std::countl_zero(bitmap_[1]);
+    }
+    if (bitmap_[0] != 0) {
+      return 63 - std::countl_zero(bitmap_[0]);
+    }
+    return -1;
+  }
+
+  void PushBack(int priority, std::uint64_t tid) {
+    Level(priority).PushBack(tid);
+    MarkNonEmpty(priority);
+  }
+
+  void PushFront(int priority, std::uint64_t tid) {
+    Level(priority).PushFront(tid);
+    MarkNonEmpty(priority);
+  }
+
+  [[nodiscard]] std::uint64_t Front(int priority) const {
+    return levels_[static_cast<std::size_t>(priority)].Front();
+  }
+
+  std::uint64_t PopFront(int priority) {
+    Fifo& fifo = Level(priority);
+    const std::uint64_t tid = fifo.PopFront();
+    if (fifo.empty()) MarkEmpty(priority);
+    return tid;
+  }
+
+  // Removes `tid` from wherever it sits in `priority`'s FIFO (priority
+  // changes of queued threads; rare, O(level size)).
+  void Erase(int priority, std::uint64_t tid) {
+    Fifo& fifo = Level(priority);
+    fifo.Erase(tid);
+    if (fifo.empty()) MarkEmpty(priority);
+  }
+
+ private:
+  // Power-of-two ring buffer of thread indices.
+  class Fifo {
+   public:
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+
+    [[nodiscard]] std::uint64_t Front() const {
+      assert(count_ > 0);
+      return ring_[head_];
+    }
+
+    void PushBack(std::uint64_t tid) {
+      GrowIfFull();
+      ring_[(head_ + count_) & (ring_.size() - 1)] = tid;
+      ++count_;
+    }
+
+    void PushFront(std::uint64_t tid) {
+      GrowIfFull();
+      head_ = (head_ + ring_.size() - 1) & (ring_.size() - 1);
+      ring_[head_] = tid;
+      ++count_;
+    }
+
+    std::uint64_t PopFront() {
+      assert(count_ > 0);
+      const std::uint64_t tid = ring_[head_];
+      head_ = (head_ + 1) & (ring_.size() - 1);
+      --count_;
+      return tid;
+    }
+
+    void Erase(std::uint64_t tid) {
+      for (std::size_t i = 0; i < count_; ++i) {
+        const std::size_t slot = (head_ + i) & (ring_.size() - 1);
+        if (ring_[slot] != tid) continue;
+        // Shift the tail segment forward one slot, preserving FIFO order.
+        for (std::size_t j = i + 1; j < count_; ++j) {
+          const std::size_t from = (head_ + j) & (ring_.size() - 1);
+          const std::size_t to = (head_ + j - 1) & (ring_.size() - 1);
+          ring_[to] = ring_[from];
+        }
+        --count_;
+        return;
+      }
+      assert(false && "thread not on this RT level");
+    }
+
+   private:
+    void GrowIfFull() {
+      if (count_ < ring_.size()) return;
+      std::vector<std::uint64_t> grown(ring_.empty() ? 8 : ring_.size() * 2);
+      for (std::size_t i = 0; i < count_; ++i) {
+        grown[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+      }
+      ring_ = std::move(grown);
+      head_ = 0;
+    }
+
+    std::vector<std::uint64_t> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  Fifo& Level(int priority) {
+    assert(priority > 0 && priority < kLevels);
+    return levels_[static_cast<std::size_t>(priority)];
+  }
+
+  void MarkNonEmpty(int priority) {
+    bitmap_[priority / 64] |= 1ULL << (priority % 64);
+  }
+
+  void MarkEmpty(int priority) {
+    bitmap_[priority / 64] &= ~(1ULL << (priority % 64));
+  }
+
+  std::array<Fifo, kLevels> levels_;
+  std::uint64_t bitmap_[2] = {0, 0};
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_RUNQUEUE_H_

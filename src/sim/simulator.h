@@ -18,6 +18,11 @@ class Simulator {
  public:
   [[nodiscard]] SimTime now() const { return now_; }
 
+  // Pre-sizes the event queue's lanes so steady-state runs never reallocate.
+  void ReserveEvents(std::size_t hot_events, std::size_t cold_events = 0) {
+    queue_.Reserve(hot_events, cold_events);
+  }
+
   void ScheduleAt(SimTime time, EventSink* sink, std::int32_t code,
                   std::uint64_t a, std::uint64_t b) {
     assert(time >= now_);

@@ -81,8 +81,8 @@ void TraceReplaySource::StartPaced(double speedup, SimTime until) {
   position_ = 0;
   const SimTime first = NextEmissionTime(sim_->now());
   if (first <= until_) {
-    sim_->ScheduleAt(std::max(first, sim_->now()),
-                     [this, first] { EmitAndScheduleNext(first); });
+    sim_->ScheduleAt(std::max(first, sim_->now()), this, /*code=*/0,
+                     static_cast<std::uint64_t>(first), 0);
   }
 }
 
@@ -95,8 +95,14 @@ void TraceReplaySource::StartAtRate(double rate_tps, SimTime until) {
   position_ = 0;
   const SimTime first = sim_->now() + fixed_period_;
   if (first <= until_) {
-    sim_->ScheduleAt(first, [this, first] { EmitAndScheduleNext(first); });
+    sim_->ScheduleAt(first, this, /*code=*/0,
+                     static_cast<std::uint64_t>(first), 0);
   }
+}
+
+void TraceReplaySource::HandleEvent(std::int32_t /*code*/, std::uint64_t a,
+                                    std::uint64_t /*b*/) {
+  EmitAndScheduleNext(static_cast<SimTime>(a));
 }
 
 void TraceReplaySource::EmitAndScheduleNext(SimTime when) {
@@ -116,7 +122,8 @@ void TraceReplaySource::EmitAndScheduleNext(SimTime when) {
   }
   const SimTime next = std::max(NextEmissionTime(when), when + 1);
   if (next <= until_) {
-    sim_->ScheduleAt(next, [this, next] { EmitAndScheduleNext(next); });
+    sim_->ScheduleAt(next, this, /*code=*/0, static_cast<std::uint64_t>(next),
+                     0);
   }
 }
 

@@ -44,10 +44,15 @@ std::vector<TraceRecord> RecordTrace(
     const std::function<Tuple(Rng&, std::uint64_t)>& generator, double rate,
     SimDuration duration, std::uint64_t seed);
 
-class TraceReplaySource {
+// Replay emission rides the event queue's hot lane: one POD event per
+// tuple, carrying the logical emission time as payload (in paced mode the
+// first emission may be scheduled later than its logical time).
+class TraceReplaySource final : public sim::EventSink {
  public:
   TraceReplaySource(sim::Simulator& sim, std::vector<TupleQueue*> channels,
                     std::vector<TraceRecord> trace);
+
+  void HandleEvent(std::int32_t code, std::uint64_t a, std::uint64_t b) override;
 
   // Replays at the recorded pacing compressed/stretched by `speedup`
   // (2.0 = twice the recorded rate), looping until `until`.

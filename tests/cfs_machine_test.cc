@@ -338,5 +338,61 @@ TEST(MachineTest, NestedCgroupHierarchy) {
   EXPECT_NEAR(b_time / a_time, 3.0, 0.25);
 }
 
+// Regression: re-nicing a thread WHILE IT IS QUEUED must adjust the
+// parent's total_queued_weight by the signed difference. The seed updated
+// it as `total += new - old` on unsigned values; a weight decrease
+// (raising nice) wrapped the intermediate, and only two's-complement
+// addition hid it. The fixed subtract-then-add form asserts instead of
+// wrapping, and the queued-weight sum must stay exact.
+TEST(MachineTest, ReniceQueuedThreadKeepsQueuedWeightConsistent) {
+  Simulator sim;
+  Machine m(sim, 1, NoOverheadParams());
+  // One runner occupies the core, so the others stay queued.
+  m.CreateThread("runner", std::make_unique<BusyLoop>(), m.root_cgroup());
+  const ThreadId queued_a =
+      m.CreateThread("qa", std::make_unique<BusyLoop>(), m.root_cgroup());
+  const ThreadId queued_b =
+      m.CreateThread("qb", std::make_unique<BusyLoop>(), m.root_cgroup());
+  sim.RunUntil(Micros(100));
+  ASSERT_EQ(m.GetState(queued_a), ThreadState::kRunnable);
+
+  const std::uint64_t before = m.QueuedWeight(m.root_cgroup());
+  // Raise nice (lower weight) on a queued thread: the wraparound case.
+  m.SetNice(queued_a, 10);
+  const std::uint64_t after_up = m.QueuedWeight(m.root_cgroup());
+  // Then lower nice (raise weight) past the original.
+  m.SetNice(queued_a, -10);
+  const std::uint64_t after_down = m.QueuedWeight(m.root_cgroup());
+
+  const std::uint64_t w0 = NiceToWeight(0);
+  EXPECT_EQ(after_up, before - w0 + NiceToWeight(10));
+  EXPECT_EQ(after_down, before - w0 + NiceToWeight(-10));
+
+  // The timeslice derives from the queued weight; it must reflect the new
+  // weights and the machine must keep scheduling sanely afterwards.
+  EXPECT_GT(m.TimesliceFor(queued_a), 0);
+  sim.RunUntil(Seconds(1));
+  EXPECT_GT(m.GetStats(queued_a).cpu_time, 0);
+  EXPECT_GT(m.GetStats(queued_b).cpu_time, 0);
+}
+
+// Same wraparound class for cgroups: shrinking a queued group's shares.
+TEST(MachineTest, ShrinkQueuedGroupSharesKeepsQueuedWeightConsistent) {
+  Simulator sim;
+  Machine m(sim, 1, NoOverheadParams());
+  const CgroupId g = m.CreateCgroup("g", m.root_cgroup(), 4096);
+  m.CreateThread("runner", std::make_unique<BusyLoop>(), m.root_cgroup());
+  m.CreateThread("grouped", std::make_unique<BusyLoop>(), g);
+  sim.RunUntil(Micros(100));
+  const std::uint64_t before = m.QueuedWeight(m.root_cgroup());
+  m.SetShares(g, 64);  // large decrease: wrapped in the seed formulation
+  EXPECT_EQ(m.QueuedWeight(m.root_cgroup()), before - 4096 + 64);
+  sim.RunUntil(Seconds(1));
+  // Whichever thread is on the core now, the group's queued weight is
+  // either empty or exactly one nice-0 thread -- never a wrapped value.
+  const std::uint64_t qw = m.QueuedWeight(g);
+  EXPECT_TRUE(qw == 0 || qw == kNice0Weight);
+}
+
 }  // namespace
 }  // namespace lachesis::sim

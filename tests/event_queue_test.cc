@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,6 +52,108 @@ TEST(EventQueueTest, SinkEventsCarryPayload) {
   EXPECT_EQ(sink.events[0].code, 7);
   EXPECT_EQ(sink.events[0].a, 11u);
   EXPECT_EQ(sink.events[0].b, 13u);
+}
+
+// The two lanes share one sequence counter, so ties between a hot (sink)
+// and a cold (closure) event at the same instant resolve in insertion
+// order -- exactly as a single combined heap would.
+TEST(EventQueueTest, LanesMergeInInsertionOrderOnTies) {
+  EventQueue q;
+  std::vector<int> order;
+  class PushOrder final : public EventSink {
+   public:
+    void HandleEvent(std::int32_t code, std::uint64_t, std::uint64_t) override {
+      order_->push_back(code);
+    }
+    std::vector<int>* order_ = nullptr;
+  };
+  PushOrder sink;
+  sink.order_ = &order;
+  q.Push(5, &sink, 0, 0, 0);            // hot, seq 0
+  q.Push(5, [&] { order.push_back(1); });  // cold, seq 1
+  q.Push(5, &sink, 2, 0, 0);            // hot, seq 2
+  q.Push(3, [&] { order.push_back(3); });  // cold, earlier time
+  while (!q.empty()) q.PopAndDispatch();
+  EXPECT_EQ(order, (std::vector<int>{3, 0, 1, 2}));
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsGlobalOrder) {
+  EventQueue q;
+  q.Reserve(64, 64);
+  std::vector<int> order;
+  q.Push(40, [&] { order.push_back(40); });
+  q.Push(10, [&] { order.push_back(10); });
+  q.PopAndDispatch();  // fires 10
+  q.Push(20, [&] { order.push_back(20); });
+  q.Push(30, [&] { order.push_back(30); });
+  while (!q.empty()) q.PopAndDispatch();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30, 40}));
+}
+
+TEST(EventQueueTest, NextTimeMergesBothLanes) {
+  EventQueue q;
+  RecordingSink sink;
+  q.Push(50, &sink, 0, 0, 0);
+  EXPECT_EQ(q.next_time(), 50);
+  q.Push(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+  q.Push(10, &sink, 0, 0, 0);
+  EXPECT_EQ(q.next_time(), 10);
+  q.PopAndDispatch();
+  EXPECT_EQ(q.next_time(), 20);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueueTest, ClearKeepsQueueUsable) {
+  EventQueue q;
+  RecordingSink sink;
+  for (int i = 0; i < 100; ++i) q.Push(i, &sink, i, 0, 0);
+  for (int i = 0; i < 100; ++i) q.Push(i, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.Push(7, &sink, 42, 0, 0);
+  q.PopAndDispatch();
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].code, 42);
+}
+
+// Heavy randomized interleaving against a reference model: the queue must
+// dispatch every event exactly once in (time, insertion) order.
+TEST(EventQueueTest, RandomizedStressMatchesReferenceOrder) {
+  EventQueue q;
+  std::vector<std::pair<SimTime, int>> dispatched;
+  std::vector<std::pair<SimTime, int>> expected;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next_rand = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int id = 0;
+  SimTime clock = 0;
+  for (int round = 0; round < 50; ++round) {
+    const int pushes = static_cast<int>(next_rand() % 40);
+    for (int i = 0; i < pushes; ++i) {
+      const SimTime t = clock + static_cast<SimTime>(next_rand() % 1000);
+      const int tag = id++;
+      expected.push_back({t, tag});
+      q.Push(t, [&dispatched, t, tag] { dispatched.push_back({t, tag}); });
+    }
+    const int pops = static_cast<int>(next_rand() % 30);
+    for (int i = 0; i < pops && !q.empty(); ++i) {
+      clock = q.next_time();  // times only move forward, like the Simulator
+      q.PopAndDispatch();
+    }
+  }
+  while (!q.empty()) q.PopAndDispatch();
+  // Stable sort by time reproduces (time, insertion-order).
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& lhs, const auto& rhs) {
+                     return lhs.first < rhs.first;
+                   });
+  EXPECT_EQ(dispatched, expected);
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
