@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Conformance fuzzing gate: builds the conformance_fuzz binary under
+# ASan/UBSan and runs a short fixed-seed budget, replaying (and persisting
+# to) the checked-in failing-seed corpus. Usage:
+#   ci/run_conformance.sh [build-dir]
+# Environment:
+#   LACHESIS_SANITIZE      sanitizer list (default address,undefined)
+#   CONFORMANCE_SEEDS      number of fresh seeds to sweep (default 500)
+#   CONFORMANCE_BUDGET_MS  wall-clock budget for the sweep (default 120000)
+set -euo pipefail
+
+SRC_DIR=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$SRC_DIR/build-conformance"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
+  -DLACHESIS_SANITIZE="${LACHESIS_SANITIZE:-address,undefined}"
+cmake --build "$BUILD_DIR" -j "$JOBS" --target conformance_fuzz
+
+status=0
+"$BUILD_DIR/src/conformance/conformance_fuzz" \
+  --seeds="${CONFORMANCE_SEEDS:-500}" \
+  --budget-ms="${CONFORMANCE_BUDGET_MS:-120000}" \
+  --corpus="$SRC_DIR/tests/conformance_corpus" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "run_conformance.sh: conformance_fuzz exited with status $status" >&2
+fi
+exit "$status"

@@ -1,0 +1,199 @@
+// Standalone conformance fuzzer.
+//
+// Sweeps seeds through GenerateScenario, runs every invariant checker (and
+// the metamorphic properties on eligible scenarios), and finishes with one
+// sim<->native differential pass per mode. Failing seeds are minimized and
+// persisted to the corpus directory as seed-<N>.txt; existing corpus entries
+// are replayed first so past failures act as regressions.
+//
+// Usage:
+//   conformance_fuzz [--seeds=N] [--start-seed=N] [--budget-ms=N]
+//                    [--corpus=DIR] [--no-differential]
+//
+// Exit status is 0 only if every replayed and freshly generated scenario
+// passed and the differential pass did not mismatch (skips are fine).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "conformance/differential.h"
+#include "conformance/harness.h"
+#include "conformance/scenario.h"
+
+namespace {
+
+namespace conf = lachesis::conformance;
+namespace fs = std::filesystem;
+
+struct Options {
+  std::uint64_t seeds = 200;
+  std::uint64_t start_seed = 1;
+  long budget_ms = -1;  // < 0: no wall-clock budget
+  std::string corpus;
+  bool differential = true;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string& value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "seeds", value)) {
+      opts.seeds = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "start-seed", value)) {
+      opts.start_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "budget-ms", value)) {
+      opts.budget_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "corpus", value)) {
+      opts.corpus = value;
+    } else if (arg == "--no-differential") {
+      opts.differential = false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: conformance_fuzz [--seeds=N] [--start-seed=N] "
+                   "[--budget-ms=N] [--corpus=DIR] [--no-differential]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Full check for one seed: invariants over the run, then metamorphic
+// properties when the scenario is eligible and the base run was clean.
+conf::CheckReport CheckSeed(std::uint64_t seed) {
+  const conf::ScenarioSpec spec = conf::GenerateScenario(seed);
+  conf::CheckReport report = conf::CheckScenario(spec);
+  if (report.ok() && spec.FairnessEligible()) {
+    report = conf::CheckMetamorphic(spec);
+  }
+  return report;
+}
+
+void PersistFailure(const std::string& corpus, std::uint64_t seed,
+                    const conf::CheckReport& report) {
+  if (corpus.empty()) return;
+  std::error_code ec;
+  fs::create_directories(corpus, ec);
+  const conf::ScenarioSpec minimized =
+      conf::MinimizeFailure(conf::GenerateScenario(seed));
+  const fs::path path = fs::path(corpus) / ("seed-" + std::to_string(seed) +
+                                            ".txt");
+  std::ofstream out(path);
+  out << "# minimized failing scenario; replayed from the seed line below\n"
+      << conf::Describe(minimized) << "violations:\n"
+      << report.Summary();
+  std::cout << "  persisted " << path.string() << "\n";
+}
+
+// Replays every seed-<N>.txt under the corpus directory. Returns the number
+// of entries that fail again.
+int ReplayCorpus(const std::string& corpus) {
+  if (corpus.empty()) return 0;
+  std::error_code ec;
+  if (!fs::is_directory(corpus, ec)) return 0;
+  int failures = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seed-", 0) != 0 || entry.path().extension() != ".txt") {
+      continue;
+    }
+    const std::uint64_t seed =
+        std::strtoull(name.c_str() + 5, nullptr, 10);
+    const conf::CheckReport report = CheckSeed(seed);
+    if (report.ok()) {
+      std::cout << "corpus " << name << ": ok\n";
+    } else {
+      std::cout << "corpus " << name << ": FAIL\n" << report.Summary();
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+const char* StatusName(conf::DiffStatus status) {
+  switch (status) {
+    case conf::DiffStatus::kAgree: return "agree";
+    case conf::DiffStatus::kSkipped: return "skipped";
+    case conf::DiffStatus::kMismatch: return "MISMATCH";
+  }
+  return "?";
+}
+
+// Returns true unless a differential mode mismatched (skips are fine).
+bool RunDifferential() {
+  const conf::DiffConfig config;
+  bool ok = true;
+  const conf::DiffResult nice_diff =
+      conf::RunNiceDifferential({0, 5, 10}, config);
+  std::cout << "differential nice: " << StatusName(nice_diff.status) << " -- "
+            << nice_diff.message << "\n";
+  for (const conf::DiffShare& share : nice_diff.shares) {
+    std::cout << "  sim " << share.sim_fraction << " native "
+              << share.native_fraction << "\n";
+  }
+  ok = ok && nice_diff.status != conf::DiffStatus::kMismatch;
+  const conf::DiffResult shares_diff =
+      conf::RunSharesDifferential({1024, 4096}, config);
+  std::cout << "differential shares: " << StatusName(shares_diff.status)
+            << " -- " << shares_diff.message << "\n";
+  for (const conf::DiffShare& share : shares_diff.shares) {
+    std::cout << "  sim " << share.sim_fraction << " native "
+              << share.native_fraction << "\n";
+  }
+  return ok && shares_diff.status != conf::DiffStatus::kMismatch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseOptions(argc, argv);
+  const auto start = std::chrono::steady_clock::now();
+  const auto over_budget = [&] {
+    if (opts.budget_ms < 0) return false;
+    return std::chrono::steady_clock::now() - start >=
+           std::chrono::milliseconds(opts.budget_ms);
+  };
+
+  int failures = ReplayCorpus(opts.corpus);
+
+  std::uint64_t ran = 0;
+  for (std::uint64_t i = 0; i < opts.seeds; ++i) {
+    if (over_budget()) {
+      std::cout << "wall budget exhausted after " << ran << " seeds\n";
+      break;
+    }
+    const std::uint64_t seed = opts.start_seed + i;
+    const conf::CheckReport report = CheckSeed(seed);
+    ++ran;
+    if (!report.ok()) {
+      ++failures;
+      std::cout << "seed " << seed << ": FAIL\n" << report.Summary();
+      PersistFailure(opts.corpus, seed, report);
+    }
+  }
+
+  bool differential_ok = true;
+  if (opts.differential && !over_budget()) {
+    differential_ok = RunDifferential();
+  }
+
+  std::cout << "conformance_fuzz: " << ran << " seed(s), " << failures
+            << " failure(s), differential "
+            << (opts.differential ? (differential_ok ? "ok" : "mismatch")
+                                  : "disabled")
+            << "\n";
+  return (failures == 0 && differential_ok) ? 0 : 1;
+}

@@ -1,0 +1,347 @@
+#include "conformance/differential.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "conformance/harness.h"
+#include "conformance/scenario.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+
+#include "osctl/cgroupfs.h"
+#include "osctl/nice.h"
+#endif
+
+namespace lachesis::conformance {
+
+namespace {
+
+// Simulated CPU fractions for a static scenario (indexed by thread).
+std::vector<double> SimFractions(const ScenarioSpec& spec) {
+  const RunResult run = RunScenario(spec);
+  double total = 0;
+  for (const sim::ThreadStats& s : run.stats) total += ToSeconds(s.cpu_time);
+  std::vector<double> fractions(run.stats.size(), 0.0);
+  if (total <= 0) return fractions;
+  for (std::size_t t = 0; t < run.stats.size(); ++t) {
+    fractions[t] = ToSeconds(run.stats[t].cpu_time) / total;
+  }
+  return fractions;
+}
+
+ScenarioSpec OneCoreSpec() {
+  ScenarioSpec spec;
+  spec.cores = 1;
+  spec.duration = Millis(500);
+  spec.params.context_switch_cost = 0;
+  spec.params.wakeup_check_cost = 0;
+  return spec;
+}
+
+}  // namespace
+
+#ifndef __linux__
+
+DiffResult RunNiceDifferential(const std::vector<int>&, const DiffConfig&) {
+  return {DiffStatus::kSkipped, "differential mode requires Linux", {}};
+}
+
+DiffResult RunSharesDifferential(const std::vector<std::uint64_t>&,
+                                 const DiffConfig&) {
+  return {DiffStatus::kSkipped, "differential mode requires Linux", {}};
+}
+
+#else
+
+namespace {
+
+// A crew of CPU-spinning workers, all pinned to the same CPU so contention
+// exists even on one-core hosts and the 1-core simulator is the reference.
+class SpinCrew {
+ public:
+  explicit SpinCrew(std::size_t n)
+      : tids_(n, 0), clocks_(n), threads_(n), ready_(0) {}
+
+  // `setup(i, tid)` runs on the worker before it starts spinning; returning
+  // false aborts the crew (Fail() records why).
+  template <typename Setup>
+  bool Start(int target_cpu, Setup setup) {
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      threads_[i] = std::thread([this, i, target_cpu, setup] {
+        const long tid = static_cast<long>(::syscall(SYS_gettid));
+        tids_[i] = tid;
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(target_cpu, &one);
+        if (pthread_setaffinity_np(pthread_self(), sizeof(one), &one) != 0) {
+          Fail("cannot pin worker to CPU " + std::to_string(target_cpu));
+        } else if (!setup(i, tid)) {
+          // setup recorded its own failure message
+        } else if (pthread_getcpuclockid(pthread_self(), &clocks_[i]) != 0) {
+          Fail("pthread_getcpuclockid failed");
+        }
+        ready_.fetch_add(1, std::memory_order_release);
+        std::uint64_t x = tid == 0 ? 1 : static_cast<std::uint64_t>(tid);
+        while (!stop_.load(std::memory_order_relaxed)) {
+          for (int spin = 0; spin < 4096; ++spin) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+          }
+          sink_.store(x, std::memory_order_relaxed);  // keep the work alive
+        }
+      });
+    }
+    // Wait for every worker to finish setup (bounded: spinners are live).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (ready_.load(std::memory_order_acquire) <
+           static_cast<int>(threads_.size())) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        Fail("workers did not come up within 5s");
+        break;
+      }
+      std::this_thread::yield();
+    }
+    return !failed();
+  }
+
+  // Per-worker CPU seconds consumed so far.
+  std::vector<double> CpuSeconds() const {
+    std::vector<double> out(clocks_.size(), 0.0);
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      timespec ts{};
+      if (clock_gettime(clocks_[i], &ts) == 0) {
+        out[i] = static_cast<double>(ts.tv_sec) +
+                 static_cast<double>(ts.tv_nsec) * 1e-9;
+      }
+    }
+    return out;
+  }
+
+  void StopAndJoin() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  void Fail(const std::string& why) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error_.empty()) error_ = why;
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string error() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+  }
+  [[nodiscard]] long tid(std::size_t i) const { return tids_[i]; }
+
+ private:
+  std::vector<long> tids_;
+  std::vector<clockid_t> clocks_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> ready_;
+  std::atomic<std::uint64_t> sink_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex mutex_;
+  std::string error_;
+};
+
+// First CPU the calling thread may run on; every worker pins there.
+int PickTargetCpu() {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(mask), &mask) != 0) {
+    return 0;
+  }
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) return cpu;
+  }
+  return 0;
+}
+
+DiffResult Compare(const std::vector<double>& sim,
+                   const std::vector<double>& native,
+                   const DiffConfig& config) {
+  DiffResult result;
+  result.status = DiffStatus::kAgree;
+  result.message = "agree within tolerance";
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    result.shares.push_back({sim[i], native[i]});
+    const double tolerance =
+        std::max(config.rel_tolerance * sim[i], config.abs_tolerance);
+    if (std::abs(native[i] - sim[i]) > tolerance &&
+        result.status == DiffStatus::kAgree) {
+      result.status = DiffStatus::kMismatch;
+      result.message = "worker " + std::to_string(i) +
+                       ": native CPU fraction " + std::to_string(native[i]) +
+                       " vs simulated " + std::to_string(sim[i]) +
+                       " (tolerance " + std::to_string(tolerance) + ")";
+    }
+  }
+  return result;
+}
+
+// Runs `crew` for config.wall_ms and returns per-worker CPU fractions, or a
+// skip result through `out` on measurement failure.
+bool MeasureFractions(SpinCrew& crew, const DiffConfig& config,
+                      std::vector<double>& fractions, DiffResult& out) {
+  const std::vector<double> before = crew.CpuSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(config.wall_ms));
+  const std::vector<double> after = crew.CpuSeconds();
+  double total = 0;
+  fractions.assign(before.size(), 0.0);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    fractions[i] = std::max(0.0, after[i] - before[i]);
+    total += fractions[i];
+  }
+  if (total <= 0) {
+    out = {DiffStatus::kSkipped, "workers consumed no measurable CPU time", {}};
+    return false;
+  }
+  for (double& f : fractions) f /= total;
+  return true;
+}
+
+}  // namespace
+
+DiffResult RunNiceDifferential(const std::vector<int>& nices,
+                               const DiffConfig& config) {
+  for (const int nice : nices) {
+    if (nice < 0) {
+      return {DiffStatus::kSkipped,
+              "negative nice requires CAP_SYS_NICE; differential uses only "
+              "unprivileged controls",
+              {}};
+    }
+  }
+
+  ScenarioSpec spec = OneCoreSpec();
+  for (const int nice : nices) {
+    ThreadSpec t;
+    t.kind = ThreadKind::kBusy;
+    t.nice = nice;
+    t.busy = Micros(200);
+    spec.threads.push_back(t);
+  }
+  const std::vector<double> sim = SimFractions(spec);
+
+  SpinCrew crew(nices.size());
+  osctl::LinuxNiceController nice_ctl;
+  const int target_cpu = PickTargetCpu();
+  crew.Start(target_cpu, [&](std::size_t i, long tid) {
+    // A thread may always raise its own nice; that is the whole trick.
+    if (nices[i] != 0 && !nice_ctl.SetNice(tid, nices[i])) {
+      crew.Fail("setpriority(tid=" + std::to_string(tid) + ", nice=" +
+                std::to_string(nices[i]) + ") failed: " + std::strerror(errno));
+      return false;
+    }
+    return true;
+  });
+  if (crew.failed()) {
+    crew.StopAndJoin();
+    return {DiffStatus::kSkipped, "nice differential skipped: " + crew.error(),
+            {}};
+  }
+  std::vector<double> native;
+  DiffResult skip;
+  const bool measured = MeasureFractions(crew, config, native, skip);
+  crew.StopAndJoin();
+  if (!measured) return skip;
+  return Compare(sim, native, config);
+}
+
+DiffResult RunSharesDifferential(const std::vector<std::uint64_t>& shares,
+                                 const DiffConfig& config) {
+  namespace fs = std::filesystem;
+  const osctl::CgroupVersion version = osctl::CgroupController::DetectVersion();
+  const fs::path root = version == osctl::CgroupVersion::kV2
+                            ? fs::path("/sys/fs/cgroup")
+                            : fs::path("/sys/fs/cgroup/cpu");
+  osctl::CgroupController cgroups(root, version);
+
+  std::vector<std::string> names;
+  const auto cleanup = [&] {
+    for (const std::string& name : names) {
+      std::error_code ec;
+      fs::remove(root / name, ec);  // rmdir; best effort
+    }
+  };
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const std::string name = "lachesis_diff_" + std::to_string(i);
+    if (!cgroups.EnsureGroup(name)) {
+      cleanup();
+      return {DiffStatus::kSkipped,
+              "cgroup differential skipped: cannot create " +
+                  (root / name).string() + " (" + std::strerror(errno) + ")",
+              {}};
+    }
+    names.push_back(name);
+    if (!cgroups.SetShares(name, shares[i])) {
+      cleanup();
+      return {DiffStatus::kSkipped,
+              "cgroup differential skipped: cannot write cpu shares under " +
+                  (root / name).string() + " (" + std::strerror(errno) + ")",
+              {}};
+    }
+  }
+
+  ScenarioSpec spec = OneCoreSpec();
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    CgroupSpec group;
+    group.shares = shares[i];
+    spec.groups.push_back(group);
+    ThreadSpec t;
+    t.kind = ThreadKind::kBusy;
+    t.group = static_cast<int>(i);
+    t.busy = Micros(200);
+    spec.threads.push_back(t);
+  }
+  const std::vector<double> sim = SimFractions(spec);
+
+  SpinCrew crew(shares.size());
+  const int target_cpu = PickTargetCpu();
+  crew.Start(target_cpu, [&](std::size_t i, long tid) {
+    if (!cgroups.MoveThread(names[i], tid)) {
+      crew.Fail("cannot move tid " + std::to_string(tid) + " into " +
+                names[i] + ": " + std::strerror(errno));
+      return false;
+    }
+    return true;
+  });
+  if (crew.failed()) {
+    crew.StopAndJoin();
+    cleanup();
+    return {DiffStatus::kSkipped,
+            "cgroup differential skipped: " + crew.error(), {}};
+  }
+  std::vector<double> native;
+  DiffResult skip;
+  const bool measured = MeasureFractions(crew, config, native, skip);
+  crew.StopAndJoin();
+  cleanup();
+  if (!measured) return skip;
+  return Compare(sim, native, config);
+}
+
+#endif  // __linux__
+
+}  // namespace lachesis::conformance

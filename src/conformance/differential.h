@@ -1,0 +1,65 @@
+// Sim <-> native differential validation.
+//
+// Replays small, statically-configured scenarios both through the
+// discrete-event CFS machine and on the real Linux scheduler (via the same
+// src/osctl/ controllers the Lachesis middleware uses), then compares the
+// achieved per-thread CPU-share ratios. Everything runs pinned to a single
+// CPU so the comparison is against the 1-core simulator regardless of the
+// host's core count, and only unprivileged controls are used:
+//  - nice mode raises each worker's own nice (always allowed), and
+//  - cgroup mode writes real cgroupfs groups, skipping with an explicit
+//    message when the hierarchy is not writable (no perms / read-only fs).
+//
+// Tolerances are deliberately loose (the native side fights timer ticks,
+// autogroup, and sibling load): a thread's native CPU fraction must match
+// the simulated fraction within max(rel_tolerance * sim, abs_tolerance).
+#ifndef LACHESIS_CONFORMANCE_DIFFERENTIAL_H_
+#define LACHESIS_CONFORMANCE_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lachesis::conformance {
+
+enum class DiffStatus : std::uint8_t {
+  kAgree,     // native ratios matched the simulator within tolerance
+  kSkipped,   // environment cannot run this mode; see `message`
+  kMismatch,  // ran, but at least one thread's share was out of tolerance
+};
+
+struct DiffShare {
+  double sim_fraction = 0;
+  double native_fraction = 0;
+};
+
+struct DiffResult {
+  DiffStatus status = DiffStatus::kSkipped;
+  std::string message;  // skip reason or first mismatch description
+  std::vector<DiffShare> shares;  // one per worker, in spec order
+};
+
+struct DiffConfig {
+  // Native measurement window, in milliseconds of wall time.
+  int wall_ms = 400;
+  // |native - sim| <= max(rel_tolerance * sim, abs_tolerance) per thread.
+  double rel_tolerance = 0.35;
+  double abs_tolerance = 0.05;
+};
+
+// Spins one worker per entry of `nices` (all pinned to one CPU, each raising
+// its own nice) and compares CPU fractions against the 1-core simulator.
+// Nice values must be >= 0: raising nice needs no privilege.
+DiffResult RunNiceDifferential(const std::vector<int>& nices,
+                               const DiffConfig& config);
+
+// Spins one worker per entry of `shares`, each in its own freshly-created
+// cgroup with that cpu.shares value (converted to cpu.weight on v2), and
+// compares CPU fractions against the 1-core simulator. Skips when the
+// cgroup filesystem is not writable.
+DiffResult RunSharesDifferential(const std::vector<std::uint64_t>& shares,
+                                 const DiffConfig& config);
+
+}  // namespace lachesis::conformance
+
+#endif  // LACHESIS_CONFORMANCE_DIFFERENTIAL_H_

@@ -1,0 +1,107 @@
+// Randomized scheduler scenarios for the conformance harness.
+//
+// A ScenarioSpec is a plain, fully-deterministic description of one
+// simulated-CFS workload: a cgroup hierarchy with cpu.shares, a mix of
+// thread behaviours (CPU-bound, bursty, periodic sleep/wake, SCHED_FIFO)
+// with nice values, and a timeline of mid-run control-plane mutations
+// (SetNice / SetShares / MoveToCgroup -- the exact knobs Lachesis turns).
+// GenerateScenario(seed) derives a spec from a single u64 so failures
+// reproduce from the seed alone; the spec is also directly editable, which
+// is what failure minimization (harness.h) relies on.
+#ifndef LACHESIS_CONFORMANCE_SCENARIO_H_
+#define LACHESIS_CONFORMANCE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/cfs_params.h"
+
+namespace lachesis::conformance {
+
+// One cgroup. Groups are created in vector order, so a parent index always
+// refers to an earlier element; -1 is the machine root.
+struct CgroupSpec {
+  int parent = -1;
+  std::uint64_t shares = 1024;
+};
+
+enum class ThreadKind : std::uint8_t {
+  kBusy,      // CPU-bound: computes forever in `busy` chunks
+  kBursty,    // long compute bursts separated by short sleeps
+  kPeriodic,  // short compute, long sleep (interactive/timer task)
+  kRt,        // SCHED_FIFO periodic task at `rt_priority`
+};
+
+struct ThreadSpec {
+  ThreadKind kind = ThreadKind::kBusy;
+  int group = -1;  // index into ScenarioSpec::groups, -1 = root
+  int nice = 0;
+  int rt_priority = 0;  // > 0 only for kRt
+  SimDuration busy = Micros(100);
+  SimDuration sleep = 0;  // unused for kBusy
+};
+
+enum class MutationKind : std::uint8_t {
+  kSetNice,       // thread `thread` -> `nice`
+  kSetShares,     // group `group` -> `shares`
+  kMoveToCgroup,  // thread `thread` -> group `group` (-1 = root)
+};
+
+struct MutationSpec {
+  MutationKind kind = MutationKind::kSetNice;
+  SimTime at = 0;
+  int thread = -1;
+  int group = -1;
+  int nice = 0;
+  std::uint64_t shares = 1024;
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+  int cores = 1;
+  sim::CfsParams params;
+  SimDuration duration = Seconds(1);
+  std::vector<CgroupSpec> groups;
+  std::vector<ThreadSpec> threads;
+  std::vector<MutationSpec> mutations;
+
+  // True when long-run CPU ratios are predictable from the weight tree
+  // alone: every thread permanently CPU-bound, no RT class, no mid-run
+  // mutations, and either a single core or a flat (group-free) hierarchy.
+  // (On SMP, a thread running on one core is dequeued from its group's
+  // runqueue, so a low-weight sibling picked through the group entity by
+  // another core briefly owns the whole group slice; intra-group ratios
+  // then deviate from the ideal water-filling split, as they do on real
+  // per-core CFS.) Enables the weighted-fairness and metamorphic checkers.
+  [[nodiscard]] bool FairnessEligible() const;
+  // True when no thread competes directly against a group under the same
+  // parent. Metamorphic weight transformations (global nice+1, shares x k)
+  // rescale thread weights and group weights independently, so they only
+  // preserve ratios when every sibling set is homogeneous.
+  [[nodiscard]] bool HomogeneousSiblings() const;
+  // Scaling every group's shares by a constant is ratio-preserving:
+  // fairness-eligible, homogeneous siblings, and at least one group.
+  [[nodiscard]] bool SharesScaleInvariant() const;
+  // True when every complete timeslice is bounded by
+  // [min_granularity, sched_latency]: all threads CPU-bound (no wakeup
+  // preemption can truncate a slice) and more threads than cores (every
+  // slice end is contested). Enables the timeslice-bound checker.
+  [[nodiscard]] bool PureBusyContested() const;
+  [[nodiscard]] bool HasNestedGroups() const;
+};
+
+// Deterministically derives a scenario from `seed`. Roughly 30% of seeds
+// produce fairness-profile scenarios (all-busy, overhead-free, checkable
+// against the hierarchical water-filling model), the rest mixed workloads
+// with sleep/wake threads, RT tasks and mid-run mutations.
+ScenarioSpec GenerateScenario(std::uint64_t seed);
+
+// Human-readable dump (one line per element) used in failure reports and
+// the persisted corpus entries.
+std::string Describe(const ScenarioSpec& spec);
+
+}  // namespace lachesis::conformance
+
+#endif  // LACHESIS_CONFORMANCE_SCENARIO_H_

@@ -8,6 +8,9 @@
 #ifndef LACHESIS_SIM_CFS_PARAMS_H_
 #define LACHESIS_SIM_CFS_PARAMS_H_
 
+#include <stdexcept>
+#include <string>
+
 #include "common/sim_time.h"
 
 namespace lachesis::sim {
@@ -37,6 +40,34 @@ struct CfsParams {
   // CPU consumed by a woken thread re-checking its wait predicate before the
   // body resumes useful work (futex wake path, queue recheck).
   SimDuration wakeup_check_cost = Micros(5);
+
+  // Rejects configurations the scheduling math cannot handle (zero-length
+  // target periods would yield zero timeslices and a livelocked core loop;
+  // negative overheads would run time backwards). Machine calls this on
+  // construction so a bad config fails with a clear message instead of
+  // downstream UB.
+  void Validate() const {
+    const auto reject = [](const std::string& what) {
+      throw std::invalid_argument("CfsParams: " + what);
+    };
+    if (sched_latency <= 0) {
+      reject("sched_latency must be positive, got " +
+             std::to_string(sched_latency) + "ns");
+    }
+    if (min_granularity <= 0) {
+      reject("min_granularity must be positive, got " +
+             std::to_string(min_granularity) + "ns");
+    }
+    if (min_granularity > sched_latency) {
+      reject("min_granularity (" + std::to_string(min_granularity) +
+             "ns) must not exceed sched_latency (" +
+             std::to_string(sched_latency) + "ns)");
+    }
+    if (wakeup_granularity < 0) reject("wakeup_granularity must be >= 0");
+    if (sleeper_bonus < 0) reject("sleeper_bonus must be >= 0");
+    if (context_switch_cost < 0) reject("context_switch_cost must be >= 0");
+    if (wakeup_check_cost < 0) reject("wakeup_check_cost must be >= 0");
+  }
 };
 
 }  // namespace lachesis::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 
 namespace lachesis::sim {
 
@@ -14,7 +15,11 @@ void WaitChannel::NotifyAll() {
 Machine::Machine(Simulator& sim, int num_cores, CfsParams params,
                  std::string name)
     : sim_(&sim), params_(params), name_(std::move(name)) {
-  assert(num_cores > 0);
+  if (num_cores <= 0) {
+    throw std::invalid_argument("Machine: core count must be positive, got " +
+                                std::to_string(num_cores));
+  }
+  params_.Validate();
   cores_.resize(static_cast<std::size_t>(num_cores));
   auto root = std::make_unique<CgroupNode>();
   root->name = "/";
@@ -262,6 +267,22 @@ const ThreadStats& Machine::GetStats(ThreadId tid) const {
 
 const std::string& Machine::ThreadName(ThreadId tid) const {
   return Thread(tid.value()).name;
+}
+
+int Machine::IdleCoreCount() const {
+  int idle = 0;
+  for (const Core& core : cores_) {
+    if (core.running < 0) ++idle;
+  }
+  return idle;
+}
+
+int Machine::UnthrottledRunnableCount() const {
+  int runnable = 0;
+  for (const auto& t : threads_) {
+    if (t->state == ThreadState::kRunnable && !PathThrottled(*t)) ++runnable;
+  }
+  return runnable;
 }
 
 SimDuration Machine::total_busy_time() const {

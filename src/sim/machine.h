@@ -76,6 +76,8 @@ class WaitChannel {
 
 class Machine final : public EventSink {
  public:
+  // Throws std::invalid_argument for a non-positive core count or CfsParams
+  // that fail CfsParams::Validate().
   Machine(Simulator& sim, int num_cores, CfsParams params = {},
           std::string name = "node0");
   ~Machine() override;
@@ -129,6 +131,23 @@ class Machine final : public EventSink {
   [[nodiscard]] const CfsParams& params() const { return params_; }
   // Aggregate busy time over all cores since simulation start.
   [[nodiscard]] SimDuration total_busy_time() const;
+  // Scheduler-state introspection for the conformance harness
+  // (src/conformance/): raw vruntimes and occupancy counts that invariant
+  // checkers sample while a scenario runs. Diagnostic only -- values are in
+  // the simulator's internal weighted-nanosecond frame.
+  [[nodiscard]] std::size_t cgroup_count() const { return cgroups_.size(); }
+  [[nodiscard]] double ThreadVruntime(ThreadId tid) const {
+    return Thread(tid.value()).ent.vruntime;
+  }
+  [[nodiscard]] double GroupMinVruntime(CgroupId group) const {
+    return Group(group.value()).min_vruntime;
+  }
+  // Cores with no thread dispatched right now.
+  [[nodiscard]] int IdleCoreCount() const;
+  // Threads that are runnable (queued, not running) and not blocked behind a
+  // quota-throttled ancestor; with work-conserving scheduling this must be 0
+  // whenever IdleCoreCount() > 0.
+  [[nodiscard]] int UnthrottledRunnableCount() const;
 
   // Installs (or clears, with nullptr) the transition observer.
   void set_trace_observer(SchedTraceObserver* observer) {

@@ -1,0 +1,88 @@
+// Regression tests for CfsParams::Validate and Machine construction-time
+// validation: nonsense tunables must be rejected loudly instead of
+// producing a simulator that silently never preempts (or divides by zero).
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cfs_params.h"
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+
+namespace lachesis::sim {
+namespace {
+
+TEST(CfsParamsValidate, DefaultsAreValid) {
+  EXPECT_NO_THROW(CfsParams{}.Validate());
+}
+
+TEST(CfsParamsValidate, RejectsNonPositiveSchedLatency) {
+  CfsParams params;
+  params.sched_latency = 0;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.sched_latency = -Millis(6);
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+}
+
+TEST(CfsParamsValidate, RejectsNonPositiveMinGranularity) {
+  CfsParams params;
+  params.min_granularity = 0;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.min_granularity = -1;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+}
+
+TEST(CfsParamsValidate, RejectsMinGranularityAboveLatency) {
+  CfsParams params;
+  params.min_granularity = params.sched_latency + 1;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  // Equal is the degenerate-but-legal single-slice configuration.
+  params.min_granularity = params.sched_latency;
+  EXPECT_NO_THROW(params.Validate());
+}
+
+TEST(CfsParamsValidate, RejectsNegativeOptionalCosts) {
+  for (auto field : {&CfsParams::wakeup_granularity, &CfsParams::sleeper_bonus,
+                     &CfsParams::context_switch_cost,
+                     &CfsParams::wakeup_check_cost}) {
+    CfsParams params;
+    params.*field = -1;
+    EXPECT_THROW(params.Validate(), std::invalid_argument);
+    // Zero is valid for all of them (overhead-free configurations).
+    params.*field = 0;
+    EXPECT_NO_THROW(params.Validate());
+  }
+}
+
+TEST(CfsParamsValidate, ErrorMessageNamesTheParameter) {
+  CfsParams params;
+  params.sched_latency = -1;
+  try {
+    params.Validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sched_latency"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MachineConstruction, RejectsNonPositiveCoreCount) {
+  Simulator sim;
+  EXPECT_THROW(Machine(sim, 0, CfsParams{}, "m"), std::invalid_argument);
+  EXPECT_THROW(Machine(sim, -2, CfsParams{}, "m"), std::invalid_argument);
+}
+
+TEST(MachineConstruction, RejectsInvalidParams) {
+  Simulator sim;
+  CfsParams params;
+  params.min_granularity = 0;
+  EXPECT_THROW(Machine(sim, 2, params, "m"), std::invalid_argument);
+}
+
+TEST(MachineConstruction, AcceptsValidConfiguration) {
+  Simulator sim;
+  EXPECT_NO_THROW(Machine(sim, 4, CfsParams{}, "m"));
+}
+
+}  // namespace
+}  // namespace lachesis::sim

@@ -3,11 +3,13 @@
 // engine -- Liebre provides cost/selectivity directly, Flink only busy-time
 // and counts, Storm only counts and rolling execute latency -- and must
 // yield consistent schedules for identical workloads on identical machines.
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "core/metric_provider.h"
+#include "tests/fake_driver.h"
 #include "core/policies.h"
 #include "core/sim_driver.h"
 #include "queries/linear_road.h"
@@ -139,6 +141,96 @@ TEST(CrossFlavorTest, HrPolicyProducesConsistentRankings) {
     if (entry.entity.is_ingress) ingress_priority = entry.priority;
   }
   EXPECT_GT(egress_priority, ingress_priority);
+}
+
+// --- metric-translation edge cases (scripted driver) ------------------------
+
+testing::FakeDriver MakeTwoOpChain() {
+  testing::FakeDriver fake("edge");
+  EntityInfo& head = fake.AddEntity(QueryId(0), {0});
+  head.is_ingress = true;
+  EntityInfo& tail = fake.AddEntity(QueryId(0), {1});
+  tail.is_egress = true;
+  LogicalTopology topo;
+  topo.names = {"head", "tail"};
+  topo.base_costs = {0, 0};
+  topo.edges = {{0, 1}};
+  topo.ingress_indices = {0};
+  topo.egress_indices = {1};
+  fake.SetTopology(QueryId(0), topo);
+  fake.Provide(MetricId::kTuplesInDelta);
+  fake.Provide(MetricId::kTuplesOutDelta);
+  fake.Provide(MetricId::kBusyDeltaNs);
+  return fake;
+}
+
+// A filter that dropped everything this window: out delta 0 with a real
+// input stream. Selectivity must come out as exactly 0 (not NaN), and HR
+// must still produce a finite, positive score for every operator (the
+// downstream operator falls back to neutral sel/cost, not to a poisoned
+// division).
+TEST(CrossFlavorEdgeTest, ZeroSelectivityOperatorKeepsMetricsFinite) {
+  testing::FakeDriver fake = MakeTwoOpChain();
+  fake.SetValue(MetricId::kTuplesInDelta, OperatorId(0), 500);
+  fake.SetValue(MetricId::kTuplesOutDelta, OperatorId(0), 0);  // drops all
+  fake.SetValue(MetricId::kBusyDeltaNs, OperatorId(0), 2e6);
+  // Tail saw no input at all (nothing was forwarded).
+  fake.SetValue(MetricId::kTuplesInDelta, OperatorId(1), 0);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kSelectivity);
+  provider.Register(MetricId::kCost);
+  provider.Register(MetricId::kHighestRate);
+  std::vector<SpeDriver*> drivers{&fake};
+  provider.Update(drivers, Seconds(1));
+
+  EXPECT_DOUBLE_EQ(
+      provider.Value(fake, MetricId::kSelectivity, OperatorId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(provider.Value(fake, MetricId::kCost, OperatorId(0)),
+                   2e6 / 500);
+  // Zero input -> cost short-circuits to 0 instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(provider.Value(fake, MetricId::kCost, OperatorId(1)), 0.0);
+  for (const auto id : {OperatorId(0), OperatorId(1)}) {
+    const double hr = provider.Value(fake, MetricId::kHighestRate, id);
+    EXPECT_TRUE(std::isfinite(hr)) << "operator " << id.value();
+    EXPECT_GT(hr, 0.0) << "operator " << id.value();
+  }
+}
+
+// An empty window (scrape glitch / first tick): window-normalized rates
+// must degrade to 0 rather than dividing by zero seconds.
+TEST(CrossFlavorEdgeTest, EmptyWindowYieldsZeroRates) {
+  testing::FakeDriver fake = MakeTwoOpChain();
+  fake.SetValue(MetricId::kTuplesInDelta, OperatorId(0), 500);
+
+  MetricProvider provider;
+  provider.Register(MetricId::kInputRate);
+  std::vector<SpeDriver*> drivers{&fake};
+  provider.Update(drivers, Seconds(0));
+
+  const double rate = provider.Value(fake, MetricId::kInputRate, OperatorId(0));
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+}
+
+// Zero-selectivity everywhere plus zero costs: HR's fallbacks (neutral
+// selectivity 1.0, static/neutral cost) must keep the ranking usable for
+// the translators instead of emitting a flat all-zero schedule.
+TEST(CrossFlavorEdgeTest, AllZeroMeasurementsFallBackToNeutralHr) {
+  testing::FakeDriver fake = MakeTwoOpChain();
+
+  MetricProvider provider;
+  provider.Register(MetricId::kHighestRate);
+  std::vector<SpeDriver*> drivers{&fake};
+  provider.Update(drivers, Seconds(1));
+
+  const double head = provider.Value(fake, MetricId::kHighestRate, OperatorId(0));
+  const double tail = provider.Value(fake, MetricId::kHighestRate, OperatorId(1));
+  EXPECT_GT(head, 0.0);
+  EXPECT_GT(tail, 0.0);
+  // With neutral fallbacks, the tail (shorter remaining path) ranks at
+  // least as high as the head.
+  EXPECT_GE(tail, head);
 }
 
 }  // namespace

@@ -129,6 +129,63 @@ TEST(NativeDriverTest, MissingSeriesFetchesZero) {
   EXPECT_DOUBLE_EQ(driver.Fetch(core::MetricId::kQueueSize, entities[0]), 0.0);
 }
 
+TEST(NativeDriverTest, MalformedGraphiteLinesAreSkipped) {
+  NativeRig rig;
+  NativeSpeDriver driver(rig.BaseConfig());
+  {
+    std::ofstream out(rig.dir() / "metrics.txt", std::ios::app);
+    out << "\n";                                          // blank line
+    out << "storm.lr.parse.queue_size notanumber 1.0\n";  // junk value
+    out << "loneseries\n";                                // no value column
+    out << "storm.lr.parse.queue_size 7 1.0\n";           // good line
+  }
+  driver.Refresh(Seconds(1));
+  const auto entities = driver.Entities();
+  EXPECT_DOUBLE_EQ(driver.Fetch(core::MetricId::kQueueSize, entities[1]), 7);
+}
+
+TEST(NativeDriverTest, LineWithoutTimestampDefaultsToNow) {
+  NativeRig rig;
+  NativeSpeDriver driver(rig.BaseConfig());
+  std::ofstream(rig.dir() / "metrics.txt", std::ios::app)
+      << "storm.lr.parse.queue_size 42\n";
+  driver.Refresh(Seconds(3));
+  const auto entities = driver.Entities();
+  EXPECT_DOUBLE_EQ(driver.Fetch(core::MetricId::kQueueSize, entities[1]), 42);
+}
+
+TEST(NativeDriverTest, TruncatedLastLineIsNotDuplicated) {
+  NativeRig rig;
+  NativeSpeDriver driver(rig.BaseConfig());
+  // Writer crashed mid-line: no trailing newline after the value column.
+  std::ofstream(rig.dir() / "metrics.txt", std::ios::app)
+      << "storm.lr.spout.tuples_in_total 100 1.0\n"
+      << "storm.lr.spout.tuples_in_total 150";
+  driver.Refresh(Seconds(1));
+  // The writer finishes the line later; the counter store must end up with
+  // exactly the two samples (a re-read of the partial line would produce a
+  // phantom 150 sample and a bogus delta).
+  std::ofstream(rig.dir() / "metrics.txt", std::ios::app) << " 2.0\n";
+  driver.Refresh(Seconds(2));
+  const auto entities = driver.Entities();
+  EXPECT_DOUBLE_EQ(driver.Fetch(core::MetricId::kTuplesInDelta, entities[0]),
+                   50);
+}
+
+TEST(NativeDriverTest, FileRotationResetsTailOffset) {
+  NativeRig rig;
+  NativeSpeDriver driver(rig.BaseConfig());
+  rig.AppendMetric("storm.lr.parse.queue_size", 11, 1.0);
+  rig.AppendMetric("storm.lr.parse.queue_size", 22, 2.0);
+  driver.Refresh(Seconds(2));
+  // Rotation: the exporter truncates and starts a shorter file.
+  std::ofstream(rig.dir() / "metrics.txt", std::ios::trunc)
+      << "storm.lr.parse.queue_size 33 3.0\n";
+  driver.Refresh(Seconds(3));
+  const auto entities = driver.Entities();
+  EXPECT_DOUBLE_EQ(driver.Fetch(core::MetricId::kQueueSize, entities[1]), 33);
+}
+
 TEST(NativeDriverTest, MissingMetricsFileIsTolerated) {
   NativeRig rig;
   NativeSpeConfig config = rig.BaseConfig();

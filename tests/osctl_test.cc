@@ -74,6 +74,50 @@ TEST(ProcfsTest, FindsThreadsByNameSubstring) {
   EXPECT_EQ(parse[0].tid, 101);
 }
 
+// --- malformed / truncated procfs fixtures ----------------------------------
+
+TEST(ProcfsTest, SkipsNonNumericTaskEntries) {
+  TempDir tmp;
+  WriteFakeThread(tmp.path(), 100, 101, "worker");
+  // Kernel task dirs are always numeric; junk entries (editor droppings,
+  // corrupted snapshots) must be skipped, not parsed as tid 0.
+  const fs::path junk = tmp.path() / "100" / "task" / "not-a-tid";
+  fs::create_directories(junk);
+  std::ofstream(junk / "comm") << "junk\n";
+  const auto threads = ListThreads(100, tmp.path().string());
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].tid, 101);
+}
+
+TEST(ProcfsTest, MissingCommFileYieldsEmptyName) {
+  TempDir tmp;
+  // A thread can exit between the directory scan and the comm read; the
+  // entry must survive with an empty name rather than being dropped.
+  fs::create_directories(tmp.path() / "100" / "task" / "102");
+  const auto threads = ListThreads(100, tmp.path().string());
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].tid, 102);
+  EXPECT_TRUE(threads[0].comm.empty());
+  EXPECT_TRUE(FindThreadsByName(100, "x", tmp.path().string()).empty());
+}
+
+TEST(ProcfsTest, TruncatedCommWithoutNewlineIsRead) {
+  TempDir tmp;
+  const fs::path dir = tmp.path() / "100" / "task" / "103";
+  fs::create_directories(dir);
+  std::ofstream(dir / "comm") << "no-newline";  // truncated write
+  const auto threads = ListThreads(100, tmp.path().string());
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].comm, "no-newline");
+}
+
+TEST(ProcfsTest, TaskPathThatIsAFileYieldsEmpty) {
+  TempDir tmp;
+  fs::create_directories(tmp.path() / "100");
+  std::ofstream(tmp.path() / "100" / "task") << "not a directory\n";
+  EXPECT_TRUE(ListThreads(100, tmp.path().string()).empty());
+}
+
 TEST(SharesToWeightTest, KernelFormulaEndpoints) {
   EXPECT_EQ(SharesToWeight(2), 1u);
   EXPECT_EQ(SharesToWeight(262144), 10000u);
@@ -112,6 +156,45 @@ TEST(CgroupfsTest, EnsureGroupIsIdempotent) {
   CgroupController controller(tmp.path(), CgroupVersion::kV1);
   EXPECT_TRUE(controller.EnsureGroup("g"));
   EXPECT_TRUE(controller.EnsureGroup("g"));
+}
+
+// --- unwritable / corrupted cgroupfs fixtures -------------------------------
+
+TEST(CgroupfsTest, FailsWhenGroupPathIsAFile) {
+  TempDir tmp;
+  std::ofstream(tmp.path() / "blocked") << "i am a file\n";
+  CgroupController controller(tmp.path(), CgroupVersion::kV1);
+  EXPECT_FALSE(controller.EnsureGroup("blocked/nested"));
+  EXPECT_FALSE(controller.SetShares("blocked/nested", 1024));
+  EXPECT_FALSE(controller.MoveThread("blocked/nested", 1));
+  EXPECT_FALSE(controller.SetQuota("blocked/nested", 10000, 100000));
+}
+
+TEST(CgroupfsTest, FailsWhenControlFileIsUnwritable) {
+  TempDir tmp;
+  CgroupController controller(tmp.path(), CgroupVersion::kV1);
+  ASSERT_TRUE(controller.EnsureGroup("g"));
+  // Simulate a kernel-owned file we lack permission for: a directory at
+  // the control-file path makes every open-for-write fail the same way.
+  fs::create_directories(tmp.path() / "g" / "cpu.shares");
+  EXPECT_FALSE(controller.SetShares("g", 2048));
+}
+
+TEST(CgroupfsTest, QuotaWritesAndRemoval) {
+  TempDir tmp;
+  CgroupController v1(tmp.path(), CgroupVersion::kV1);
+  EXPECT_TRUE(v1.SetQuota("q", 50000, 100000));
+  EXPECT_EQ(ReadFile(tmp.path() / "q" / "cpu.cfs_quota_us"), "50000\n");
+  EXPECT_EQ(ReadFile(tmp.path() / "q" / "cpu.cfs_period_us"), "100000\n");
+  EXPECT_TRUE(v1.SetQuota("q", 0, 0));  // remove the limit
+  EXPECT_EQ(ReadFile(tmp.path() / "q" / "cpu.cfs_quota_us"), "-1\n");
+
+  TempDir tmp2;
+  CgroupController v2(tmp2.path(), CgroupVersion::kV2);
+  EXPECT_TRUE(v2.SetQuota("q", 50000, 100000));
+  EXPECT_EQ(ReadFile(tmp2.path() / "q" / "cpu.max"), "50000 100000\n");
+  EXPECT_TRUE(v2.SetQuota("q", -1, 0));
+  EXPECT_EQ(ReadFile(tmp2.path() / "q" / "cpu.max"), "max\n");
 }
 
 TEST(CgroupfsTest, DetectVersion) {

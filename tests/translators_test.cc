@@ -3,6 +3,8 @@
 // multi-dimensional scheme, against a recording OS adapter.
 #include "core/translators.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "tests/fake_driver.h"
@@ -69,6 +71,72 @@ TEST(NiceTranslatorTest, LogSpacingUsesRatioFormula) {
   EXPECT_EQ(os.nices[1], -19);
   EXPECT_EQ(os.nices[2], -18);
   EXPECT_EQ(os.nices[3], -17);
+}
+
+// A stalled operator reports zero throughput, so rate-style policies emit a
+// zero priority; log spacing must floor it to the smallest positive
+// priority instead of feeding log(0) into the mapping.
+TEST(NiceTranslatorTest, ZeroPrioritySharesTheLogFloor) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(
+      MakeSchedule({0.0, 0.5, 100.0}, PrioritySpacing::kLogarithmic), os);
+  EXPECT_EQ(os.nices[2], -20);
+  EXPECT_EQ(os.nices[0], os.nices[1]);  // 0 treated as the smallest positive
+  EXPECT_GT(os.nices[0], os.nices[2]);
+  EXPECT_LE(os.nices[0], 19);
+}
+
+// Whole query stalled: every priority zero. Nothing is positive, so the
+// floor falls back to 1.0 and every operator lands on the same (best) nice
+// -- not on garbage from log(0) arithmetic.
+TEST(NiceTranslatorTest, AllZeroPrioritiesCollapseToOneNice) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(MakeSchedule({0.0, 0.0, 0.0}, PrioritySpacing::kLogarithmic),
+                   os);
+  EXPECT_EQ(os.nices[0], -20);
+  EXPECT_EQ(os.nices[1], -20);
+  EXPECT_EQ(os.nices[2], -20);
+}
+
+// A priority ratio far beyond 1.25^39 cannot fit in the nice range; the
+// translator must compress (min-max pass) rather than clamp everything
+// between the extremes into a single value.
+TEST(NiceTranslatorTest, HugePriorityRatioCompressesIntoNiceRange) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  translator.Apply(
+      MakeSchedule({1.0, 1e4, 1e9}, PrioritySpacing::kLogarithmic), os);
+  EXPECT_EQ(os.nices[2], -20);
+  EXPECT_EQ(os.nices[0], 19);
+  EXPECT_GT(os.nices[0], os.nices[1]);
+  EXPECT_GT(os.nices[1], os.nices[2]);
+}
+
+TEST(NiceTranslatorTest, NonFinitePrioritiesDoNotPoisonTheMapping) {
+  RecordingOsAdapter os;
+  NiceTranslator translator;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  translator.Apply(MakeSchedule({nan, 5.0, inf}), os);
+  // All three collapse to the only finite value -> one shared nice level.
+  EXPECT_EQ(os.nices[0], os.nices[1]);
+  EXPECT_EQ(os.nices[1], os.nices[2]);
+}
+
+TEST(CpuSharesTranslatorTest, AllZeroPrioritiesYieldEqualShares) {
+  RecordingOsAdapter os;
+  CpuSharesTranslator translator;
+  translator.Apply(MakeSchedule({0.0, 0.0, 0.0}), os);
+  ASSERT_EQ(os.group_shares.size(), 3u);
+  std::uint64_t first = 0;
+  for (const auto& [group, shares] : os.group_shares) {
+    EXPECT_GE(shares, 2u);       // kernel cpu.shares lower bound
+    EXPECT_LE(shares, 262144u);  // and upper bound
+    if (first == 0) first = shares;
+    EXPECT_EQ(shares, first);
+  }
 }
 
 TEST(NiceTranslatorTest, CustomInterval) {
