@@ -18,6 +18,7 @@
 #include "core/os_adapter.h"
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "core/sim_driver.h"
 #include "exp/report.h"
 #include "queries/linear_road.h"
@@ -61,7 +62,8 @@ Outcome Run(bool coordinated, double rate, SimTime duration,
   scraper.Start(duration);
 
   core::SimOsAdapter os;
-  core::LachesisRunner runner(sim, os, seed);
+  core::SimControlExecutor executor(sim);
+  core::LachesisRunner runner(executor, os, seed);
   core::SimSpeDriver driver(storm, store);
   if (coordinated) {
     // One binding over everything: priorities normalized globally.

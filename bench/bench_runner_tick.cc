@@ -1,0 +1,180 @@
+// Microbenchmark of one full runner tick: metric update -> policy ->
+// translator -> (delta layer) -> OS adapter, over N queries x M operators,
+// with the delta layer on and off and with stable vs. churning schedules.
+// Writes BENCH_runner.json (consumed by CI's perf trajectory listing).
+//
+// The interesting numbers: ns/tick as the entity count grows, and the
+// fraction of OS operations the delta layer elides when consecutive
+// schedules agree (the steady state of a real deployment).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "core/translators.h"
+#include "sim/simulator.h"
+
+using namespace lachesis;
+
+namespace {
+
+// In-memory driver over synthetic entities; queue sizes are scripted so the
+// schedule is either constant across ticks or reshuffles every tick.
+class SyntheticDriver final : public core::SpeDriver {
+ public:
+  SyntheticDriver(int queries, int operators_per_query, bool churn)
+      : churn_(churn) {
+    for (int q = 0; q < queries; ++q) {
+      for (int o = 0; o < operators_per_query; ++o) {
+        core::EntityInfo e;
+        e.id = OperatorId(entities_.size());
+        e.path = "spe.q" + std::to_string(q) + ".op" + std::to_string(o);
+        e.query = QueryId(q);
+        e.query_name = "q" + std::to_string(q);
+        e.thread.sim_tid = ThreadId(entities_.size());
+        entities_.push_back(e);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Poll(SimTime) override { ++polls_; }
+  std::vector<core::EntityInfo> Entities() override { return entities_; }
+  const core::LogicalTopology& Topology(QueryId) override {
+    return topology_;
+  }
+  [[nodiscard]] bool Provides(core::MetricId metric) const override {
+    return metric == core::MetricId::kQueueSize;
+  }
+  double Fetch(core::MetricId, const core::EntityInfo& entity) override {
+    // Churn rotates which entity looks busiest, forcing a different
+    // schedule (and different nice values) every tick.
+    const std::uint64_t id = entity.id.value();
+    return churn_ ? static_cast<double>((id + polls_) % entities_.size())
+                  : static_cast<double>(id);
+  }
+
+ private:
+  std::string name_ = "synthetic";
+  bool churn_;
+  std::uint64_t polls_ = 0;
+  std::vector<core::EntityInfo> entities_;
+  core::LogicalTopology topology_;
+};
+
+// Absorbs operations at near-zero cost so the bench measures the control
+// plane, not a backend.
+class NullOsAdapter final : public core::OsAdapter {
+ public:
+  void SetNice(const core::ThreadHandle&, int) override { ++ops; }
+  void SetGroupShares(const std::string&, std::uint64_t) override { ++ops; }
+  void MoveToGroup(const core::ThreadHandle&, const std::string&) override {
+    ++ops;
+  }
+  std::uint64_t ops = 0;
+};
+
+struct Sample {
+  int queries = 0;
+  int operators = 0;
+  bool churn = false;
+  bool delta = false;
+  int ticks = 0;
+  double ns_per_tick = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t skipped = 0;
+};
+
+Sample RunOnce(int queries, int operators, bool churn, bool delta_enabled,
+               int ticks) {
+  sim::Simulator sim;
+  core::SimControlExecutor executor(sim);
+  NullOsAdapter os;
+  SyntheticDriver driver(queries, operators, churn);
+
+  core::LachesisRunner runner(executor, os);
+  runner.SetDeltaEnabled(delta_enabled);
+  core::PolicyBinding binding;
+  binding.policy = std::make_unique<core::QueueSizePolicy>();
+  binding.translator = std::make_unique<core::NiceTranslator>();
+  binding.period = Seconds(1);
+  binding.drivers = {&driver};
+  runner.AddQuery(std::move(binding));
+  runner.Start(Seconds(ticks));
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(Seconds(ticks));
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  Sample s;
+  s.queries = queries;
+  s.operators = operators;
+  s.churn = churn;
+  s.delta = delta_enabled;
+  s.ticks = ticks;
+  s.ns_per_tick = static_cast<double>(wall) / ticks;
+  s.applied = runner.delta_totals().applied;
+  s.skipped = runner.delta_totals().skipped;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ticks = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) ticks = 200;
+  }
+
+  std::vector<Sample> samples;
+  const int shapes[][2] = {{1, 8}, {8, 8}, {8, 32}, {32, 32}};
+  for (const auto& shape : shapes) {
+    for (const bool churn : {false, true}) {
+      for (const bool delta : {true, false}) {
+        samples.push_back(RunOnce(shape[0], shape[1], churn, delta, ticks));
+      }
+    }
+  }
+
+  std::printf("%8s %6s %6s %6s %8s %12s %10s %10s\n", "queries", "ops/q",
+              "churn", "delta", "ticks", "ns/tick", "applied", "skipped");
+  for (const Sample& s : samples) {
+    std::printf("%8d %6d %6s %6s %8d %12.0f %10llu %10llu\n", s.queries,
+                s.operators, s.churn ? "yes" : "no", s.delta ? "on" : "off",
+                s.ticks, s.ns_per_tick,
+                static_cast<unsigned long long>(s.applied),
+                static_cast<unsigned long long>(s.skipped));
+  }
+
+  std::FILE* out = std::fopen("BENCH_runner.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_runner.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"runner\",\n  \"series\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"queries\": %d, \"operators_per_query\": %d, "
+                 "\"churn\": %s, \"delta\": %s, \"ticks\": %d, "
+                 "\"ns_per_tick\": %.0f, \"ops_applied\": %llu, "
+                 "\"ops_skipped\": %llu}%s\n",
+                 s.queries, s.operators, s.churn ? "true" : "false",
+                 s.delta ? "true" : "false", s.ticks, s.ns_per_tick,
+                 static_cast<unsigned long long>(s.applied),
+                 static_cast<unsigned long long>(s.skipped),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_runner.json\n");
+  return 0;
+}

@@ -22,4 +22,14 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --no-tests=error --output-on-failure ||
 if [ "$status" -ne 0 ]; then
   echo "run_tier1.sh: ctest exited with status $status" >&2
 fi
+
+# Perf trajectory: a quick control-plane tick bench, then list every
+# machine-readable BENCH_*.json produced under the build dir.
+if [ "$status" -eq 0 ]; then
+  (cd "$BUILD_DIR" && ./bench/bench_runner_tick --quick) ||
+    echo "run_tier1.sh: bench_runner_tick failed (non-fatal)" >&2
+  echo "run_tier1.sh: BENCH artifacts:"
+  find "$BUILD_DIR" -maxdepth 1 -name 'BENCH_*.json' -print | sort |
+    sed 's/^/  /'
+fi
 exit "$status"

@@ -2,9 +2,11 @@
 //
 // Reads a config file describing one or more unmodified engine processes
 // (pids, operator thread-name patterns, the graphite-plaintext metrics file
-// they export to) and a policy/translator choice, then loops at the
-// configured period: refresh driver -> update metrics -> compute schedule
-// -> enforce via nice / cgroups (paper Algorithm 1, against the real OS).
+// they export to) and a policy/translator choice, then runs the SAME
+// LachesisRunner loop the simulator uses -- on the native control executor
+// (monotonic clock) with the Linux OS adapter (nice / cgroups) behind the
+// schedule-delta layer, so unchanged schedules cost zero syscalls and a
+// vanished thread never aborts a tick.
 //
 // Usage:
 //   lachesisd <config-file> [--dry-run] [--iterations N]
@@ -12,19 +14,20 @@
 // needed); see src/osctl/daemon_config.h for the config format.
 #include <unistd.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <stdexcept>
-#include <thread>
 
 #include "core/policies.h"
+#include "core/runner.h"
 #include "core/translators.h"
 #include "osctl/cgroupfs.h"
 #include "osctl/daemon_config.h"
 #include "osctl/linux_os_adapter.h"
 #include "osctl/native_driver.h"
+#include "osctl/native_executor.h"
 #include "osctl/nice.h"
 
 using namespace lachesis;
@@ -113,38 +116,52 @@ int main(int argc, char** argv) {
     core::OsAdapter& os =
         dry_run ? static_cast<core::OsAdapter&>(logging_os) : real_os;
 
-    core::MetricProvider provider;
-    for (const core::MetricId m : policy->RequiredMetrics()) {
-      provider.Register(m);
-    }
-    Rng rng(static_cast<std::uint64_t>(::getpid()));
-
     std::printf("lachesisd: policy=%s translator=%s period=%ldms%s\n",
                 config.policy.c_str(), config.translator.c_str(),
                 config.period_ms, dry_run ? " (dry run)" : "");
 
-    const auto start = std::chrono::steady_clock::now();
-    for (long i = 0; iterations < 0 || i < iterations; ++i) {
-      const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      driver.Refresh(static_cast<SimTime>(now));
+    // The backend-agnostic control plane: the identical runner the
+    // simulator exercises, on monotonic time. The driver's Poll refreshes
+    // /proc discovery and the metrics file once per due period.
+    osctl::NativeControlExecutor executor;
+    core::LachesisRunner runner(executor, os,
+                                static_cast<std::uint64_t>(::getpid()));
+    core::PolicyBinding binding;
+    binding.policy = std::move(policy);
+    binding.translator = std::move(translator);
+    binding.period = Millis(config.period_ms);
+    binding.drivers = {&driver};
+    runner.AddQuery(std::move(binding));
 
-      std::vector<core::SpeDriver*> drivers{&driver};
-      provider.Update(drivers, Millis(config.period_ms));
+    long tick = 0;
+    runner.SetTickObserver([&tick](const core::RunnerTickInfo& info) {
+      std::printf(
+          "tick %ld @%.3fs: policies=%d ops applied=%llu skipped=%llu "
+          "errors=%llu\n",
+          tick++, static_cast<double>(info.now) / 1e9, info.policies_run,
+          static_cast<unsigned long long>(info.delta.applied),
+          static_cast<unsigned long long>(info.delta.skipped),
+          static_cast<unsigned long long>(info.delta.errors));
+    });
 
-      core::PolicyContext ctx;
-      ctx.provider = &provider;
-      ctx.drivers = drivers;
-      ctx.now = static_cast<SimTime>(now);
-      ctx.rng = &rng;
-      const core::Schedule schedule = policy->ComputeSchedule(ctx);
-      std::printf("tick %ld: %zu entities scheduled\n", i,
-                  schedule.entries.size());
-      translator->Apply(schedule, os);
+    // Half a period of slack so startup latency cannot push the Nth tick
+    // past the deadline.
+    const SimTime until =
+        iterations < 0 ? std::numeric_limits<SimTime>::max()
+                       : executor.Now() +
+                             iterations * Millis(config.period_ms) +
+                             Millis(config.period_ms) / 2;
+    runner.Start(until);
+    executor.Run(until);
 
-      std::this_thread::sleep_for(std::chrono::milliseconds(config.period_ms));
-    }
+    const core::DeltaStats& totals = runner.delta_totals();
+    std::printf(
+        "lachesisd: %llu schedules, ops applied=%llu skipped=%llu "
+        "errors=%llu\n",
+        static_cast<unsigned long long>(runner.schedules_applied()),
+        static_cast<unsigned long long>(totals.applied),
+        static_cast<unsigned long long>(totals.skipped),
+        static_cast<unsigned long long>(totals.errors));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lachesisd: %s\n", e.what());
     return 1;

@@ -7,6 +7,7 @@
 #include "core/os_adapter.h"
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "core/sim_driver.h"
 #include "queries/linear_road.h"
 #include "queries/synthetic.h"
@@ -64,7 +65,8 @@ int main() {
   scraper.Start(duration);
 
   core::SimOsAdapter os;
-  core::LachesisRunner lachesis(sim, os);
+  core::SimControlExecutor executor(sim);
+  core::LachesisRunner lachesis(executor, os);
   core::SimSpeDriver storm_driver(storm, metrics);
   core::SimSpeDriver flink_driver(flink, metrics);
   core::SimSpeDriver liebre_driver(liebre, metrics);

@@ -1,7 +1,10 @@
-// Native Linux demo: the same translator stack driving a REAL host instead
-// of the simulator. Spawns a tiny "SPE" of actual worker threads (named,
-// like Storm executors), discovers them via /proc, then enforces a schedule
-// with setpriority and -- when a writable cgroup root is given -- cgroupfs.
+// Native Linux demo: the SAME control plane that drives the simulator --
+// LachesisRunner + QueueSizePolicy + NiceTranslator -- running on real time
+// against a real host. Spawns a tiny "SPE" of actual worker threads (named,
+// like Storm executors), discovers them via /proc through a demo SpeDriver,
+// then loops at 500 ms enforcing the schedule with setpriority (and, when a
+// writable cgroup root is given, cgroupfs). The schedule-delta layer means
+// the steady-state loop issues zero syscalls after the first tick.
 //
 // Run:
 //   ./build/examples/native_demo [cgroup-root]
@@ -12,17 +15,19 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include <sys/syscall.h>
 
 #include "core/entities.h"
-#include "core/normalize.h"
-#include "core/schedule.h"
+#include "core/policies.h"
+#include "core/runner.h"
 #include "core/translators.h"
 #include "osctl/cgroupfs.h"
 #include "osctl/linux_os_adapter.h"
+#include "osctl/native_executor.h"
 #include "osctl/nice.h"
 #include "osctl/procfs.h"
 
@@ -42,6 +47,31 @@ void Operator(int index, const char* name) {
     g_work[index].fetch_add(1, std::memory_order_relaxed);
   }
 }
+
+// Minimal driver over the demo threads: a queue-size metric that pretends
+// "exec-heavy" has a deep input queue, so the QS policy boosts it.
+class DemoDriver final : public core::SpeDriver {
+ public:
+  explicit DemoDriver(std::vector<core::EntityInfo> entities)
+      : entities_(std::move(entities)) {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  std::vector<core::EntityInfo> Entities() override { return entities_; }
+  const core::LogicalTopology& Topology(QueryId) override {
+    return topology_;
+  }
+  [[nodiscard]] bool Provides(core::MetricId metric) const override {
+    return metric == core::MetricId::kQueueSize;
+  }
+  double Fetch(core::MetricId, const core::EntityInfo& entity) override {
+    return entity.path == "exec-heavy" ? 100.0 : 1.0;
+  }
+
+ private:
+  std::string name_ = "native-demo";
+  std::vector<core::EntityInfo> entities_;
+  core::LogicalTopology topology_;
+};
 
 }  // namespace
 
@@ -72,36 +102,48 @@ int main(int argc, char** argv) {
     for (auto& t : operators) t.join();
     return 1;
   }
+  DemoDriver driver(entities);
 
-  // 3. A schedule (what a QS policy would produce: boost "heavy") applied
-  //    through the real-OS adapter.
+  // 3. The real control plane on the real OS: native executor + Linux
+  //    adapter, policy and translator identical to the simulated runs.
   osctl::LinuxNiceController nice;
   const auto version = osctl::CgroupController::DetectVersion();
   osctl::CgroupController cgroups(
       argc > 1 ? argv[1] : "/tmp/lachesis-demo-cgroup", version);
   osctl::LinuxOsAdapter adapter(nice, cgroups);
 
-  core::Schedule schedule;
-  for (core::EntityInfo& e : entities) {
-    const double priority = e.path == "exec-heavy" ? 100.0 : 1.0;
-    schedule.entries.push_back({e, priority});
-  }
+  osctl::NativeControlExecutor executor;
+  core::LachesisRunner runner(executor, adapter);
+  core::PolicyBinding binding;
+  binding.policy = std::make_unique<core::QueueSizePolicy>();
   // Anchor at 0 so the demo works without CAP_SYS_NICE.
-  core::NiceTranslator translator(/*nice_best=*/0, /*nice_worst=*/19);
-  translator.Apply(schedule, adapter);
-
-  for (const core::EntityInfo& e : entities) {
-    const auto value = nice.GetNice(e.thread.os_tid);
-    std::printf("thread %-12s nice=%d\n", e.path.c_str(),
-                value.value_or(999));
-  }
+  binding.translator =
+      std::make_unique<core::NiceTranslator>(/*nice_best=*/0, /*nice_worst=*/19);
+  binding.period = Millis(500);
+  binding.drivers = {&driver};
+  runner.AddQuery(std::move(binding));
 
   // 4. Observe the effect: under contention the boosted thread makes more
   //    progress per wall-clock second.
   for (auto& counter : g_work) counter = 0;
-  sleep(2);
+  const SimTime until = executor.Now() + Seconds(2);
+  runner.Start(until);
+  executor.Run(until);
+
+  for (const core::EntityInfo& e : entities) {
+    const auto value = nice.GetNice(e.thread.os_tid);
+    std::printf("thread %-12s nice=%d\n", e.path.c_str(), value.value_or(999));
+  }
   g_stop = true;
   for (auto& t : operators) t.join();
+  const core::DeltaStats& totals = runner.delta_totals();
+  std::printf(
+      "%llu schedules; ops applied=%llu skipped=%llu errors=%llu "
+      "(delta layer elides the steady state)\n",
+      static_cast<unsigned long long>(runner.schedules_applied()),
+      static_cast<unsigned long long>(totals.applied),
+      static_cast<unsigned long long>(totals.skipped),
+      static_cast<unsigned long long>(totals.errors));
   std::printf("work done in 2s: ingest=%llu heavy=%llu sink=%llu\n",
               static_cast<unsigned long long>(g_work[0]),
               static_cast<unsigned long long>(g_work[1]),

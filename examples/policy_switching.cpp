@@ -11,6 +11,7 @@
 #include "core/os_adapter.h"
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "core/sim_driver.h"
 #include "queries/linear_road.h"
 #include "sim/machine.h"
@@ -43,7 +44,8 @@ int main() {
   scraper.Start(duration);
 
   core::SimOsAdapter os;
-  core::LachesisRunner lachesis(sim, os);
+  core::SimControlExecutor executor(sim);
+  core::LachesisRunner lachesis(executor, os);
   core::SimSpeDriver driver(liebre, metrics);
 
   // User-programmed switch condition: any head-of-line tuple older than

@@ -10,6 +10,7 @@
 #include "core/os_adapter.h"
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "core/sim_driver.h"
 #include "queries/linear_road.h"
 #include "sim/machine.h"
@@ -46,7 +47,8 @@ void Run(bool with_lachesis, double rate, SimTime duration) {
 
   // 4. Lachesis: driver + policy + translator, decisions every second.
   core::SimOsAdapter os;
-  core::LachesisRunner lachesis(sim, os);
+  core::SimControlExecutor executor(sim);
+  core::LachesisRunner lachesis(executor, os);
   core::SimSpeDriver driver(storm, metrics);
   if (with_lachesis) {
     core::PolicyBinding binding;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "core/entities.h"
 #include "core/metric.h"
 
@@ -22,6 +23,13 @@ class SpeDriver {
   virtual ~SpeDriver() = default;
 
   [[nodiscard]] virtual const std::string& name() const = 0;
+
+  // Called by the control loop at the start of every scheduling period the
+  // driver participates in, before metrics are read. Drivers that pull
+  // state from a live engine (re-scan /proc, tail a metric file) refresh
+  // here; drivers whose state is pushed to them (the simulated scraper
+  // pipeline) keep the default no-op.
+  virtual void Poll(SimTime now) { (void)now; }
 
   // Snapshot of all physical operators currently deployed.
   virtual std::vector<EntityInfo> Entities() = 0;

@@ -39,6 +39,10 @@ class MetricProvider {
   // Registers a metric required by some policy (Algorithm 1 L1). Leaf
   // dependencies are registered implicitly during resolution.
   void Register(MetricId metric) { registered_.insert(metric); }
+
+  // Drops a registration (a query detached and no remaining policy needs
+  // the metric); it is no longer computed on Update.
+  void Unregister(MetricId metric) { registered_.erase(metric); }
   [[nodiscard]] const std::set<MetricId>& registered() const {
     return registered_;
   }

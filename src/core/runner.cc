@@ -6,71 +6,136 @@
 
 namespace lachesis::core {
 
-LachesisRunner::LachesisRunner(sim::Simulator& sim, OsAdapter& os,
+LachesisRunner::LachesisRunner(ControlExecutor& executor, OsAdapter& os,
                                std::uint64_t seed)
-    : sim_(&sim), os_(&os), rng_(seed) {}
+    : executor_(&executor), delta_(os), rng_(seed) {}
 
-std::size_t LachesisRunner::AddBinding(PolicyBinding binding) {
+void LachesisRunner::RegisterMetrics(const PolicyBinding& binding) {
+  for (const MetricId m : binding.policy->RequiredMetrics()) {
+    if (++metric_refs_[m] == 1) provider_.Register(m);
+  }
+}
+
+void LachesisRunner::UnregisterMetrics(const PolicyBinding& binding) {
+  for (const MetricId m : binding.policy->RequiredMetrics()) {
+    const auto it = metric_refs_.find(m);
+    assert(it != metric_refs_.end() && it->second > 0);
+    if (--it->second == 0) {
+      metric_refs_.erase(it);
+      provider_.Unregister(m);
+    }
+  }
+}
+
+std::size_t LachesisRunner::AddQuery(PolicyBinding binding) {
   assert(binding.policy && binding.translator);
   assert(binding.period > 0);
   assert(!binding.drivers.empty());
-  bindings_.push_back(std::move(binding));
-  enabled_.push_back(true);
-  return bindings_.size() - 1;
+  Bound bound;
+  bound.binding = std::move(binding);
+  bindings_.push_back(std::move(bound));
+  const std::size_t index = bindings_.size() - 1;
+  if (started_) {
+    // Runtime attach (Algorithm 1 L1, incrementally): register the new
+    // policy's metrics and re-derive the wakeup cadence. First run aligns
+    // with the (possibly shrunk) wake interval, like Start does.
+    RegisterMetrics(bindings_[index].binding);
+    const SimTime now = executor_->Now();
+    const SimDuration interval = WakeInterval();
+    bindings_[index].next_run = now + interval;
+    if (now + interval < next_wake_) ScheduleNext(now + interval);
+  }
+  return index;
+}
+
+void LachesisRunner::RemoveQuery(std::size_t index) {
+  Bound& bound = bindings_.at(index);
+  if (!bound.attached) return;
+  bound.attached = false;
+  if (started_) UnregisterMetrics(bound.binding);
+  // The wake interval may have grown; the loop naturally adopts it at the
+  // next wakeup, so no reschedule is needed (a too-early wakeup is just an
+  // idle tick).
 }
 
 void LachesisRunner::SetBindingEnabled(std::size_t index, bool enabled) {
-  enabled_.at(index) = enabled;
+  bindings_.at(index).enabled = enabled;
 }
 
 SimDuration LachesisRunner::WakeInterval() const {
   SimDuration gcd = 0;
-  for (const PolicyBinding& b : bindings_) {
-    gcd = std::gcd(gcd, b.period);
+  for (const Bound& bound : bindings_) {
+    if (!bound.attached) continue;
+    gcd = std::gcd(gcd, bound.binding.period);
   }
   return gcd > 0 ? gcd : Seconds(1);
 }
 
 void LachesisRunner::Start(SimTime until) {
   until_ = until;
+  started_ = true;
   // Algorithm 1 L1: register the union of required metrics.
-  for (const PolicyBinding& b : bindings_) {
-    for (const MetricId m : b.policy->RequiredMetrics()) {
-      provider_.Register(m);
-    }
+  for (const Bound& bound : bindings_) {
+    if (bound.attached) RegisterMetrics(bound.binding);
   }
-  next_run_.assign(bindings_.size(), sim_->now() + WakeInterval());
-  sim_->ScheduleAt(sim_->now() + WakeInterval(), [this] { Tick(); });
+  const SimTime first = executor_->Now() + WakeInterval();
+  for (Bound& bound : bindings_) bound.next_run = first;
+  ScheduleNext(first);
+}
+
+void LachesisRunner::ScheduleNext(SimTime at) {
+  const std::uint64_t seq = ++tick_seq_;
+  next_wake_ = at;
+  executor_->CallAt(at, [this, seq] {
+    if (seq == tick_seq_) Tick();
+  });
 }
 
 void LachesisRunner::Tick() {
-  const SimTime now = sim_->now();
+  const SimTime now = executor_->Now();
+  // Cadence is anchored on the scheduled wake time: on the native backend
+  // `now` is the (slightly late) dispatch time, and anchoring next_run on
+  // it would let periods drift past their wakeups. In the simulator both
+  // are equal.
+  const SimTime anchor = next_wake_;  // == now in the simulator
+  const auto due = [now](const Bound& bound) {
+    return bound.attached && bound.enabled && bound.next_run <= now;
+  };
   bool any_due = false;
-  for (std::size_t i = 0; i < bindings_.size(); ++i) {
-    if (!enabled_[i]) {
+  for (Bound& bound : bindings_) {
+    if (!bound.attached) continue;
+    if (!bound.enabled) {
       // Keep cadence while disabled so re-enabling resumes on period
       // boundaries instead of firing a burst of missed runs.
-      if (next_run_[i] <= now) next_run_[i] = now + bindings_[i].period;
+      if (bound.next_run <= now) bound.next_run = anchor + bound.binding.period;
       continue;
     }
-    if (next_run_[i] <= now) any_due = true;
+    if (bound.next_run <= now) any_due = true;
   }
+  delta_.BeginTick();
+  int policies_run = 0;
   if (any_due) {
-    // Algorithm 1 L4: update metrics for all drivers of due policies.
+    // Algorithm 1 L4: update metrics for all drivers of due policies. On
+    // the native backend the drivers poll their engine first (re-scan
+    // /proc, tail the metric file); the sim drivers read the scraped store
+    // and poll nothing.
     std::set<SpeDriver*> driver_set;
     SimDuration window = 0;
-    for (std::size_t i = 0; i < bindings_.size(); ++i) {
-      if (!enabled_[i] || next_run_[i] > now) continue;
-      driver_set.insert(bindings_[i].drivers.begin(), bindings_[i].drivers.end());
-      window = window == 0 ? bindings_[i].period
-                           : std::min(window, bindings_[i].period);
+    for (const Bound& bound : bindings_) {
+      if (!due(bound)) continue;
+      driver_set.insert(bound.binding.drivers.begin(),
+                        bound.binding.drivers.end());
+      window = window == 0 ? bound.binding.period
+                           : std::min(window, bound.binding.period);
     }
+    for (SpeDriver* driver : driver_set) driver->Poll(now);
     provider_.Update({driver_set.begin(), driver_set.end()}, window);
 
-    // L5-8: run each due policy and apply through its translator.
-    for (std::size_t i = 0; i < bindings_.size(); ++i) {
-      if (!enabled_[i] || next_run_[i] > now) continue;
-      PolicyBinding& b = bindings_[i];
+    // L5-8: run each due policy and apply through its translator (which
+    // issues only changed operations thanks to the delta layer).
+    for (Bound& bound : bindings_) {
+      if (!due(bound)) continue;
+      PolicyBinding& b = bound.binding;
       PolicyContext ctx;
       ctx.provider = &provider_;
       ctx.drivers = b.drivers;
@@ -78,14 +143,26 @@ void LachesisRunner::Tick() {
       ctx.now = now;
       ctx.rng = &rng_;
       const Schedule schedule = b.policy->ComputeSchedule(ctx);
-      b.translator->Apply(schedule, *os_);
+      b.translator->Apply(schedule, delta_);
       ++schedules_applied_;
-      next_run_[i] = now + b.period;
+      ++policies_run;
+      bound.next_run = anchor + b.period;
     }
   }
-  // L9: sleep until the next check.
-  const SimTime next = now + WakeInterval();
-  if (next <= until_) sim_->ScheduleAt(next, [this] { Tick(); });
+  if (observer_) {
+    RunnerTickInfo info;
+    info.now = now;
+    info.policies_run = policies_run;
+    info.delta = delta_.tick_stats();
+    observer_(info);
+  }
+  // L9: sleep until the next check. Anchoring on the scheduled wake time
+  // (not the dispatch time) keeps the native backend drift-free; in the
+  // simulator the two are identical. If a tick overran a whole interval,
+  // fall back to "now" instead of firing a catch-up burst.
+  SimTime next = next_wake_ + WakeInterval();
+  if (next <= now) next = now + WakeInterval();
+  if (next <= until_) ScheduleNext(next);
 }
 
 }  // namespace lachesis::core

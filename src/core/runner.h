@@ -3,16 +3,22 @@
 // K policies, each with its own period, translator, driver set and optional
 // entity filter, are evaluated at their periods: the metric provider is
 // updated, each due policy computes a schedule, and its translator applies
-// it through the OS adapter. The runner wakes at the GCD of the policy
-// periods and only works when at least one policy is due (Algorithm 1 L9).
+// it through the schedule-delta layer onto the OS adapter. The runner wakes
+// at the GCD of the policy periods and only works when at least one policy
+// is due (Algorithm 1 L9).
 //
-// Lachesis runs as a separate component: in the simulation it is a pure
-// event-driven controller whose own (measured ~1% in the paper) CPU cost is
-// not charged to the query machine; see DESIGN.md.
+// The runner is backend-agnostic: it talks only to a ControlExecutor
+// (clock + deferred calls), an OsAdapter, and SpeDrivers. The identical
+// loop therefore drives the discrete-event simulator (SimControlExecutor)
+// and a live Linux host (osctl::NativeControlExecutor + LinuxOsAdapter),
+// and queries can attach/detach while it runs (paper §6.5): AddQuery /
+// RemoveQuery incrementally re-derive the GCD wake interval and the
+// provider's required-metric registrations.
 #ifndef LACHESIS_CORE_RUNNER_H_
 #define LACHESIS_CORE_RUNNER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -21,10 +27,11 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "core/driver.h"
+#include "core/executor.h"
 #include "core/metric_provider.h"
 #include "core/policy.h"
+#include "core/schedule_delta.h"
 #include "core/translators.h"
-#include "sim/simulator.h"
 
 namespace lachesis::core {
 
@@ -36,42 +43,101 @@ struct PolicyBinding {
   std::function<bool(const EntityInfo&)> filter;  // optional (G3)
 };
 
+// Per-wakeup summary handed to the optional tick observer (daemon logging,
+// cadence tests).
+struct RunnerTickInfo {
+  SimTime now = 0;
+  int policies_run = 0;   // bindings that were due and executed
+  DeltaStats delta;       // delta-layer counters for this tick
+};
+
 class LachesisRunner {
  public:
-  LachesisRunner(sim::Simulator& sim, OsAdapter& os, std::uint64_t seed = 7);
+  LachesisRunner(ControlExecutor& executor, OsAdapter& os,
+                 std::uint64_t seed = 7);
 
-  // Returns the binding's index, usable with SetBindingEnabled.
-  std::size_t AddBinding(PolicyBinding binding);
+  // Attaches a query binding (policy + translator + drivers). Works both
+  // before Start and while the loop runs: a runtime attach registers the
+  // policy's required metrics and re-derives the wake interval, scheduling
+  // an earlier wakeup when the GCD shrank (paper §6.5, queries arriving
+  // dynamically). Returns the binding's index, usable with
+  // SetBindingEnabled / RemoveQuery.
+  std::size_t AddQuery(PolicyBinding binding);
+  // Historical name for AddQuery; kept because a "binding" and an attached
+  // query are the same object to the runner.
+  std::size_t AddBinding(PolicyBinding binding) {
+    return AddQuery(std::move(binding));
+  }
+
+  // Detaches a binding: it stops running, and metrics no remaining
+  // attached binding requires are unregistered from the provider. The
+  // index stays valid (tombstoned) so other indices are unaffected.
+  void RemoveQuery(std::size_t index);
+  [[nodiscard]] bool query_attached(std::size_t index) const {
+    return bindings_.at(index).attached;
+  }
 
   // Enables/disables a policy at runtime (paper §4: switching policies "by
   // enabling one policy and disabling another"). Disabled bindings are
   // skipped by the loop but keep their schedule cadence for re-enablement.
   void SetBindingEnabled(std::size_t index, bool enabled);
   [[nodiscard]] bool binding_enabled(std::size_t index) const {
-    return enabled_.at(index);
+    return bindings_.at(index).enabled;
   }
 
   // Registers required metrics (Algorithm 1 L1) and starts the loop.
   void Start(SimTime until);
 
+  // Called once per wakeup, after due policies ran (also on idle wakeups,
+  // with policies_run == 0).
+  void SetTickObserver(std::function<void(const RunnerTickInfo&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Disables the delta layer (every translator operation is forwarded to
+  // the OS adapter); for measuring the delta win.
+  void SetDeltaEnabled(bool enabled) { delta_.set_enabled(enabled); }
+
   [[nodiscard]] MetricProvider& provider() { return provider_; }
   [[nodiscard]] std::uint64_t schedules_applied() const {
     return schedules_applied_;
   }
+  [[nodiscard]] const DeltaStats& delta_totals() const {
+    return delta_.totals();
+  }
+  [[nodiscard]] ScheduleDeltaAdapter& delta() { return delta_; }
 
- private:
-  void Tick();
+  // Current GCD wake interval over attached bindings (Algorithm 1 L9);
+  // re-derived as queries attach/detach.
   [[nodiscard]] SimDuration WakeInterval() const;
 
-  sim::Simulator* sim_;
-  OsAdapter* os_;
+ private:
+  struct Bound {
+    PolicyBinding binding;
+    bool enabled = true;
+    bool attached = true;
+    SimTime next_run = 0;
+  };
+
+  void Tick();
+  void ScheduleNext(SimTime at);
+  void RegisterMetrics(const PolicyBinding& binding);
+  void UnregisterMetrics(const PolicyBinding& binding);
+
+  ControlExecutor* executor_;
+  ScheduleDeltaAdapter delta_;
   MetricProvider provider_;
   Rng rng_;
-  std::vector<PolicyBinding> bindings_;
-  std::vector<bool> enabled_;
-  std::vector<SimTime> next_run_;
+  std::vector<Bound> bindings_;
+  std::map<MetricId, int> metric_refs_;
+  bool started_ = false;
   SimTime until_ = 0;
+  SimTime next_wake_ = 0;
+  // Stale-wakeup guard: rescheduling (e.g. after a runtime AddQuery shrank
+  // the GCD) bumps the sequence so superseded callbacks become no-ops.
+  std::uint64_t tick_seq_ = 0;
   std::uint64_t schedules_applied_ = 0;
+  std::function<void(const RunnerTickInfo&)> observer_;
 };
 
 }  // namespace lachesis::core

@@ -1,0 +1,136 @@
+#include "core/schedule_delta.h"
+
+#include <cstdio>
+#include <exception>
+
+namespace lachesis::core {
+
+void ScheduleDeltaAdapter::Reset() {
+  nice_.clear();
+  rt_.clear();
+  group_of_.clear();
+  shares_.clear();
+  quota_.clear();
+}
+
+std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
+  std::size_t count = 0;
+  for (const auto& [key, priority] : rt_) {
+    if (priority > 0) ++count;
+  }
+  return count;
+}
+
+template <typename Fn>
+bool ScheduleDeltaAdapter::Forward(const char* what, const std::string& target,
+                                   Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    ++tick_.errors;
+    ++totals_.errors;
+    // One line per (operation, target): a permanently broken target (e.g.
+    // an unwritable cgroup root) must not flood the log every period.
+    const std::string key = std::string(what) + ":" + target;
+    if (logged_failures_.insert(key).second) {
+      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", what,
+                   target.c_str(), e.what());
+    }
+    return false;
+  }
+  ++tick_.applied;
+  ++totals_.applied;
+  return true;
+}
+
+void ScheduleDeltaAdapter::SetNice(const ThreadHandle& thread, int nice) {
+  const ThreadKey key = KeyOf(thread);
+  if (enabled_) {
+    const auto it = nice_.find(key);
+    if (it != nice_.end() && it->second == nice) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+  }
+  if (Forward("SetNice", std::to_string(thread.os_tid), [&] {
+        next_->SetNice(thread, nice);
+      })) {
+    nice_[key] = nice;
+  }
+}
+
+void ScheduleDeltaAdapter::SetGroupShares(const std::string& group,
+                                          std::uint64_t shares) {
+  if (enabled_) {
+    const auto it = shares_.find(group);
+    if (it != shares_.end() && it->second == shares) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+  }
+  if (Forward("SetGroupShares", group,
+              [&] { next_->SetGroupShares(group, shares); })) {
+    shares_[group] = shares;
+  }
+}
+
+void ScheduleDeltaAdapter::MoveToGroup(const ThreadHandle& thread,
+                                       const std::string& group) {
+  const ThreadKey key = KeyOf(thread);
+  if (enabled_) {
+    const auto it = group_of_.find(key);
+    if (it != group_of_.end() && it->second == group) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+  }
+  if (Forward("MoveToGroup", group, [&] { next_->MoveToGroup(thread, group); })) {
+    group_of_[key] = group;
+  }
+}
+
+void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
+                                         int rt_priority) {
+  const ThreadKey key = KeyOf(thread);
+  if (enabled_) {
+    const auto it = rt_.find(key);
+    if (it != rt_.end() && it->second == rt_priority) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+    // A demotion for a thread the delta layer never boosted is a no-op by
+    // construction (fair class is the default state).
+    if (it == rt_.end() && rt_priority == 0) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+  }
+  if (Forward("SetRtPriority", std::to_string(thread.os_tid), [&] {
+        next_->SetRtPriority(thread, rt_priority);
+      })) {
+    rt_[key] = rt_priority;
+  }
+}
+
+void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
+                                         SimDuration quota, SimDuration period) {
+  if (enabled_) {
+    const auto it = quota_.find(group);
+    if (it != quota_.end() && it->second == std::make_pair(quota, period)) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      return;
+    }
+  }
+  if (Forward("SetGroupQuota", group,
+              [&] { next_->SetGroupQuota(group, quota, period); })) {
+    quota_[group] = {quota, period};
+  }
+}
+
+}  // namespace lachesis::core

@@ -1,0 +1,104 @@
+// Schedule-delta application layer (between translators and the OS).
+//
+// Policies recompute a full schedule every period, but between consecutive
+// periods most of it is unchanged. This adapter decorates the real
+// OsAdapter and forwards only operations whose value differs from the last
+// one successfully applied to the same target: on the native backend that
+// is a syscall/cgroupfs-write count win, on the simulator it shrinks event
+// churn. It is also the control plane's failure boundary: an operation
+// that throws (e.g. the target thread or cgroup vanished mid-period on a
+// live host) is logged and counted, never aborting the tick, and is
+// retried on the next change because failed values are not cached.
+#ifndef LACHESIS_CORE_SCHEDULE_DELTA_H_
+#define LACHESIS_CORE_SCHEDULE_DELTA_H_
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/os_adapter.h"
+
+namespace lachesis::core {
+
+// Thrown by backends to signal that one OS operation failed (target
+// vanished, permission denied, ...). The delta layer absorbs it.
+class OsOperationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct DeltaStats {
+  std::uint64_t applied = 0;  // forwarded to the backend and succeeded
+  std::uint64_t skipped = 0;  // identical to the last applied value
+  std::uint64_t errors = 0;   // backend threw; value not cached
+
+  DeltaStats& operator+=(const DeltaStats& other) {
+    applied += other.applied;
+    skipped += other.skipped;
+    errors += other.errors;
+    return *this;
+  }
+};
+
+class ScheduleDeltaAdapter final : public OsAdapter {
+ public:
+  explicit ScheduleDeltaAdapter(OsAdapter& next) : next_(&next) {}
+
+  // Pass-through mode: every operation is forwarded (and still counted /
+  // error-contained). Used to measure the delta win in benches.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Starts a new scheduling period: resets the per-tick counters.
+  void BeginTick() { tick_ = {}; }
+  [[nodiscard]] const DeltaStats& tick_stats() const { return tick_; }
+  [[nodiscard]] const DeltaStats& totals() const { return totals_; }
+
+  // Drops all cached state so the next schedule is applied in full (e.g.
+  // after the backend lost state behind our back).
+  void Reset();
+
+  // Threads currently in the RT class as far as the delta layer knows
+  // (last applied rt priority > 0). Lets tests and translators reconcile
+  // against applied -- not merely requested -- state.
+  [[nodiscard]] std::size_t rt_boosted_count() const;
+
+  void SetNice(const ThreadHandle& thread, int nice) override;
+  void SetGroupShares(const std::string& group, std::uint64_t shares) override;
+  void MoveToGroup(const ThreadHandle& thread,
+                   const std::string& group) override;
+  void SetRtPriority(const ThreadHandle& thread, int rt_priority) override;
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override;
+
+ private:
+  // Identifies a thread across both backends: sim threads by
+  // (machine, sim_tid), native threads by os_tid.
+  using ThreadKey = std::tuple<const void*, std::uint64_t, long>;
+  static ThreadKey KeyOf(const ThreadHandle& thread) {
+    return {thread.machine, thread.sim_tid.value(), thread.os_tid};
+  }
+
+  // Runs `fn` (the backend call); returns true when it succeeded. Failures
+  // are counted and logged once per (operation, target).
+  template <typename Fn>
+  bool Forward(const char* what, const std::string& target, Fn&& fn);
+
+  OsAdapter* next_;
+  bool enabled_ = true;
+  DeltaStats tick_;
+  DeltaStats totals_;
+  std::map<ThreadKey, int> nice_;
+  std::map<ThreadKey, int> rt_;
+  std::map<ThreadKey, std::string> group_of_;
+  std::map<std::string, std::uint64_t> shares_;
+  std::map<std::string, std::pair<SimDuration, SimDuration>> quota_;
+  std::set<std::string> logged_failures_;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_SCHEDULE_DELTA_H_

@@ -1,0 +1,32 @@
+// ControlExecutor backed by the discrete-event simulator.
+//
+// Kept out of executor.h so the runner (and anything else that only needs
+// the interface) has no compile-time dependency on sim::Simulator.
+#ifndef LACHESIS_CORE_SIM_EXECUTOR_H_
+#define LACHESIS_CORE_SIM_EXECUTOR_H_
+
+#include <functional>
+#include <utility>
+
+#include "core/executor.h"
+#include "sim/simulator.h"
+
+namespace lachesis::core {
+
+class SimControlExecutor final : public ControlExecutor {
+ public:
+  explicit SimControlExecutor(sim::Simulator& sim) : sim_(&sim) {}
+
+  [[nodiscard]] SimTime Now() const override { return sim_->now(); }
+
+  void CallAt(SimTime time, std::function<void()> fn) override {
+    sim_->ScheduleAt(time, std::move(fn));
+  }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_SIM_EXECUTOR_H_

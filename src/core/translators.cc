@@ -118,16 +118,16 @@ void RtBoostTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
   for (const ScheduleEntry& entry : schedule.entries) {
     if (entry.priority > top->priority) top = &entry;
   }
-  // Demote previous boosts that are no longer on top.
-  std::set<std::string> next_boosted{top->entity.path};
-  for (const ScheduleEntry& entry : schedule.entries) {
-    if (boosted_.count(entry.entity.path) > 0 &&
-        next_boosted.count(entry.entity.path) == 0) {
-      os.SetRtPriority(entry.entity.thread, 0);
-    }
+  // Reconcile: demote every previously boosted thread that is not the new
+  // top -- using the stored handle, so an entity that was demoted AND
+  // dropped from the schedule (operator terminated) cannot keep a stale RT
+  // boost. The delta layer skips demotions already applied.
+  for (const auto& [path, thread] : boosted_) {
+    if (path != top->entity.path) os.SetRtPriority(thread, 0);
   }
   os.SetRtPriority(top->entity.thread, rt_priority_);
-  boosted_ = std::move(next_boosted);
+  boosted_.clear();
+  boosted_.emplace(top->entity.path, top->entity.thread);
   nice_.Apply(schedule, os);
 }
 

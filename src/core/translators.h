@@ -8,7 +8,7 @@
 #define LACHESIS_CORE_TRANSLATORS_H_
 
 #include <functional>
-#include <set>
+#include <map>
 #include <string>
 
 #include "core/os_adapter.h"
@@ -91,7 +91,11 @@ class QuotaTranslator final : public Translator {
 // Real-time boost translator (paper §8's "real-time threads" mechanism):
 // promotes the single highest-priority operator to SCHED_FIFO (it preempts
 // everything fair-class) and enforces the rest of the schedule with nice.
-// Operators that lose the top spot are demoted back to the fair class.
+// Operators that lose the top spot are demoted back to the fair class --
+// including operators that vanished from the schedule entirely (terminated
+// or filtered out), which is why the boost set keeps the thread handles:
+// reconciliation must be able to demote a thread it will never see again.
+// Re-issued demotions/boosts are deduplicated by the delta layer.
 class RtBoostTranslator final : public Translator {
  public:
   explicit RtBoostTranslator(int rt_priority = 10, int nice_best = -20)
@@ -102,7 +106,8 @@ class RtBoostTranslator final : public Translator {
  private:
   int rt_priority_;
   NiceTranslator nice_;
-  std::set<std::string> boosted_;  // entity paths currently in the RT class
+  // Entity path -> thread currently in the RT class (at most one entry).
+  std::map<std::string, ThreadHandle> boosted_;
   std::string name_ = "rt+nice";
 };
 

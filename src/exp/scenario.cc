@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "core/os_adapter.h"
 #include "core/sim_driver.h"
+#include "core/sim_executor.h"
 #include "sim/simulator.h"
 #include "spe/source.h"
 #include "tsdb/scraper.h"
@@ -152,6 +153,7 @@ RunResult RunScenario(const ScenarioSpec& spec) {
 
   // --- scheduler -------------------------------------------------------------------
   core::SimOsAdapter os;
+  core::SimControlExecutor executor(sim);
   std::unique_ptr<core::LachesisRunner> runner;
   std::vector<std::unique_ptr<core::SimSpeDriver>> drivers;
   std::unique_ptr<ulss::UlssScheduler> ulss_scheduler;
@@ -160,7 +162,7 @@ RunResult RunScenario(const ScenarioSpec& spec) {
     case SchedulerKind::kOsDefault:
       break;
     case SchedulerKind::kLachesis: {
-      runner = std::make_unique<core::LachesisRunner>(sim, os, spec.seed + 3);
+      runner = std::make_unique<core::LachesisRunner>(executor, os, spec.seed + 3);
       std::vector<core::SpeDriver*> driver_ptrs;
       for (auto& [name, instance] : instances) {
         drivers.push_back(std::make_unique<core::SimSpeDriver>(
@@ -304,7 +306,12 @@ RunResult RunScenario(const ScenarioSpec& spec) {
   result.cpu_utilization =
       static_cast<double>(busy) /
       (static_cast<double>(spec.nodes) * spec.cores * static_cast<double>(spec.measure));
-  if (runner) result.lachesis_schedules = runner->schedules_applied();
+  if (runner) {
+    result.lachesis_schedules = runner->schedules_applied();
+    result.lachesis_ops_applied = runner->delta_totals().applied;
+    result.lachesis_ops_skipped = runner->delta_totals().skipped;
+    result.lachesis_ops_errors = runner->delta_totals().errors;
+  }
   return result;
 }
 

@@ -105,6 +105,11 @@ struct RunResult {
   std::vector<double> queue_size_samples;       // pooled over ops/time (Fig 6/8)
   std::map<std::string, QueryResult> per_query;  // Fig 14/18
   std::uint64_t lachesis_schedules = 0;
+  // Delta-layer counters: OS operations the middleware issued vs. elided
+  // because the schedule was unchanged since the last period.
+  std::uint64_t lachesis_ops_applied = 0;
+  std::uint64_t lachesis_ops_skipped = 0;
+  std::uint64_t lachesis_ops_errors = 0;
 };
 
 // Runs one scenario once.

@@ -4,10 +4,20 @@
 // drive a live system: nice via setpriority, groups via cgroupfs. Entities
 // must carry os_tid (e.g. resolved through osctl::FindThreadsByName against
 // the SPE's process).
+//
+// Failures (thread exited between discovery and apply, unwritable cgroup
+// root, missing CAP_SYS_NICE) throw core::OsOperationError. The runner's
+// schedule-delta layer absorbs the exception, counts it, and moves on to
+// the next operation, so a vanished operator never aborts a scheduling
+// tick. Entities that were never resolved (os_tid < 0) are skipped
+// silently: that is the steady state until the driver matches the thread.
 #ifndef LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
 #define LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
 
+#include <string>
+
 #include "core/os_adapter.h"
+#include "core/schedule_delta.h"
 #include "osctl/cgroupfs.h"
 #include "osctl/nice.h"
 
@@ -20,29 +30,46 @@ class LinuxOsAdapter final : public core::OsAdapter {
       : nice_(&nice), cgroups_(&cgroups), rt_(rt) {}
 
   void SetNice(const core::ThreadHandle& thread, int nice) override {
-    if (thread.os_tid >= 0) nice_->SetNice(thread.os_tid, nice);
+    if (thread.os_tid < 0) return;
+    if (!nice_->SetNice(thread.os_tid, nice)) {
+      throw core::OsOperationError("setpriority(" +
+                                   std::to_string(thread.os_tid) + ", " +
+                                   std::to_string(nice) + ")");
+    }
   }
 
   void SetGroupShares(const std::string& group, std::uint64_t shares) override {
-    cgroups_->SetShares(group, shares);
+    if (!cgroups_->SetShares(group, shares)) {
+      throw core::OsOperationError("cgroup shares write failed: " + group);
+    }
   }
 
   void MoveToGroup(const core::ThreadHandle& thread,
                    const std::string& group) override {
-    if (thread.os_tid >= 0) cgroups_->MoveThread(group, thread.os_tid);
+    if (thread.os_tid < 0) return;
+    if (!cgroups_->MoveThread(group, thread.os_tid)) {
+      throw core::OsOperationError("cgroup move failed: tid " +
+                                   std::to_string(thread.os_tid) + " -> " +
+                                   group);
+    }
   }
 
   void SetRtPriority(const core::ThreadHandle& thread,
                      int rt_priority) override {
-    if (rt_ != nullptr && thread.os_tid >= 0) {
-      rt_->SetRtPriority(thread.os_tid, rt_priority);
+    if (rt_ == nullptr || thread.os_tid < 0) return;
+    if (!rt_->SetRtPriority(thread.os_tid, rt_priority)) {
+      throw core::OsOperationError("sched_setscheduler(" +
+                                   std::to_string(thread.os_tid) + ", " +
+                                   std::to_string(rt_priority) + ")");
     }
   }
 
   void SetGroupQuota(const std::string& group, SimDuration quota,
                      SimDuration period) override {
-    cgroups_->SetQuota(group, static_cast<long>(quota / kMicrosecond),
-                       static_cast<long>(period / kMicrosecond));
+    if (!cgroups_->SetQuota(group, static_cast<long>(quota / kMicrosecond),
+                            static_cast<long>(period / kMicrosecond))) {
+      throw core::OsOperationError("cgroup quota write failed: " + group);
+    }
   }
 
  private:

@@ -56,8 +56,12 @@ class NativeSpeDriver final : public core::SpeDriver {
   explicit NativeSpeDriver(NativeSpeConfig config);
 
   // Re-scans /proc and ingests new lines of the metrics file. Call once per
-  // scheduling period (e.g. from the loop that also runs LachesisRunner).
+  // scheduling period; the runner does this automatically through Poll().
   void Refresh(SimTime now);
+
+  // SpeDriver refresh hook: the control loop polls the live engine at the
+  // start of every period this driver participates in.
+  void Poll(SimTime now) override { Refresh(now); }
 
   [[nodiscard]] const std::string& name() const override { return name_; }
   std::vector<core::EntityInfo> Entities() override;

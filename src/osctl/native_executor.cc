@@ -1,0 +1,62 @@
+#include "osctl/native_executor.h"
+
+#include <utility>
+
+namespace lachesis::osctl {
+
+NativeControlExecutor::NativeControlExecutor()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+SimTime NativeControlExecutor::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void NativeControlExecutor::CallAt(SimTime time, std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(Pending{time, next_seq_++, std::move(fn)});
+  }
+  // A new earlier deadline must cut any in-progress sleep short.
+  wake_.notify_all();
+}
+
+std::uint64_t NativeControlExecutor::Run(SimTime until) {
+  std::uint64_t dispatched = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_ = false;
+  while (!stop_) {
+    if (queue_.empty() || queue_.top().time > until) break;
+    const SimTime next = queue_.top().time;
+    if (next > Now()) {
+      // Sleep to the deadline; wakes early on Stop() or a new CallAt.
+      wake_.wait_until(lock, epoch_ + std::chrono::nanoseconds(next));
+      continue;  // re-evaluate: head/stop may have changed
+    }
+    // const_cast: priority_queue::top() is const, but we are about to pop;
+    // moving the callback out avoids copying captured state.
+    auto fn = std::move(const_cast<Pending&>(queue_.top()).fn);
+    queue_.pop();
+    ++dispatched;
+    lock.unlock();  // callbacks may CallAt / Stop
+    fn();
+    lock.lock();
+  }
+  return dispatched;
+}
+
+void NativeControlExecutor::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+}
+
+std::size_t NativeControlExecutor::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace lachesis::osctl

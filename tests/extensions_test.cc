@@ -104,6 +104,23 @@ TEST(RtBoostTranslatorTest, DemotesPreviousTopWhenLeaderChanges) {
   EXPECT_EQ(os.rt.at(1), 0);  // explicitly returned to the fair class
 }
 
+TEST(RtBoostTranslatorTest, VanishedLeaderIsStillDemoted) {
+  // Regression: the old translator only remembered the boosted entity's
+  // path, so a top operator that was dropped from the next schedule
+  // (operator terminated / query removed) kept its RT boost forever. The
+  // stored thread handle lets reconciliation demote it anyway.
+  RecordingExtendedAdapter os;
+  RtBoostTranslator translator(10);
+  translator.Apply(MakeSchedule({1.0, 99.0}), os);
+  EXPECT_EQ(os.rt.at(1), 10);
+
+  Schedule only_first;
+  only_first.entries.push_back({Entity(0), 5.0});
+  translator.Apply(only_first, os);
+  EXPECT_EQ(os.rt.at(1), 0);  // demoted despite being absent from schedule
+  EXPECT_EQ(os.rt.at(0), 10);
+}
+
 TEST(PressureStallPolicyTest, PrioritizesStarvedEntities) {
   FakeDriver driver;
   const EntityInfo starved = driver.AddEntity(QueryId(0), {0});

@@ -8,6 +8,7 @@
 
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "core/translators.h"
 #include "sim/simulator.h"
 #include "tests/fake_driver.h"
@@ -134,7 +135,8 @@ TEST(FailureInjectionTest, RunnerSurvivesEntitiesAppearingMidFlight) {
   FakeDriver driver;
   driver.Provide(MetricId::kQueueSize);
 
-  LachesisRunner runner(sim, os);
+  SimControlExecutor executor(sim);
+  LachesisRunner runner(executor, os);
   PolicyBinding binding;
   binding.policy = std::make_unique<QueueSizePolicy>();
   binding.translator = std::make_unique<NiceTranslator>();

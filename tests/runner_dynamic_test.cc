@@ -1,0 +1,237 @@
+// Tests of dynamic orchestration (paper §6.5): queries attaching and
+// detaching while the loop runs, incremental GCD wake-interval derivation,
+// refcounted metric registration, and cadence across disable/re-enable.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "sim/simulator.h"
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+using testing::RecordingOsAdapter;
+
+// Counts invocations; configurable required metric.
+class CountingPolicy final : public SchedulingPolicy {
+ public:
+  explicit CountingPolicy(int* counter, MetricId required = MetricId::kQueueSize)
+      : counter_(counter), required_(required) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::vector<MetricId> RequiredMetrics() const override {
+    return {required_};
+  }
+  Schedule ComputeSchedule(const PolicyContext& ctx) override {
+    ++*counter_;
+    Schedule s;
+    ctx.ForEachEntity([&](SpeDriver& driver, const EntityInfo& e) {
+      s.entries.push_back({e, ctx.provider->Value(driver, required_, e.id)});
+    });
+    return s;
+  }
+
+ private:
+  int* counter_;
+  MetricId required_;
+  std::string name_ = "counting";
+};
+
+struct Rig {
+  sim::Simulator sim;
+  SimControlExecutor executor{sim};
+  RecordingOsAdapter os;
+  FakeDriver driver;
+
+  Rig() {
+    const EntityInfo a = driver.AddEntity(QueryId(0), {0});
+    const EntityInfo b = driver.AddEntity(QueryId(1), {0});
+    driver.Provide(MetricId::kQueueSize);
+    driver.Provide(MetricId::kHeadTupleAge);
+    driver.SetValue(MetricId::kQueueSize, a.id, 5);
+    driver.SetValue(MetricId::kQueueSize, b.id, 50);
+  }
+
+  PolicyBinding Binding(int* counter, SimDuration period,
+                        MetricId required = MetricId::kQueueSize) {
+    PolicyBinding b;
+    b.policy = std::make_unique<CountingPolicy>(counter, required);
+    b.translator = std::make_unique<NiceTranslator>();
+    b.period = period;
+    b.drivers = {&driver};
+    return b;
+  }
+};
+
+TEST(RunnerDynamicTest, AddQueryMidRunRegistersMetricsAndFires) {
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int base_count = 0;
+  runner.AddQuery(rig.Binding(&base_count, Seconds(1)));
+  runner.Start(Seconds(6));
+  rig.sim.RunUntil(Seconds(2));
+  EXPECT_EQ(base_count, 2);
+  EXPECT_EQ(runner.WakeInterval(), Seconds(1));
+  EXPECT_FALSE(runner.provider().registered().count(MetricId::kHeadTupleAge));
+
+  // A 500 ms query arrives at t=2s: the GCD shrinks to 500 ms, its metric
+  // is registered immediately, and it first fires one new interval later.
+  int added_count = 0;
+  const std::size_t idx = runner.AddQuery(
+      rig.Binding(&added_count, Millis(500), MetricId::kHeadTupleAge));
+  EXPECT_TRUE(runner.query_attached(idx));
+  EXPECT_EQ(runner.WakeInterval(), Millis(500));
+  EXPECT_TRUE(runner.provider().registered().count(MetricId::kHeadTupleAge));
+
+  rig.sim.RunUntil(Seconds(6));
+  // Base query: t = 1..6 s.
+  EXPECT_EQ(base_count, 6);
+  // Added query: t = 2.5, 3.0, ..., 6.0 s.
+  EXPECT_EQ(added_count, 8);
+}
+
+TEST(RunnerDynamicTest, AddQueryReschedulesEarlierWakeup) {
+  // After the GCD shrinks mid-interval, the next wakeup moves up; the
+  // superseded callback must not produce a duplicate tick.
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int base_count = 0;
+  runner.AddQuery(rig.Binding(&base_count, Seconds(2)));
+
+  std::vector<SimTime> wakeups;
+  runner.SetTickObserver(
+      [&wakeups](const RunnerTickInfo& info) { wakeups.push_back(info.now); });
+  runner.Start(Seconds(4));
+  rig.sim.RunUntil(Seconds(2));  // tick at 2 s ran; next wake was 4 s
+
+  int added_count = 0;
+  runner.AddQuery(rig.Binding(&added_count, Millis(500)));
+  rig.sim.RunUntil(Seconds(4));
+
+  // Wakeups: 2.0 (pre-attach), then every 500 ms from 2.5 on -- no
+  // duplicates from the stale 4 s callback.
+  const std::vector<SimTime> expected = {Seconds(2),   Millis(2500),
+                                         Seconds(3),   Millis(3500),
+                                         Seconds(4)};
+  EXPECT_EQ(wakeups, expected);
+  EXPECT_EQ(added_count, 4);  // 2.5, 3.0, 3.5, 4.0
+  EXPECT_EQ(base_count, 2);   // 2.0, 4.0
+}
+
+TEST(RunnerDynamicTest, RemoveQueryStopsFiringAndUnregistersMetrics) {
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int qs_count = 0;
+  int age_count = 0;
+  const std::size_t qs_idx = runner.AddQuery(rig.Binding(&qs_count, Seconds(1)));
+  const std::size_t age_idx = runner.AddQuery(
+      rig.Binding(&age_count, Seconds(1), MetricId::kHeadTupleAge));
+  runner.Start(Seconds(6));
+  rig.sim.RunUntil(Seconds(3));
+  EXPECT_EQ(qs_count, 3);
+  EXPECT_EQ(age_count, 3);
+
+  runner.RemoveQuery(age_idx);
+  EXPECT_FALSE(runner.query_attached(age_idx));
+  EXPECT_TRUE(runner.query_attached(qs_idx));
+  // Its metric had a single owner and is unregistered; the shared loop
+  // keeps running the remaining query.
+  EXPECT_FALSE(runner.provider().registered().count(MetricId::kHeadTupleAge));
+  EXPECT_TRUE(runner.provider().registered().count(MetricId::kQueueSize));
+
+  rig.sim.RunUntil(Seconds(6));
+  EXPECT_EQ(age_count, 3);  // never ran again
+  EXPECT_EQ(qs_count, 6);
+}
+
+TEST(RunnerDynamicTest, SharedMetricSurvivesUntilLastOwnerDetaches) {
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int c0 = 0;
+  int c1 = 0;
+  const std::size_t i0 = runner.AddQuery(rig.Binding(&c0, Seconds(1)));
+  const std::size_t i1 = runner.AddQuery(rig.Binding(&c1, Seconds(1)));
+  runner.Start(Seconds(4));
+  rig.sim.RunUntil(Seconds(1));
+
+  runner.RemoveQuery(i0);
+  // Both bindings require kQueueSize: one detach must not unregister it.
+  EXPECT_TRUE(runner.provider().registered().count(MetricId::kQueueSize));
+  runner.RemoveQuery(i1);
+  EXPECT_FALSE(runner.provider().registered().count(MetricId::kQueueSize));
+}
+
+TEST(RunnerDynamicTest, RemoveQueryGrowsWakeInterval) {
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int fast_count = 0;
+  int slow_count = 0;
+  const std::size_t fast_idx =
+      runner.AddQuery(rig.Binding(&fast_count, Millis(500)));
+  runner.AddQuery(rig.Binding(&slow_count, Seconds(2)));
+  EXPECT_EQ(runner.WakeInterval(), Millis(500));
+
+  runner.RemoveQuery(fast_idx);
+  EXPECT_EQ(runner.WakeInterval(), Seconds(2));
+
+  runner.Start(Seconds(8));
+  rig.sim.RunUntil(Seconds(8));
+  EXPECT_EQ(fast_count, 0);
+  EXPECT_EQ(slow_count, 4);
+}
+
+TEST(RunnerDynamicTest, DisableThenReenableKeepsCadence) {
+  // Paper §4: switching policies by disabling one and enabling another.
+  // A re-enabled binding resumes on its original period grid instead of
+  // firing immediately or drifting.
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int count = 0;
+  const std::size_t idx = runner.AddQuery(rig.Binding(&count, Seconds(1)));
+
+  std::vector<SimTime> fired;
+  runner.SetTickObserver([&fired](const RunnerTickInfo& info) {
+    if (info.policies_run > 0) fired.push_back(info.now);
+  });
+  runner.Start(Seconds(10));
+
+  rig.sim.RunUntil(Millis(3500));
+  runner.SetBindingEnabled(idx, false);
+  EXPECT_FALSE(runner.binding_enabled(idx));
+  rig.sim.RunUntil(Millis(5500));
+  runner.SetBindingEnabled(idx, true);
+  rig.sim.RunUntil(Seconds(10));
+
+  // Fired at 1..3 s, skipped 4 and 5 s while disabled, resumed exactly on
+  // the grid at 6 s.
+  const std::vector<SimTime> expected = {Seconds(1), Seconds(2), Seconds(3),
+                                         Seconds(6), Seconds(7), Seconds(8),
+                                         Seconds(9), Seconds(10)};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(count, 8);
+}
+
+TEST(RunnerDynamicTest, AddAndRemoveBeforeStart) {
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int kept_count = 0;
+  int dropped_count = 0;
+  runner.AddQuery(rig.Binding(&kept_count, Seconds(1)));
+  const std::size_t dropped = runner.AddQuery(
+      rig.Binding(&dropped_count, Millis(250), MetricId::kHeadTupleAge));
+  runner.RemoveQuery(dropped);
+  EXPECT_EQ(runner.WakeInterval(), Seconds(1));
+
+  runner.Start(Seconds(3));
+  rig.sim.RunUntil(Seconds(3));
+  EXPECT_EQ(kept_count, 3);
+  EXPECT_EQ(dropped_count, 0);
+  EXPECT_FALSE(runner.provider().registered().count(MetricId::kHeadTupleAge));
+}
+
+}  // namespace
+}  // namespace lachesis::core

@@ -6,6 +6,7 @@
 
 #include "core/policies.h"
 #include "core/runner.h"
+#include "core/sim_executor.h"
 #include "sim/simulator.h"
 #include "tests/fake_driver.h"
 
@@ -39,7 +40,8 @@ TEST(RunnerEnableTest, DisabledBindingDoesNotRun) {
   driver.Provide(MetricId::kQueueSize);
   driver.AddEntity(QueryId(0), {0});
 
-  LachesisRunner runner(sim, os);
+  SimControlExecutor executor(sim);
+  LachesisRunner runner(executor, os);
   int count = 0;
   PolicyBinding binding;
   binding.policy = std::make_unique<TickCounterPolicy>(&count);
@@ -70,7 +72,8 @@ TEST(RunnerEnableTest, SwitchingBetweenTwoBindings) {
   driver.Provide(MetricId::kQueueSize);
   driver.AddEntity(QueryId(0), {0});
 
-  LachesisRunner runner(sim, os);
+  SimControlExecutor executor(sim);
+  LachesisRunner runner(executor, os);
   int first_count = 0;
   int second_count = 0;
   std::size_t first;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/sim_executor.h"
 #include "sim/simulator.h"
 #include "tests/fake_driver.h"
 
@@ -43,6 +44,7 @@ class CountingPolicy final : public SchedulingPolicy {
 
 struct RunnerRig {
   sim::Simulator sim;
+  SimControlExecutor executor{sim};
   RecordingOsAdapter os;
   FakeDriver driver;
 
@@ -57,7 +59,7 @@ struct RunnerRig {
 
 TEST(RunnerTest, PolicyRunsOncePerPeriod) {
   RunnerRig rig;
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int count = 0;
   PolicyBinding binding;
   binding.policy = std::make_unique<CountingPolicy>(&count);
@@ -73,7 +75,7 @@ TEST(RunnerTest, PolicyRunsOncePerPeriod) {
 
 TEST(RunnerTest, RegistersRequiredMetricsOnStart) {
   RunnerRig rig;
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int count = 0;
   PolicyBinding binding;
   binding.policy = std::make_unique<CountingPolicy>(&count);
@@ -87,7 +89,7 @@ TEST(RunnerTest, RegistersRequiredMetricsOnStart) {
 
 TEST(RunnerTest, TranslatorAppliedWithPolicyOutput) {
   RunnerRig rig;
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int count = 0;
   PolicyBinding binding;
   binding.policy = std::make_unique<CountingPolicy>(&count);
@@ -104,7 +106,7 @@ TEST(RunnerTest, TranslatorAppliedWithPolicyOutput) {
 
 TEST(RunnerTest, PoliciesWithDifferentPeriodsFireIndependently) {
   RunnerRig rig;
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int fast_count = 0;
   int slow_count = 0;
   {
@@ -135,7 +137,7 @@ TEST(RunnerTest, FiltersPartitionEntitiesBetweenBindings) {
   const EntityInfo c = rig.driver.AddEntity(QueryId(1), {0});
   rig.driver.SetValue(MetricId::kQueueSize, c.id, 100);
 
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int q0_count = 0;
   int q1_count = 0;
   {
@@ -175,7 +177,7 @@ TEST(RunnerTest, MultipleDriversScheduledTogether) {
   second.Provide(MetricId::kQueueSize);
   second.SetValue(MetricId::kQueueSize, x.id, 500);
 
-  LachesisRunner runner(rig.sim, rig.os);
+  LachesisRunner runner(rig.executor, rig.os);
   int count = 0;
   PolicyBinding binding;
   binding.policy = std::make_unique<CountingPolicy>(&count);

@@ -1,0 +1,257 @@
+// Tests of the schedule-delta layer: unchanged operations are elided, the
+// counters account for every translator call, backend failures are absorbed
+// (never aborting the tick) and retried because failed values are not
+// cached.
+#include "core/schedule_delta.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "sim/simulator.h"
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+using testing::RecordingOsAdapter;
+
+ThreadHandle Thread(std::uint64_t tid) {
+  ThreadHandle t;
+  t.sim_tid = ThreadId(tid);
+  return t;
+}
+
+// Counts calls and optionally throws for selected targets, mimicking a
+// native backend whose thread/cgroup vanished mid-period.
+class FlakyOsAdapter final : public OsAdapter {
+ public:
+  void SetNice(const ThreadHandle& thread, int nice) override {
+    ++nice_calls;
+    if (thread.sim_tid.value() == failing_tid) {
+      throw OsOperationError("thread vanished");
+    }
+    nices[thread.sim_tid.value()] = nice;
+  }
+  void SetGroupShares(const std::string& group, std::uint64_t value) override {
+    ++shares_calls;
+    if (group == failing_group) throw OsOperationError("cgroup vanished");
+    shares[group] = value;
+  }
+  void MoveToGroup(const ThreadHandle& thread,
+                   const std::string& group) override {
+    ++move_calls;
+    thread_group[thread.sim_tid.value()] = group;
+  }
+  void SetRtPriority(const ThreadHandle& thread, int rt_priority) override {
+    ++rt_calls;
+    rt[thread.sim_tid.value()] = rt_priority;
+  }
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override {
+    ++quota_calls;
+    quotas[group] = {quota, period};
+  }
+
+  std::uint64_t failing_tid = ~0ull;
+  std::string failing_group;
+  int nice_calls = 0;
+  int shares_calls = 0;
+  int move_calls = 0;
+  int rt_calls = 0;
+  int quota_calls = 0;
+  std::map<std::uint64_t, int> nices;
+  std::map<std::string, std::uint64_t> shares;
+  std::map<std::uint64_t, std::string> thread_group;
+  std::map<std::uint64_t, int> rt;
+  std::map<std::string, std::pair<SimDuration, SimDuration>> quotas;
+};
+
+TEST(ScheduleDeltaTest, IdenticalOperationsAreSkipped) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.SetNice(Thread(0), 5);
+  delta.SetNice(Thread(0), 5);
+  delta.SetGroupShares("g", 1024);
+  delta.SetGroupShares("g", 1024);
+  delta.MoveToGroup(Thread(0), "g");
+  delta.MoveToGroup(Thread(0), "g");
+  delta.SetGroupQuota("g", Millis(50), Millis(100));
+  delta.SetGroupQuota("g", Millis(50), Millis(100));
+
+  EXPECT_EQ(os.nice_calls, 1);
+  EXPECT_EQ(os.shares_calls, 1);
+  EXPECT_EQ(os.move_calls, 1);
+  EXPECT_EQ(os.quota_calls, 1);
+  EXPECT_EQ(delta.totals().applied, 4u);
+  EXPECT_EQ(delta.totals().skipped, 4u);
+  EXPECT_EQ(delta.totals().errors, 0u);
+}
+
+TEST(ScheduleDeltaTest, ChangedValuesAreForwarded) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.SetNice(Thread(0), 5);
+  delta.SetNice(Thread(0), -10);
+  EXPECT_EQ(os.nice_calls, 2);
+  EXPECT_EQ(os.nices.at(0), -10);
+
+  delta.MoveToGroup(Thread(0), "a");
+  delta.MoveToGroup(Thread(0), "b");
+  EXPECT_EQ(os.thread_group.at(0), "b");
+  EXPECT_EQ(os.move_calls, 2);
+}
+
+TEST(ScheduleDeltaTest, DistinctThreadsHaveIndependentState) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+  delta.SetNice(Thread(0), 5);
+  delta.SetNice(Thread(1), 5);  // same value, different thread: forwarded
+  EXPECT_EQ(os.nice_calls, 2);
+}
+
+TEST(ScheduleDeltaTest, FailureIsCountedAndTickContinues) {
+  FlakyOsAdapter os;
+  os.failing_tid = 1;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.BeginTick();
+  delta.SetNice(Thread(0), 5);
+  delta.SetNice(Thread(1), 5);  // throws inside the backend
+  delta.SetNice(Thread(2), 5);  // still applied: the tick goes on
+
+  EXPECT_EQ(delta.tick_stats().applied, 2u);
+  EXPECT_EQ(delta.tick_stats().errors, 1u);
+  EXPECT_EQ(os.nices.count(0), 1u);
+  EXPECT_EQ(os.nices.count(2), 1u);
+}
+
+TEST(ScheduleDeltaTest, FailedValueIsRetriedNextTime) {
+  FlakyOsAdapter os;
+  os.failing_tid = 0;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.SetNice(Thread(0), 5);  // fails; must not be cached as applied
+  EXPECT_EQ(delta.totals().errors, 1u);
+
+  os.failing_tid = ~0ull;       // "thread came back" (e.g. re-resolved tid)
+  delta.SetNice(Thread(0), 5);  // same value, but retried because it failed
+  EXPECT_EQ(os.nices.at(0), 5);
+  EXPECT_EQ(delta.totals().applied, 1u);
+}
+
+TEST(ScheduleDeltaTest, GroupFailureDoesNotPoisonOtherGroups) {
+  FlakyOsAdapter os;
+  os.failing_group = "bad";
+  ScheduleDeltaAdapter delta(os);
+
+  delta.BeginTick();
+  delta.SetGroupShares("good", 2048);
+  delta.SetGroupShares("bad", 2048);
+  delta.SetGroupQuota("good", Millis(10), Millis(100));
+  EXPECT_EQ(delta.tick_stats().errors, 1u);
+  EXPECT_EQ(delta.tick_stats().applied, 2u);
+  EXPECT_EQ(os.shares.at("good"), 2048u);
+}
+
+TEST(ScheduleDeltaTest, PassThroughModeForwardsEverything) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+  delta.set_enabled(false);
+  delta.SetNice(Thread(0), 5);
+  delta.SetNice(Thread(0), 5);
+  EXPECT_EQ(os.nice_calls, 2);
+  EXPECT_EQ(delta.totals().applied, 2u);
+  EXPECT_EQ(delta.totals().skipped, 0u);
+}
+
+TEST(ScheduleDeltaTest, ResetReappliesInFull) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+  delta.SetNice(Thread(0), 5);
+  delta.Reset();
+  delta.SetNice(Thread(0), 5);
+  EXPECT_EQ(os.nice_calls, 2);
+}
+
+TEST(ScheduleDeltaTest, RtDemotionOfUnboostedThreadIsElided) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+  // Demoting a thread that was never boosted is a no-op everywhere.
+  delta.SetRtPriority(Thread(0), 0);
+  EXPECT_EQ(os.rt_calls, 0);
+  EXPECT_EQ(delta.rt_boosted_count(), 0u);
+
+  delta.SetRtPriority(Thread(0), 10);
+  EXPECT_EQ(delta.rt_boosted_count(), 1u);
+  delta.SetRtPriority(Thread(0), 0);
+  EXPECT_EQ(os.rt_calls, 2);
+  EXPECT_EQ(delta.rt_boosted_count(), 0u);
+}
+
+// A policy that always produces the same priorities: after the first tick
+// every translator operation is redundant.
+class ConstantPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::vector<MetricId> RequiredMetrics() const override {
+    return {MetricId::kQueueSize};
+  }
+  Schedule ComputeSchedule(const PolicyContext& ctx) override {
+    Schedule s;
+    ctx.ForEachEntity([&](SpeDriver&, const EntityInfo& e) {
+      s.entries.push_back({e, static_cast<double>(e.id.value())});
+    });
+    return s;
+  }
+
+ private:
+  std::string name_ = "constant";
+};
+
+TEST(ScheduleDeltaTest, UnchangedScheduleIssuesZeroOsOperations) {
+  // The issue's acceptance test: a schedule identical to the previous
+  // period reaches the OS adapter as zero operations.
+  sim::Simulator sim;
+  SimControlExecutor executor(sim);
+  RecordingOsAdapter os;
+  FakeDriver driver;
+  const EntityInfo a = driver.AddEntity(QueryId(0), {0});
+  const EntityInfo b = driver.AddEntity(QueryId(0), {1});
+  driver.Provide(MetricId::kQueueSize);
+  driver.SetValue(MetricId::kQueueSize, a.id, 1);
+  driver.SetValue(MetricId::kQueueSize, b.id, 2);
+
+  LachesisRunner runner(executor, os);
+  PolicyBinding binding;
+  binding.policy = std::make_unique<ConstantPolicy>();
+  binding.translator = std::make_unique<NiceTranslator>();
+  binding.period = Seconds(1);
+  binding.drivers = {&driver};
+  runner.AddQuery(std::move(binding));
+
+  std::vector<DeltaStats> per_tick;
+  runner.SetTickObserver(
+      [&per_tick](const RunnerTickInfo& info) { per_tick.push_back(info.delta); });
+  runner.Start(Seconds(5));
+  sim.RunUntil(Seconds(5));
+
+  ASSERT_EQ(per_tick.size(), 5u);
+  EXPECT_EQ(per_tick[0].applied, 2u);  // first tick: both nices applied
+  for (std::size_t i = 1; i < per_tick.size(); ++i) {
+    EXPECT_EQ(per_tick[i].applied, 0u) << "tick " << i;
+    EXPECT_EQ(per_tick[i].skipped, 2u) << "tick " << i;
+  }
+  EXPECT_EQ(os.nice_calls, 2);  // never touched again after the first tick
+  EXPECT_EQ(runner.delta_totals().applied, 2u);
+  EXPECT_EQ(runner.delta_totals().skipped, 8u);
+}
+
+}  // namespace
+}  // namespace lachesis::core
