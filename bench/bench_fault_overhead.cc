@@ -1,0 +1,227 @@
+// Microbenchmark of the fault-tolerance machinery's no-fault overhead: the
+// same synthetic control-plane tick loop as bench_runner_tick, run with
+// (a) health tracking disabled, (b) health tracking enabled (the default),
+// and (c) health enabled plus the fault injectors wrapping the backend and
+// driver with an EMPTY fault plan. Nothing ever fails, so the difference is
+// pure bookkeeping: AllowAttempt/RecordSuccess per applied op and the
+// injector's rule scan per call.
+//
+// Writes BENCH_fault.json (consumed by CI's perf trajectory listing). The
+// robustness budget is <2% tick-loop overhead with health on and no faults;
+// the steady (non-churning) workload is the deployment steady state, where
+// the delta layer skips repeat values before health is ever consulted.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/policies.h"
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "core/translators.h"
+#include "sim/simulator.h"
+
+using namespace lachesis;
+
+namespace {
+
+// Same synthetic driver as bench_runner_tick: churn rotates which entity
+// looks busiest, forcing different nice values (and thus real backend ops
+// that consult the health tracker) every tick.
+class SyntheticDriver final : public core::SpeDriver {
+ public:
+  SyntheticDriver(int queries, int operators_per_query, bool churn)
+      : churn_(churn) {
+    for (int q = 0; q < queries; ++q) {
+      for (int o = 0; o < operators_per_query; ++o) {
+        core::EntityInfo e;
+        e.id = OperatorId(entities_.size());
+        e.path = "spe.q" + std::to_string(q) + ".op" + std::to_string(o);
+        e.query = QueryId(q);
+        e.query_name = "q" + std::to_string(q);
+        e.thread.sim_tid = ThreadId(entities_.size());
+        entities_.push_back(e);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Poll(SimTime) override { ++polls_; }
+  std::vector<core::EntityInfo> Entities() override { return entities_; }
+  const core::LogicalTopology& Topology(QueryId) override {
+    return topology_;
+  }
+  [[nodiscard]] bool Provides(core::MetricId metric) const override {
+    return metric == core::MetricId::kQueueSize;
+  }
+  double Fetch(core::MetricId, const core::EntityInfo& entity) override {
+    const std::uint64_t id = entity.id.value();
+    return churn_ ? static_cast<double>((id + polls_) % entities_.size())
+                  : static_cast<double>(id);
+  }
+
+ private:
+  std::string name_ = "synthetic";
+  bool churn_;
+  std::uint64_t polls_ = 0;
+  std::vector<core::EntityInfo> entities_;
+  core::LogicalTopology topology_;
+};
+
+class NullOsAdapter final : public core::OsAdapter {
+ public:
+  void SetNice(const core::ThreadHandle&, int) override { ++ops; }
+  void SetGroupShares(const std::string&, std::uint64_t) override { ++ops; }
+  void MoveToGroup(const core::ThreadHandle&, const std::string&) override {
+    ++ops;
+  }
+  std::uint64_t ops = 0;
+};
+
+enum class Mode { kHealthOff, kHealthOn, kHealthOnWrapped };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kHealthOff:
+      return "health_off";
+    case Mode::kHealthOn:
+      return "health_on";
+    case Mode::kHealthOnWrapped:
+      return "health_on_wrapped";
+  }
+  return "?";
+}
+
+double RunOnce(Mode mode, bool churn, int ticks) {
+  sim::Simulator sim;
+  core::SimControlExecutor executor(sim);
+  NullOsAdapter os;
+  SyntheticDriver driver(/*queries=*/8, /*operators_per_query=*/32, churn);
+
+  // Empty plan: the injectors match no rule, every call passes through.
+  core::FaultPlan empty_plan;
+  core::FaultInjectingOsAdapter wrapped_os(os, executor, empty_plan);
+  core::FaultInjectingDriver wrapped_driver(driver, empty_plan);
+
+  core::OsAdapter& backend =
+      mode == Mode::kHealthOnWrapped
+          ? static_cast<core::OsAdapter&>(wrapped_os)
+          : static_cast<core::OsAdapter&>(os);
+  core::SpeDriver& spe = mode == Mode::kHealthOnWrapped
+                             ? static_cast<core::SpeDriver&>(wrapped_driver)
+                             : static_cast<core::SpeDriver&>(driver);
+
+  core::LachesisRunner runner(executor, backend);
+  if (mode == Mode::kHealthOff) {
+    core::HealthConfig off;
+    off.enabled = false;
+    runner.SetHealthConfig(off);
+  }
+  core::PolicyBinding binding;
+  binding.policy = std::make_unique<core::QueueSizePolicy>();
+  binding.translator = std::make_unique<core::NiceTranslator>();
+  binding.period = Seconds(1);
+  binding.drivers = {&spe};
+  runner.AddQuery(std::move(binding));
+  runner.Start(Seconds(ticks));
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(Seconds(ticks));
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return static_cast<double>(wall) / ticks;
+}
+
+double OverheadPct(double base_ns, double with_ns) {
+  if (base_ns <= 0) return 0;
+  return (with_ns - base_ns) / base_ns * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ticks = 2000;
+  int reps = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      ticks = 400;
+      reps = 5;
+    }
+  }
+
+  struct Row {
+    Mode mode;
+    bool churn;
+    double ns_per_tick = 0;
+  };
+  std::vector<Row> rows;
+  for (const bool churn : {false, true}) {
+    for (const Mode mode :
+         {Mode::kHealthOff, Mode::kHealthOn, Mode::kHealthOnWrapped}) {
+      rows.push_back({mode, churn});
+    }
+  }
+  // Interleave the configurations rep by rep (round-robin) and keep the
+  // min, so ambient load on a shared machine hits every configuration
+  // evenly instead of biasing whichever ran during a busy window.
+  for (int r = 0; r < reps; ++r) {
+    for (Row& row : rows) {
+      const double ns = RunOnce(row.mode, row.churn, ticks);
+      if (r == 0 || ns < row.ns_per_tick) row.ns_per_tick = ns;
+    }
+  }
+
+  auto find = [&rows](Mode mode, bool churn) {
+    for (const Row& r : rows) {
+      if (r.mode == mode && r.churn == churn) return r.ns_per_tick;
+    }
+    return 0.0;
+  };
+
+  const double steady_pct = OverheadPct(find(Mode::kHealthOff, false),
+                                        find(Mode::kHealthOn, false));
+  const double churn_pct =
+      OverheadPct(find(Mode::kHealthOff, true), find(Mode::kHealthOn, true));
+
+  std::printf("%20s %6s %12s\n", "mode", "churn", "ns/tick");
+  for (const Row& r : rows) {
+    std::printf("%20s %6s %12.0f\n", ModeName(r.mode), r.churn ? "yes" : "no",
+                r.ns_per_tick);
+  }
+  std::printf("health overhead: steady %+.2f%%, churn %+.2f%% (budget < 2%% "
+              "steady)\n",
+              steady_pct, churn_pct);
+
+  std::FILE* out = std::fopen("BENCH_fault.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fault.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"fault_overhead\",\n  \"series\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"churn\": %s, \"ticks\": %d, "
+                 "\"ns_per_tick\": %.0f}%s\n",
+                 ModeName(r.mode), r.churn ? "true" : "false", ticks,
+                 r.ns_per_tick, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"overhead_pct_steady\": %.2f,\n"
+               "  \"overhead_pct_churn\": %.2f,\n  \"budget_pct\": 2.0\n}\n",
+               steady_pct, churn_pct);
+  std::fclose(out);
+  std::printf("wrote BENCH_fault.json\n");
+  if (steady_pct >= 2.0) {
+    std::fprintf(stderr,
+                 "bench_fault_overhead: steady overhead %.2f%% exceeds the "
+                 "2%% budget\n",
+                 steady_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Chaos gate: builds the fault-tolerance and chaos-soak tests under
+# ASan/UBSan and runs them. Everything in these suites is seeded and
+# deterministic, so a failure here reproduces byte-identically with a plain
+# local rerun of the same binaries. Usage:
+#   ci/run_chaos.sh [build-dir]
+# Environment:
+#   LACHESIS_SANITIZE  sanitizer list (default address,undefined)
+#   CMAKE_BUILD_TYPE   defaults to RelWithDebInfo (asserts stay on)
+set -euo pipefail
+
+SRC_DIR=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$SRC_DIR/build-chaos"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
+  -DLACHESIS_SANITIZE="${LACHESIS_SANITIZE:-address,undefined}"
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target fault_tolerance_test failure_injection_test \
+           schedule_delta_test runner_dynamic_test
+
+status=0
+for t in fault_tolerance_test failure_injection_test \
+         schedule_delta_test runner_dynamic_test; do
+  "$BUILD_DIR/tests/$t" --gtest_brief=1 || status=$?
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_chaos.sh: chaos suites exited with status $status" >&2
+fi
+exit "$status"

@@ -23,11 +23,14 @@ if [ "$status" -ne 0 ]; then
   echo "run_tier1.sh: ctest exited with status $status" >&2
 fi
 
-# Perf trajectory: a quick control-plane tick bench, then list every
-# machine-readable BENCH_*.json produced under the build dir.
+# Perf trajectory: quick control-plane tick and fault-overhead benches,
+# then list every machine-readable BENCH_*.json produced under the build
+# dir.
 if [ "$status" -eq 0 ]; then
   (cd "$BUILD_DIR" && ./bench/bench_runner_tick --quick) ||
     echo "run_tier1.sh: bench_runner_tick failed (non-fatal)" >&2
+  (cd "$BUILD_DIR" && ./bench/bench_fault_overhead --quick) ||
+    echo "run_tier1.sh: bench_fault_overhead failed (non-fatal)" >&2
   echo "run_tier1.sh: BENCH artifacts:"
   find "$BUILD_DIR" -maxdepth 1 -name 'BENCH_*.json' -print | sort |
     sed 's/^/  /'

@@ -19,6 +19,7 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "core/policies.h"
 #include "core/runner.h"
@@ -76,6 +77,23 @@ std::unique_ptr<core::Translator> MakeTranslator(const std::string& name) {
   throw std::runtime_error("unknown translator: " + name);
 }
 
+// Capability degradation ladder (best-first): mechanisms the runner falls
+// back to when the configured translator's mechanism is persistently
+// failing (e.g. no CAP_SYS_NICE for SCHED_FIFO, unwritable cgroup root).
+// nice is the last resort everywhere: it needs no privileges for lowering
+// priority and no filesystem.
+std::vector<std::unique_ptr<core::Translator>> MakeFallbacks(
+    const std::string& name) {
+  std::vector<std::unique_ptr<core::Translator>> fallbacks;
+  if (name == "rt") {
+    fallbacks.push_back(std::make_unique<core::CpuSharesTranslator>());
+    fallbacks.push_back(std::make_unique<core::NiceTranslator>());
+  } else if (name == "cpu.shares" || name == "quota") {
+    fallbacks.push_back(std::make_unique<core::NiceTranslator>());
+  }
+  return fallbacks;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,22 +144,51 @@ int main(int argc, char** argv) {
     osctl::NativeControlExecutor executor;
     core::LachesisRunner runner(executor, os,
                                 static_cast<std::uint64_t>(::getpid()));
+
+    core::HealthConfig health;
+    health.enabled = true;
+    health.backoff_base = Millis(config.backoff_base_ms);
+    health.backoff_cap = Millis(config.backoff_cap_ms);
+    health.breaker_threshold = static_cast<int>(config.breaker_threshold);
+    health.probe_interval = Millis(config.breaker_probe_ms);
+    health.seed = static_cast<std::uint64_t>(::getpid());
+    runner.SetHealthConfig(health);
+
     core::PolicyBinding binding;
     binding.policy = std::move(policy);
     binding.translator = std::move(translator);
+    if (config.degradation) {
+      binding.fallback_translators = MakeFallbacks(config.translator);
+    }
     binding.period = Millis(config.period_ms);
     binding.drivers = {&driver};
     runner.AddQuery(std::move(binding));
+
+    // Crash-safe restart: observe what the kernel already holds (nice
+    // values, RT classes, surviving Lachesis cgroups from a previous
+    // incarnation) and seed the delta cache from it, so an unchanged
+    // schedule costs zero operations on the first tick and orphaned
+    // groups are adopted instead of fought.
+    if (config.reconcile && !dry_run) {
+      driver.Poll(executor.Now());
+      const std::size_t seeded = runner.ReconcileWithBackend();
+      std::printf("lachesisd: reconciled %zu kernel state entries, adopted "
+                  "%zu cgroups\n",
+                  seeded, runner.delta().adopted_groups());
+    }
 
     long tick = 0;
     runner.SetTickObserver([&tick](const core::RunnerTickInfo& info) {
       std::printf(
           "tick %ld @%.3fs: policies=%d ops applied=%llu skipped=%llu "
-          "errors=%llu\n",
+          "errors=%llu suppressed=%llu%s%s\n",
           tick++, static_cast<double>(info.now) / 1e9, info.policies_run,
           static_cast<unsigned long long>(info.delta.applied),
           static_cast<unsigned long long>(info.delta.skipped),
-          static_cast<unsigned long long>(info.delta.errors));
+          static_cast<unsigned long long>(info.delta.errors),
+          static_cast<unsigned long long>(info.delta.suppressed),
+          info.open_breakers > 0 ? " [breaker open]" : "",
+          info.degraded_bindings > 0 ? " [degraded]" : "");
     });
 
     // Half a period of slack so startup latency cannot push the Nth tick
@@ -157,11 +204,12 @@ int main(int argc, char** argv) {
     const core::DeltaStats& totals = runner.delta_totals();
     std::printf(
         "lachesisd: %llu schedules, ops applied=%llu skipped=%llu "
-        "errors=%llu\n",
+        "errors=%llu suppressed=%llu\n",
         static_cast<unsigned long long>(runner.schedules_applied()),
         static_cast<unsigned long long>(totals.applied),
         static_cast<unsigned long long>(totals.skipped),
-        static_cast<unsigned long long>(totals.errors));
+        static_cast<unsigned long long>(totals.errors),
+        static_cast<unsigned long long>(totals.suppressed));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lachesisd: %s\n", e.what());
     return 1;

@@ -1,0 +1,174 @@
+#include "core/fault.h"
+
+#include <cerrno>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/schedule_delta.h"
+
+namespace lachesis::core {
+
+namespace {
+
+std::uint64_t HashString(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool FaultChance(std::uint64_t seed, std::uint64_t salt, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  std::uint64_t mix = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  const double draw =
+      static_cast<double>(SplitMix64(mix) >> 11) * 0x1.0p-53;
+  return draw < probability;
+}
+
+bool FaultPlan::QuietAfter(SimTime time) const {
+  for (const OsFaultRule& rule : os_rules) {
+    if (rule.until > time) return false;
+  }
+  for (const DriverFaultRule& rule : driver_rules) {
+    if (rule.until > time) return false;
+  }
+  return true;
+}
+
+void FaultInjectingOsAdapter::MaybeInject(OpClass cls,
+                                          const std::string& target) {
+  const SimTime now = clock_->Now();
+  for (std::size_t i = 0; i < plan_.os_rules.size(); ++i) {
+    const OsFaultRule& rule = plan_.os_rules[i];
+    if (rule.op && *rule.op != cls) continue;
+    if (now < rule.from || now >= rule.until) continue;
+    if (!rule.target_substr.empty() &&
+        target.find(rule.target_substr) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t salt = HashString(
+        (i + 1) * 0xD1B54A32D192ED03ULL + static_cast<std::uint64_t>(now),
+        target);
+    if (!FaultChance(plan_.seed, salt, rule.probability)) continue;
+    ++injected_[static_cast<int>(rule.kind)];
+    switch (rule.kind) {
+      case FaultKind::kEperm:
+        throw OsOperationError(
+            std::string("injected EPERM: ") + OpClassName(cls) + "(" +
+                target + ")",
+            ErrorSeverity::kPermanent, EPERM);
+      case FaultKind::kVanish:
+        throw OsOperationError(
+            std::string("injected vanish: ") + OpClassName(cls) + "(" +
+                target + ")",
+            ErrorSeverity::kVanished, ESRCH);
+      case FaultKind::kEbusy:
+        throw OsOperationError(
+            std::string("injected EBUSY: ") + OpClassName(cls) + "(" +
+                target + ")",
+            ErrorSeverity::kTransient, EBUSY);
+      case FaultKind::kSlowCall:
+        injected_latency_ += rule.slow_latency;
+        break;  // charged, not thrown: the call still goes through
+    }
+  }
+}
+
+std::uint64_t FaultInjectingOsAdapter::total_injected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : injected_) total += count;
+  return total;
+}
+
+void FaultInjectingOsAdapter::SetNice(const ThreadHandle& thread, int nice) {
+  MaybeInject(OpClass::kSetNice, std::to_string(thread.os_tid) + "/" +
+                                     std::to_string(thread.sim_tid.value()));
+  next_->SetNice(thread, nice);
+}
+
+void FaultInjectingOsAdapter::SetGroupShares(const std::string& group,
+                                             std::uint64_t shares) {
+  MaybeInject(OpClass::kSetGroupShares, group);
+  next_->SetGroupShares(group, shares);
+}
+
+void FaultInjectingOsAdapter::MoveToGroup(const ThreadHandle& thread,
+                                          const std::string& group) {
+  MaybeInject(OpClass::kMoveToGroup, group);
+  next_->MoveToGroup(thread, group);
+}
+
+void FaultInjectingOsAdapter::SetRtPriority(const ThreadHandle& thread,
+                                            int rt_priority) {
+  MaybeInject(OpClass::kSetRtPriority,
+              std::to_string(thread.os_tid) + "/" +
+                  std::to_string(thread.sim_tid.value()));
+  next_->SetRtPriority(thread, rt_priority);
+}
+
+void FaultInjectingOsAdapter::SetGroupQuota(const std::string& group,
+                                            SimDuration quota,
+                                            SimDuration period) {
+  MaybeInject(OpClass::kSetGroupQuota, group);
+  next_->SetGroupQuota(group, quota, period);
+}
+
+std::vector<EntityInfo> FaultInjectingDriver::Entities() {
+  std::vector<EntityInfo> entities = next_->Entities();
+  for (std::size_t i = 0; i < plan_.driver_rules.size(); ++i) {
+    const DriverFaultRule& rule = plan_.driver_rules[i];
+    if (rule.kind != DriverFaultRule::Kind::kVanishEntity) continue;
+    if (now_ < rule.from || now_ >= rule.until) continue;
+    std::vector<EntityInfo> kept;
+    kept.reserve(entities.size());
+    for (EntityInfo& entity : entities) {
+      const std::uint64_t salt =
+          (i + 1) * 0xD1B54A32D192ED03ULL + entity.id.value() * 31 +
+          static_cast<std::uint64_t>(now_);
+      if (FaultChance(plan_.seed, salt, rule.probability)) {
+        ++entities_vanished_;
+        continue;
+      }
+      kept.push_back(std::move(entity));
+    }
+    entities = std::move(kept);
+  }
+  return entities;
+}
+
+double FaultInjectingDriver::Fetch(MetricId metric, const EntityInfo& entity) {
+  for (std::size_t i = 0; i < plan_.driver_rules.size(); ++i) {
+    const DriverFaultRule& rule = plan_.driver_rules[i];
+    if (now_ < rule.from || now_ >= rule.until) continue;
+    if (rule.metric && *rule.metric != metric) continue;
+    const std::uint64_t salt =
+        (i + 1) * 0xBF58476D1CE4E5B9ULL +
+        static_cast<std::uint64_t>(metric) * 131 + entity.id.value() * 31 +
+        static_cast<std::uint64_t>(now_);
+    switch (rule.kind) {
+      case DriverFaultRule::Kind::kNanMetric:
+        if (FaultChance(plan_.seed, salt, rule.probability)) {
+          ++nan_injected_;
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+        break;
+      case DriverFaultRule::Kind::kStaleMetric:
+        if (FaultChance(plan_.seed, salt, rule.probability)) {
+          ++stale_served_;
+          const auto it = last_real_.find({metric, entity.id});
+          return it != last_real_.end() ? it->second : 0.0;
+        }
+        break;
+      case DriverFaultRule::Kind::kVanishEntity:
+        break;  // handled in Entities()
+    }
+  }
+  const double value = next_->Fetch(metric, entity);
+  last_real_[{metric, entity.id}] = value;
+  return value;
+}
+
+}  // namespace lachesis::core

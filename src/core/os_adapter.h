@@ -8,6 +8,7 @@
 #define LACHESIS_CORE_OS_ADAPTER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +17,26 @@
 #include "sim/machine.h"
 
 namespace lachesis::core {
+
+// Snapshot of the kernel-side scheduling state an adapter can observe, used
+// for crash-safe restart reconciliation: a restarted daemon seeds its
+// schedule-delta cache from this instead of starting empty, so it neither
+// blindly re-applies a schedule the kernel already holds nor fights
+// residual state from a previous incarnation.
+struct OsStateSnapshot {
+  struct ThreadState {
+    ThreadHandle thread;
+    std::optional<int> nice;
+    std::optional<int> rt_priority;
+    std::optional<std::string> group;  // Lachesis group currently holding it
+  };
+  std::vector<ThreadState> threads;
+  std::map<std::string, std::uint64_t> group_shares;
+  std::map<std::string, std::pair<SimDuration, SimDuration>> group_quota;
+  // Every Lachesis-owned group found on the backend (including orphans left
+  // behind by a previous run, which the restarting daemon adopts).
+  std::vector<std::string> groups;
+};
 
 class OsAdapter {
  public:
@@ -43,6 +64,18 @@ class OsAdapter {
     (void)group;
     (void)quota;
     (void)period;
+  }
+
+  // --- restart reconciliation ----------------------------------------------
+  // Fills `out` with the backend's current scheduling state for the given
+  // threads plus every Lachesis-owned group it can enumerate. Returns false
+  // when the adapter cannot observe state (the default); callers then start
+  // from an empty delta cache, which is safe but re-applies in full.
+  virtual bool SnapshotState(const std::vector<ThreadHandle>& threads,
+                             OsStateSnapshot& out) {
+    (void)threads;
+    (void)out;
+    return false;
   }
 };
 

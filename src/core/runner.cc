@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <tuple>
 
 namespace lachesis::core {
 
 LachesisRunner::LachesisRunner(ControlExecutor& executor, OsAdapter& os,
                                std::uint64_t seed)
-    : executor_(&executor), delta_(os), rng_(seed) {}
+    : executor_(&executor), delta_(os), rng_(seed) {
+  // The runner is the daemon path, so fault tolerance (backoff + circuit
+  // breaking, op_health.h) is on by default; a raw ScheduleDeltaAdapter
+  // keeps it off to preserve plain retry-next-tick semantics. Jitter is
+  // derived from the runner seed so chaos runs replay exactly.
+  HealthConfig health;
+  health.enabled = true;
+  health.seed = seed;
+  delta_.SetHealthConfig(health);
+}
 
 void LachesisRunner::RegisterMetrics(const PolicyBinding& binding) {
   for (const MetricId m : binding.policy->RequiredMetrics()) {
@@ -53,6 +63,33 @@ void LachesisRunner::RemoveQuery(std::size_t index) {
   if (!bound.attached) return;
   bound.attached = false;
   if (started_) UnregisterMetrics(bound.binding);
+  // Drop cached values AND pending health/backoff state for threads only
+  // this binding could reach. A failed op against a detached query's
+  // thread must not keep being retried (or hold tracker entries) forever;
+  // threads still visible through another attached binding keep theirs.
+  using Key = std::tuple<const void*, std::uint64_t, long>;
+  const auto key_of = [](const ThreadHandle& t) {
+    return Key{t.machine, t.sim_tid.value(), t.os_tid};
+  };
+  std::set<Key> still_visible;
+  for (const Bound& other : bindings_) {
+    if (!other.attached) continue;
+    for (SpeDriver* driver : other.binding.drivers) {
+      for (const EntityInfo& entity : driver->Entities()) {
+        if (other.binding.filter && !other.binding.filter(entity)) continue;
+        still_visible.insert(key_of(entity.thread));
+      }
+    }
+  }
+  std::set<Key> forgotten;
+  for (SpeDriver* driver : bound.binding.drivers) {
+    for (const EntityInfo& entity : driver->Entities()) {
+      if (bound.binding.filter && !bound.binding.filter(entity)) continue;
+      const Key key = key_of(entity.thread);
+      if (still_visible.count(key) || !forgotten.insert(key).second) continue;
+      delta_.ForgetThread(entity.thread);
+    }
+  }
   // The wake interval may have grown; the loop naturally adopts it at the
   // next wakeup, so no reschedule is needed (a too-early wakeup is just an
   // idle tick).
@@ -60,6 +97,57 @@ void LachesisRunner::RemoveQuery(std::size_t index) {
 
 void LachesisRunner::SetBindingEnabled(std::size_t index, bool enabled) {
   bindings_.at(index).enabled = enabled;
+}
+
+std::size_t LachesisRunner::ReconcileWithBackend() {
+  using Key = std::tuple<const void*, std::uint64_t, long>;
+  std::set<Key> seen;
+  std::vector<ThreadHandle> threads;
+  for (const Bound& bound : bindings_) {
+    if (!bound.attached) continue;
+    for (SpeDriver* driver : bound.binding.drivers) {
+      for (const EntityInfo& entity : driver->Entities()) {
+        if (bound.binding.filter && !bound.binding.filter(entity)) continue;
+        const ThreadHandle& t = entity.thread;
+        if (seen.insert({t.machine, t.sim_tid.value(), t.os_tid}).second) {
+          threads.push_back(t);
+        }
+      }
+    }
+  }
+  return delta_.ReconcileFromBackend(threads);
+}
+
+Translator* LachesisRunner::PickTranslator(Bound& bound, SimTime now) {
+  PolicyBinding& b = bound.binding;
+  const std::size_t rungs = 1 + b.fallback_translators.size();
+  const auto rung = [&](std::size_t i) -> Translator* {
+    return i == 0 ? b.translator.get() : b.fallback_translators[i - 1].get();
+  };
+  const OpHealthTracker& health = delta_.health();
+  std::size_t pick = rungs - 1;  // nothing healthy: apply the last resort
+  for (std::size_t i = 0; i < rungs; ++i) {
+    const std::uint32_t mask = rung(i)->required_op_classes();
+    bool healthy = true;
+    bool probe_due = false;
+    for (int c = 0; c < kOpClassCount; ++c) {
+      const OpClass cls = static_cast<OpClass>(c);
+      if (!(mask & OpClassBit(cls))) continue;
+      if (health.class_state(cls) == BreakerState::kClosed) continue;
+      healthy = false;
+      if (health.ProbeDue(cls, now)) probe_due = true;
+    }
+    // A rung is usable when every mechanism it needs is healthy -- or when
+    // an open mechanism is due for its half-open probe: applying the
+    // better translator IS the probe, and a success closes the breaker and
+    // promotes the binding back automatically.
+    if (healthy || probe_due) {
+      pick = i;
+      break;
+    }
+  }
+  bound.level = pick;
+  return rung(pick);
 }
 
 SimDuration LachesisRunner::WakeInterval() const {
@@ -112,7 +200,7 @@ void LachesisRunner::Tick() {
     }
     if (bound.next_run <= now) any_due = true;
   }
-  delta_.BeginTick();
+  delta_.BeginTick(now);
   int policies_run = 0;
   if (any_due) {
     // Algorithm 1 L4: update metrics for all drivers of due policies. On
@@ -143,7 +231,7 @@ void LachesisRunner::Tick() {
       ctx.now = now;
       ctx.rng = &rng_;
       const Schedule schedule = b.policy->ComputeSchedule(ctx);
-      b.translator->Apply(schedule, delta_);
+      PickTranslator(bound, now)->Apply(schedule, delta_);
       ++schedules_applied_;
       ++policies_run;
       bound.next_run = anchor + b.period;
@@ -154,6 +242,12 @@ void LachesisRunner::Tick() {
     info.now = now;
     info.policies_run = policies_run;
     info.delta = delta_.tick_stats();
+    info.open_breakers = delta_.health().open_breakers();
+    for (const Bound& bound : bindings_) {
+      if (bound.attached && bound.enabled && bound.level > 0) {
+        ++info.degraded_bindings;
+      }
+    }
     observer_(info);
   }
   // L9: sleep until the next check. Anchoring on the scheduled wake time

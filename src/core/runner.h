@@ -38,6 +38,12 @@ namespace lachesis::core {
 struct PolicyBinding {
   std::unique_ptr<SchedulingPolicy> policy;
   std::unique_ptr<Translator> translator;
+  // Capability degradation ladder: when a mechanism the active translator
+  // requires is persistently failing (its circuit breaker is open), the
+  // runner demotes the binding to the first fallback whose mechanisms are
+  // healthy (e.g. rt+nice -> cpu.shares -> nice), and promotes it back
+  // automatically once a half-open probe succeeds. Ordered best-first.
+  std::vector<std::unique_ptr<Translator>> fallback_translators;
   SimDuration period = Seconds(1);
   std::vector<SpeDriver*> drivers;  // non-owning
   std::function<bool(const EntityInfo&)> filter;  // optional (G3)
@@ -49,6 +55,9 @@ struct RunnerTickInfo {
   SimTime now = 0;
   int policies_run = 0;   // bindings that were due and executed
   DeltaStats delta;       // delta-layer counters for this tick
+  int open_breakers = 0;  // op classes whose circuit breaker is not closed
+  int degraded_bindings = 0;  // bindings running below their primary
+                              // translator (capability ladder)
 };
 
 class LachesisRunner {
@@ -98,6 +107,27 @@ class LachesisRunner {
   // the OS adapter); for measuring the delta win.
   void SetDeltaEnabled(bool enabled) { delta_.set_enabled(enabled); }
 
+  // Overrides the fault-tolerance parameters (backoff, circuit breaker).
+  // The runner enables health tracking by default with HealthConfig
+  // defaults, seeded from its own seed; pass enabled=false to opt out.
+  void SetHealthConfig(const HealthConfig& config) {
+    delta_.SetHealthConfig(config);
+  }
+
+  // Restart reconciliation: snapshots actual kernel state for every thread
+  // visible through the attached bindings' drivers and seeds the delta
+  // cache from it, so a restarted daemon whose first computed schedule
+  // matches the residual kernel state applies zero operations. Returns the
+  // number of cache entries seeded (0 when the backend cannot observe
+  // state). Call after the drivers' first Poll, before Start.
+  std::size_t ReconcileWithBackend();
+
+  // Current rung of the binding's capability ladder: 0 = primary
+  // translator, i>0 = fallback_translators[i-1].
+  [[nodiscard]] std::size_t binding_level(std::size_t index) const {
+    return bindings_.at(index).level;
+  }
+
   [[nodiscard]] MetricProvider& provider() { return provider_; }
   [[nodiscard]] std::uint64_t schedules_applied() const {
     return schedules_applied_;
@@ -117,12 +147,17 @@ class LachesisRunner {
     bool enabled = true;
     bool attached = true;
     SimTime next_run = 0;
+    // Active ladder rung (0 = primary translator).
+    std::size_t level = 0;
   };
 
   void Tick();
   void ScheduleNext(SimTime at);
   void RegisterMetrics(const PolicyBinding& binding);
   void UnregisterMetrics(const PolicyBinding& binding);
+  // Selects the ladder rung for this tick (stores it in bound.level) and
+  // returns the translator to apply with.
+  Translator* PickTranslator(Bound& bound, SimTime now);
 
   ControlExecutor* executor_;
   ScheduleDeltaAdapter delta_;

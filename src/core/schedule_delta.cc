@@ -13,6 +13,60 @@ void ScheduleDeltaAdapter::Reset() {
   quota_.clear();
 }
 
+void ScheduleDeltaAdapter::ForgetThread(const ThreadHandle& thread) {
+  const ThreadKey key = KeyOf(thread);
+  nice_.erase(key);
+  rt_.erase(key);
+  group_of_.erase(key);
+  health_.ForgetTarget(HealthKeyOf(thread));
+}
+
+void ScheduleDeltaAdapter::ForgetGroup(const std::string& group) {
+  shares_.erase(group);
+  quota_.erase(group);
+  health_.ForgetTarget(HealthKeyOf(group));
+}
+
+std::size_t ScheduleDeltaAdapter::SeedFromSnapshot(
+    const OsStateSnapshot& snapshot) {
+  std::size_t seeded = 0;
+  for (const OsStateSnapshot::ThreadState& ts : snapshot.threads) {
+    const ThreadKey key = KeyOf(ts.thread);
+    if (ts.nice) {
+      nice_[key] = *ts.nice;
+      ++seeded;
+    }
+    if (ts.rt_priority && *ts.rt_priority > 0) {
+      rt_[key] = *ts.rt_priority;
+      ++seeded;
+    }
+    if (ts.group) {
+      group_of_[key] = *ts.group;
+      ++seeded;
+    }
+  }
+  for (const auto& [group, shares] : snapshot.group_shares) {
+    shares_[group] = shares;
+    ++seeded;
+  }
+  for (const auto& [group, quota] : snapshot.group_quota) {
+    quota_[group] = quota;
+    ++seeded;
+  }
+  // Groups the backend still holds from a previous incarnation count as
+  // adopted whether or not the next schedule references them: their cached
+  // state prevents both a redundant re-create and a fight over values.
+  adopted_groups_ = snapshot.groups.size();
+  return seeded;
+}
+
+std::size_t ScheduleDeltaAdapter::ReconcileFromBackend(
+    const std::vector<ThreadHandle>& threads) {
+  OsStateSnapshot snapshot;
+  if (!next_->SnapshotState(threads, snapshot)) return 0;
+  return SeedFromSnapshot(snapshot);
+}
+
 std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
   std::size_t count = 0;
   for (const auto& [key, priority] : rt_) {
@@ -22,22 +76,39 @@ std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
 }
 
 template <typename Fn>
-bool ScheduleDeltaAdapter::Forward(const char* what, const std::string& target,
-                                   Fn&& fn) {
+bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
+                                   const std::string& target, Fn&& fn) {
+  if (!health_.AllowAttempt(cls, health_key, now_)) {
+    ++tick_.suppressed;
+    ++totals_.suppressed;
+    return false;
+  }
   try {
     fn();
-  } catch (const std::exception& e) {
+  } catch (const OsOperationError& e) {
+    health_.RecordFailure(cls, health_key, now_, e.severity());
     ++tick_.errors;
     ++totals_.errors;
     // One line per (operation, target): a permanently broken target (e.g.
     // an unwritable cgroup root) must not flood the log every period.
-    const std::string key = std::string(what) + ":" + target;
+    const std::string key = std::string(OpClassName(cls)) + ":" + target;
     if (logged_failures_.insert(key).second) {
-      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", what,
+      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
+                   target.c_str(), e.what());
+    }
+    return false;
+  } catch (const std::exception& e) {
+    health_.RecordFailure(cls, health_key, now_, ErrorSeverity::kTransient);
+    ++tick_.errors;
+    ++totals_.errors;
+    const std::string key = std::string(OpClassName(cls)) + ":" + target;
+    if (logged_failures_.insert(key).second) {
+      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
                    target.c_str(), e.what());
     }
     return false;
   }
+  health_.RecordSuccess(cls, health_key, now_);
   ++tick_.applied;
   ++totals_.applied;
   return true;
@@ -53,9 +124,9 @@ void ScheduleDeltaAdapter::SetNice(const ThreadHandle& thread, int nice) {
       return;
     }
   }
-  if (Forward("SetNice", std::to_string(thread.os_tid), [&] {
-        next_->SetNice(thread, nice);
-      })) {
+  if (Forward(OpClass::kSetNice, HealthKeyOf(thread),
+              std::to_string(thread.os_tid),
+              [&] { next_->SetNice(thread, nice); })) {
     nice_[key] = nice;
   }
 }
@@ -70,7 +141,7 @@ void ScheduleDeltaAdapter::SetGroupShares(const std::string& group,
       return;
     }
   }
-  if (Forward("SetGroupShares", group,
+  if (Forward(OpClass::kSetGroupShares, HealthKeyOf(group), group,
               [&] { next_->SetGroupShares(group, shares); })) {
     shares_[group] = shares;
   }
@@ -87,7 +158,8 @@ void ScheduleDeltaAdapter::MoveToGroup(const ThreadHandle& thread,
       return;
     }
   }
-  if (Forward("MoveToGroup", group, [&] { next_->MoveToGroup(thread, group); })) {
+  if (Forward(OpClass::kMoveToGroup, HealthKeyOf(thread), group,
+              [&] { next_->MoveToGroup(thread, group); })) {
     group_of_[key] = group;
   }
 }
@@ -110,9 +182,9 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
       return;
     }
   }
-  if (Forward("SetRtPriority", std::to_string(thread.os_tid), [&] {
-        next_->SetRtPriority(thread, rt_priority);
-      })) {
+  if (Forward(OpClass::kSetRtPriority, HealthKeyOf(thread),
+              std::to_string(thread.os_tid),
+              [&] { next_->SetRtPriority(thread, rt_priority); })) {
     rt_[key] = rt_priority;
   }
 }
@@ -127,7 +199,7 @@ void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
       return;
     }
   }
-  if (Forward("SetGroupQuota", group,
+  if (Forward(OpClass::kSetGroupQuota, HealthKeyOf(group), group,
               [&] { next_->SetGroupQuota(group, quota, period); })) {
     quota_[group] = {quota, period};
   }

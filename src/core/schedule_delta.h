@@ -5,10 +5,22 @@
 // OsAdapter and forwards only operations whose value differs from the last
 // one successfully applied to the same target: on the native backend that
 // is a syscall/cgroupfs-write count win, on the simulator it shrinks event
-// churn. It is also the control plane's failure boundary: an operation
-// that throws (e.g. the target thread or cgroup vanished mid-period on a
-// live host) is logged and counted, never aborting the tick, and is
-// retried on the next change because failed values are not cached.
+// churn.
+//
+// It is also the control plane's failure boundary. An operation that
+// throws (e.g. the target thread or cgroup vanished mid-period on a live
+// host) is logged and counted, never aborting the tick, and is not cached
+// so it will be retried -- but not blindly: failures feed an
+// OpHealthTracker (op_health.h) that classifies errors, backs a failing
+// target off exponentially with deterministic jitter, and opens a
+// per-operation-class circuit breaker when the whole class is failing, so
+// a dead backend costs O(1) operations per tick instead of a re-apply
+// storm. Suppressed operations are counted separately from errors.
+//
+// For crash-safe restarts, the cache can be seeded from an OsStateSnapshot
+// taken through the backend (ReconcileFromBackend): a restarted daemon
+// whose computed schedule matches the kernel's residual state applies zero
+// operations on its first tick.
 #ifndef LACHESIS_CORE_SCHEDULE_DELTA_H_
 #define LACHESIS_CORE_SCHEDULE_DELTA_H_
 
@@ -19,26 +31,41 @@
 #include <tuple>
 #include <utility>
 
+#include "core/op_health.h"
 #include "core/os_adapter.h"
 
 namespace lachesis::core {
 
 // Thrown by backends to signal that one OS operation failed (target
-// vanished, permission denied, ...). The delta layer absorbs it.
+// vanished, permission denied, ...). The delta layer absorbs it and uses
+// the severity (derived from errno on the native backend) to pick a retry
+// strategy; see op_health.h.
 class OsOperationError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit OsOperationError(const std::string& what,
+                            ErrorSeverity severity = ErrorSeverity::kTransient,
+                            int err = 0)
+      : std::runtime_error(what), severity_(severity), err_(err) {}
+
+  [[nodiscard]] ErrorSeverity severity() const { return severity_; }
+  [[nodiscard]] int err() const { return err_; }
+
+ private:
+  ErrorSeverity severity_;
+  int err_;
 };
 
 struct DeltaStats {
-  std::uint64_t applied = 0;  // forwarded to the backend and succeeded
-  std::uint64_t skipped = 0;  // identical to the last applied value
-  std::uint64_t errors = 0;   // backend threw; value not cached
+  std::uint64_t applied = 0;     // forwarded to the backend and succeeded
+  std::uint64_t skipped = 0;     // identical to the last applied value
+  std::uint64_t errors = 0;      // backend threw; value not cached
+  std::uint64_t suppressed = 0;  // withheld by backoff / open breaker
 
   DeltaStats& operator+=(const DeltaStats& other) {
     applied += other.applied;
     skipped += other.skipped;
     errors += other.errors;
+    suppressed += other.suppressed;
     return *this;
   }
 };
@@ -52,14 +79,45 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  // Starts a new scheduling period: resets the per-tick counters.
-  void BeginTick() { tick_ = {}; }
+  // Starts a new scheduling period: resets the per-tick counters and
+  // anchors the health tracker's notion of "now" (backoff deadlines and
+  // breaker probes are evaluated against it).
+  void BeginTick(SimTime now = 0) {
+    tick_ = {};
+    now_ = now;
+  }
   [[nodiscard]] const DeltaStats& tick_stats() const { return tick_; }
   [[nodiscard]] const DeltaStats& totals() const { return totals_; }
 
+  // Fault-tolerance state machine (disabled by default for a raw adapter;
+  // the runner enables it with its defaults).
+  void SetHealthConfig(const HealthConfig& config) {
+    health_.set_config(config);
+  }
+  [[nodiscard]] OpHealthTracker& health() { return health_; }
+  [[nodiscard]] const OpHealthTracker& health() const { return health_; }
+
   // Drops all cached state so the next schedule is applied in full (e.g.
-  // after the backend lost state behind our back).
+  // after the backend lost state behind our back). Health state is kept:
+  // a reset must not forget that a backend is failing.
   void Reset();
+
+  // Drops cached values AND health/backoff state for one thread. Called
+  // when the entity is removed from the control plane: retrying a pending
+  // failed op against a dead entity would be a leak and a bug.
+  void ForgetThread(const ThreadHandle& thread);
+  // Same for a group target.
+  void ForgetGroup(const std::string& group);
+
+  // Seeds the cache from observed kernel state (restart reconciliation).
+  // Returns the number of cache entries seeded. Groups present in the
+  // snapshot but never referenced by a schedule are "adopted": their state
+  // is cached so a matching re-creation costs nothing.
+  std::size_t SeedFromSnapshot(const OsStateSnapshot& snapshot);
+  // Convenience: snapshots the wrapped backend for `threads` and seeds.
+  // Returns 0 when the backend cannot observe state.
+  std::size_t ReconcileFromBackend(const std::vector<ThreadHandle>& threads);
+  [[nodiscard]] std::size_t adopted_groups() const { return adopted_groups_; }
 
   // Threads currently in the RT class as far as the delta layer knows
   // (last applied rt priority > 0). Lets tests and translators reconcile
@@ -73,6 +131,10 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   void SetRtPriority(const ThreadHandle& thread, int rt_priority) override;
   void SetGroupQuota(const std::string& group, SimDuration quota,
                      SimDuration period) override;
+  bool SnapshotState(const std::vector<ThreadHandle>& threads,
+                     OsStateSnapshot& out) override {
+    return next_->SnapshotState(threads, out);
+  }
 
  private:
   // Identifies a thread across both backends: sim threads by
@@ -81,16 +143,31 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   static ThreadKey KeyOf(const ThreadHandle& thread) {
     return {thread.machine, thread.sim_tid.value(), thread.os_tid};
   }
+  // Stable per-target health key. Deliberately excludes the machine
+  // pointer (addresses vary across runs and would break deterministic
+  // jitter); sim_tid + os_tid is unique within a backend.
+  static std::string HealthKeyOf(const ThreadHandle& thread) {
+    return "t:" + std::to_string(thread.sim_tid.value()) + "/" +
+           std::to_string(thread.os_tid);
+  }
+  static std::string HealthKeyOf(const std::string& group) {
+    return "g:" + group;
+  }
 
-  // Runs `fn` (the backend call); returns true when it succeeded. Failures
-  // are counted and logged once per (operation, target).
+  // Runs `fn` (the backend call) under the health tracker; returns true
+  // when it succeeded. Failures are counted and logged once per
+  // (operation, target); suppressed attempts are counted but not logged.
   template <typename Fn>
-  bool Forward(const char* what, const std::string& target, Fn&& fn);
+  bool Forward(OpClass cls, const std::string& health_key,
+               const std::string& target, Fn&& fn);
 
   OsAdapter* next_;
   bool enabled_ = true;
+  SimTime now_ = 0;
   DeltaStats tick_;
   DeltaStats totals_;
+  OpHealthTracker health_;
+  std::size_t adopted_groups_ = 0;
   std::map<ThreadKey, int> nice_;
   std::map<ThreadKey, int> rt_;
   std::map<ThreadKey, std::string> group_of_;

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "core/op_health.h"
 #include "core/os_adapter.h"
 #include "core/schedule.h"
 
@@ -21,6 +22,13 @@ class Translator {
   virtual ~Translator() = default;
   [[nodiscard]] virtual const std::string& name() const = 0;
   virtual void Apply(const Schedule& schedule, OsAdapter& os) = 0;
+
+  // Bitmask (OpClassBit) of the OS mechanisms this translator needs to be
+  // effective. The runner's capability degradation ladder demotes a binding
+  // to a fallback translator while any required class's circuit breaker is
+  // open, and promotes it back once a probe succeeds. The default (no
+  // dependencies) means "never demote".
+  [[nodiscard]] virtual std::uint32_t required_op_classes() const { return 0; }
 };
 
 // Single-priority schedules -> per-thread nice values. The highest priority
@@ -36,6 +44,9 @@ class NiceTranslator final : public Translator {
       : nice_best_(nice_best), nice_worst_(nice_worst) {}
   [[nodiscard]] const std::string& name() const override { return name_; }
   void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetNice);
+  }
 
  private:
   int nice_best_;
@@ -54,6 +65,11 @@ class CpuSharesTranslator final : public Translator {
   explicit CpuSharesTranslator(GroupKeyFn group_of = nullptr);
   [[nodiscard]] const std::string& name() const override { return name_; }
   void Apply(const Schedule& schedule, OsAdapter& os) override;
+
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetGroupShares) |
+           OpClassBit(OpClass::kMoveToGroup);
+  }
 
   // Builds the grouping schedule without applying it (exposed for tests).
   [[nodiscard]] GroupingSchedule BuildGroups(const Schedule& schedule) const;
@@ -79,6 +95,10 @@ class QuotaTranslator final : public Translator {
                            GroupKeyFn group_of = nullptr);
   [[nodiscard]] const std::string& name() const override { return name_; }
   void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetGroupQuota) |
+           OpClassBit(OpClass::kMoveToGroup);
+  }
 
  private:
   double min_cores_;
@@ -102,6 +122,10 @@ class RtBoostTranslator final : public Translator {
       : rt_priority_(rt_priority), nice_(nice_best) {}
   [[nodiscard]] const std::string& name() const override { return name_; }
   void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetRtPriority) |
+           OpClassBit(OpClass::kSetNice);
+  }
 
  private:
   int rt_priority_;
@@ -122,6 +146,10 @@ class QuerySharesPlusNiceTranslator final : public Translator {
       : query_shares_(query_shares), nice_(nice_best) {}
   [[nodiscard]] const std::string& name() const override { return name_; }
   void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetGroupShares) |
+           OpClassBit(OpClass::kMoveToGroup) | OpClassBit(OpClass::kSetNice);
+  }
 
  private:
   std::uint64_t query_shares_;

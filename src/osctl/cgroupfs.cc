@@ -1,11 +1,25 @@
 #include "osctl/cgroupfs.h"
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 namespace lachesis::osctl {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::string> ReadFirstLine(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  return line;
+}
+
+}  // namespace
 
 CgroupController::CgroupController(fs::path root, CgroupVersion version)
     : root_(std::move(root)), version_(version) {}
@@ -73,6 +87,73 @@ bool CgroupController::SetQuota(const std::string& group, long quota_us,
       quota_us > 0 ? std::to_string(quota_us) + " " + std::to_string(period_us)
                    : std::string("max");
   return WriteFile(GroupDir(group) / "cpu.max", value, /*append=*/false);
+}
+
+std::vector<std::string> CgroupController::ListGroups() const {
+  std::vector<std::string> groups;
+  std::error_code ec;
+  fs::directory_iterator it(root_, ec);
+  if (ec) return groups;
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (entry.is_directory(entry_ec) && !entry_ec) {
+      groups.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+std::optional<std::uint64_t> CgroupController::ReadShares(
+    const std::string& group) const {
+  const char* file = version_ == CgroupVersion::kV1 ? "cpu.shares" : "cpu.weight";
+  const auto line = ReadFirstLine(GroupDir(group) / file);
+  if (!line) return std::nullopt;
+  try {
+    const std::uint64_t value = std::stoull(*line);
+    return version_ == CgroupVersion::kV1 ? value : WeightToShares(value);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::pair<long, long>> CgroupController::ReadQuota(
+    const std::string& group) const {
+  try {
+    if (version_ == CgroupVersion::kV1) {
+      const auto quota = ReadFirstLine(GroupDir(group) / "cpu.cfs_quota_us");
+      if (!quota) return std::nullopt;
+      const auto period = ReadFirstLine(GroupDir(group) / "cpu.cfs_period_us");
+      return std::make_pair(std::stol(*quota),
+                            period ? std::stol(*period) : 100000L);
+    }
+    const auto line = ReadFirstLine(GroupDir(group) / "cpu.max");
+    if (!line) return std::nullopt;
+    std::istringstream in(*line);
+    std::string quota_str;
+    long period = 100000;
+    in >> quota_str;
+    if (!(in >> period)) period = 100000;
+    const long quota = quota_str == "max" ? -1 : std::stol(quota_str);
+    return std::make_pair(quota, period);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<long> CgroupController::ThreadsOf(const std::string& group) const {
+  std::vector<long> tids;
+  const char* file = version_ == CgroupVersion::kV1 ? "tasks" : "cgroup.threads";
+  std::ifstream in(GroupDir(group) / file);
+  std::string line;
+  while (std::getline(in, line)) {
+    try {
+      if (!line.empty()) tids.push_back(std::stol(line));
+    } catch (const std::exception&) {
+      // Skip malformed lines (a fake root is just a text file).
+    }
+  }
+  return tids;
 }
 
 CgroupVersion CgroupController::DetectVersion(const fs::path& sysfs) {

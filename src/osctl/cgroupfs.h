@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace lachesis::osctl {
 
@@ -23,6 +26,14 @@ constexpr std::uint64_t SharesToWeight(std::uint64_t shares) {
   if (shares < 2) shares = 2;
   if (shares > 262144) shares = 262144;
   return 1 + ((shares - 2) * 9999) / 262142;
+}
+
+// Approximate inverse (weight quantizes shares, so round-tripping is lossy;
+// restart reconciliation tolerates that with at most one redundant write).
+constexpr std::uint64_t WeightToShares(std::uint64_t weight) {
+  if (weight < 1) weight = 1;
+  if (weight > 10000) weight = 10000;
+  return 2 + ((weight - 1) * 262142) / 9999;
 }
 
 class CgroupController {
@@ -39,6 +50,20 @@ class CgroupController {
   // CFS bandwidth: cpu.cfs_quota_us + cpu.cfs_period_us (v1) or cpu.max
   // (v2). quota_us <= 0 removes the limit ("-1" / "max").
   bool SetQuota(const std::string& group, long quota_us, long period_us);
+
+  // --- read side (restart reconciliation) ---------------------------------
+  // Group directories directly under the root (a previous daemon's groups
+  // survive its exit: cgroups are kernel objects, not process state).
+  [[nodiscard]] std::vector<std::string> ListGroups() const;
+  // Current shares (v1: cpu.shares verbatim; v2: cpu.weight mapped back
+  // through the approximate inverse). nullopt when unreadable.
+  [[nodiscard]] std::optional<std::uint64_t> ReadShares(
+      const std::string& group) const;
+  // Current bandwidth as (quota_us, period_us); quota_us <= 0 = unlimited.
+  [[nodiscard]] std::optional<std::pair<long, long>> ReadQuota(
+      const std::string& group) const;
+  // Tids currently in the group (tasks / cgroup.threads).
+  [[nodiscard]] std::vector<long> ThreadsOf(const std::string& group) const;
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
   [[nodiscard]] CgroupVersion version() const { return version_; }

@@ -21,6 +21,30 @@ std::string Trim(const std::string& s) {
                            message);
 }
 
+long ParseLong(const std::string& value, int line, const std::string& key) {
+  std::size_t consumed = 0;
+  long parsed = 0;
+  try {
+    parsed = std::stol(value, &consumed);
+  } catch (const std::exception&) {
+    Fail(line, key + " must be an integer, got '" + value + "'");
+  }
+  if (consumed != value.size()) {
+    Fail(line, key + " must be an integer, got '" + value + "'");
+  }
+  return parsed;
+}
+
+bool ParseBool(const std::string& value, int line, const std::string& key) {
+  if (value == "true" || value == "1" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "off" || value == "no") {
+    return false;
+  }
+  Fail(line, key + " must be a boolean (true/false), got '" + value + "'");
+}
+
 core::MetricId MetricFromName(const std::string& name, int line) {
   static const std::map<std::string, core::MetricId> kNames = {
       {"tuples_in_total", core::MetricId::kTuplesInTotal},
@@ -85,8 +109,32 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
 
     if (in_lachesis_section) {
       if (key == "period_ms") {
-        config.period_ms = std::stol(value);
+        config.period_ms = ParseLong(value, line_number, key);
         if (config.period_ms <= 0) Fail(line_number, "period must be positive");
+      } else if (key == "backoff_base_ms") {
+        config.backoff_base_ms = ParseLong(value, line_number, key);
+        if (config.backoff_base_ms <= 0) {
+          Fail(line_number, "backoff_base_ms must be positive");
+        }
+      } else if (key == "backoff_cap_ms") {
+        config.backoff_cap_ms = ParseLong(value, line_number, key);
+        if (config.backoff_cap_ms < 0) {
+          Fail(line_number, "backoff_cap_ms must be >= 0 (0 = uncapped)");
+        }
+      } else if (key == "breaker_threshold") {
+        config.breaker_threshold = ParseLong(value, line_number, key);
+        if (config.breaker_threshold < 1) {
+          Fail(line_number, "breaker_threshold must be >= 1");
+        }
+      } else if (key == "breaker_probe_ms") {
+        config.breaker_probe_ms = ParseLong(value, line_number, key);
+        if (config.breaker_probe_ms <= 0) {
+          Fail(line_number, "breaker_probe_ms must be positive");
+        }
+      } else if (key == "degradation") {
+        config.degradation = ParseBool(value, line_number, key);
+      } else if (key == "reconcile") {
+        config.reconcile = ParseBool(value, line_number, key);
       } else if (key == "policy") {
         config.policy = value;
       } else if (key == "translator") {
@@ -154,6 +202,11 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
   }
   if (config.spe.queries.empty()) {
     throw std::runtime_error("config declares no [query ...] sections");
+  }
+  if (config.backoff_cap_ms > 0 &&
+      config.backoff_cap_ms < config.backoff_base_ms) {
+    throw std::runtime_error(
+        "backoff_cap_ms must be >= backoff_base_ms when set");
   }
   return config;
 }

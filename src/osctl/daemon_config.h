@@ -34,6 +34,14 @@ struct DaemonConfig {
   std::string policy = "queue-size";
   std::string translator = "nice";
   std::string cgroup_root;  // empty: cgroup mechanisms unavailable
+  // Fault-tolerance knobs (mapped onto core::HealthConfig; see
+  // src/core/op_health.h for the semantics of each).
+  long backoff_base_ms = 500;    // first retry delay for a failing target (>0)
+  long backoff_cap_ms = 0;       // backoff ceiling; 0 = uncapped doubling
+  long breaker_threshold = 5;    // consecutive failures that open a breaker
+  long breaker_probe_ms = 2000;  // half-open probe interval (>0)
+  bool degradation = true;       // capability degradation ladder
+  bool reconcile = true;         // seed delta cache from kernel state at boot
   NativeSpeConfig spe;
 };
 

@@ -6,15 +6,22 @@
 // the SPE's process).
 //
 // Failures (thread exited between discovery and apply, unwritable cgroup
-// root, missing CAP_SYS_NICE) throw core::OsOperationError. The runner's
-// schedule-delta layer absorbs the exception, counts it, and moves on to
-// the next operation, so a vanished operator never aborts a scheduling
-// tick. Entities that were never resolved (os_tid < 0) are skipped
-// silently: that is the steady state until the driver matches the thread.
+// root, missing CAP_SYS_NICE) throw core::OsOperationError carrying the
+// errno-derived severity: EPERM/EACCES are permanent (capabilities don't
+// appear by retrying), ESRCH/ENOENT mean the target vanished, everything
+// else is transient. The runner's schedule-delta layer absorbs the
+// exception, feeds the severity into its backoff/circuit-breaker state,
+// and moves on to the next operation, so a vanished operator never aborts
+// a scheduling tick. Entities that were never resolved (os_tid < 0) are
+// skipped silently: that is the steady state until the driver matches the
+// thread.
 #ifndef LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
 #define LACHESIS_OSCTL_LINUX_OS_ADAPTER_H_
 
+#include <cerrno>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/os_adapter.h"
 #include "core/schedule_delta.h"
@@ -22,6 +29,20 @@
 #include "osctl/nice.h"
 
 namespace lachesis::osctl {
+
+// errno -> retry strategy for the delta layer's health tracker.
+inline core::ErrorSeverity SeverityFromErrno(int err) {
+  switch (err) {
+    case EPERM:
+    case EACCES:
+      return core::ErrorSeverity::kPermanent;
+    case ESRCH:
+    case ENOENT:
+      return core::ErrorSeverity::kVanished;
+    default:
+      return core::ErrorSeverity::kTransient;
+  }
+}
 
 class LinuxOsAdapter final : public core::OsAdapter {
  public:
@@ -31,45 +52,100 @@ class LinuxOsAdapter final : public core::OsAdapter {
 
   void SetNice(const core::ThreadHandle& thread, int nice) override {
     if (thread.os_tid < 0) return;
+    errno = 0;
     if (!nice_->SetNice(thread.os_tid, nice)) {
-      throw core::OsOperationError("setpriority(" +
-                                   std::to_string(thread.os_tid) + ", " +
-                                   std::to_string(nice) + ")");
+      const int err = errno;
+      throw core::OsOperationError(
+          "setpriority(" + std::to_string(thread.os_tid) + ", " +
+              std::to_string(nice) + ")",
+          SeverityFromErrno(err), err);
     }
   }
 
   void SetGroupShares(const std::string& group, std::uint64_t shares) override {
+    errno = 0;
     if (!cgroups_->SetShares(group, shares)) {
-      throw core::OsOperationError("cgroup shares write failed: " + group);
+      const int err = errno;
+      throw core::OsOperationError("cgroup shares write failed: " + group,
+                                   SeverityFromErrno(err), err);
     }
   }
 
   void MoveToGroup(const core::ThreadHandle& thread,
                    const std::string& group) override {
     if (thread.os_tid < 0) return;
+    errno = 0;
     if (!cgroups_->MoveThread(group, thread.os_tid)) {
-      throw core::OsOperationError("cgroup move failed: tid " +
-                                   std::to_string(thread.os_tid) + " -> " +
-                                   group);
+      const int err = errno;
+      throw core::OsOperationError(
+          "cgroup move failed: tid " + std::to_string(thread.os_tid) + " -> " +
+              group,
+          SeverityFromErrno(err), err);
     }
   }
 
   void SetRtPriority(const core::ThreadHandle& thread,
                      int rt_priority) override {
     if (rt_ == nullptr || thread.os_tid < 0) return;
+    errno = 0;
     if (!rt_->SetRtPriority(thread.os_tid, rt_priority)) {
-      throw core::OsOperationError("sched_setscheduler(" +
-                                   std::to_string(thread.os_tid) + ", " +
-                                   std::to_string(rt_priority) + ")");
+      const int err = errno;
+      throw core::OsOperationError(
+          "sched_setscheduler(" + std::to_string(thread.os_tid) + ", " +
+              std::to_string(rt_priority) + ")",
+          SeverityFromErrno(err), err);
     }
   }
 
   void SetGroupQuota(const std::string& group, SimDuration quota,
                      SimDuration period) override {
+    errno = 0;
     if (!cgroups_->SetQuota(group, static_cast<long>(quota / kMicrosecond),
                             static_cast<long>(period / kMicrosecond))) {
-      throw core::OsOperationError("cgroup quota write failed: " + group);
+      const int err = errno;
+      throw core::OsOperationError("cgroup quota write failed: " + group,
+                                   SeverityFromErrno(err), err);
     }
+  }
+
+  // Restart reconciliation: nice via getpriority, RT via sched_getscheduler
+  // (when an RT controller is wired), group membership / shares / quota by
+  // enumerating the Lachesis cgroup root. Groups found there from a
+  // previous incarnation are reported for adoption.
+  bool SnapshotState(const std::vector<core::ThreadHandle>& threads,
+                     core::OsStateSnapshot& out) override {
+    out = {};
+    std::map<long, std::string> group_of;
+    for (const std::string& group : cgroups_->ListGroups()) {
+      out.groups.push_back(group);
+      if (const auto shares = cgroups_->ReadShares(group)) {
+        out.group_shares[group] = *shares;
+      }
+      if (const auto quota = cgroups_->ReadQuota(group)) {
+        if (quota->first > 0) {
+          out.group_quota[group] = {quota->first * kMicrosecond,
+                                    quota->second * kMicrosecond};
+        }
+      }
+      for (const long tid : cgroups_->ThreadsOf(group)) {
+        group_of[tid] = group;
+      }
+    }
+    for (const core::ThreadHandle& thread : threads) {
+      if (thread.os_tid < 0) continue;
+      core::OsStateSnapshot::ThreadState state;
+      state.thread = thread;
+      state.nice = nice_->GetNice(thread.os_tid);
+      if (rt_ != nullptr) {
+        state.rt_priority = rt_->GetRtPriority(thread.os_tid);
+      }
+      if (const auto it = group_of.find(thread.os_tid);
+          it != group_of.end()) {
+        state.group = it->second;
+      }
+      out.threads.push_back(std::move(state));
+    }
+    return true;
   }
 
  private:

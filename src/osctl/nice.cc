@@ -24,4 +24,13 @@ bool LinuxRtController::SetRtPriority(long tid, int priority) {
   return sched_setscheduler(static_cast<pid_t>(tid), policy, &param) == 0;
 }
 
+std::optional<int> LinuxRtController::GetRtPriority(long tid) {
+  const int policy = sched_getscheduler(static_cast<pid_t>(tid));
+  if (policy < 0) return std::nullopt;
+  if (policy != SCHED_FIFO && policy != SCHED_RR) return 0;
+  sched_param param{};
+  if (sched_getparam(static_cast<pid_t>(tid), &param) != 0) return std::nullopt;
+  return param.sched_priority;
+}
+
 }  // namespace lachesis::osctl

@@ -33,11 +33,19 @@ class RtController {
   virtual ~RtController() = default;
   // priority 1..99 = SCHED_FIFO; 0 = back to SCHED_OTHER.
   virtual bool SetRtPriority(long tid, int priority) = 0;
+  // Current SCHED_FIFO/RR priority (0 = fair class); nullopt when the
+  // thread is gone or the controller cannot observe it. Used by restart
+  // reconciliation.
+  virtual std::optional<int> GetRtPriority(long tid) {
+    (void)tid;
+    return std::nullopt;
+  }
 };
 
 class LinuxRtController final : public RtController {
  public:
   bool SetRtPriority(long tid, int priority) override;
+  std::optional<int> GetRtPriority(long tid) override;
 };
 
 class FakeRtController final : public RtController {
@@ -45,6 +53,11 @@ class FakeRtController final : public RtController {
   bool SetRtPriority(long tid, int priority) override {
     priorities_[tid] = priority;
     return true;
+  }
+  std::optional<int> GetRtPriority(long tid) override {
+    const auto it = priorities_.find(tid);
+    if (it == priorities_.end()) return 0;
+    return it->second;
   }
   [[nodiscard]] const std::map<long, int>& priorities() const {
     return priorities_;

@@ -112,6 +112,84 @@ operator a = pat series
                std::runtime_error);
 }
 
+TEST(DaemonConfigTest, ParsesFaultToleranceKnobs) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[lachesis]
+backoff_base_ms  = 250
+backoff_cap_ms   = 8000
+breaker_threshold = 3
+breaker_probe_ms  = 1500
+degradation = off
+reconcile   = no
+[query q]
+operator a = pat series
+)");
+  EXPECT_EQ(config.backoff_base_ms, 250);
+  EXPECT_EQ(config.backoff_cap_ms, 8000);
+  EXPECT_EQ(config.breaker_threshold, 3);
+  EXPECT_EQ(config.breaker_probe_ms, 1500);
+  EXPECT_FALSE(config.degradation);
+  EXPECT_FALSE(config.reconcile);
+}
+
+TEST(DaemonConfigTest, FaultToleranceKnobDefaults) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[query q]
+operator a = pat series
+)");
+  EXPECT_EQ(config.backoff_base_ms, 500);
+  EXPECT_EQ(config.backoff_cap_ms, 0);  // 0 = uncapped doubling
+  EXPECT_EQ(config.breaker_threshold, 5);
+  EXPECT_EQ(config.breaker_probe_ms, 2000);
+  EXPECT_TRUE(config.degradation);
+  EXPECT_TRUE(config.reconcile);
+}
+
+TEST(DaemonConfigTest, RejectsMalformedFaultToleranceValues) {
+  const char* bad_bodies[] = {
+      "backoff_base_ms = 0",          // must be > 0
+      "backoff_base_ms = -5",         // negative
+      "backoff_base_ms = fast",       // not a number
+      "backoff_base_ms = 100x",       // trailing junk
+      "backoff_cap_ms = -1",          // negative cap
+      "backoff_cap_ms = soon",        // not a number
+      "breaker_threshold = 0",        // must be >= 1
+      "breaker_threshold = -2",       // negative
+      "breaker_threshold = three",    // not a number
+      "breaker_probe_ms = 0",         // must be > 0
+      "breaker_probe_ms = 1e3",       // not a plain integer
+      "degradation = maybe",          // not a boolean
+      "reconcile = 2",                // not a boolean
+      "period_ms = 100ms",            // trailing junk on an old knob too
+  };
+  for (const char* body : bad_bodies) {
+    const std::string text = std::string("[lachesis]\n") + body +
+                             "\n[query q]\noperator a = pat series\n";
+    EXPECT_THROW(ParseDaemonConfig(text), std::runtime_error)
+        << "accepted: " << body;
+  }
+}
+
+TEST(DaemonConfigTest, RejectsCapBelowBase) {
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[lachesis]
+backoff_base_ms = 1000
+backoff_cap_ms  = 500
+[query q]
+operator a = pat series
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, MalformedKnobErrorsCarryLineNumbers) {
+  try {
+    ParseDaemonConfig("[lachesis]\nbreaker_threshold = nope\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 TEST(DaemonConfigTest, ErrorsCarryLineNumbers) {
   try {
     ParseDaemonConfig("\n\n[query q]\nbogus = 1\n");

@@ -71,7 +71,9 @@ class FakeDriver final : public SpeDriver {
   int fetch_count_ = 0;
 };
 
-// Records every OsAdapter call for translator tests.
+// Records every OsAdapter call for translator tests. Supports
+// SnapshotState so restart-reconciliation tests can treat it as the
+// "kernel" surviving a daemon restart.
 class RecordingOsAdapter final : public OsAdapter {
  public:
   void SetNice(const ThreadHandle& thread, int nice) override {
@@ -84,10 +86,45 @@ class RecordingOsAdapter final : public OsAdapter {
   void MoveToGroup(const ThreadHandle& thread, const std::string& group) override {
     thread_group[thread.sim_tid.value()] = group;
   }
+  void SetRtPriority(const ThreadHandle& thread, int rt_priority) override {
+    rt_priorities[thread.sim_tid.value()] = rt_priority;
+  }
+  void SetGroupQuota(const std::string& group, SimDuration quota,
+                     SimDuration period) override {
+    group_quota[group] = {quota, period};
+  }
+
+  bool SnapshotState(const std::vector<ThreadHandle>& threads,
+                     OsStateSnapshot& out) override {
+    out = {};
+    for (const ThreadHandle& thread : threads) {
+      OsStateSnapshot::ThreadState state;
+      state.thread = thread;
+      if (const auto it = nices.find(thread.sim_tid.value());
+          it != nices.end()) {
+        state.nice = it->second;
+      }
+      if (const auto it = rt_priorities.find(thread.sim_tid.value());
+          it != rt_priorities.end()) {
+        state.rt_priority = it->second;
+      }
+      if (const auto it = thread_group.find(thread.sim_tid.value());
+          it != thread_group.end()) {
+        state.group = it->second;
+      }
+      out.threads.push_back(std::move(state));
+    }
+    out.group_shares = group_shares;
+    out.group_quota = group_quota;
+    for (const auto& [group, shares] : group_shares) out.groups.push_back(group);
+    return true;
+  }
 
   std::map<std::uint64_t, int> nices;
+  std::map<std::uint64_t, int> rt_priorities;
   std::map<std::string, std::uint64_t> group_shares;
   std::map<std::uint64_t, std::string> thread_group;
+  std::map<std::string, std::pair<SimDuration, SimDuration>> group_quota;
   int nice_calls = 0;
 };
 

@@ -1,6 +1,7 @@
 // Tests of dynamic orchestration (paper §6.5): queries attaching and
 // detaching while the loop runs, incremental GCD wake-interval derivation,
 // refcounted metric registration, and cadence across disable/re-enable.
+#include <cerrno>
 #include <memory>
 #include <vector>
 
@@ -213,6 +214,76 @@ TEST(RunnerDynamicTest, DisableThenReenableKeepsCadence) {
                                          Seconds(9), Seconds(10)};
   EXPECT_EQ(fired, expected);
   EXPECT_EQ(count, 8);
+}
+
+// Backend whose SetNice fails for one thread -- enough to grow health
+// state in the runner's delta layer.
+class OneDeadThreadOsAdapter final : public OsAdapter {
+ public:
+  explicit OneDeadThreadOsAdapter(long dead_tid) : dead_tid_(dead_tid) {}
+  void SetNice(const ThreadHandle& thread, int nice) override {
+    if (static_cast<long>(thread.sim_tid.value()) == dead_tid_) {
+      throw OsOperationError("SetNice", ErrorSeverity::kVanished, ESRCH);
+    }
+    (void)nice;
+  }
+  void SetGroupShares(const std::string&, std::uint64_t) override {}
+  void MoveToGroup(const ThreadHandle&, const std::string&) override {}
+
+ private:
+  long dead_tid_;
+};
+
+TEST(RunnerDynamicTest, RemoveQueryDropsPendingHealthState) {
+  // A failed op leaves backoff state behind; when the only query that can
+  // see the failing thread detaches, that state must go with it -- no ghost
+  // retries, no leak in the health map.
+  Rig rig;
+  OneDeadThreadOsAdapter os(/*dead_tid=*/1);  // query 1's thread
+  LachesisRunner runner(rig.executor, os);
+  int c0 = 0;
+  int c1 = 0;
+  PolicyBinding b0 = rig.Binding(&c0, Seconds(1));
+  b0.filter = [](const EntityInfo& e) { return e.query == QueryId(0); };
+  runner.AddQuery(std::move(b0));
+  PolicyBinding b1 = rig.Binding(&c1, Seconds(1));
+  b1.filter = [](const EntityInfo& e) { return e.query == QueryId(1); };
+  const std::size_t idx1 = runner.AddQuery(std::move(b1));
+
+  runner.Start(Seconds(10));
+  rig.sim.RunUntil(Seconds(2));
+  ASSERT_GT(runner.delta().health().tracked_targets(), 0u);
+  ASSERT_GT(runner.delta_totals().errors, 0u);
+
+  runner.RemoveQuery(idx1);
+  EXPECT_EQ(runner.delta().health().tracked_targets(), 0u);
+
+  // The surviving query keeps ticking and never trips on leaked state.
+  const std::uint64_t errors_at_remove = runner.delta_totals().errors;
+  rig.sim.RunUntil(Seconds(10));
+  EXPECT_EQ(c0, 10);
+  EXPECT_EQ(runner.delta_totals().errors, errors_at_remove);
+  EXPECT_EQ(runner.delta().health().tracked_targets(), 0u);
+}
+
+TEST(RunnerDynamicTest, RemoveQueryKeepsHealthStateOfSharedThreads) {
+  // Both bindings see every entity (no filter): detaching one must NOT
+  // forget the failing thread's backoff, because the other binding still
+  // manages it and would otherwise resume blind per-tick retries.
+  Rig rig;
+  OneDeadThreadOsAdapter os(/*dead_tid=*/1);
+  LachesisRunner runner(rig.executor, os);
+  int c0 = 0;
+  int c1 = 0;
+  runner.AddQuery(rig.Binding(&c0, Seconds(1)));
+  const std::size_t idx1 = runner.AddQuery(rig.Binding(&c1, Seconds(1)));
+
+  runner.Start(Seconds(4));
+  rig.sim.RunUntil(Seconds(2));
+  ASSERT_GT(runner.delta().health().tracked_targets(), 0u);
+
+  runner.RemoveQuery(idx1);
+  EXPECT_GT(runner.delta().health().tracked_targets(), 0u);
 }
 
 TEST(RunnerDynamicTest, AddAndRemoveBeforeStart) {

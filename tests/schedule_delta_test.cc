@@ -195,6 +195,54 @@ TEST(ScheduleDeltaTest, RtDemotionOfUnboostedThreadIsElided) {
   EXPECT_EQ(delta.rt_boosted_count(), 0u);
 }
 
+TEST(ScheduleDeltaTest, HealthBackoffStopsBlindPerTickRetry) {
+  // Regression for the blind-retry storm: with health tracking on (as the
+  // runner configures it), a target that keeps failing is NOT re-attempted
+  // every tick -- the delta layer suppresses attempts until the backoff
+  // deadline passes.
+  FlakyOsAdapter os;
+  os.failing_tid = 0;
+  ScheduleDeltaAdapter delta(os);
+  HealthConfig health;
+  health.enabled = true;
+  health.backoff_base = Millis(500);
+  health.jitter_frac = 0.0;
+  health.breaker_threshold = 1000;  // isolate the per-target backoff
+  delta.SetHealthConfig(health);
+
+  delta.BeginTick(0);
+  delta.SetNice(Thread(0), 5);  // fails
+  EXPECT_EQ(os.nice_calls, 1);
+  delta.BeginTick(Millis(100));  // next tick, backoff not yet expired
+  delta.SetNice(Thread(0), 5);
+  EXPECT_EQ(os.nice_calls, 1);  // suppressed: no blind retry
+  EXPECT_EQ(delta.tick_stats().suppressed, 1u);
+  delta.BeginTick(Millis(600));  // past the 500ms backoff: retried
+  delta.SetNice(Thread(0), 5);
+  EXPECT_EQ(os.nice_calls, 2);
+}
+
+TEST(ScheduleDeltaTest, RetryCountIsBoundedOverManyTicks) {
+  // 1000 one-second ticks against a permanently failing thread: the
+  // doubling backoff must bound actual backend calls to O(log T).
+  FlakyOsAdapter os;
+  os.failing_tid = 0;
+  ScheduleDeltaAdapter delta(os);
+  HealthConfig health;
+  health.enabled = true;
+  health.backoff_base = Millis(500);
+  health.breaker_threshold = 1000;
+  delta.SetHealthConfig(health);
+
+  for (int t = 0; t < 1000; ++t) {
+    delta.BeginTick(Seconds(t));
+    delta.SetNice(Thread(0), 5);
+  }
+  EXPECT_LE(os.nice_calls, 14);  // ~log2(1000s / 500ms) + slack
+  EXPECT_GE(os.nice_calls, 3);
+  EXPECT_EQ(delta.totals().errors + delta.totals().suppressed, 1000u);
+}
+
 // A policy that always produces the same priorities: after the first tick
 // every translator operation is redundant.
 class ConstantPolicy final : public SchedulingPolicy {
