@@ -126,6 +126,57 @@ Sample RunOnce(int queries, int operators, bool churn, bool delta_enabled,
   return s;
 }
 
+// Observability cost: the same stable/churning tick loop with the
+// provenance recorder disabled, on (the default), and in verbose mode
+// (per-elision + per-sample events). Written to BENCH_obs.json; the
+// "on vs off" delta is the always-on observability budget (<3%).
+struct ObsSample {
+  int queries = 0;
+  int operators = 0;
+  bool churn = false;
+  const char* mode = "";
+  int ticks = 0;
+  double ns_per_tick = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+ObsSample RunObsOnce(int queries, int operators, bool churn,
+                     const char* mode, int ticks) {
+  sim::Simulator sim;
+  core::SimControlExecutor executor(sim);
+  NullOsAdapter os;
+  SyntheticDriver driver(queries, operators, churn);
+
+  core::LachesisRunner runner(executor, os);
+  if (std::strcmp(mode, "off") == 0) runner.recorder().set_enabled(false);
+  if (std::strcmp(mode, "verbose") == 0) runner.recorder().set_verbose(true);
+  core::PolicyBinding binding;
+  binding.policy = std::make_unique<core::QueueSizePolicy>();
+  binding.translator = std::make_unique<core::NiceTranslator>();
+  binding.period = Seconds(1);
+  binding.drivers = {&driver};
+  runner.AddQuery(std::move(binding));
+  runner.Start(Seconds(ticks));
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.RunUntil(Seconds(ticks));
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  ObsSample s;
+  s.queries = queries;
+  s.operators = operators;
+  s.churn = churn;
+  s.mode = mode;
+  s.ticks = ticks;
+  s.ns_per_tick = static_cast<double>(wall) / ticks;
+  s.events_recorded = runner.recorder().total_recorded();
+  s.events_dropped = runner.recorder().dropped();
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,5 +227,65 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_runner.json\n");
+
+  // --- observability budget: recorder off / on / verbose -------------------
+  std::vector<ObsSample> obs;
+  const int obs_shapes[][2] = {{8, 32}, {32, 32}};
+  for (const auto& shape : obs_shapes) {
+    for (const bool churn : {false, true}) {
+      for (const char* mode : {"off", "on", "verbose"}) {
+        // Best-of-3: wall-clock ns/tick is noisy at --quick tick counts.
+        ObsSample best = RunObsOnce(shape[0], shape[1], churn, mode, ticks);
+        for (int rep = 1; rep < 3; ++rep) {
+          const ObsSample s =
+              RunObsOnce(shape[0], shape[1], churn, mode, ticks);
+          if (s.ns_per_tick < best.ns_per_tick) best = s;
+        }
+        obs.push_back(best);
+      }
+    }
+  }
+
+  std::printf("\n%8s %6s %6s %8s %8s %12s %10s %10s\n", "queries", "ops/q",
+              "churn", "obs", "ticks", "ns/tick", "events", "dropped");
+  for (const ObsSample& s : obs) {
+    std::printf("%8d %6d %6s %8s %8d %12.0f %10llu %10llu\n", s.queries,
+                s.operators, s.churn ? "yes" : "no", s.mode, s.ticks,
+                s.ns_per_tick,
+                static_cast<unsigned long long>(s.events_recorded),
+                static_cast<unsigned long long>(s.events_dropped));
+  }
+  // Per-shape on-vs-off overhead: the always-on observability budget.
+  for (std::size_t i = 0; i + 1 < obs.size(); i += 3) {
+    const ObsSample& off = obs[i];
+    const ObsSample& on = obs[i + 1];
+    std::printf("obs overhead %dx%d %s: %+.2f%% (on %.0f ns vs off %.0f ns)\n",
+                off.queries, off.operators, off.churn ? "churn" : "stable",
+                (on.ns_per_tick / off.ns_per_tick - 1.0) * 100.0,
+                on.ns_per_tick, off.ns_per_tick);
+  }
+
+  out = std::fopen("BENCH_obs.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_obs.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"obs\",\n  \"series\": [\n");
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const ObsSample& s = obs[i];
+    std::fprintf(out,
+                 "    {\"queries\": %d, \"operators_per_query\": %d, "
+                 "\"churn\": %s, \"obs\": \"%s\", \"ticks\": %d, "
+                 "\"ns_per_tick\": %.0f, \"events_recorded\": %llu, "
+                 "\"events_dropped\": %llu}%s\n",
+                 s.queries, s.operators, s.churn ? "true" : "false", s.mode,
+                 s.ticks, s.ns_per_tick,
+                 static_cast<unsigned long long>(s.events_recorded),
+                 static_cast<unsigned long long>(s.events_dropped),
+                 i + 1 < obs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_obs.json\n");
   return 0;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Documentation consistency gate (runs under ctest as `docs_check`, tier1):
+#
+#   1. every intra-repo markdown link resolves to a file that exists, and
+#   2. every binary, script, or build target referenced from a sh/bash/
+#      console code fence exists in the tree or in the CMake build graph.
+#
+# The point is to keep README/docs from drifting as code moves: a renamed
+# test binary, a deleted doc page, or a stale `cmake --build --target`
+# incantation fails CI instead of rotting silently.
+#
+# Usage: ci/run_docs_check.sh
+set -euo pipefail
+
+SRC_DIR=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$SRC_DIR"
+
+ERRORS=$(mktemp /tmp/lachesis-docs-check.XXXXXX)
+SCRATCH=$(mktemp -d /tmp/lachesis-docs-scratch.XXXXXX)
+trap 'rm -rf "$ERRORS" "$SCRATCH"' EXIT
+
+# Markdown we publish: repo root and docs/ (skip build trees).
+find . -maxdepth 2 -name '*.md' \
+  -not -path './build*' -not -path './.git/*' | sort > "$SCRATCH/md_files"
+
+# --- 1. intra-repo links ----------------------------------------------------
+while read -r md; do
+  dir=$(dirname "$md")
+  grep -oE '\]\([^)]+\)' "$md" 2>/dev/null |
+    sed 's/^](//; s/)$//' > "$SCRATCH/links" || true
+  while read -r link; do
+    case "$link" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path=${link%%#*} # anchors within a page are not checked
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "./${path#/}" ]; then
+      echo "broken link in $md: ($link)" >> "$ERRORS"
+    fi
+  done < "$SCRATCH/links"
+done < "$SCRATCH/md_files"
+
+# --- 2. commands inside sh/bash/console fences -------------------------------
+# Names the build graph defines: executables, libraries, custom targets, and
+# every gtest binary registered through the lachesis_test() helper.
+find . -name 'CMakeLists.txt' -not -path './build*' \
+  -exec cat {} + > "$SCRATCH/cmake"
+grep -oE '(add_executable|add_library|add_custom_target|lachesis_test|lachesis_example|lachesis_bench)\([A-Za-z0-9_]+' \
+  "$SCRATCH/cmake" | sed 's/.*(//' | sort -u > "$SCRATCH/targets"
+
+known_target() { grep -qxF "$1" "$SCRATCH/targets"; }
+
+while read -r md; do
+  awk '/^[[:space:]]*```(sh|bash|console)[[:space:]]*$/ { f = 1; next }
+       /^[[:space:]]*```/ { f = 0 }
+       f' "$md" > "$SCRATCH/fence"
+  [ -s "$SCRATCH/fence" ] || continue
+
+  # a. paths under ./build*/ -- the basename must be a build target.
+  grep -oE '\./build[^ "]*/[A-Za-z0-9_.-]+' "$SCRATCH/fence" |
+    sort -u > "$SCRATCH/refs" || true
+  while read -r ref; do
+    base=$(basename "$ref")
+    base=${base%.json} # BENCH_*.json artifacts are outputs, not targets
+    if ! known_target "$base" && [[ "$ref" != *BENCH_* ]]; then
+      echo "$md fence references unknown build binary: $ref" >> "$ERRORS"
+    fi
+  done < "$SCRATCH/refs"
+
+  # b. repo scripts (ci/*.sh, tools/*) must exist and be executable.
+  grep -oE '(ci|tools)/[A-Za-z0-9_.-]+' "$SCRATCH/fence" |
+    sort -u > "$SCRATCH/refs" || true
+  while read -r ref; do
+    if [ ! -e "$ref" ]; then
+      echo "$md fence references missing script: $ref" >> "$ERRORS"
+    fi
+  done < "$SCRATCH/refs"
+
+  # c. every name after `--target` must be in the build graph.
+  grep -oE -- '--target [A-Za-z0-9_ ]+' "$SCRATCH/fence" |
+    sed 's/^--target //' | tr ' ' '\n' | grep -v '^-' | sort -u |
+    grep -v '^$' > "$SCRATCH/refs" || true
+  while read -r ref; do
+    if ! known_target "$ref"; then
+      echo "$md fence references unknown cmake target: $ref" >> "$ERRORS"
+    fi
+  done < "$SCRATCH/refs"
+done < "$SCRATCH/md_files"
+
+if [ -s "$ERRORS" ]; then
+  echo "run_docs_check.sh: FAILED" >&2
+  sed 's/^/  /' "$ERRORS" >&2
+  exit 1
+fi
+echo "run_docs_check.sh: OK ($(wc -l < "$SCRATCH/md_files") markdown files)"

@@ -54,6 +54,26 @@ EOF
 echo "run_native_smoke.sh: lachesisd --dry-run (2 iterations)"
 "$BUILD_DIR/examples/lachesisd" "$WORK_DIR/config.ini" --dry-run --iterations 2
 
+# --- 1b. Chrome-trace export from the same dry run --------------------------
+# The daemon must dump a Perfetto-loadable trace on exit when --trace is
+# given; validating the header proves the observability plumbing is wired
+# through the native path, not just the simulator.
+echo "run_native_smoke.sh: lachesisd --trace export"
+"$BUILD_DIR/examples/lachesisd" "$WORK_DIR/config.ini" --dry-run \
+  --iterations 2 --trace "$WORK_DIR/trace.json"
+if [ ! -s "$WORK_DIR/trace.json" ]; then
+  echo "run_native_smoke.sh: FAIL --trace produced no file" >&2
+  exit 1
+fi
+case "$(head -c 16 "$WORK_DIR/trace.json")" in
+  '{"traceEvents"'*) echo "run_native_smoke.sh: trace export OK" ;;
+  *)
+    echo "run_native_smoke.sh: FAIL trace.json is not a Chrome trace:" >&2
+    head -c 200 "$WORK_DIR/trace.json" >&2
+    exit 1
+    ;;
+esac
+
 # --- 2. sim-vs-native differential on real OS mechanisms --------------------
 # Needs permission to renice within [0,19] (usually available) and, for the
 # cgroup half, a writable cgroupfs; the gtest skips internally per-case.

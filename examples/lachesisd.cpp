@@ -9,11 +9,20 @@
 // vanished thread never aborts a tick.
 //
 // Usage:
-//   lachesisd <config-file> [--dry-run] [--iterations N]
+//   lachesisd <config-file> [--dry-run] [--iterations N] [--trace FILE]
 // --dry-run logs the schedule instead of touching the OS (no privileges
-// needed); see src/osctl/daemon_config.h for the config format.
+// needed); see src/osctl/daemon_config.h for the config format and
+// docs/OPERATIONS.md for the full operator guide (signals, observability,
+// tuning).
+//
+// Observability: SIGUSR1 dumps a Chrome-trace JSON of the provenance ring
+// to the configured trace file (config `trace_file` or --trace); the same
+// dump also happens at exit and, when `trace_every_ticks` > 0, every N
+// ticks (the previous dump is rotated to <file>.1). `metrics_textfile`
+// exports the self-metrics catalog in Prometheus textfile format.
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -24,6 +33,8 @@
 #include "core/policies.h"
 #include "core/runner.h"
 #include "core/translators.h"
+#include "obs/self_metrics.h"
+#include "obs/trace_export.h"
 #include "osctl/cgroupfs.h"
 #include "osctl/daemon_config.h"
 #include "osctl/linux_os_adapter.h"
@@ -34,6 +45,11 @@
 using namespace lachesis;
 
 namespace {
+
+// SIGUSR1 = "dump the provenance trace now"; the handler only sets a flag,
+// the dump happens on the next tick boundary (signal-safe).
+volatile std::sig_atomic_t g_trace_requested = 0;
+void HandleTraceSignal(int) { g_trace_requested = 1; }
 
 // Adapter that only logs -- for --dry-run and unprivileged smoke tests.
 class LoggingOsAdapter final : public core::OsAdapter {
@@ -105,11 +121,14 @@ int main(int argc, char** argv) {
   }
   bool dry_run = false;
   long iterations = -1;  // forever
+  std::string trace_override;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dry-run") == 0) {
       dry_run = true;
     } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
       iterations = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_override = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -154,6 +173,44 @@ int main(int argc, char** argv) {
     health.seed = static_cast<std::uint64_t>(::getpid());
     runner.SetHealthConfig(health);
 
+    runner.recorder().SetRingCapacity(
+        static_cast<std::size_t>(config.obs_ring_capacity));
+    runner.recorder().set_verbose(config.obs_verbose);
+    const std::string trace_path =
+        trace_override.empty() ? config.trace_file : trace_override;
+    const auto dump_trace = [&runner, &trace_path](const char* reason) {
+      if (trace_path.empty()) {
+        std::printf("lachesisd: trace requested (%s) but no trace file "
+                    "configured (set trace_file or --trace)\n",
+                    reason);
+        return;
+      }
+      // Keep one previous dump: <file> -> <file>.1.
+      std::rename(trace_path.c_str(), (trace_path + ".1").c_str());
+      if (obs::DumpChromeTrace(runner.recorder(), trace_path,
+                               core::LachesisRunner::OpClassNameForObs)) {
+        std::printf("lachesisd: %s: wrote trace to %s (%llu events, %llu "
+                    "evicted)\n",
+                    reason, trace_path.c_str(),
+                    static_cast<unsigned long long>(
+                        runner.recorder().total_recorded()),
+                    static_cast<unsigned long long>(
+                        runner.recorder().dropped()));
+      } else {
+        std::fprintf(stderr, "lachesisd: failed to write trace to %s\n",
+                     trace_path.c_str());
+      }
+    };
+    const auto write_metrics = [&runner, &config] {
+      if (config.metrics_textfile.empty()) return;
+      if (!obs::WritePrometheusTextfile(runner.CollectSelfMetrics(),
+                                        config.metrics_textfile)) {
+        std::fprintf(stderr, "lachesisd: failed to write metrics to %s\n",
+                     config.metrics_textfile.c_str());
+      }
+    };
+    std::signal(SIGUSR1, HandleTraceSignal);
+
     core::PolicyBinding binding;
     binding.policy = std::move(policy);
     binding.translator = std::move(translator);
@@ -178,7 +235,8 @@ int main(int argc, char** argv) {
     }
 
     long tick = 0;
-    runner.SetTickObserver([&tick](const core::RunnerTickInfo& info) {
+    runner.SetTickObserver([&tick, &config, &dump_trace, &write_metrics](
+                               const core::RunnerTickInfo& info) {
       std::printf(
           "tick %ld @%.3fs: policies=%d ops applied=%llu skipped=%llu "
           "errors=%llu suppressed=%llu%s%s\n",
@@ -189,6 +247,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(info.delta.suppressed),
           info.open_breakers > 0 ? " [breaker open]" : "",
           info.degraded_bindings > 0 ? " [degraded]" : "");
+      if (g_trace_requested != 0) {
+        g_trace_requested = 0;
+        dump_trace("SIGUSR1");
+      }
+      if (config.trace_every_ticks > 0 &&
+          tick % config.trace_every_ticks == 0) {
+        dump_trace("periodic");
+      }
+      if (tick % config.metrics_every_ticks == 0) write_metrics();
     });
 
     // Half a period of slack so startup latency cannot push the Nth tick
@@ -210,6 +277,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totals.skipped),
         static_cast<unsigned long long>(totals.errors),
         static_cast<unsigned long long>(totals.suppressed));
+    if (!trace_path.empty()) dump_trace("exit");
+    write_metrics();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lachesisd: %s\n", e.what());
     return 1;

@@ -3,8 +3,12 @@
 // default OS scheduling at a rate past the OS saturation point.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass a path as argv[1] to also dump the Lachesis run's decision
+// provenance as Chrome-trace JSON (load it in ui.perfetto.dev); sim runs
+// use virtual timestamps, so the trace is deterministic.
 #include <cstdio>
 
 #include "core/os_adapter.h"
@@ -12,6 +16,7 @@
 #include "core/runner.h"
 #include "core/sim_executor.h"
 #include "core/sim_driver.h"
+#include "obs/trace_export.h"
 #include "queries/linear_road.h"
 #include "sim/machine.h"
 #include "sim/simulator.h"
@@ -25,7 +30,8 @@ namespace {
 
 // Runs Linear Road at `rate` tuples/s for `duration`, optionally under
 // Lachesis, and prints throughput and latency.
-void Run(bool with_lachesis, double rate, SimTime duration) {
+void Run(bool with_lachesis, double rate, SimTime duration,
+         const char* trace_path = nullptr) {
   sim::Simulator sim;
   sim::Machine odroid(sim, /*num_cores=*/4);
 
@@ -62,6 +68,12 @@ void Run(bool with_lachesis, double rate, SimTime duration) {
 
   sim.RunUntil(duration);
 
+  if (with_lachesis && trace_path != nullptr &&
+      obs::DumpChromeTrace(lachesis.recorder(), trace_path,
+                           core::LachesisRunner::OpClassNameForObs)) {
+    std::printf("wrote decision trace to %s\n", trace_path);
+  }
+
   const double throughput =
       static_cast<double>(query.TotalIngested()) / ToSeconds(duration);
   RunningStat latency;
@@ -73,9 +85,10 @@ void Run(bool with_lachesis, double rate, SimTime duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Linear Road @ 6800 t/s on a 4-core edge node, 30 s:\n");
   Run(/*with_lachesis=*/false, 6800, Seconds(30));
-  Run(/*with_lachesis=*/true, 6800, Seconds(30));
+  Run(/*with_lachesis=*/true, 6800, Seconds(30),
+      argc > 1 ? argv[1] : nullptr);
   return 0;
 }

@@ -5,8 +5,19 @@
 
 #include "common/rng.h"
 #include "core/schedule_delta.h"
+#include "obs/recorder.h"
 
 namespace lachesis::core {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEperm: return "eperm";
+    case FaultKind::kVanish: return "vanish";
+    case FaultKind::kEbusy: return "ebusy";
+    case FaultKind::kSlowCall: return "slow-call";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -54,6 +65,10 @@ void FaultInjectingOsAdapter::MaybeInject(OpClass cls,
         target);
     if (!FaultChance(plan_.seed, salt, rule.probability)) continue;
     ++injected_[static_cast<int>(rule.kind)];
+    if (recorder_ != nullptr) {
+      recorder_->FaultInjected(now, static_cast<int>(cls), target,
+                               FaultKindName(rule.kind));
+    }
     switch (rule.kind) {
       case FaultKind::kEperm:
         throw OsOperationError(

@@ -46,6 +46,8 @@ enum class FaultKind {
 };
 inline constexpr int kFaultKindCount = 4;
 
+[[nodiscard]] const char* FaultKindName(FaultKind kind);
+
 // One OS-operation fault rule. A call matches when its class matches `op`
 // (or `op` is unset), the clock is inside [from, until), and the target
 // contains `target_substr` (when non-empty); a matching call then faults
@@ -104,6 +106,11 @@ class FaultInjectingOsAdapter final : public OsAdapter {
     return next_->SnapshotState(threads, out);
   }
 
+  // Provenance sink: every injected fault is recorded as a kFaultInjected
+  // event, so a chaos trace shows the cause next to the breaker/backoff
+  // effects. Null disables (default).
+  void SetRecorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] std::uint64_t injected(FaultKind kind) const {
     return injected_[static_cast<int>(kind)];
   }
@@ -122,6 +129,7 @@ class FaultInjectingOsAdapter final : public OsAdapter {
   OsAdapter* next_;
   const Clock* clock_;
   FaultPlan plan_;
+  obs::Recorder* recorder_ = nullptr;
   std::array<std::uint64_t, kFaultKindCount> injected_{};
   SimDuration injected_latency_ = 0;
 };

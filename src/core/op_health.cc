@@ -4,8 +4,15 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "obs/recorder.h"
 
 namespace lachesis::core {
+
+namespace {
+// Breaker transitions are recorded with the BreakerState's numeric value so
+// obs (which cannot see this enum) renders them consistently.
+int StateInt(BreakerState s) { return static_cast<int>(s); }
+}  // namespace
 
 const char* OpClassName(OpClass cls) {
   switch (cls) {
@@ -87,6 +94,11 @@ bool OpHealthTracker::AllowAttempt(OpClass cls, const std::string& target,
   if (ch.state == BreakerState::kOpen) {
     if (now < ch.probe_at) return false;
     ch.state = BreakerState::kHalfOpen;  // this attempt is the probe
+    if (recorder_ != nullptr) {
+      recorder_->BreakerTransition(now, static_cast<int>(cls),
+                                   StateInt(BreakerState::kOpen),
+                                   StateInt(BreakerState::kHalfOpen));
+    }
     return true;
   }
   if (ch.state == BreakerState::kHalfOpen) {
@@ -101,7 +113,6 @@ bool OpHealthTracker::AllowAttempt(OpClass cls, const std::string& target,
 
 void OpHealthTracker::RecordSuccess(OpClass cls, const std::string& target,
                                     SimTime now) {
-  (void)now;
   if (!config_.enabled) return;
   auto& per_target = targets_[static_cast<int>(cls)];
   per_target.erase(target);
@@ -114,6 +125,11 @@ void OpHealthTracker::RecordSuccess(OpClass cls, const std::string& target,
     // next tick re-applies everything that was suppressed.
     ch.state = BreakerState::kClosed;
     per_target.clear();
+    if (recorder_ != nullptr) {
+      recorder_->BreakerTransition(now, static_cast<int>(cls),
+                                   StateInt(BreakerState::kHalfOpen),
+                                   StateInt(BreakerState::kClosed));
+    }
   }
 }
 
@@ -123,6 +139,10 @@ void OpHealthTracker::RecordFailure(OpClass cls, const std::string& target,
   TargetHealth& t = targets_[static_cast<int>(cls)][target];
   t.failures += severity == ErrorSeverity::kPermanent ? 2 : 1;
   t.next_retry = now + BackoffDelay(target, t.failures);
+  if (recorder_ != nullptr) {
+    recorder_->BackoffArmed(now, static_cast<int>(cls), target, t.failures,
+                            t.next_retry);
+  }
 
   ClassHealth& ch = classes_[static_cast<int>(cls)];
   if (ch.state == BreakerState::kHalfOpen) {
@@ -137,6 +157,11 @@ void OpHealthTracker::RecordFailure(OpClass cls, const std::string& target,
       interval *= 2;
     }
     ch.probe_at = now + std::min(interval, kBackoffCeiling);
+    if (recorder_ != nullptr) {
+      recorder_->BreakerTransition(now, static_cast<int>(cls),
+                                   StateInt(BreakerState::kHalfOpen),
+                                   StateInt(BreakerState::kOpen));
+    }
     return;
   }
   if (severity == ErrorSeverity::kVanished) return;  // not a class signal
@@ -146,6 +171,11 @@ void OpHealthTracker::RecordFailure(OpClass cls, const std::string& target,
     ch.probe_failures = 0;
     ch.probe_at = now + config_.probe_interval;
     ++ch.times_opened;
+    if (recorder_ != nullptr) {
+      recorder_->BreakerTransition(now, static_cast<int>(cls),
+                                   StateInt(BreakerState::kClosed),
+                                   StateInt(BreakerState::kOpen));
+    }
   }
 }
 

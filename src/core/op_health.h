@@ -38,6 +38,10 @@
 
 #include "common/sim_time.h"
 
+namespace lachesis::obs {
+class Recorder;
+}
+
 namespace lachesis::core {
 
 // The five operation classes of the OsAdapter surface. Health is tracked
@@ -98,6 +102,10 @@ class OpHealthTracker {
   void set_config(const HealthConfig& config);
   [[nodiscard]] const HealthConfig& config() const { return config_; }
 
+  // Optional decision-provenance sink: breaker transitions and backoff
+  // arming are recorded as structured events. Null disables (default).
+  void SetRecorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   // True when an attempt on (cls, target) is allowed at `now`: the class
   // breaker is closed (or due a half-open probe, in which case this call IS
   // the probe) and the target is not backing off. Callers must follow every
@@ -150,6 +158,7 @@ class OpHealthTracker {
                                          int failures) const;
 
   HealthConfig config_;
+  obs::Recorder* recorder_ = nullptr;
   std::array<ClassHealth, kOpClassCount> classes_{};
   std::array<std::map<std::string, TargetHealth>, kOpClassCount> targets_;
 };

@@ -18,6 +18,25 @@ LachesisRunner::LachesisRunner(ControlExecutor& executor, OsAdapter& os,
   health.enabled = true;
   health.seed = seed;
   delta_.SetHealthConfig(health);
+  // Provenance is on by default for the same reason: the runner IS the
+  // daemon path, and the recorder's steady-state cost is two ring pushes
+  // per tick. Layers below share the runner's ring.
+  delta_.SetRecorder(&recorder_);
+}
+
+const char* LachesisRunner::OpClassNameForObs(int cls) {
+  if (cls < 0 || cls >= kOpClassCount) return "?";
+  return OpClassName(static_cast<OpClass>(cls));
+}
+
+obs::Explanation LachesisRunner::ExplainTarget(const std::string& health_key,
+                                               SimTime at) const {
+  return obs::ExplainTarget(recorder_, health_key, at, OpClassNameForObs);
+}
+
+obs::Explanation LachesisRunner::ExplainThread(const ThreadHandle& thread,
+                                               SimTime at) const {
+  return ExplainTarget(ScheduleDeltaAdapter::HealthKeyOf(thread), at);
 }
 
 void LachesisRunner::RegisterMetrics(const PolicyBinding& binding) {
@@ -55,6 +74,7 @@ std::size_t LachesisRunner::AddQuery(PolicyBinding binding) {
     bindings_[index].next_run = now + interval;
     if (now + interval < next_wake_) ScheduleNext(now + interval);
   }
+  recorder_.QueryAttached(executor_->Now(), static_cast<int>(index));
   return index;
 }
 
@@ -93,6 +113,7 @@ void LachesisRunner::RemoveQuery(std::size_t index) {
   // The wake interval may have grown; the loop naturally adopts it at the
   // next wakeup, so no reschedule is needed (a too-early wakeup is just an
   // idle tick).
+  recorder_.QueryDetached(executor_->Now(), static_cast<int>(index));
 }
 
 void LachesisRunner::SetBindingEnabled(std::size_t index, bool enabled) {
@@ -115,10 +136,15 @@ std::size_t LachesisRunner::ReconcileWithBackend() {
       }
     }
   }
-  return delta_.ReconcileFromBackend(threads);
+  const std::size_t seeded = delta_.ReconcileFromBackend(threads);
+  last_reconcile_seeded_ = seeded;
+  recorder_.Reconcile(executor_->Now(), static_cast<std::int64_t>(seeded),
+                      static_cast<std::int64_t>(delta_.adopted_groups()));
+  return seeded;
 }
 
-Translator* LachesisRunner::PickTranslator(Bound& bound, SimTime now) {
+Translator* LachesisRunner::PickTranslator(std::size_t index, Bound& bound,
+                                           SimTime now) {
   PolicyBinding& b = bound.binding;
   const std::size_t rungs = 1 + b.fallback_translators.size();
   const auto rung = [&](std::size_t i) -> Translator* {
@@ -145,6 +171,11 @@ Translator* LachesisRunner::PickTranslator(Bound& bound, SimTime now) {
       pick = i;
       break;
     }
+  }
+  if (pick != bound.level) {
+    recorder_.DegradationMove(now, static_cast<int>(index),
+                              static_cast<int>(bound.level),
+                              static_cast<int>(pick), rung(pick)->name());
   }
   bound.level = pick;
   return rung(pick);
@@ -201,6 +232,8 @@ void LachesisRunner::Tick() {
     if (bound.next_run <= now) any_due = true;
   }
   delta_.BeginTick(now);
+  recorder_.TickBegin(now, ticks_total_);
+  ++ticks_total_;
   int policies_run = 0;
   if (any_due) {
     // Algorithm 1 L4: update metrics for all drivers of due policies. On
@@ -218,10 +251,23 @@ void LachesisRunner::Tick() {
     }
     for (SpeDriver* driver : driver_set) driver->Poll(now);
     provider_.Update({driver_set.begin(), driver_set.end()}, window);
+    if (recorder_.verbose()) {
+      // Per-entity metric samples are provenance gold but O(entities) per
+      // tick, so they ride behind the same verbose gate as elisions.
+      for (SpeDriver* driver : driver_set) {
+        for (const EntityInfo& entity : provider_.EntitiesOf(*driver)) {
+          for (const MetricId metric : provider_.registered()) {
+            recorder_.MetricSample(now, entity.path, MetricName(metric),
+                                   provider_.Value(*driver, metric, entity.id));
+          }
+        }
+      }
+    }
 
     // L5-8: run each due policy and apply through its translator (which
     // issues only changed operations thanks to the delta layer).
-    for (Bound& bound : bindings_) {
+    for (std::size_t index = 0; index < bindings_.size(); ++index) {
+      Bound& bound = bindings_[index];
       if (!due(bound)) continue;
       PolicyBinding& b = bound.binding;
       PolicyContext ctx;
@@ -231,25 +277,41 @@ void LachesisRunner::Tick() {
       ctx.now = now;
       ctx.rng = &rng_;
       const Schedule schedule = b.policy->ComputeSchedule(ctx);
-      PickTranslator(bound, now)->Apply(schedule, delta_);
+      recorder_.ScheduleComputed(now, static_cast<int>(index),
+                                 static_cast<int>(schedule.entries.size()),
+                                 b.policy->name());
+      Translator* translator = PickTranslator(index, bound, now);
+      recorder_.TranslatorPicked(now, static_cast<int>(index),
+                                 static_cast<int>(bound.level),
+                                 translator->name());
+      translator->Apply(schedule, delta_);
       ++schedules_applied_;
       ++policies_run;
       bound.next_run = anchor + b.period;
     }
   }
-  if (observer_) {
-    RunnerTickInfo info;
-    info.now = now;
-    info.policies_run = policies_run;
-    info.delta = delta_.tick_stats();
-    info.open_breakers = delta_.health().open_breakers();
-    for (const Bound& bound : bindings_) {
-      if (bound.attached && bound.enabled && bound.level > 0) {
-        ++info.degraded_bindings;
-      }
+  policies_run_total_ += static_cast<std::uint64_t>(policies_run);
+  if (policies_run == 0) ++idle_ticks_total_;
+  RunnerTickInfo info;
+  info.now = now;
+  info.policies_run = policies_run;
+  info.delta = delta_.tick_stats();
+  info.open_breakers = delta_.health().open_breakers();
+  for (const Bound& bound : bindings_) {
+    if (bound.attached && bound.enabled && bound.level > 0) {
+      ++info.degraded_bindings;
     }
-    observer_(info);
   }
+  obs::TickSummary summary;
+  summary.policies_run = info.policies_run;
+  summary.ops_applied = info.delta.applied;
+  summary.ops_skipped = info.delta.skipped;
+  summary.ops_errors = info.delta.errors;
+  summary.ops_suppressed = info.delta.suppressed;
+  summary.open_breakers = info.open_breakers;
+  summary.degraded_bindings = info.degraded_bindings;
+  recorder_.TickEnd(now, summary);
+  if (observer_) observer_(info);
   // L9: sleep until the next check. Anchoring on the scheduled wake time
   // (not the dispatch time) keeps the native backend drift-free; in the
   // simulator the two are identical. If a tick overran a whole interval,
@@ -257,6 +319,52 @@ void LachesisRunner::Tick() {
   SimTime next = next_wake_ + WakeInterval();
   if (next <= now) next = now + WakeInterval();
   if (next <= until_) ScheduleNext(next);
+}
+
+obs::SelfMetricsSnapshot LachesisRunner::CollectSelfMetrics() const {
+  const DeltaStats& totals = delta_.totals();
+  const OpHealthTracker& health = delta_.health();
+  std::uint64_t breaker_opens = 0;
+  for (int c = 0; c < kOpClassCount; ++c) {
+    breaker_opens += health.breaker_opens(static_cast<OpClass>(c));
+  }
+  double attached = 0, degraded = 0;
+  for (const Bound& bound : bindings_) {
+    if (!bound.attached || !bound.enabled) continue;
+    ++attached;
+    if (bound.level > 0) ++degraded;
+  }
+  // Must report every metric in obs::kSelfMetricCatalog exactly once: the
+  // self-metrics test pins CatalogDiff(CollectSelfMetrics()) to empty.
+  return {
+      {"lachesis_ticks_total", static_cast<double>(ticks_total_)},
+      {"lachesis_idle_ticks_total", static_cast<double>(idle_ticks_total_)},
+      {"lachesis_policies_run_total",
+       static_cast<double>(policies_run_total_)},
+      {"lachesis_schedules_applied_total",
+       static_cast<double>(schedules_applied_)},
+      {"lachesis_ops_applied_total", static_cast<double>(totals.applied)},
+      {"lachesis_ops_skipped_total", static_cast<double>(totals.skipped)},
+      {"lachesis_ops_errors_total", static_cast<double>(totals.errors)},
+      {"lachesis_ops_suppressed_total",
+       static_cast<double>(totals.suppressed)},
+      {"lachesis_open_breakers", static_cast<double>(health.open_breakers())},
+      {"lachesis_breaker_opens_total", static_cast<double>(breaker_opens)},
+      {"lachesis_degraded_bindings", degraded},
+      {"lachesis_attached_queries", attached},
+      {"lachesis_wake_interval_seconds",
+       static_cast<double>(WakeInterval()) / 1e9},
+      {"lachesis_tracked_backoff_targets",
+       static_cast<double>(health.tracked_targets())},
+      {"lachesis_reconcile_seeded_entries",
+       static_cast<double>(last_reconcile_seeded_)},
+      {"lachesis_adopted_cgroups",
+       static_cast<double>(delta_.adopted_groups())},
+      {"lachesis_obs_events_recorded_total",
+       static_cast<double>(recorder_.total_recorded())},
+      {"lachesis_obs_events_dropped_total",
+       static_cast<double>(recorder_.dropped())},
+  };
 }
 
 }  // namespace lachesis::core

@@ -32,6 +32,9 @@
 #include "core/policy.h"
 #include "core/schedule_delta.h"
 #include "core/translators.h"
+#include "obs/explain.h"
+#include "obs/recorder.h"
+#include "obs/self_metrics.h"
 
 namespace lachesis::core {
 
@@ -128,6 +131,31 @@ class LachesisRunner {
     return bindings_.at(index).level;
   }
 
+  // Decision-provenance recorder (always on by default; disable or turn on
+  // verbose per-elision/per-sample recording through it). Every layer below
+  // the runner -- delta adapter, health tracker -- feeds the same ring.
+  [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
+  [[nodiscard]] const obs::Recorder& recorder() const { return recorder_; }
+
+  // "Why is thread T scheduled the way it is at time `at`?" -- replays the
+  // provenance ring for the thread's health key ("t:<sim_tid>/<os_tid>").
+  // ExplainTarget takes the raw key, so group targets ("g:<name>") work too.
+  [[nodiscard]] obs::Explanation ExplainThread(const ThreadHandle& thread,
+                                               SimTime at) const;
+  [[nodiscard]] obs::Explanation ExplainTarget(const std::string& health_key,
+                                               SimTime at) const;
+
+  // Adapts core's OpClassName to the obs function-pointer shape; pass to
+  // obs::ExplainTarget / RenderChromeTrace when calling them directly.
+  [[nodiscard]] static const char* OpClassNameForObs(int cls);
+
+  // Snapshot of the full self-metrics catalog (obs/self_metrics.h): one
+  // MetricValue per cataloged metric, suitable for RenderPrometheusTextfile
+  // or PublishSelfMetrics into a tsdb store.
+  [[nodiscard]] obs::SelfMetricsSnapshot CollectSelfMetrics() const;
+
+  [[nodiscard]] std::uint64_t ticks_total() const { return ticks_total_; }
+
   [[nodiscard]] MetricProvider& provider() { return provider_; }
   [[nodiscard]] std::uint64_t schedules_applied() const {
     return schedules_applied_;
@@ -156,8 +184,9 @@ class LachesisRunner {
   void RegisterMetrics(const PolicyBinding& binding);
   void UnregisterMetrics(const PolicyBinding& binding);
   // Selects the ladder rung for this tick (stores it in bound.level) and
-  // returns the translator to apply with.
-  Translator* PickTranslator(Bound& bound, SimTime now);
+  // returns the translator to apply with. `index` labels the binding in
+  // recorded degradation events.
+  Translator* PickTranslator(std::size_t index, Bound& bound, SimTime now);
 
   ControlExecutor* executor_;
   ScheduleDeltaAdapter delta_;
@@ -172,6 +201,11 @@ class LachesisRunner {
   // the GCD) bumps the sequence so superseded callbacks become no-ops.
   std::uint64_t tick_seq_ = 0;
   std::uint64_t schedules_applied_ = 0;
+  std::uint64_t ticks_total_ = 0;
+  std::uint64_t idle_ticks_total_ = 0;
+  std::uint64_t policies_run_total_ = 0;
+  std::size_t last_reconcile_seeded_ = 0;
+  obs::Recorder recorder_;
   std::function<void(const RunnerTickInfo&)> observer_;
 };
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <exception>
 
+#include "obs/recorder.h"
+
 namespace lachesis::core {
 
 void ScheduleDeltaAdapter::Reset() {
@@ -75,12 +77,25 @@ std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
   return count;
 }
 
+void ScheduleDeltaAdapter::RecordElided(OpClass cls,
+                                        const std::string& health_key,
+                                        std::int64_t value) {
+  recorder_->Op(now_, obs::EventKind::kOpElided, static_cast<int>(cls),
+                health_key, value);
+}
+
 template <typename Fn>
 bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
-                                   const std::string& target, Fn&& fn) {
+                                   const std::string& target,
+                                   std::int64_t value,
+                                   const std::string& detail, Fn&& fn) {
   if (!health_.AllowAttempt(cls, health_key, now_)) {
     ++tick_.suppressed;
     ++totals_.suppressed;
+    if (recorder_ != nullptr) {
+      recorder_->Op(now_, obs::EventKind::kOpSuppressed,
+                    static_cast<int>(cls), health_key, value, detail);
+    }
     return false;
   }
   try {
@@ -89,6 +104,10 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
     health_.RecordFailure(cls, health_key, now_, e.severity());
     ++tick_.errors;
     ++totals_.errors;
+    if (recorder_ != nullptr) {
+      recorder_->Op(now_, obs::EventKind::kOpError, static_cast<int>(cls),
+                    health_key, value, e.what());
+    }
     // One line per (operation, target): a permanently broken target (e.g.
     // an unwritable cgroup root) must not flood the log every period.
     const std::string key = std::string(OpClassName(cls)) + ":" + target;
@@ -101,6 +120,10 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
     health_.RecordFailure(cls, health_key, now_, ErrorSeverity::kTransient);
     ++tick_.errors;
     ++totals_.errors;
+    if (recorder_ != nullptr) {
+      recorder_->Op(now_, obs::EventKind::kOpError, static_cast<int>(cls),
+                    health_key, value, e.what());
+    }
     const std::string key = std::string(OpClassName(cls)) + ":" + target;
     if (logged_failures_.insert(key).second) {
       std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
@@ -111,6 +134,10 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
   health_.RecordSuccess(cls, health_key, now_);
   ++tick_.applied;
   ++totals_.applied;
+  if (recorder_ != nullptr) {
+    recorder_->Op(now_, obs::EventKind::kOpApplied, static_cast<int>(cls),
+                  health_key, value, detail);
+  }
   return true;
 }
 
@@ -121,11 +148,14 @@ void ScheduleDeltaAdapter::SetNice(const ThreadHandle& thread, int nice) {
     if (it != nice_.end() && it->second == nice) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetNice, HealthKeyOf(thread), nice);
+      }
       return;
     }
   }
   if (Forward(OpClass::kSetNice, HealthKeyOf(thread),
-              std::to_string(thread.os_tid),
+              std::to_string(thread.os_tid), nice, {},
               [&] { next_->SetNice(thread, nice); })) {
     nice_[key] = nice;
   }
@@ -138,10 +168,15 @@ void ScheduleDeltaAdapter::SetGroupShares(const std::string& group,
     if (it != shares_.end() && it->second == shares) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetGroupShares, HealthKeyOf(group),
+                     static_cast<std::int64_t>(shares));
+      }
       return;
     }
   }
   if (Forward(OpClass::kSetGroupShares, HealthKeyOf(group), group,
+              static_cast<std::int64_t>(shares), {},
               [&] { next_->SetGroupShares(group, shares); })) {
     shares_[group] = shares;
   }
@@ -155,10 +190,13 @@ void ScheduleDeltaAdapter::MoveToGroup(const ThreadHandle& thread,
     if (it != group_of_.end() && it->second == group) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kMoveToGroup, HealthKeyOf(thread), 0);
+      }
       return;
     }
   }
-  if (Forward(OpClass::kMoveToGroup, HealthKeyOf(thread), group,
+  if (Forward(OpClass::kMoveToGroup, HealthKeyOf(thread), group, 0, group,
               [&] { next_->MoveToGroup(thread, group); })) {
     group_of_[key] = group;
   }
@@ -172,6 +210,10 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
     if (it != rt_.end() && it->second == rt_priority) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetRtPriority, HealthKeyOf(thread),
+                     rt_priority);
+      }
       return;
     }
     // A demotion for a thread the delta layer never boosted is a no-op by
@@ -179,11 +221,14 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
     if (it == rt_.end() && rt_priority == 0) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetRtPriority, HealthKeyOf(thread), 0);
+      }
       return;
     }
   }
   if (Forward(OpClass::kSetRtPriority, HealthKeyOf(thread),
-              std::to_string(thread.os_tid),
+              std::to_string(thread.os_tid), rt_priority, {},
               [&] { next_->SetRtPriority(thread, rt_priority); })) {
     rt_[key] = rt_priority;
   }
@@ -196,10 +241,14 @@ void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
     if (it != quota_.end() && it->second == std::make_pair(quota, period)) {
       ++tick_.skipped;
       ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetGroupQuota, HealthKeyOf(group), quota);
+      }
       return;
     }
   }
-  if (Forward(OpClass::kSetGroupQuota, HealthKeyOf(group), group,
+  if (Forward(OpClass::kSetGroupQuota, HealthKeyOf(group), group, quota,
+              "period_ns=" + std::to_string(period),
               [&] { next_->SetGroupQuota(group, quota, period); })) {
     quota_[group] = {quota, period};
   }

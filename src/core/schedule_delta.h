@@ -94,6 +94,15 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   void SetHealthConfig(const HealthConfig& config) {
     health_.set_config(config);
   }
+
+  // Decision-provenance sink for op outcomes (applied/elided/suppressed/
+  // error); threaded into the health tracker as well so breaker and backoff
+  // transitions land in the same event stream. Null disables (default for a
+  // raw adapter; the runner installs its own recorder).
+  void SetRecorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    health_.SetRecorder(recorder);
+  }
   [[nodiscard]] OpHealthTracker& health() { return health_; }
   [[nodiscard]] const OpHealthTracker& health() const { return health_; }
 
@@ -124,6 +133,18 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   // against applied -- not merely requested -- state.
   [[nodiscard]] std::size_t rt_boosted_count() const;
 
+  // Stable per-target health key, also the canonical target string in
+  // recorded provenance events and explain queries. Deliberately excludes
+  // the machine pointer (addresses vary across runs and would break
+  // deterministic jitter); sim_tid + os_tid is unique within a backend.
+  static std::string HealthKeyOf(const ThreadHandle& thread) {
+    return "t:" + std::to_string(thread.sim_tid.value()) + "/" +
+           std::to_string(thread.os_tid);
+  }
+  static std::string HealthKeyOf(const std::string& group) {
+    return "g:" + group;
+  }
+
   void SetNice(const ThreadHandle& thread, int nice) override;
   void SetGroupShares(const std::string& group, std::uint64_t shares) override;
   void MoveToGroup(const ThreadHandle& thread,
@@ -143,26 +164,22 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   static ThreadKey KeyOf(const ThreadHandle& thread) {
     return {thread.machine, thread.sim_tid.value(), thread.os_tid};
   }
-  // Stable per-target health key. Deliberately excludes the machine
-  // pointer (addresses vary across runs and would break deterministic
-  // jitter); sim_tid + os_tid is unique within a backend.
-  static std::string HealthKeyOf(const ThreadHandle& thread) {
-    return "t:" + std::to_string(thread.sim_tid.value()) + "/" +
-           std::to_string(thread.os_tid);
-  }
-  static std::string HealthKeyOf(const std::string& group) {
-    return "g:" + group;
-  }
-
   // Runs `fn` (the backend call) under the health tracker; returns true
   // when it succeeded. Failures are counted and logged once per
   // (operation, target); suppressed attempts are counted but not logged.
+  // `value`/`detail` only feed the provenance recorder.
   template <typename Fn>
   bool Forward(OpClass cls, const std::string& health_key,
-               const std::string& target, Fn&& fn);
+               const std::string& target, std::int64_t value,
+               const std::string& detail, Fn&& fn);
+
+  // Records a delta-layer elision (verbose recorders only).
+  void RecordElided(OpClass cls, const std::string& health_key,
+                    std::int64_t value);
 
   OsAdapter* next_;
   bool enabled_ = true;
+  obs::Recorder* recorder_ = nullptr;
   SimTime now_ = 0;
   DeltaStats tick_;
   DeltaStats totals_;

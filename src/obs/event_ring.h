@@ -1,0 +1,144 @@
+// Fixed-capacity ring buffer of structured observability events.
+//
+// The control plane records one Event per interesting decision (tick
+// boundaries, delta-layer op outcomes, breaker transitions, degradation
+// moves, fault injections, ...). Events are fixed-size PODs -- strings are
+// interned by the Recorder into small ids -- so recording in the steady
+// state allocates nothing once the ring's backing vector is built, and the
+// ring bounds memory on a long-lived daemon: when full, the oldest event is
+// overwritten and counted as dropped.
+//
+// Event sequence numbers are assigned by the Recorder in record order and
+// never reused, so they are stable identifiers: a trace export, an explain
+// transcript and a log line all refer to the same decision by the same id,
+// and gaps at the front of the ring reveal exactly how much history was
+// evicted.
+#ifndef LACHESIS_OBS_EVENT_RING_H_
+#define LACHESIS_OBS_EVENT_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace lachesis::obs {
+
+// Interned string id (see Recorder); 0 means "none".
+using StrId = std::uint32_t;
+inline constexpr StrId kNoStr = 0;
+
+// Marker for events not tied to an OS operation class.
+inline constexpr std::uint8_t kNoOpClass = 0xff;
+
+enum class EventKind : std::uint8_t {
+  kTickBegin = 0,      // i0 = tick index
+  kTickEnd,            // i0 = policies run, i1 = open breakers,
+                       // v0 = packed DeltaStats (see PackTickCounts)
+  kMetricSample,       // target = entity, detail = metric name, d0 = value
+  kScheduleComputed,   // i0 = binding, i1 = entries, detail = policy name
+  kTranslatorPicked,   // i0 = binding, i1 = rung, detail = translator name
+  kOpApplied,          // op_class, target, v0 = value, detail = aux (group)
+  kOpElided,           // same payload as kOpApplied (verbose mode only)
+  kOpSuppressed,       // op withheld by backoff / open breaker
+  kOpError,            // backend threw; detail = error text
+  kBreakerTransition,  // op_class, i0 = from BreakerState, i1 = to
+  kBackoffArmed,       // op_class, target, i0 = failures, v0 = next retry ns
+  kDegradationMove,    // i0 = binding, i1 = new rung, v0 = old rung,
+                       //   detail = translator now active
+  kReconcile,          // v0 = cache entries seeded, i0 = adopted groups
+  kFaultInjected,      // op_class, target, detail = fault kind
+  kQueryAttached,      // i0 = binding index
+  kQueryDetached,      // i0 = binding index
+};
+inline constexpr int kEventKindCount = 16;
+
+[[nodiscard]] const char* EventKindName(EventKind kind);
+
+struct Event {
+  std::uint64_t seq = 0;  // stable id, assigned in record order
+  SimTime time = 0;
+  EventKind kind = EventKind::kTickBegin;
+  std::uint8_t op_class = kNoOpClass;
+  std::int32_t i0 = 0;
+  std::int32_t i1 = 0;
+  std::int64_t v0 = 0;
+  double d0 = 0.0;
+  StrId target = kNoStr;
+  StrId detail = kNoStr;
+};
+
+// The tick-end event packs the four per-tick DeltaStats counters into v0
+// (16 bits each, saturating) so one fixed-size event carries the whole
+// summary.
+[[nodiscard]] inline std::int64_t PackTickCounts(std::uint64_t applied,
+                                                 std::uint64_t skipped,
+                                                 std::uint64_t errors,
+                                                 std::uint64_t suppressed) {
+  const auto clamp = [](std::uint64_t v) -> std::int64_t {
+    return static_cast<std::int64_t>(v > 0xffff ? 0xffff : v);
+  };
+  return clamp(applied) | (clamp(skipped) << 16) | (clamp(errors) << 32) |
+         (clamp(suppressed) << 48);
+}
+[[nodiscard]] inline std::uint64_t UnpackTickCount(std::int64_t packed,
+                                                   int slot) {
+  return static_cast<std::uint64_t>((packed >> (16 * slot)) & 0xffff);
+}
+
+// Single-writer ring; thread safety is the Recorder's job.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void Push(const Event& event) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[head_] = event;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_pushed_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_pushed_ - ring_.size();
+  }
+
+  // Visits retained events oldest -> newest (ascending seq for a
+  // single-writer recorder).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      fn(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+
+  [[nodiscard]] std::vector<Event> Snapshot() const {
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    ForEach([&out](const Event& e) { out.push_back(e); });
+    return out;
+  }
+
+  void Clear() {
+    ring_.clear();
+    head_ = 0;
+    // total_pushed_ is NOT reset: seq/drop accounting must survive a clear.
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::uint64_t total_pushed_ = 0;
+  std::vector<Event> ring_;
+};
+
+}  // namespace lachesis::obs
+
+#endif  // LACHESIS_OBS_EVENT_RING_H_

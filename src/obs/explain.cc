@@ -1,0 +1,227 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace lachesis::obs {
+
+namespace {
+
+// Fixed-point seconds with µs precision: deterministic, locale-free.
+std::string FormatTime(SimTime t) {
+  char buf[48];
+  const std::int64_t us = t / 1000;
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64 "s", us / 1000000,
+                us % 1000000 < 0 ? -(us % 1000000) : us % 1000000);
+  return buf;
+}
+
+std::string ClassName(int cls, OpClassNameFn fn) {
+  if (cls == kNoOpClass) return "";
+  if (fn != nullptr) return fn(cls);
+  return "class" + std::to_string(cls);
+}
+
+const char* BreakerStateName(int state) {
+  switch (state) {
+    case 0: return "closed";
+    case 1: return "open";
+    case 2: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatEvent(const Recorder& recorder, const Event& e,
+                        OpClassNameFn op_class_name) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "#%" PRIu64 " %s ", e.seq,
+                FormatTime(e.time).c_str());
+  std::string line = head;
+  const std::string target = recorder.Name(e.target);
+  const std::string detail = recorder.Name(e.detail);
+  const std::string cls = ClassName(e.op_class, op_class_name);
+  char buf[160];
+  switch (e.kind) {
+    case EventKind::kTickBegin:
+      std::snprintf(buf, sizeof(buf), "tick %" PRId64 " begins", e.v0);
+      break;
+    case EventKind::kTickEnd:
+      std::snprintf(buf, sizeof(buf),
+                    "tick ends: policies=%d applied=%" PRIu64
+                    " skipped=%" PRIu64 " errors=%" PRIu64
+                    " suppressed=%" PRIu64 " open_breakers=%d degraded=%d",
+                    e.i0, UnpackTickCount(e.v0, 0), UnpackTickCount(e.v0, 1),
+                    UnpackTickCount(e.v0, 2), UnpackTickCount(e.v0, 3),
+                    e.i1 & 0xffff, (e.i1 >> 16) & 0x7fff);
+      break;
+    case EventKind::kMetricSample:
+      std::snprintf(buf, sizeof(buf), "metric %s(%s) = %.6g", detail.c_str(),
+                    target.c_str(), e.d0);
+      break;
+    case EventKind::kScheduleComputed:
+      std::snprintf(buf, sizeof(buf),
+                    "policy %s computed schedule for binding %d (%d entries)",
+                    detail.c_str(), e.i0, e.i1);
+      break;
+    case EventKind::kTranslatorPicked:
+      std::snprintf(buf, sizeof(buf),
+                    "binding %d applies via translator %s (rung %d)", e.i0,
+                    detail.c_str(), e.i1);
+      break;
+    case EventKind::kOpApplied:
+      std::snprintf(buf, sizeof(buf), "%s(%s) applied: value=%" PRId64 "%s%s",
+                    cls.c_str(), target.c_str(), e.v0,
+                    detail.empty() ? "" : " ", detail.c_str());
+      break;
+    case EventKind::kOpElided:
+      std::snprintf(buf, sizeof(buf),
+                    "%s(%s) elided: unchanged value=%" PRId64, cls.c_str(),
+                    target.c_str(), e.v0);
+      break;
+    case EventKind::kOpSuppressed:
+      std::snprintf(buf, sizeof(buf),
+                    "%s(%s) suppressed by backoff/breaker (wanted %" PRId64
+                    ")",
+                    cls.c_str(), target.c_str(), e.v0);
+      break;
+    case EventKind::kOpError:
+      std::snprintf(buf, sizeof(buf), "%s(%s) FAILED: %s", cls.c_str(),
+                    target.c_str(), detail.c_str());
+      break;
+    case EventKind::kBreakerTransition:
+      std::snprintf(buf, sizeof(buf), "breaker[%s] %s -> %s", cls.c_str(),
+                    BreakerStateName(e.i0), BreakerStateName(e.i1));
+      break;
+    case EventKind::kBackoffArmed:
+      std::snprintf(buf, sizeof(buf),
+                    "backoff[%s] armed for %s: failures=%d retry at %s",
+                    cls.c_str(), target.c_str(), e.i0,
+                    FormatTime(e.v0).c_str());
+      break;
+    case EventKind::kDegradationMove:
+      std::snprintf(buf, sizeof(buf),
+                    "binding %d degradation rung %" PRId64 " -> %d (now %s)",
+                    e.i0, e.v0, e.i1, detail.c_str());
+      break;
+    case EventKind::kReconcile:
+      std::snprintf(buf, sizeof(buf),
+                    "reconciled with backend: seeded=%" PRId64
+                    " adopted_groups=%d",
+                    e.v0, e.i0);
+      break;
+    case EventKind::kFaultInjected:
+      std::snprintf(buf, sizeof(buf), "fault injected: %s on %s(%s)",
+                    detail.c_str(), cls.c_str(), target.c_str());
+      break;
+    case EventKind::kQueryAttached:
+      std::snprintf(buf, sizeof(buf), "query attached as binding %d", e.i0);
+      break;
+    case EventKind::kQueryDetached:
+      std::snprintf(buf, sizeof(buf), "query detached from binding %d", e.i0);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%s", EventKindName(e.kind));
+      break;
+  }
+  line += buf;
+  return line;
+}
+
+Explanation ExplainTarget(const Recorder& recorder, std::string_view target,
+                          SimTime at, OpClassNameFn op_class_name) {
+  Explanation out;
+  out.target = std::string(target);
+  out.at = at;
+
+  const std::vector<Event> events = recorder.Snapshot();
+  out.history_truncated = recorder.dropped() > 0;
+
+  // Op classes that ever touched the target: breaker transitions of those
+  // classes are part of the target's story (a suppression is explained by
+  // the class breaker, not by anything the target did).
+  std::map<int, bool> relevant_classes;
+  const StrId target_id = recorder.Lookup(target);
+  // kNoStr would also match events that carry no target at all (tick
+  // boundaries, breaker transitions), so an unknown target stays empty.
+  if (target_id != kNoStr) {
+    for (const Event& e : events) {
+      if (e.target == target_id && e.op_class != kNoOpClass) {
+        relevant_classes[e.op_class] = true;
+      }
+    }
+  }
+
+  std::map<int, Explanation::AppliedValue> applied;  // by op class
+  std::optional<Event> backoff;
+  for (const Event& e : events) {
+    if (e.time > at) break;  // ring is time-ordered (single control loop)
+    const bool targets_me = e.target == target_id && target_id != kNoStr;
+    const bool breaker_of_mine =
+        e.kind == EventKind::kBreakerTransition &&
+        relevant_classes.count(e.op_class) > 0;
+    if (!targets_me && !breaker_of_mine) continue;
+    out.trail.push_back(e);
+    if (e.kind == EventKind::kOpApplied) {
+      Explanation::AppliedValue v;
+      v.op_class = ClassName(e.op_class, op_class_name);
+      v.value = e.v0;
+      v.detail = recorder.Name(e.detail);
+      v.since = e.time;
+      v.seq = e.seq;
+      applied[e.op_class] = std::move(v);
+    } else if (e.kind == EventKind::kBackoffArmed) {
+      backoff = e;
+    }
+  }
+  for (auto& [cls, value] : applied) out.applied.push_back(value);
+  if (backoff && backoff->v0 > at) out.backing_off = backoff;
+
+  // Render.
+  std::string text = "explain " + out.target + " @" + [&] {
+    char buf[48];
+    const std::int64_t us = at / 1000;
+    std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                  static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000));
+    return std::string(buf);
+  }();
+  text += "\n";
+  if (out.trail.empty()) {
+    text += "  no recorded events for this target";
+    if (out.history_truncated) {
+      text += " (ring dropped " + std::to_string(recorder.dropped()) +
+              " older events)";
+    }
+    text += "\n";
+  } else {
+    for (const Event& e : out.trail) {
+      text += "  " + FormatEvent(recorder, e, op_class_name) + "\n";
+    }
+    text += "  verdict:";
+    if (out.applied.empty()) {
+      text += " no operation ever applied to this target";
+    } else {
+      for (const auto& v : out.applied) {
+        text += " " + v.op_class + "=" + std::to_string(v.value) +
+                (v.detail.empty() ? "" : "(" + v.detail + ")") + " since " +
+                FormatTime(v.since) + " [#" + std::to_string(v.seq) + "]";
+      }
+    }
+    if (out.backing_off) {
+      text += "; backing off until " + FormatTime(out.backing_off->v0);
+    }
+    if (out.history_truncated) {
+      text += " (history truncated: " + std::to_string(recorder.dropped()) +
+              " events evicted)";
+    }
+    text += "\n";
+  }
+  out.text = std::move(text);
+  return out;
+}
+
+}  // namespace lachesis::obs

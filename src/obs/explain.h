@@ -1,0 +1,63 @@
+// "Why did thread T get nice -12 at t=4.2s?" -- decision provenance queries.
+//
+// Replays the recorder's event ring and reconstructs, for one target (a
+// thread health key like "t:3/-1" or a group key like "g:etl-parse"), the
+// state the control plane had decided at a given time: the last value
+// applied per op class, whether the target was backing off or its class
+// breaker was open, which policy/translator produced the decision, and the
+// event trail leading up to it. The rendered transcript is deterministic
+// (stable event ids, fixed formatting), so it can be asserted in tests and
+// pasted into bug reports.
+//
+// The ring is bounded, so an explanation is only as deep as the retained
+// history; `history_truncated` says whether older events were evicted.
+#ifndef LACHESIS_OBS_EXPLAIN_H_
+#define LACHESIS_OBS_EXPLAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace lachesis::obs {
+
+struct Explanation {
+  std::string target;
+  SimTime at = 0;
+  // Events involving the target (or its op classes' breakers) with
+  // time <= at, oldest first.
+  std::vector<Event> trail;
+  // Last successfully applied value per op-class name, as of `at`.
+  struct AppliedValue {
+    std::string op_class;
+    std::int64_t value = 0;
+    std::string detail;  // e.g. group name for MoveToGroup
+    SimTime since = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<AppliedValue> applied;
+  // Pending backoff at `at`, if any (from the latest kBackoffArmed whose
+  // next_retry is still in the future at `at`).
+  std::optional<Event> backing_off;
+  bool history_truncated = false;  // ring evicted events older than the trail
+  std::string text;                // rendered transcript
+};
+
+// op_class_name(cls) resolves class ids to names for rendering; obs cannot
+// see core's OpClassName, so callers pass it in (core::ExplainThread wraps
+// this with the right table). Null falls back to numeric ids.
+using OpClassNameFn = const char* (*)(int);
+
+[[nodiscard]] Explanation ExplainTarget(const Recorder& recorder,
+                                        std::string_view target, SimTime at,
+                                        OpClassNameFn op_class_name = nullptr);
+
+// Renders one event as a stable single-line string (used by the transcript
+// and handy for log statements).
+[[nodiscard]] std::string FormatEvent(const Recorder& recorder, const Event& e,
+                                      OpClassNameFn op_class_name = nullptr);
+
+}  // namespace lachesis::obs
+
+#endif  // LACHESIS_OBS_EXPLAIN_H_

@@ -1,0 +1,44 @@
+// Chrome trace-event JSON export of a Recorder's retained history.
+//
+// The output loads directly in chrome://tracing and in Perfetto
+// (ui.perfetto.dev): control ticks render as duration slices on one track,
+// faults and breaker transitions as instant markers on another, each OS op
+// class (SetNice, MoveToGroup, ...) and each policy binding gets its own
+// track, and the per-tick delta counters render as counter graphs.
+//
+// Serialization is deliberately byte-stable for identical event streams:
+// all timestamps are formatted with integer math (microseconds with a
+// fixed 3-digit nanosecond remainder), floats go through a locale-free
+// fixed formatter, and track metadata is emitted in sorted tid order. The
+// golden-file test pins the trace of a seeded sim run byte-for-byte.
+#ifndef LACHESIS_OBS_TRACE_EXPORT_H_
+#define LACHESIS_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/explain.h"  // OpClassNameFn
+#include "obs/recorder.h"
+
+namespace lachesis::obs {
+
+// Track layout (tids inside the single "lachesis" process, pid 1):
+inline constexpr int kTraceTidTicks = 1;     // tick slices ("X" events)
+inline constexpr int kTraceTidFaults = 2;    // faults / breakers / errors
+inline constexpr int kTraceTidLifecycle = 3; // attach/detach/reconcile
+inline constexpr int kTraceTidOpBase = 10;   // + op class -> per-class track
+inline constexpr int kTraceTidBindBase = 100;  // + binding -> per-query track
+
+// Renders the recorder's retained events as a complete Chrome trace JSON
+// document ({"traceEvents": [...]}).
+[[nodiscard]] std::string RenderChromeTrace(
+    const Recorder& recorder, OpClassNameFn op_class_name = nullptr);
+
+// Writes RenderChromeTrace() to `path` atomically (tmp file + rename) so a
+// signal-triggered dump never leaves a torn file for the reader. Returns
+// false (and cleans up the tmp file) on any I/O failure.
+bool DumpChromeTrace(const Recorder& recorder, const std::string& path,
+                     OpClassNameFn op_class_name = nullptr);
+
+}  // namespace lachesis::obs
+
+#endif  // LACHESIS_OBS_TRACE_EXPORT_H_

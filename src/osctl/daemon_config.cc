@@ -135,6 +135,27 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
         config.degradation = ParseBool(value, line_number, key);
       } else if (key == "reconcile") {
         config.reconcile = ParseBool(value, line_number, key);
+      } else if (key == "trace_file") {
+        config.trace_file = value;
+      } else if (key == "trace_every_ticks") {
+        config.trace_every_ticks = ParseLong(value, line_number, key);
+        if (config.trace_every_ticks < 0) {
+          Fail(line_number, "trace_every_ticks must be >= 0 (0 = on demand)");
+        }
+      } else if (key == "metrics_textfile") {
+        config.metrics_textfile = value;
+      } else if (key == "metrics_every_ticks") {
+        config.metrics_every_ticks = ParseLong(value, line_number, key);
+        if (config.metrics_every_ticks < 1) {
+          Fail(line_number, "metrics_every_ticks must be >= 1");
+        }
+      } else if (key == "obs_ring_capacity") {
+        config.obs_ring_capacity = ParseLong(value, line_number, key);
+        if (config.obs_ring_capacity < 1) {
+          Fail(line_number, "obs_ring_capacity must be >= 1");
+        }
+      } else if (key == "obs_verbose") {
+        config.obs_verbose = ParseBool(value, line_number, key);
       } else if (key == "policy") {
         config.policy = value;
       } else if (key == "translator") {

@@ -5,10 +5,13 @@
 //
 //   [lachesis]
 //   period_ms   = 1000
-//   policy      = queue-size        # queue-size|fcfs|highest-rate|pressure-stall|random
+//   policy      = queue-size        # queue-size|fcfs|highest-rate|random|min-memory
 //   translator  = nice              # nice|cpu.shares|quota|rt
 //   metrics_file = /var/lib/engine/graphite.log
 //   cgroup_root  = /sys/fs/cgroup/cpu/lachesis
+//
+// Every knob is documented with defaults, ranges and tuning guidance in
+// docs/OPERATIONS.md.
 //
 //   [query my-topology]
 //   pid = 12345
@@ -42,6 +45,14 @@ struct DaemonConfig {
   long breaker_probe_ms = 2000;  // half-open probe interval (>0)
   bool degradation = true;       // capability degradation ladder
   bool reconcile = true;         // seed delta cache from kernel state at boot
+  // Observability knobs (src/obs/): Chrome-trace dumps, Prometheus
+  // textfile self-metrics, and provenance-ring tuning.
+  std::string trace_file;      // empty: no trace dumps (SIGUSR1 still logs)
+  long trace_every_ticks = 0;  // also dump every N ticks; 0 = exit/signal only
+  std::string metrics_textfile;  // empty: no textfile export
+  long metrics_every_ticks = 1;  // textfile refresh cadence in ticks (>= 1)
+  long obs_ring_capacity = 8192;  // provenance ring size in events (>= 1)
+  bool obs_verbose = false;  // record per-elision + per-sample events too
   NativeSpeConfig spe;
 };
 

@@ -1,0 +1,220 @@
+// Pins the Chrome-trace export of a seeded chaos sim run byte-for-byte.
+//
+// The scenario exercises every track the exporter lays out: control ticks
+// (X slices + counters), per-op-class instants (applied / suppressed /
+// errors), faults & breakers (injected EPERM storm on SetRtPriority,
+// breaker open -> half-open -> closed), per-binding instants (schedule,
+// translator, degradation moves down and back up), and lifecycle (reconcile
+// at boot, runtime attach, runtime detach). Sim timestamps are virtual and
+// every random stream is seeded, so the rendered JSON is a pure function of
+// the code -- any byte change is a deliberate schema change and must be
+// reviewed by regenerating the golden:
+//
+//   LACHESIS_REGEN_GOLDEN=1 ./build/tests/obs_trace_golden_test
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/fault.h"
+#include "core/op_health.h"
+#include "core/policies.h"
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "core/translators.h"
+#include "obs/trace_export.h"
+#include "sim/simulator.h"
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+using testing::RecordingOsAdapter;
+
+#ifndef LACHESIS_SOURCE_DIR
+#error "build must define LACHESIS_SOURCE_DIR"
+#endif
+constexpr const char kGoldenPath[] =
+    LACHESIS_SOURCE_DIR "/tests/golden/obs_trace_golden.json";
+
+PolicyBinding QueueSizeBinding(FakeDriver& driver,
+                               std::unique_ptr<Translator> translator,
+                               SimDuration period) {
+  PolicyBinding b;
+  b.policy = std::make_unique<QueueSizePolicy>();
+  b.translator = std::move(translator);
+  b.period = period;
+  b.drivers = {&driver};
+  return b;
+}
+
+// Runs the scenario and returns the rendered trace. Everything is seeded
+// and jitter-free; the simulator's virtual clock provides the timestamps.
+std::string RenderScenarioTrace() {
+  sim::Simulator sim;
+  SimControlExecutor executor(sim);
+  RecordingOsAdapter kernel;
+
+  // EPERM storm on SetRtPriority during [1s, 6s): the RT translator's ops
+  // fail, its breaker opens, the binding degrades to the nice fallback;
+  // after the window a half-open probe succeeds and it promotes back.
+  FaultPlan plan;
+  plan.seed = 42;
+  OsFaultRule rule;
+  rule.op = OpClass::kSetRtPriority;
+  rule.kind = FaultKind::kEperm;
+  rule.from = Seconds(1);
+  rule.until = Seconds(6);
+  plan.os_rules.push_back(rule);
+  FaultInjectingOsAdapter os(kernel, executor, plan);
+
+  LachesisRunner runner(executor, os, /*seed=*/5);
+  os.SetRecorder(&runner.recorder());
+
+  HealthConfig health;
+  health.enabled = true;
+  health.backoff_base = Millis(500);
+  // EPERM is permanent severity (counts double toward backoff), so two
+  // consecutive failures must open the breaker before per-target backoff
+  // spaces the attempts past the fault window.
+  health.breaker_threshold = 2;
+  health.probe_interval = Seconds(2);
+  health.jitter_frac = 0.0;  // exact, assertable retry times
+  runner.SetHealthConfig(health);
+
+  FakeDriver driver;
+  const EntityInfo slow = driver.AddEntity(QueryId(0), {0});
+  const EntityInfo busy = driver.AddEntity(QueryId(0), {1});
+  driver.Provide(MetricId::kQueueSize);
+  driver.SetValue(MetricId::kQueueSize, slow.id, 5.0);
+  driver.SetValue(MetricId::kQueueSize, busy.id, 50.0);
+
+  PolicyBinding primary = QueueSizeBinding(
+      driver, std::make_unique<RtBoostTranslator>(), Seconds(1));
+  primary.fallback_translators.push_back(std::make_unique<NiceTranslator>());
+  runner.AddQuery(std::move(primary));
+
+  // Boot-time reconciliation against the (empty) kernel state.
+  runner.ReconcileWithBackend();
+
+  // A second query attaches mid-run and detaches before the end.
+  std::size_t second = 0;
+  executor.CallAt(Seconds(4) + Millis(1), [&] {
+    second = runner.AddQuery(QueueSizeBinding(
+        driver, std::make_unique<NiceTranslator>(), Seconds(2)));
+  });
+  executor.CallAt(Seconds(9) + Millis(1), [&] { runner.RemoveQuery(second); });
+
+  runner.Start(Seconds(12));
+  sim.RunUntil(Seconds(12));
+
+  return obs::RenderChromeTrace(runner.recorder(),
+                                LachesisRunner::OpClassNameForObs);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ObsTraceGoldenTest, SimTraceMatchesGoldenByteForByte) {
+  const std::string rendered = RenderScenarioTrace();
+
+  if (std::getenv("LACHESIS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << rendered;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  const std::string golden = ReadFileOrEmpty(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << "; run with LACHESIS_REGEN_GOLDEN=1 to create it";
+
+  if (rendered != golden) {
+    std::size_t i = 0;
+    while (i < rendered.size() && i < golden.size() &&
+           rendered[i] == golden[i]) {
+      ++i;
+    }
+    const std::size_t from = i > 80 ? i - 80 : 0;
+    FAIL() << "trace diverges from golden at byte " << i << "\n  golden:   ..."
+           << golden.substr(from, 160) << "\n  rendered: ..."
+           << rendered.substr(from, 160)
+           << "\nIf the schema change is intentional, regenerate with "
+              "LACHESIS_REGEN_GOLDEN=1";
+  }
+}
+
+TEST(ObsTraceGoldenTest, RenderIsDeterministicAcrossRuns) {
+  EXPECT_EQ(RenderScenarioTrace(), RenderScenarioTrace());
+}
+
+TEST(ObsTraceGoldenTest, TraceIsStructurallyValidChromeJson) {
+  const std::string trace = RenderScenarioTrace();
+  ASSERT_TRUE(trace.rfind("{\"traceEvents\":[\n", 0) == 0);
+  ASSERT_NE(trace.find("\n],\"displayTimeUnit\":\"ms\"}\n"), std::string::npos);
+  // One JSON object per line; metadata names the process and the tracks the
+  // scenario is supposed to light up.
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"lachesis\"}"), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"control ticks\"}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"faults & breakers\"}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"lifecycle\"}"),
+            std::string::npos);
+  // Tick slices, counters, and the chaos storyline.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"delta ops\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"health\""), std::string::npos);
+  EXPECT_NE(trace.find("fault: eperm"), std::string::npos);
+  EXPECT_NE(trace.find("breaker[SetRtPriority] closed -> open"),
+            std::string::npos);
+  EXPECT_NE(trace.find("degrade -> rung 1"), std::string::npos);
+  EXPECT_NE(trace.find("degrade -> rung 0"), std::string::npos);
+  EXPECT_NE(trace.find("reconcile"), std::string::npos);
+  EXPECT_NE(trace.find("attach binding 1"), std::string::npos);
+  EXPECT_NE(trace.find("detach binding 1"), std::string::npos);
+}
+
+TEST(ObsTraceGoldenTest, DumpWritesRenderedTraceAtomically) {
+  sim::Simulator sim;
+  SimControlExecutor executor(sim);
+  RecordingOsAdapter kernel;
+  LachesisRunner runner(executor, kernel, /*seed=*/5);
+  FakeDriver driver;
+  const EntityInfo e = driver.AddEntity(QueryId(0), {0});
+  driver.Provide(MetricId::kQueueSize);
+  driver.SetValue(MetricId::kQueueSize, e.id, 7.0);
+  runner.AddQuery(QueueSizeBinding(
+      driver, std::make_unique<NiceTranslator>(), Seconds(1)));
+  runner.Start(Seconds(3));
+  sim.RunUntil(Seconds(3));
+
+  const std::string path =
+      ::testing::TempDir() + "/lachesis_obs_trace_dump.json";
+  ASSERT_TRUE(obs::DumpChromeTrace(runner.recorder(), path,
+                                   LachesisRunner::OpClassNameForObs));
+  EXPECT_EQ(ReadFileOrEmpty(path),
+            obs::RenderChromeTrace(runner.recorder(),
+                                   LachesisRunner::OpClassNameForObs));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // no torn tmp left
+  std::remove(path.c_str());
+
+  // An unwritable path reports failure instead of crashing.
+  EXPECT_FALSE(obs::DumpChromeTrace(runner.recorder(),
+                                    "/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace lachesis::core
