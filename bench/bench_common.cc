@@ -15,15 +15,22 @@ SweepResult RunSweep(const ScenarioFactory& factory,
   SweepResult sweep;
   const auto wall_start = std::chrono::steady_clock::now();
   sweep.runs.resize(variants.size());
+  sweep.point_wall_seconds.resize(variants.size());
   for (std::size_t v = 0; v < variants.size(); ++v) {
     sweep.runs[v].resize(rates.size());
+    sweep.point_wall_seconds[v].resize(rates.size(), 0.0);
     for (std::size_t r = 0; r < rates.size(); ++r) {
       ScenarioSpec spec = factory(rates[r]);
       spec.scheduler = variants[v].scheduler;
       spec.label = variants[v].name;
       spec.warmup = mode.warmup;
       spec.measure = mode.measure;
+      const auto point_start = std::chrono::steady_clock::now();
       sweep.runs[v][r] = exp::RunRepetitions(spec, mode.repetitions);
+      sweep.point_wall_seconds[v][r] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        point_start)
+              .count();
       sweep.sim_seconds += static_cast<double>(sweep.runs[v][r].size()) *
                            static_cast<double>(spec.warmup + spec.measure) /
                            static_cast<double>(kSecond);
@@ -89,11 +96,12 @@ void WriteBenchJson(const std::vector<double>& rates,
       sweep.wall_seconds > 0 ? sweep.sim_seconds / sweep.wall_seconds : 0;
   std::fprintf(out,
                "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n"
-               "  \"repetitions\": %d,\n  \"wall_seconds\": %.3f,\n"
+               "  \"repetitions\": %d,\n  \"worker_count\": %d,\n"
+               "  \"wall_seconds\": %.3f,\n"
                "  \"sim_seconds\": %.3f,\n  \"sim_wall_ratio\": %.2f,\n"
                "  \"series\": [\n",
                name.c_str(), mode.full ? "full" : "quick", mode.repetitions,
-               sweep.wall_seconds, sweep.sim_seconds, ratio);
+               mode.workers, sweep.wall_seconds, sweep.sim_seconds, ratio);
   bool first = true;
   for (std::size_t v = 0; v < variants.size(); ++v) {
     for (std::size_t r = 0; r < rates.size(); ++r) {
@@ -123,6 +131,11 @@ void WriteBenchJson(const std::vector<double>& rates,
                    exp::Aggregate(runs, [](const RunResult& x) {
                      return x.cpu_utilization;
                    }));
+      if (v < sweep.point_wall_seconds.size() &&
+          r < sweep.point_wall_seconds[v].size()) {
+        std::fprintf(out, ", \"wall_seconds\": %.3f",
+                     sweep.point_wall_seconds[v][r]);
+      }
       std::fprintf(out, "}");
     }
   }

@@ -31,6 +31,10 @@ struct SweepResult {
   std::vector<std::vector<std::vector<RunResult>>> runs;
   double wall_seconds = 0;  // host time spent inside RunSweep
   double sim_seconds = 0;   // simulated time covered (warmup + measure, summed)
+  // Host seconds per (variant, rate) point (all repetitions of that point);
+  // same shape as runs minus the repetition axis. Speedup trajectories
+  // (worker sweeps) read these from the BENCH json.
+  std::vector<std::vector<double>> point_wall_seconds;
 };
 
 // Runs the sweep and prints the four standard series (throughput, latency,

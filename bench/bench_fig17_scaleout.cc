@@ -6,6 +6,8 @@
 // Paper shape: the single-node trends carry over -- per-node-isolated
 // Lachesis-QS instances still deliver up to ~31% more throughput and
 // order-of-magnitude lower latency than the OS near saturation.
+#include <algorithm>
+
 #include "bench/bench_common.h"
 #include "queries/linear_road.h"
 
@@ -51,7 +53,31 @@ int main() {
       char title[128];
       std::snprintf(title, sizeof(title), "Fig 17: LR @ %s, %d node(s), fission %d",
                     flavor.name.c_str(), nodes, nodes);
-      RunAndPrintSweep(title, factory, rates, variants, mode);
+      const SweepResult sweep =
+          RunAndPrintSweep(title, factory, rates, variants, mode);
+
+      // Per-node view: the aggregate above hides a node that regresses
+      // while its peers compensate (possible at higher fission degrees, and
+      // exactly what per-node-isolated instances must not do). Report the
+      // slowest and fastest node alongside the aggregate.
+      if (nodes > 1) {
+        const auto node_min = [](const RunResult& r) {
+          double v = r.per_node_throughput_tps.empty()
+                         ? 0.0
+                         : r.per_node_throughput_tps.front();
+          for (const double t : r.per_node_throughput_tps) v = std::min(v, t);
+          return v;
+        };
+        const auto node_max = [](const RunResult& r) {
+          double v = 0.0;
+          for (const double t : r.per_node_throughput_tps) v = std::max(v, t);
+          return v;
+        };
+        PrintMetricTable(std::string(title) + " | Min per-node throughput (t/s)",
+                         rates, variants, sweep, node_min);
+        PrintMetricTable(std::string(title) + " | Max per-node throughput (t/s)",
+                         rates, variants, sweep, node_max);
+      }
     }
   }
   return 0;

@@ -1,0 +1,114 @@
+// Fleet stress bench: the §6.5 scale-out regime as a genuine parallel
+// workload -- tens of machines, hundreds of operators, each machine on its
+// own event queue, stepped by a worker pool (sim/fleet.h).
+//
+// Sweeps the worker count over the SAME scenario and seed, asserting the
+// per-machine scheduler-trace digests are identical at every worker count
+// (the parallel stepper is an optimization, not a model change) and
+// recording wall seconds per point in BENCH_fleet.json. On an N-core host
+// wall time approaches 1/N of sequential; on a 1-core host the sweep
+// degenerates to overhead measurement -- hw_cores in the json says which
+// regime produced the numbers.
+//
+//   LACHESIS_BENCH_MODE=full     bigger fleet (24 machines x 8 cores)
+//   LACHESIS_BENCH_WORKERS=<n>   adds <n> to the swept worker counts
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exp/fleet.h"
+
+int main() {
+  using namespace lachesis;
+  using namespace lachesis::bench;
+
+  const BenchMode mode = BenchMode::FromEnv();
+
+  exp::FleetSpec spec;
+  spec.label = "fleet";
+  spec.machines = mode.full ? 24 : 12;
+  spec.cores = mode.full ? 8 : 4;
+  spec.queries_per_machine = mode.full ? 8 : 5;
+  spec.rate_tps = 400;
+  spec.warmup = mode.warmup;
+  spec.measure = mode.measure;
+  spec.scheduler.kind = exp::SchedulerKind::kLachesis;
+  spec.scheduler.policy = exp::PolicyKind::kQueueSize;
+  spec.scheduler.translator = exp::TranslatorKind::kNice;
+  spec.seed = 12;
+
+  std::vector<int> worker_counts{1, 2, 4};
+  if (std::find(worker_counts.begin(), worker_counts.end(), mode.workers) ==
+      worker_counts.end()) {
+    worker_counts.push_back(mode.workers);
+  }
+
+  const unsigned hw_cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("fleet: %d machines x %d cores, %d queries/machine, host has %u core(s)\n",
+              spec.machines, spec.cores, spec.queries_per_machine, hw_cores);
+
+  std::vector<exp::FleetResult> results;
+  for (const int workers : worker_counts) {
+    exp::FleetSpec run = spec;
+    run.workers = workers;
+    results.push_back(exp::RunFleet(run));
+    const exp::FleetResult& r = results.back();
+    std::printf(
+        "workers=%d  wall=%.2fs  throughput=%.0f t/s  node[min/max]=%.0f/%.0f"
+        "  util=%.2f  epochs=%llu  digest=%016llx\n",
+        r.worker_count, r.wall_seconds, r.throughput_tps,
+        r.min_node_throughput_tps, r.max_node_throughput_tps,
+        r.cpu_utilization, static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.trace_digest));
+    std::fflush(stdout);
+  }
+
+  // The parallel stepper must not change the simulation: every worker count
+  // reproduces the sequential run bit for bit.
+  bool digests_ok = true;
+  for (const exp::FleetResult& r : results) {
+    if (r.trace_digest != results.front().trace_digest ||
+        r.throughput_tps != results.front().throughput_tps) {
+      digests_ok = false;
+    }
+  }
+  std::printf("determinism: %s\n", digests_ok ? "OK (all digests equal)"
+                                              : "FAILED (digest mismatch)");
+
+  const double base_wall = results.front().wall_seconds;
+  std::FILE* out = std::fopen("BENCH_fleet.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"bench\": \"fleet\",\n  \"mode\": \"%s\",\n"
+                 "  \"machines\": %d,\n  \"cores_per_machine\": %d,\n"
+                 "  \"queries_per_machine\": %d,\n  \"hw_cores\": %u,\n"
+                 "  \"digests_identical\": %s,\n  \"series\": [\n",
+                 mode.full ? "full" : "quick", spec.machines, spec.cores,
+                 spec.queries_per_machine, hw_cores,
+                 digests_ok ? "true" : "false");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const exp::FleetResult& r = results[i];
+      std::fprintf(
+          out,
+          "    {\"worker_count\": %d, \"wall_seconds\": %.3f, "
+          "\"speedup_vs_sequential\": %.3f, \"throughput_tps\": %.1f, "
+          "\"min_node_throughput_tps\": %.1f, \"max_node_throughput_tps\": "
+          "%.1f, \"epochs\": %llu, \"events_dispatched\": %llu, "
+          "\"trace_digest\": \"%016llx\"}%s\n",
+          r.worker_count, r.wall_seconds,
+          r.wall_seconds > 0 ? base_wall / r.wall_seconds : 0.0,
+          r.throughput_tps, r.min_node_throughput_tps,
+          r.max_node_throughput_tps,
+          static_cast<unsigned long long>(r.epochs),
+          static_cast<unsigned long long>(r.events_dispatched),
+          static_cast<unsigned long long>(r.trace_digest),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("[bench-json] wrote BENCH_fleet.json\n");
+  }
+  return digests_ok ? 0 : 1;
+}

@@ -31,6 +31,10 @@ if [ "$status" -eq 0 ]; then
     echo "run_tier1.sh: bench_runner_tick failed (non-fatal)" >&2
   (cd "$BUILD_DIR" && ./bench/bench_fault_overhead --quick) ||
     echo "run_tier1.sh: bench_fault_overhead failed (non-fatal)" >&2
+  # Fleet stepper: worker-count sweep with a hard digest-equality gate
+  # (exits non-zero on any determinism break), writes BENCH_fleet.json.
+  (cd "$BUILD_DIR" && ./bench/bench_fleet) ||
+    echo "run_tier1.sh: bench_fleet failed (non-fatal)" >&2
   echo "run_tier1.sh: BENCH artifacts:"
   find "$BUILD_DIR" -maxdepth 1 -name 'BENCH_*.json' -print | sort |
     sed 's/^/  /'

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the parallel fleet stepper: builds the fleet
+# tests under TSan and runs them, then a short fleet chaos soak with the
+# worker pool saturated. The stepper's only cross-thread edges are the
+# epoch-barrier handshake and the mailbox drain, both on the coordinator
+# thread -- TSan proves those edges carry every happens-before the shards
+# rely on. The suites are seeded and deterministic modulo thread timing;
+# the golden digests inside them additionally prove timing never leaks into
+# simulation results. Usage:
+#   ci/run_tsan.sh [build-dir]
+# Environment:
+#   CMAKE_BUILD_TYPE          defaults to RelWithDebInfo (asserts stay on)
+#   LACHESIS_FLEET_SOAK_SCALE soak length multiplier (default 3)
+set -euo pipefail
+
+SRC_DIR=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$SRC_DIR/build-tsan"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
+  -DLACHESIS_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target fleet_sim_test fleet_golden_test
+
+status=0
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+"$BUILD_DIR/tests/fleet_sim_test" --gtest_brief=1 || status=$?
+
+# Chaos soak: longer measurement window, churn on, pool saturated.
+LACHESIS_FLEET_SOAK_SCALE="${LACHESIS_FLEET_SOAK_SCALE:-3}" \
+  "$BUILD_DIR/tests/fleet_golden_test" --gtest_brief=1 || status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tsan.sh: fleet suites exited with status $status" >&2
+fi
+exit "$status"

@@ -1,0 +1,109 @@
+#include "core/fleet_coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace_export.h"
+
+namespace lachesis::core {
+
+std::size_t FleetCoordinator::AddShard(LachesisRunner& runner,
+                                       std::string name,
+                                       std::size_t initial_queries) {
+  const std::size_t index = shards_.size();
+  ShardState state;
+  state.runner = &runner;
+  state.name = std::move(name);
+  state.attached_queries = initial_queries;
+  shards_.push_back(std::move(state));
+  // The observer writes only this shard's slot. The shard's worker thread
+  // runs it mid-epoch; the coordinator reads the slot at barriers, where
+  // the fleet's epoch handshake orders the accesses.
+  shards_[index].runner->SetTickObserver(
+      [this, index](const RunnerTickInfo& info) {
+        shards_[index].last_tick = info;
+        shards_[index].ticked = true;
+      });
+  return index;
+}
+
+FleetTickTotals FleetCoordinator::MergeTickTotals() const {
+  FleetTickTotals totals;
+  for (const ShardState& s : shards_) {
+    totals.ticks_total += s.runner->ticks_total();
+    totals.schedules_applied += s.runner->schedules_applied();
+    totals.delta += s.runner->delta_totals();
+    if (s.ticked) {
+      totals.open_breakers += s.last_tick.open_breakers;
+      totals.degraded_bindings += s.last_tick.degraded_bindings;
+      ++totals.shards_reporting;
+    }
+  }
+  return totals;
+}
+
+obs::SelfMetricsSnapshot FleetCoordinator::MergeSelfMetrics() const {
+  obs::SelfMetricsSnapshot merged;
+  for (const ShardState& s : shards_) {
+    const obs::SelfMetricsSnapshot snapshot = s.runner->CollectSelfMetrics();
+    for (const obs::MetricValue& m : snapshot) {
+      auto it = std::find_if(
+          merged.begin(), merged.end(),
+          [&](const obs::MetricValue& v) { return v.name == m.name; });
+      if (it == merged.end()) {
+        merged.push_back(m);
+      } else {
+        it->value += m.value;
+      }
+    }
+  }
+  return merged;
+}
+
+std::string FleetCoordinator::RenderChromeTrace() const {
+  std::vector<const obs::Recorder*> recorders;
+  std::vector<std::string> names;
+  recorders.reserve(shards_.size());
+  names.reserve(shards_.size());
+  for (const ShardState& s : shards_) {
+    recorders.push_back(&s.runner->recorder());
+    names.push_back(s.name);
+  }
+  return obs::RenderFleetChromeTrace(recorders, names,
+                                     LachesisRunner::OpClassNameForObs);
+}
+
+FleetQueryHandle FleetCoordinator::AttachQuery(const std::string& name,
+                                               const DeployFn& deploy) {
+  if (shards_.empty()) {
+    throw std::logic_error("FleetCoordinator::AttachQuery: no shards");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    if (shards_[i].attached_queries < shards_[best].attached_queries) best = i;
+  }
+  const std::size_t binding = deploy(best, *shards_[best].runner);
+  ++shards_[best].attached_queries;
+  ++attach_count_;
+  FleetQueryHandle handle{next_handle_++, best, binding};
+  live_handles_.emplace(handle.id, handle);
+  (void)name;  // placement is load-based; the name is for the caller's logs
+  return handle;
+}
+
+void FleetCoordinator::DetachQuery(const FleetQueryHandle& handle) {
+  auto it = live_handles_.find(handle.id);
+  if (it == live_handles_.end()) {
+    throw std::out_of_range("FleetCoordinator::DetachQuery: unknown handle");
+  }
+  const FleetQueryHandle live = it->second;
+  live_handles_.erase(it);
+  shards_.at(live.shard).runner->RemoveQuery(live.binding);
+  if (shards_[live.shard].attached_queries > 0) {
+    --shards_[live.shard].attached_queries;
+  }
+  ++detach_count_;
+}
+
+}  // namespace lachesis::core

@@ -1,0 +1,125 @@
+// Thin coordinator over per-shard Lachesis runners (fleet mode).
+//
+// The paper's scale-out deployment (§6.5, Fig 17) runs one per-node-isolated
+// Lachesis instance per machine; the cluster tier of the scheduling
+// taxonomy adds a coordinator that only aggregates state and places work,
+// never touching the per-node decision loops. FleetCoordinator is that
+// tier for the sharded simulation: each shard owns a full control plane
+// (LachesisRunner + executor + adapter + tsdb, all built on that shard's
+// Simulator), and the coordinator -- which runs exclusively on the fleet's
+// barrier lane, while every shard is quiescent -- merges RunnerTickInfo and
+// self-metrics across shards, renders a combined Chrome trace (one process
+// per shard), and reconciles cross-machine query placement on
+// attach/detach by picking the least-loaded shard.
+#ifndef LACHESIS_CORE_FLEET_COORDINATOR_H_
+#define LACHESIS_CORE_FLEET_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "obs/self_metrics.h"
+
+namespace lachesis::core {
+
+// Fleet-wide aggregate of the per-shard runner counters, taken at a
+// barrier. `last_tick` fields come from each shard's most recent
+// RunnerTickInfo (gauges: summed across shards); the totals are summed
+// lifetime counters.
+struct FleetTickTotals {
+  std::uint64_t ticks_total = 0;
+  std::uint64_t schedules_applied = 0;
+  DeltaStats delta;
+  int open_breakers = 0;      // sum of last-tick gauges
+  int degraded_bindings = 0;  // sum of last-tick gauges
+  int shards_reporting = 0;   // shards that ticked at least once
+};
+
+// Handle for a query attached through the coordinator; identifies the
+// owning shard and the runner binding index so DetachQuery can route the
+// RemoveQuery call.
+struct FleetQueryHandle {
+  std::uint64_t id = 0;
+  std::size_t shard = 0;
+  std::size_t binding = 0;
+};
+
+class FleetCoordinator {
+ public:
+  // Registers a shard's runner. Installs a tick observer on the runner
+  // (chaining to any observer installed later is NOT supported; the
+  // coordinator must be attached first, or use the runner's observer to
+  // call the coordinator). `initial_queries` seeds the placement load
+  // counter with bindings attached outside the coordinator. Returns the
+  // shard index.
+  std::size_t AddShard(LachesisRunner& runner, std::string name,
+                       std::size_t initial_queries = 0);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] LachesisRunner& runner(std::size_t shard) {
+    return *shards_.at(shard).runner;
+  }
+  [[nodiscard]] const RunnerTickInfo& last_tick(std::size_t shard) const {
+    return shards_.at(shard).last_tick;
+  }
+
+  // --- barrier-lane aggregation ------------------------------------------------
+  // All of these read shard runner state and must only be called while the
+  // shards are quiescent (from a FleetSimulator barrier action, or after
+  // RunUntil returned).
+  [[nodiscard]] FleetTickTotals MergeTickTotals() const;
+
+  // Sums the shards' self-metric snapshots by name. Counters add up
+  // naturally; gauges (open breakers, attached queries, ...) become
+  // fleet-wide totals, which is the operator-facing semantic documented in
+  // docs/OPERATIONS.md.
+  [[nodiscard]] obs::SelfMetricsSnapshot MergeSelfMetrics() const;
+
+  // One Chrome trace document, one process per shard (pid = shard + 1,
+  // process name = the AddShard name).
+  [[nodiscard]] std::string RenderChromeTrace() const;
+
+  // --- placement ---------------------------------------------------------------
+  // Deploys a query on the least-loaded shard (fewest coordinator-visible
+  // queries; ties break toward the lowest shard index -- deterministic).
+  // `deploy` receives the chosen shard index and its runner and returns the
+  // runner binding index it created (it typically builds the SPE query on
+  // that shard's machines and calls AddQuery). Returns a handle for
+  // DetachQuery.
+  using DeployFn =
+      std::function<std::size_t(std::size_t shard, LachesisRunner& runner)>;
+  FleetQueryHandle AttachQuery(const std::string& name, const DeployFn& deploy);
+
+  // Detaches a coordinator-placed query: RemoveQuery on the owning runner
+  // and release of its load share. Unknown/stale handles throw
+  // std::out_of_range.
+  void DetachQuery(const FleetQueryHandle& handle);
+
+  [[nodiscard]] std::size_t attached_queries(std::size_t shard) const {
+    return shards_.at(shard).attached_queries;
+  }
+  [[nodiscard]] std::uint64_t attach_count() const { return attach_count_; }
+  [[nodiscard]] std::uint64_t detach_count() const { return detach_count_; }
+
+ private:
+  struct ShardState {
+    LachesisRunner* runner = nullptr;
+    std::string name;
+    RunnerTickInfo last_tick;
+    bool ticked = false;
+    std::size_t attached_queries = 0;
+  };
+
+  std::vector<ShardState> shards_;
+  std::map<std::uint64_t, FleetQueryHandle> live_handles_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t attach_count_ = 0;
+  std::uint64_t detach_count_ = 0;
+};
+
+}  // namespace lachesis::core
+
+#endif  // LACHESIS_CORE_FLEET_COORDINATOR_H_

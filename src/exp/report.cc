@@ -1,5 +1,6 @@
 #include "exp/report.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,11 +12,15 @@ namespace lachesis::exp {
 BenchMode BenchMode::FromEnv() {
   const char* mode = std::getenv("LACHESIS_BENCH_MODE");
   const bool full = mode != nullptr && std::strcmp(mode, "full") == 0;
+  int workers = 1;
+  if (const char* w = std::getenv("LACHESIS_BENCH_WORKERS")) {
+    workers = std::max(1, std::atoi(w));
+  }
   if (full) {
     // Closer to the paper's 10-minute, 5-repetition runs (still simulated).
-    return {5, Seconds(10), Seconds(60), true};
+    return {5, Seconds(10), Seconds(60), true, workers};
   }
-  return {2, Seconds(5), Seconds(15), false};
+  return {2, Seconds(5), Seconds(15), false, workers};
 }
 
 MeanCi Aggregate(const std::vector<RunResult>& runs,

@@ -15,11 +15,14 @@ namespace lachesis::exp {
 
 // Benchmark sizing knobs, from the environment:
 //   LACHESIS_BENCH_MODE=quick (default) | full
+//   LACHESIS_BENCH_WORKERS=<n>  stepper threads for fleet-mode benches
+//                               (default 1 = sequential; clamped to >= 1)
 struct BenchMode {
   int repetitions;
   SimDuration warmup;
   SimDuration measure;
   bool full;
+  int workers = 1;
 
   static BenchMode FromEnv();
 };

@@ -14,8 +14,6 @@
 
 namespace lachesis::exp {
 
-namespace {
-
 std::unique_ptr<core::SchedulingPolicy> MakePolicy(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kQueueSize:
@@ -49,6 +47,8 @@ std::unique_ptr<core::Translator> MakeTranslator(TranslatorKind kind) {
   }
   throw std::invalid_argument("unknown translator kind");
 }
+
+namespace {
 
 ulss::UlssPolicy ToUlssPolicy(PolicyKind kind) {
   switch (kind) {
@@ -228,6 +228,20 @@ RunResult RunScenario(const ScenarioSpec& spec) {
     emitted_base.push_back(d.external ? d.external->emitted()
                                       : d.on_device->emitted());
   }
+  // Per-node ingress counts at the warmup boundary (Fig 17 reports per-node
+  // throughput alongside the aggregate).
+  const auto node_ingested = [&] {
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(spec.nodes), 0);
+    for (const DeployedWorkload& d : deployed) {
+      for (const spe::DeployedOp& op : d.query->ops) {
+        if (op.op->config().role != spe::OperatorRole::kIngress) continue;
+        counts[static_cast<std::size_t>(op.machine_index)] +=
+            op.op->tuples_in();
+      }
+    }
+    return counts;
+  };
+  const std::vector<std::uint64_t> node_ingested_base = node_ingested();
 
   // --- goal sampling (1 Hz, §6.1 "values of the goal") --------------------------------
   RunningStat qs_goal;       // variance of queue sizes per sample instant
@@ -295,6 +309,15 @@ RunResult RunScenario(const ScenarioSpec& spec) {
   }
   result.avg_latency_ms = all_latency.mean() / 1e6;
   result.avg_e2e_latency_ms = all_e2e.mean() / 1e6;
+  {
+    const std::vector<std::uint64_t> node_totals = node_ingested();
+    result.per_node_throughput_tps.resize(node_totals.size());
+    for (std::size_t n = 0; n < node_totals.size(); ++n) {
+      result.per_node_throughput_tps[n] =
+          static_cast<double>(node_totals[n] - node_ingested_base[n]) /
+          measure_s;
+    }
+  }
   result.qs_goal = qs_goal.mean();
   result.fcfs_goal_ms = fcfs_goal_ms.mean();
   result.queue_size_samples = std::move(queue_samples);

@@ -110,7 +110,16 @@ struct RunResult {
   std::uint64_t lachesis_ops_applied = 0;
   std::uint64_t lachesis_ops_skipped = 0;
   std::uint64_t lachesis_ops_errors = 0;
+  // Ingested tuples/s per node (index = node), summing the ingress replicas
+  // placed there. The aggregate hides per-node regressions at higher
+  // fission degrees; Fig 17 reports both.
+  std::vector<double> per_node_throughput_tps;
 };
+
+// Scheduler component factories, shared with the fleet harness
+// (exp/fleet.h); throw std::invalid_argument on unknown kinds.
+std::unique_ptr<core::SchedulingPolicy> MakePolicy(PolicyKind kind);
+std::unique_ptr<core::Translator> MakeTranslator(TranslatorKind kind);
 
 // Runs one scenario once.
 RunResult RunScenario(const ScenarioSpec& spec);

@@ -59,6 +59,10 @@ class TraceWriter {
  public:
   TraceWriter() { out_ = "{\"traceEvents\":[\n"; }
 
+  // All subsequent events carry this pid; fleet export gives each shard's
+  // recorder its own process track (pid = shard + 1).
+  void set_pid(int pid) { pid_ = pid; }
+
   // args entries are pre-rendered "\"key\":value" fragments.
   void Emit(char ph, std::string_view name, int tid, SimTime ts,
             const std::vector<std::string>& args, SimTime dur = -1,
@@ -66,7 +70,9 @@ class TraceWriter {
     Sep();
     out_ += "{\"ph\":\"";
     out_ += ph;
-    out_ += "\",\"pid\":1,\"tid\":";
+    out_ += "\",\"pid\":";
+    out_ += std::to_string(pid_);
+    out_ += ",\"tid\":";
     out_ += std::to_string(tid);
     out_ += ",\"ts\":";
     AppendTs(out_, ts);
@@ -91,7 +97,9 @@ class TraceWriter {
 
   void EmitMeta(std::string_view meta_name, int tid, std::string_view value) {
     Sep();
-    out_ += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out_ += "{\"ph\":\"M\",\"pid\":";
+    out_ += std::to_string(pid_);
+    out_ += ",\"tid\":";
     out_ += std::to_string(tid);
     out_ += ",\"name\":\"";
     AppendEscaped(out_, meta_name);
@@ -113,6 +121,7 @@ class TraceWriter {
 
   std::string out_;
   bool first_ = true;
+  int pid_ = 1;
 };
 
 std::string StrArg(std::string_view key, std::string_view value) {
@@ -139,10 +148,12 @@ std::string DoubleArg(std::string_view key, double value) {
   return buf;
 }
 
-}  // namespace
-
-std::string RenderChromeTrace(const Recorder& recorder,
-                              OpClassNameFn op_class_name) {
+// Emits one recorder's complete track set (metadata + events + dangling
+// tick) into `w` under whatever pid `w` currently carries. Shared by the
+// single-process and fleet renderers so both serialize identically.
+void AppendRecorderTracks(TraceWriter& w, const Recorder& recorder,
+                          std::string_view process_name,
+                          OpClassNameFn op_class_name) {
   const std::vector<Event> events = recorder.Snapshot();
 
   // Pass 1: which tracks exist, and what to call them. Sorted by tid so the
@@ -182,8 +193,7 @@ std::string RenderChromeTrace(const Recorder& recorder,
     }
   }
 
-  TraceWriter w;
-  w.EmitMeta("process_name", 0, "lachesis");
+  w.EmitMeta("process_name", 0, process_name);
   for (const auto& [tid, name] : tracks) w.EmitMeta("thread_name", tid, name);
 
   // Pass 2: the events themselves, in recorded (seq) order.
@@ -332,6 +342,30 @@ std::string RenderChromeTrace(const Recorder& recorder,
     w.Emit('B', "tick", kTraceTidTicks, tick_begin_ts,
            {IntArg("index", tick_index),
             IntArg("seq", static_cast<std::int64_t>(tick_begin_seq))});
+  }
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const Recorder& recorder,
+                              OpClassNameFn op_class_name) {
+  TraceWriter w;
+  AppendRecorderTracks(w, recorder, "lachesis", op_class_name);
+  return w.Finish();
+}
+
+std::string RenderFleetChromeTrace(const std::vector<const Recorder*>& shards,
+                                   const std::vector<std::string>& names,
+                                   OpClassNameFn op_class_name) {
+  TraceWriter w;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i] == nullptr) continue;
+    w.set_pid(static_cast<int>(i) + 1);
+    const std::string fallback = "lachesis shard " + std::to_string(i);
+    AppendRecorderTracks(w, *shards[i],
+                         i < names.size() && !names[i].empty() ? names[i]
+                                                               : fallback,
+                         op_class_name);
   }
   return w.Finish();
 }

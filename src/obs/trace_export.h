@@ -15,6 +15,7 @@
 #define LACHESIS_OBS_TRACE_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/explain.h"  // OpClassNameFn
 #include "obs/recorder.h"
@@ -32,6 +33,16 @@ inline constexpr int kTraceTidBindBase = 100;  // + binding -> per-query track
 // document ({"traceEvents": [...]}).
 [[nodiscard]] std::string RenderChromeTrace(
     const Recorder& recorder, OpClassNameFn op_class_name = nullptr);
+
+// Fleet variant: one trace document with one process per shard (pid =
+// shard index + 1, named from `names`, falling back to "lachesis shard
+// <i>"). Within each process the track layout is identical to
+// RenderChromeTrace, so per-shard control loops line up side by side in
+// Perfetto. Null recorder entries are skipped.
+[[nodiscard]] std::string RenderFleetChromeTrace(
+    const std::vector<const Recorder*>& shards,
+    const std::vector<std::string>& names,
+    OpClassNameFn op_class_name = nullptr);
 
 // Writes RenderChromeTrace() to `path` atomically (tmp file + rename) so a
 // signal-triggered dump never leaves a torn file for the reader. Returns

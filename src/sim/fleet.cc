@@ -1,0 +1,189 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace lachesis::sim {
+
+FleetSimulator::FleetSimulator(int shards, int workers, SimDuration epoch)
+    : epoch_(epoch) {
+  if (shards <= 0) throw std::invalid_argument("FleetSimulator: shards <= 0");
+  if (workers <= 0) throw std::invalid_argument("FleetSimulator: workers <= 0");
+  if (epoch <= 0) throw std::invalid_argument("FleetSimulator: epoch <= 0");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->sim = std::make_unique<Simulator>();
+    shard->sim->SetFleetContext(this, static_cast<std::size_t>(s));
+    shard->outbox.resize(static_cast<std::size_t>(shards));
+    shards_.push_back(std::move(shard));
+  }
+  workers_ = std::min(workers, shards);
+  if (workers_ > 1) {
+    pool_.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      pool_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+FleetSimulator::~FleetSimulator() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void FleetSimulator::PostCross(std::size_t from, std::size_t to,
+                               SimTime deliver_at, std::function<void()> fn) {
+  Shard& src = *shards_.at(from);
+  if (to >= shards_.size()) {
+    throw std::out_of_range("FleetSimulator::PostCross: bad destination");
+  }
+  if (to == from) {
+    // Same shard: no barrier needed, this is an ordinary local event.
+    src.sim->ScheduleAt(deliver_at, std::move(fn));
+    return;
+  }
+  src.outbox[to].push_back(
+      CrossMessage{deliver_at, static_cast<std::uint32_t>(from),
+                   src.next_seq++, std::move(fn)});
+  ++stats_.cross_posted;
+}
+
+void FleetSimulator::CallAtBarrier(SimTime time, std::function<void()> fn) {
+  barrier_actions_.emplace(time, std::move(fn));
+}
+
+void FleetSimulator::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    const SimTime target = target_;
+    while (next_shard_ < shards_.size()) {
+      const std::size_t index = next_shard_++;
+      Shard& shard = *shards_[index];
+      lock.unlock();
+      try {
+        shard.sim->RunUntil(target);
+      } catch (...) {
+        shard.error = std::current_exception();
+      }
+      lock.lock();
+    }
+    if (--busy_workers_ == 0) done_cv_.notify_one();
+  }
+}
+
+void FleetSimulator::StepShardsTo(SimTime target) {
+  if (pool_.empty()) {
+    for (auto& shard : shards_) {
+      try {
+        shard->sim->RunUntil(target);
+      } catch (...) {
+        shard->error = std::current_exception();
+      }
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      target_ = target;
+      next_shard_ = 0;
+      busy_workers_ = pool_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  }
+  RethrowShardErrors();
+}
+
+void FleetSimulator::RethrowShardErrors() {
+  for (auto& shard : shards_) {
+    if (shard->error != nullptr) {
+      std::exception_ptr error = shard->error;
+      shard->error = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void FleetSimulator::DrainMailboxes() {
+  // Deterministic merge: per destination, gather messages from senders in
+  // shard-index order, then stable-sort by delivery time only -- equal
+  // times keep (sender, per-sender seq) order. The resulting insertion
+  // order into the destination queue is therefore a pure function of the
+  // message set, independent of worker count and scheduling.
+  for (std::size_t to = 0; to < shards_.size(); ++to) {
+    Simulator& dest = *shards_[to]->sim;
+    std::vector<CrossMessage> inbound;
+    for (std::size_t from = 0; from < shards_.size(); ++from) {
+      auto& box = shards_[from]->outbox[to];
+      for (CrossMessage& m : box) inbound.push_back(std::move(m));
+      box.clear();
+    }
+    if (inbound.empty()) continue;
+    std::stable_sort(inbound.begin(), inbound.end(),
+                     [](const CrossMessage& a, const CrossMessage& b) {
+                       return a.at < b.at;
+                     });
+    for (CrossMessage& m : inbound) {
+      if (m.at < dest.now()) {
+        throw std::logic_error(
+            "FleetSimulator: cross-shard message from shard " +
+            std::to_string(m.from) + " due at " + std::to_string(m.at) +
+            " ns arrived after destination shard " + std::to_string(to) +
+            " reached " + std::to_string(dest.now()) +
+            " ns; the cross-shard latency must be >= the epoch (" +
+            std::to_string(epoch_) + " ns)");
+      }
+      dest.ScheduleAt(m.at, std::move(m.fn));
+      ++stats_.cross_delivered;
+    }
+  }
+}
+
+void FleetSimulator::RunBarrierActionsUpTo(SimTime time) {
+  // Actions may register further actions (<= time) and post cross-shard
+  // messages; loop to a fixpoint, then merge whatever they posted.
+  while (!barrier_actions_.empty() && barrier_actions_.begin()->first <= time) {
+    auto it = barrier_actions_.begin();
+    std::function<void()> fn = std::move(it->second);
+    barrier_actions_.erase(it);
+    fn();
+    ++stats_.barrier_actions;
+  }
+  DrainMailboxes();
+}
+
+void FleetSimulator::RunUntil(SimTime end) {
+  // Actions due before stepping begins (e.g. time-zero setup).
+  RunBarrierActionsUpTo(now_);
+  while (now_ < end) {
+    const SimTime aligned = (now_ / epoch_ + 1) * epoch_;
+    const SimTime target = std::min(end, aligned);
+    StepShardsTo(target);
+    now_ = target;
+    DrainMailboxes();
+    RunBarrierActionsUpTo(now_);
+    ++stats_.epochs;
+  }
+}
+
+std::uint64_t FleetSimulator::TotalDispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim->dispatched();
+  return total;
+}
+
+}  // namespace lachesis::sim

@@ -1,0 +1,153 @@
+// Fleet-scale parallel simulation: per-shard event queues stepped by a
+// worker pool with deterministic epoch barriers.
+//
+// A FleetSimulator owns S independent Simulators ("shards"); each simulated
+// machine (or machine group) is built against one shard and therefore has
+// its own event queue, clock, and CFS state. Shards are stepped in fixed
+// epochs: within an epoch every shard runs its own events with no shared
+// state, so a pool of W worker threads can step them in parallel; at the
+// epoch boundary all workers rendezvous (the barrier), cross-shard messages
+// are merged, and barrier actions (metric scrape merges, coordinator ticks,
+// query attach/detach) run single-threaded on the calling thread.
+//
+// Determinism: a shard's event stream depends only on its own initial state
+// and the cross-shard messages it receives, never on which worker stepped
+// it or in what order shards ran. Cross-shard messages are merged at the
+// barrier in a fixed total order -- (deliver_at, sending shard, per-sender
+// sequence) -- so the destination queue's contents are byte-identical for
+// any worker count, including W=1 (the sequential reference the golden
+// tests compare against). The paper's fleet scenario (§6.5) couples
+// machines only through the 1 s metric scrape, so an epoch equal to the
+// scrape period preserves bit-identical schedules; deployments with
+// cross-machine dataflow need an epoch no longer than the network delay,
+// which FleetSimulator enforces (a message that should have arrived
+// mid-epoch throws instead of being silently reordered).
+#ifndef LACHESIS_SIM_FLEET_H_
+#define LACHESIS_SIM_FLEET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace lachesis::sim {
+
+class FleetSimulator {
+ public:
+  struct Stats {
+    std::uint64_t epochs = 0;            // barriers crossed
+    std::uint64_t cross_posted = 0;      // PostCross calls
+    std::uint64_t cross_delivered = 0;   // messages merged into shards
+    std::uint64_t barrier_actions = 0;   // CallAtBarrier callbacks run
+  };
+
+  // `shards` independent event queues stepped by `workers` threads per
+  // epoch of length `epoch`. workers is clamped to [1, shards]; 1 steps
+  // shards inline on the calling thread (no pool, the sequential
+  // reference). Throws std::invalid_argument for non-positive sizes.
+  FleetSimulator(int shards, int workers, SimDuration epoch);
+  ~FleetSimulator();
+  FleetSimulator(const FleetSimulator&) = delete;
+  FleetSimulator& operator=(const FleetSimulator&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] int worker_count() const { return workers_; }
+  [[nodiscard]] SimDuration epoch() const { return epoch_; }
+  // Fleet time: the last epoch boundary every shard has reached.
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] Simulator& shard(std::size_t index) {
+    return *shards_.at(index)->sim;
+  }
+
+  // Posts `fn` for execution on shard `to` at simulated time `deliver_at`.
+  // Safe to call from the worker thread currently stepping shard `from`
+  // (the only thread touching that shard mid-epoch) and from barrier
+  // actions. The delivery must not land inside an epoch the destination
+  // already executed: the barrier merge throws std::logic_error when
+  // deliver_at lies before the destination clock, i.e. when the
+  // source-to-destination latency is shorter than the epoch.
+  void PostCross(std::size_t from, std::size_t to, SimTime deliver_at,
+                 std::function<void()> fn);
+
+  // Runs `fn` single-threaded at the first barrier whose time is >= `time`
+  // (actions due at or before now() run before the next epoch starts).
+  // Actions fire in (time, registration) order and may themselves call
+  // CallAtBarrier and PostCross. This is the fleet's control lane: scrape
+  // merges, coordinator ticks, and attach/detach reconfiguration run here,
+  // while all shards are quiescent.
+  void CallAtBarrier(SimTime time, std::function<void()> fn);
+
+  // Steps every shard to `end` epoch by epoch. Epoch boundaries are
+  // aligned to multiples of epoch() from time zero, so periodic barrier
+  // work (a 1 s scrape cadence with a 1 s epoch) always observes shards at
+  // exactly its own timestamps. Re-entrant across calls: RunUntil(warmup)
+  // then RunUntil(end) continues seamlessly. Exceptions thrown by shard
+  // events are rethrown here (lowest shard index first) after the pool
+  // has quiesced.
+  void RunUntil(SimTime end);
+
+  // Sum of dispatched() over all shards (diagnostic).
+  [[nodiscard]] std::uint64_t TotalDispatched() const;
+
+ private:
+  struct CrossMessage {
+    SimTime at = 0;
+    std::uint32_t from = 0;
+    std::uint64_t seq = 0;  // per-sending-shard monotonic
+    std::function<void()> fn;
+  };
+
+  struct Shard {
+    std::unique_ptr<Simulator> sim;
+    // Outboxes, one per destination shard; written only by the worker
+    // stepping this shard (or the main thread at a barrier), drained only
+    // at barriers. No locking needed: the epoch handshake orders accesses.
+    std::vector<std::vector<CrossMessage>> outbox;
+    std::uint64_t next_seq = 0;
+    std::exception_ptr error;
+  };
+
+  void StepShardsTo(SimTime target);
+  void WorkerLoop();
+  void DrainMailboxes();
+  void RunBarrierActionsUpTo(SimTime time);
+  void RethrowShardErrors();
+
+  SimDuration epoch_;
+  SimTime now_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::multimap<SimTime, std::function<void()>> barrier_actions_;
+  Stats stats_;
+
+  // Worker pool (empty when workers_ == 1). Dispatch is generation-based:
+  // the main thread publishes (generation, target) under the mutex and
+  // workers claim shards through an atomic-free shared index also guarded
+  // by the mutex handshake at epoch start/end. The mutex/condvar pair
+  // provides the happens-before edges that make shard state written during
+  // an epoch visible to the barrier (and vice versa) -- this is what keeps
+  // the stepper clean under ThreadSanitizer.
+  int workers_ = 1;
+  std::vector<std::thread> pool_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  SimTime target_ = 0;
+  std::size_t next_shard_ = 0;
+  std::size_t busy_workers_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lachesis::sim
+
+#endif  // LACHESIS_SIM_FLEET_H_

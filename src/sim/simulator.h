@@ -14,6 +14,8 @@
 
 namespace lachesis::sim {
 
+class FleetSimulator;
+
 class Simulator {
  public:
   [[nodiscard]] SimTime now() const { return now_; }
@@ -71,10 +73,25 @@ class Simulator {
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  // --- fleet context ---------------------------------------------------------
+  // Set by FleetSimulator when this queue is one shard of a parallel fleet
+  // (sim/fleet.h). Code that may run in either mode (e.g. the SPE's remote
+  // tuple push) routes cross-simulator interactions through the fleet's
+  // mailboxes when `fleet()` is non-null; machines sharing one Simulator
+  // are unaffected.
+  void SetFleetContext(FleetSimulator* fleet, std::size_t shard_index) {
+    fleet_ = fleet;
+    shard_index_ = shard_index;
+  }
+  [[nodiscard]] FleetSimulator* fleet() const { return fleet_; }
+  [[nodiscard]] std::size_t shard_index() const { return shard_index_; }
+
  private:
   SimTime now_ = 0;
   std::uint64_t dispatched_ = 0;
   EventQueue queue_;
+  FleetSimulator* fleet_ = nullptr;
+  std::size_t shard_index_ = 0;
 };
 
 }  // namespace lachesis::sim

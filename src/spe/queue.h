@@ -18,7 +18,14 @@ namespace lachesis::spe {
 class TupleQueue {
  public:
   TupleQueue(sim::Machine& machine, std::size_t capacity)
-      : capacity_(capacity), not_empty_(machine), not_full_(machine) {}
+      : machine_(&machine),
+        capacity_(capacity),
+        not_empty_(machine),
+        not_full_(machine) {}
+
+  // Machine hosting the consumer; remote pushes use it to find the
+  // destination simulator (which differs from the sender's in fleet mode).
+  [[nodiscard]] sim::Machine& machine() const { return *machine_; }
 
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
@@ -64,6 +71,7 @@ class TupleQueue {
   }
 
  private:
+  sim::Machine* machine_;
   std::size_t capacity_;
   std::deque<Tuple> items_;
   sim::WaitChannel not_empty_;

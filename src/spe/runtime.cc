@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fleet.h"
+
 namespace lachesis::spe {
 
 std::uint64_t DeployedQuery::TotalIngested() const {
@@ -236,8 +238,18 @@ DeployedQuery& SpeInstance::Deploy(const LogicalQuery& query,
       PhysicalOp* op = deployed->storage_.back().get();
       op->set_remote_push([&machine](TupleQueue* dest, const Tuple& t,
                                      SimDuration delay) {
-        machine.simulator().ScheduleAfter(delay,
-                                          [dest, t] { dest->Push(t); });
+        sim::Simulator& src = machine.simulator();
+        sim::Simulator& dst = dest->machine().simulator();
+        if (&src == &dst || src.fleet() == nullptr) {
+          src.ScheduleAfter(delay, [dest, t] { dest->Push(t); });
+        } else {
+          // Fleet mode, destination on another shard: hand the tuple to the
+          // fleet mailbox so it is merged deterministically at the next
+          // barrier instead of mutating a queue another thread owns.
+          src.fleet()->PostCross(src.shard_index(), dst.shard_index(),
+                                 src.now() + delay,
+                                 [dest, t] { dest->Push(t); });
+        }
       });
 
       DeployedOp d;
@@ -305,21 +317,26 @@ DeployedQuery& SpeInstance::Deploy(const LogicalQuery& query,
   if (flavor_.max_pending > 0) {
     // Sum of internal (non-source-channel) queue sizes of this query. The
     // captured queue pointers are owned by the DeployedQuery and outlive it.
-    std::vector<const TupleQueue*> internal_queues;
-    for (const DeployedOp& d : deployed->ops) {
-      if (d.op->config().role != OperatorRole::kIngress) {
-        internal_queues.push_back(&d.op->input());
-      }
-    }
-    const auto pending = [internal_queues] {
-      std::size_t total = 0;
-      for (const TupleQueue* q : internal_queues) total += q->size();
-      return total;
-    };
+    // Each ingress only observes queues living on its own simulator: in
+    // fleet mode an ingress polling a queue another shard's worker is
+    // mutating would race, and the remote backlog is invisible to a real
+    // spout anyway (acks cross the network with the tuples).
     for (DeployedOp& d : deployed->ops) {
-      if (d.op->config().role == OperatorRole::kIngress) {
-        d.op->set_flow_control(pending, flavor_.max_pending);
+      if (d.op->config().role != OperatorRole::kIngress) continue;
+      const sim::Simulator* home =
+          &machines_[static_cast<std::size_t>(d.machine_index)]->simulator();
+      std::vector<const TupleQueue*> internal_queues;
+      for (const DeployedOp& other : deployed->ops) {
+        if (other.op->config().role == OperatorRole::kIngress) continue;
+        if (&other.op->input().machine().simulator() != home) continue;
+        internal_queues.push_back(&other.op->input());
       }
+      const auto pending = [internal_queues] {
+        std::size_t total = 0;
+        for (const TupleQueue* q : internal_queues) total += q->size();
+        return total;
+      };
+      d.op->set_flow_control(pending, flavor_.max_pending);
     }
   }
 
@@ -343,9 +360,13 @@ DeployedQuery& SpeInstance::Deploy(const LogicalQuery& query,
   return *queries_.back();
 }
 
-void SpeInstance::ForEachRawMetric(const RawMetricFn& fn) const {
+void SpeInstance::ForEachRawMetric(const RawMetricFn& fn,
+                                   int machine_index) const {
   for (const auto& query : queries_) {
     for (const DeployedOp& d : query->ops) {
+      // Filter before touching the operator: in fleet mode ops on other
+      // machines belong to other shards' threads mid-epoch.
+      if (machine_index >= 0 && d.machine_index != machine_index) continue;
       const PhysicalOp& op = *d.op;
       const bool is_ingress = op.config().role == OperatorRole::kIngress;
       const sim::Machine& machine =

@@ -96,10 +96,13 @@ class SpeInstance {
   }
 
   // Raw-metric iteration for the metric scraper: invokes `fn` for every
-  // (query, op, metric, value) the flavor's public API exposes.
+  // (query, op, metric, value) the flavor's public API exposes. When
+  // `machine_index` is non-negative only operators placed on that machine
+  // are visited -- fleet-mode scrapers use this so a shard's scraper never
+  // touches operator or machine state owned by another shard's thread.
   using RawMetricFn = std::function<void(const DeployedQuery&, const DeployedOp&,
                                          RawMetric, double)>;
-  void ForEachRawMetric(const RawMetricFn& fn) const;
+  void ForEachRawMetric(const RawMetricFn& fn, int machine_index = -1) const;
 
  private:
   SpeFlavor flavor_;

@@ -41,7 +41,13 @@ class Scraper {
   Scraper(sim::Simulator& sim, TimeSeriesStore& store, SimDuration period)
       : sim_(&sim), store_(&store), period_(period) {}
 
-  void AddInstance(spe::SpeInstance& instance) { instances_.push_back(&instance); }
+  // Registers an instance. A non-negative `machine_index` restricts the
+  // scrape to operators placed on that machine: fleet shards each run their
+  // own Scraper on their own simulator and must not read operator state the
+  // worker of another shard is mutating mid-epoch.
+  void AddInstance(spe::SpeInstance& instance, int machine_index = -1) {
+    instances_.push_back(Target{&instance, machine_index});
+  }
 
   // Scrapes every `period` until `until`.
   void Start(SimTime until) {
@@ -50,13 +56,14 @@ class Scraper {
   }
 
   void ScrapeOnce() {
-    for (spe::SpeInstance* instance : instances_) {
-      instance->ForEachRawMetric([this](const spe::DeployedQuery&,
-                                        const spe::DeployedOp& op,
-                                        spe::RawMetric metric, double value) {
-        store_->Append(op.op->config().name + "." + RawMetricName(metric),
-                       sim_->now(), value);
-      });
+    for (const Target& target : instances_) {
+      target.instance->ForEachRawMetric(
+          [this](const spe::DeployedQuery&, const spe::DeployedOp& op,
+                 spe::RawMetric metric, double value) {
+            store_->Append(op.op->config().name + "." + RawMetricName(metric),
+                           sim_->now(), value);
+          },
+          target.machine_index);
     }
   }
 
@@ -69,11 +76,16 @@ class Scraper {
     });
   }
 
+  struct Target {
+    spe::SpeInstance* instance;
+    int machine_index;  // -1 = all machines
+  };
+
   sim::Simulator* sim_;
   TimeSeriesStore* store_;
   SimDuration period_;
   SimTime until_ = 0;
-  std::vector<spe::SpeInstance*> instances_;
+  std::vector<Target> instances_;
 };
 
 }  // namespace lachesis::tsdb
