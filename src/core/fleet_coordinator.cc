@@ -1,7 +1,8 @@
 #include "core/fleet_coordinator.h"
 
-#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/trace_export.h"
@@ -44,17 +45,19 @@ FleetTickTotals FleetCoordinator::MergeTickTotals() const {
 }
 
 obs::SelfMetricsSnapshot FleetCoordinator::MergeSelfMetrics() const {
+  // Runs on the barrier lane every scrape period; accumulate through a name
+  // index so the merge is O(shards x metrics) instead of quadratic in the
+  // metric count. First-seen order is preserved.
   obs::SelfMetricsSnapshot merged;
+  std::unordered_map<std::string, std::size_t> index;
   for (const ShardState& s : shards_) {
     const obs::SelfMetricsSnapshot snapshot = s.runner->CollectSelfMetrics();
     for (const obs::MetricValue& m : snapshot) {
-      auto it = std::find_if(
-          merged.begin(), merged.end(),
-          [&](const obs::MetricValue& v) { return v.name == m.name; });
-      if (it == merged.end()) {
+      const auto [it, inserted] = index.emplace(m.name, merged.size());
+      if (inserted) {
         merged.push_back(m);
       } else {
-        it->value += m.value;
+        merged[it->second].value += m.value;
       }
     }
   }

@@ -167,32 +167,38 @@ FleetResult RunFleet(const FleetSpec& spec) {
     }
   }
 
-  // --- barrier lane: coordinator merge at the scrape cadence ------------------
+  // Recurring barrier-lane callbacks. Owned by this frame rather than by the
+  // closures registered in the fleet (a shared_ptr there would self-capture
+  // and leak); every re-registration is guarded by `next <= end`, so each
+  // continuation -- and its reference to these locals -- is consumed before
+  // the final RunUntil(end) returns.
   std::uint64_t merges = 0;
+  std::function<void(SimTime)> merge_tick;
+  std::function<void(SimTime)> churn;
+  std::vector<core::FleetQueryHandle> churn_live;
+
+  // --- barrier lane: coordinator merge at the scrape cadence ------------------
   if (lachesis) {
-    auto merge_tick = std::make_shared<std::function<void(SimTime)>>();
-    *merge_tick = [&coordinator, &merges, &fleet, merge_tick, end,
-                   period = spec.scrape_period](SimTime t) {
+    merge_tick = [&coordinator, &merges, &fleet, &merge_tick, end,
+                  period = spec.scrape_period](SimTime t) {
       (void)coordinator.MergeTickTotals();
       ++merges;
       const SimTime next = t + period;
       if (next <= end) {
-        fleet.CallAtBarrier(next, [merge_tick, next] { (*merge_tick)(next); });
+        fleet.CallAtBarrier(next, [&merge_tick, next] { merge_tick(next); });
       }
     };
-    fleet.CallAtBarrier(spec.scrape_period, [merge_tick,
-                                             t = spec.scrape_period] {
-      (*merge_tick)(t);
-    });
+    fleet.CallAtBarrier(spec.scrape_period,
+                        [&merge_tick, t = spec.scrape_period] {
+                          merge_tick(t);
+                        });
   }
 
   // --- barrier lane: churn (coordinator-placed attach/detach) -----------------
   if (spec.churn_period > 0) {
-    auto churn = std::make_shared<std::function<void(SimTime)>>();
-    auto live = std::make_shared<std::vector<core::FleetQueryHandle>>();
-    *churn = [&coordinator, &nodes, &fleet, &spec, churn, live,
-              end](SimTime t) {
-      if (live->empty()) {
+    churn = [&coordinator, &nodes, &fleet, &spec, &churn, &churn_live,
+             end](SimTime t) {
+      if (churn_live.empty()) {
         const core::FleetQueryHandle handle = coordinator.AttachQuery(
             "churn", [&nodes, &spec](std::size_t shard,
                                      core::LachesisRunner& runner) {
@@ -208,18 +214,18 @@ FleetResult RunFleet(const FleetSpec& spec) {
               };
               return runner.AddQuery(std::move(binding));
             });
-        live->push_back(handle);
+        churn_live.push_back(handle);
       } else {
-        coordinator.DetachQuery(live->back());
-        live->pop_back();
+        coordinator.DetachQuery(churn_live.back());
+        churn_live.pop_back();
       }
       const SimTime next = t + spec.churn_period;
       if (next <= end) {
-        fleet.CallAtBarrier(next, [churn, next] { (*churn)(next); });
+        fleet.CallAtBarrier(next, [&churn, next] { churn(next); });
       }
     };
     fleet.CallAtBarrier(spec.churn_period,
-                        [churn, t = spec.churn_period] { (*churn)(t); });
+                        [&churn, t = spec.churn_period] { churn(t); });
   }
 
   // --- warmup -----------------------------------------------------------------

@@ -54,10 +54,22 @@ void FleetSimulator::PostCross(std::size_t from, std::size_t to,
   src.outbox[to].push_back(
       CrossMessage{deliver_at, static_cast<std::uint32_t>(from),
                    src.next_seq++, std::move(fn)});
-  ++stats_.cross_posted;
+  ++src.cross_posted;
+}
+
+FleetSimulator::Stats FleetSimulator::stats() const {
+  Stats totals = stats_;
+  for (const auto& shard : shards_) totals.cross_posted += shard->cross_posted;
+  return totals;
 }
 
 void FleetSimulator::CallAtBarrier(SimTime time, std::function<void()> fn) {
+  if (stepping_) {
+    throw std::logic_error(
+        "FleetSimulator::CallAtBarrier called from a shard event mid-epoch; "
+        "the action map is barrier-lane-only -- use PostCross from shard "
+        "events instead");
+  }
   barrier_actions_.emplace(time, std::move(fn));
 }
 
@@ -85,6 +97,7 @@ void FleetSimulator::WorkerLoop() {
 }
 
 void FleetSimulator::StepShardsTo(SimTime target) {
+  stepping_ = true;
   if (pool_.empty()) {
     for (auto& shard : shards_) {
       try {
@@ -105,6 +118,7 @@ void FleetSimulator::StepShardsTo(SimTime target) {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
   }
+  stepping_ = false;
   RethrowShardErrors();
 }
 

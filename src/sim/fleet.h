@@ -63,7 +63,10 @@ class FleetSimulator {
   [[nodiscard]] SimDuration epoch() const { return epoch_; }
   // Fleet time: the last epoch boundary every shard has reached.
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Snapshot of the counters. cross_posted is summed from per-shard
+  // single-writer counters, so call this from the barrier lane (or between
+  // RunUntil calls), not from a shard event mid-epoch.
+  [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] Simulator& shard(std::size_t index) {
     return *shards_.at(index)->sim;
@@ -85,6 +88,12 @@ class FleetSimulator {
   // CallAtBarrier and PostCross. This is the fleet's control lane: scrape
   // merges, coordinator ticks, and attach/detach reconfiguration run here,
   // while all shards are quiescent.
+  //
+  // Unlike PostCross, this must NOT be called from a shard event mid-epoch:
+  // the action map is shared across shards, so registration is only legal
+  // from the barrier lane (or before/between RunUntil calls). A shard event
+  // that wants coordinator attention posts itself a cross message instead.
+  // Mid-epoch calls throw std::logic_error rather than silently racing.
   void CallAtBarrier(SimTime time, std::function<void()> fn);
 
   // Steps every shard to `end` epoch by epoch. Epoch boundaries are
@@ -114,6 +123,11 @@ class FleetSimulator {
     // at barriers. No locking needed: the epoch handshake orders accesses.
     std::vector<std::vector<CrossMessage>> outbox;
     std::uint64_t next_seq = 0;
+    // PostCross count for this shard. Single-writer like next_seq: only the
+    // worker stepping this shard (or the barrier lane) touches it, so the
+    // fleet-wide total is summed in stats() instead of bumping a shared
+    // counter from concurrent workers.
+    std::uint64_t cross_posted = 0;
     std::exception_ptr error;
   };
 
@@ -146,6 +160,11 @@ class FleetSimulator {
   std::size_t next_shard_ = 0;
   std::size_t busy_workers_ = 0;
   bool stop_ = false;
+  // True while StepShardsTo has shards in flight; guards CallAtBarrier
+  // against mid-epoch registration. Written only by the thread driving
+  // RunUntil, before workers start and after they quiesce (the epoch
+  // handshake orders the accesses), so a plain bool suffices.
+  bool stepping_ = false;
 };
 
 }  // namespace lachesis::sim
