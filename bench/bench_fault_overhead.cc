@@ -96,11 +96,17 @@ const char* ModeName(Mode mode) {
   return "?";
 }
 
-double RunOnce(Mode mode, bool churn, int ticks) {
+struct Timing {
+  double ns_per_tick = 0;
+  double wall_seconds = 0;
+};
+
+Timing RunOnce(Mode mode, bool churn, int ticks, int queries = 8,
+               int operators = 32, int warmup_ticks = 0) {
   sim::Simulator sim;
   core::SimControlExecutor executor(sim);
   NullOsAdapter os;
-  SyntheticDriver driver(/*queries=*/8, /*operators_per_query=*/32, churn);
+  SyntheticDriver driver(queries, operators, churn);
 
   // Empty plan: the injectors match no rule, every call passes through.
   core::FaultPlan empty_plan;
@@ -127,14 +133,22 @@ double RunOnce(Mode mode, bool churn, int ticks) {
   binding.period = Seconds(1);
   binding.drivers = {&spe};
   runner.AddQuery(std::move(binding));
-  runner.Start(Seconds(ticks));
+  runner.Start(Seconds(warmup_ticks + ticks));
+
+  // Warmup ticks pay the one-time table growth outside the timed window;
+  // only the scale sweep uses them (short timed runs at million-target
+  // sizes would otherwise be dominated by first-tick growth).
+  if (warmup_ticks > 0) sim.RunUntil(Seconds(warmup_ticks));
 
   const auto start = std::chrono::steady_clock::now();
-  sim.RunUntil(Seconds(ticks));
+  sim.RunUntil(Seconds(warmup_ticks + ticks));
   const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - start)
                         .count();
-  return static_cast<double>(wall) / ticks;
+  Timing t;
+  t.ns_per_tick = static_cast<double>(wall) / ticks;
+  t.wall_seconds = static_cast<double>(wall) / 1e9;
+  return t;
 }
 
 double OverheadPct(double base_ns, double with_ns) {
@@ -157,13 +171,23 @@ int main(int argc, char** argv) {
   struct Row {
     Mode mode;
     bool churn;
+    int queries = 8;
+    int operators = 32;
+    int ticks = 0;
     double ns_per_tick = 0;
+    double wall_seconds = 0;
+
+    [[nodiscard]] int targets() const { return queries * operators; }
   };
   std::vector<Row> rows;
   for (const bool churn : {false, true}) {
     for (const Mode mode :
          {Mode::kHealthOff, Mode::kHealthOn, Mode::kHealthOnWrapped}) {
-      rows.push_back({mode, churn});
+      Row row;
+      row.mode = mode;
+      row.churn = churn;
+      row.ticks = ticks;
+      rows.push_back(row);
     }
   }
   // Interleave the configurations rep by rep (round-robin) and keep the
@@ -171,9 +195,36 @@ int main(int argc, char** argv) {
   // evenly instead of biasing whichever ran during a busy window.
   for (int r = 0; r < reps; ++r) {
     for (Row& row : rows) {
-      const double ns = RunOnce(row.mode, row.churn, ticks);
-      if (r == 0 || ns < row.ns_per_tick) row.ns_per_tick = ns;
+      const Timing t = RunOnce(row.mode, row.churn, ticks);
+      if (r == 0 || t.ns_per_tick < row.ns_per_tick) {
+        row.ns_per_tick = t.ns_per_tick;
+        row.wall_seconds = t.wall_seconds;
+      }
     }
+  }
+
+  // Million-target scale sweep with health tracking on (the default): the
+  // health layer's per-op cost must stay O(1) per target as the target
+  // count grows, i.e. ns/target flat from 100k to 1M. Single rep, few
+  // ticks: at these sizes the loop dwarfs timer noise.
+  const bool quick = ticks <= 400;
+  const int sweep[][3] = {
+      {1000, 100, quick ? 3 : 10},   // 100k targets
+      {1000, 300, quick ? 2 : 6},    // 300k targets
+      {1000, 1000, quick ? 2 : 4},   // 1M targets
+  };
+  for (const auto& point : sweep) {
+    Row row;
+    row.mode = Mode::kHealthOn;
+    row.churn = false;
+    row.queries = point[0];
+    row.operators = point[1];
+    row.ticks = point[2];
+    const Timing t = RunOnce(row.mode, row.churn, row.ticks, row.queries,
+                             row.operators, /*warmup_ticks=*/1);
+    row.ns_per_tick = t.ns_per_tick;
+    row.wall_seconds = t.wall_seconds;
+    rows.push_back(row);
   }
 
   auto find = [&rows](Mode mode, bool churn) {
@@ -188,10 +239,12 @@ int main(int argc, char** argv) {
   const double churn_pct =
       OverheadPct(find(Mode::kHealthOff, true), find(Mode::kHealthOn, true));
 
-  std::printf("%20s %6s %12s\n", "mode", "churn", "ns/tick");
+  std::printf("%20s %6s %9s %12s %12s\n", "mode", "churn", "targets",
+              "ns/tick", "ns/target");
   for (const Row& r : rows) {
-    std::printf("%20s %6s %12.0f\n", ModeName(r.mode), r.churn ? "yes" : "no",
-                r.ns_per_tick);
+    std::printf("%20s %6s %9d %12.0f %12.1f\n", ModeName(r.mode),
+                r.churn ? "yes" : "no", r.targets(), r.ns_per_tick,
+                r.ns_per_tick / r.targets());
   }
   std::printf("health overhead: steady %+.2f%%, churn %+.2f%% (budget < 2%% "
               "steady)\n",
@@ -206,10 +259,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,
-                 "    {\"mode\": \"%s\", \"churn\": %s, \"ticks\": %d, "
-                 "\"ns_per_tick\": %.0f}%s\n",
-                 ModeName(r.mode), r.churn ? "true" : "false", ticks,
-                 r.ns_per_tick, i + 1 < rows.size() ? "," : "");
+                 "    {\"mode\": \"%s\", \"churn\": %s, \"targets\": %d, "
+                 "\"ticks\": %d, \"ns_per_tick\": %.0f, "
+                 "\"wall_seconds\": %.6f}%s\n",
+                 ModeName(r.mode), r.churn ? "true" : "false", r.targets(),
+                 r.ticks, r.ns_per_tick, r.wall_seconds,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"overhead_pct_steady\": %.2f,\n"

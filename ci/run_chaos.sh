@@ -16,13 +16,18 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
   -DLACHESIS_SANITIZE="${LACHESIS_SANITIZE:-address,undefined}"
+# The container property suites (stable_pool_test, hash_index_test) run
+# here too: linear-probing deletions, pool free-list reuse, and arena
+# block recycling are exactly the code ASan/UBSan catches lying about.
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target fault_tolerance_test failure_injection_test \
-           schedule_delta_test runner_dynamic_test
+           schedule_delta_test runner_dynamic_test \
+           stable_pool_test hash_index_test alloc_regression_test
 
 status=0
 for t in fault_tolerance_test failure_injection_test \
-         schedule_delta_test runner_dynamic_test; do
+         schedule_delta_test runner_dynamic_test \
+         stable_pool_test hash_index_test alloc_regression_test; do
   "$BUILD_DIR/tests/$t" --gtest_brief=1 || status=$?
 done
 if [ "$status" -ne 0 ]; then

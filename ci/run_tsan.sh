@@ -21,11 +21,19 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
   -DLACHESIS_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target fleet_sim_test fleet_golden_test
+  --target fleet_sim_test fleet_golden_test \
+           stable_pool_test hash_index_test
 
 status=0
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/fleet_sim_test" --gtest_brief=1 || status=$?
+
+# Storage-layer container suites under TSan: the containers are
+# single-writer by contract, but the recorder's interner is called under
+# the recorder lock from concurrent contexts -- build and run the property
+# suites in this lane so any future cross-thread use is instrumented.
+"$BUILD_DIR/tests/stable_pool_test" --gtest_brief=1 || status=$?
+"$BUILD_DIR/tests/hash_index_test" --gtest_brief=1 || status=$?
 
 # Chaos soak: longer measurement window, churn on, pool saturated.
 LACHESIS_FLEET_SOAK_SCALE="${LACHESIS_FLEET_SOAK_SCALE:-3}" \

@@ -1,0 +1,219 @@
+// Generation-checked slot pool with stable addresses and dense indices.
+//
+// The control plane and simulator track 10^5-10^6 per-(op-class, target)
+// records; node-based containers pay one heap allocation per record and a
+// pointer chase per lookup. StablePool stores records in fixed-size chunks
+// (contiguous arrays, allocated once per kChunkSlots records), so:
+//
+//  - Alloc()/Free() are O(1): a free-list pop/push plus a placement
+//    new/destroy. Steady-state churn inside a warmed pool never touches
+//    the heap;
+//  - element addresses are stable for the element's lifetime (chunks never
+//    move or shrink), so callers may hold T* across unrelated Alloc/Free;
+//  - slot indices are dense and start at 0: a pool that is never Free()d
+//    (the simulator's entity tables) numbers its slots exactly like the
+//    vector-of-unique_ptr it replaces, which is what keeps golden traces
+//    byte-identical across the migration;
+//  - every handle carries a generation. Freeing a slot bumps the slot's
+//    generation, so a stale handle (the ABA hazard: slot freed, then
+//    reused for a different entity) is detected and rejected instead of
+//    silently aliasing the new occupant.
+//
+// Not thread-safe. Exemplar lineage: the stable_array/hash_index pairing
+// in Boostibot's c_lib (ROADMAP item 2); see docs/ARCHITECTURE.md for how
+// the subsystems divide ownership of pools.
+#ifndef LACHESIS_COMMON_STABLE_POOL_H_
+#define LACHESIS_COMMON_STABLE_POOL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace lachesis {
+
+// 64-bit handle: 32-bit slot index + 32-bit generation. Generation 0 never
+// names a live slot, so a default-constructed handle is always invalid.
+struct PoolHandle {
+  std::uint32_t index = 0;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return generation != 0; }
+  friend constexpr bool operator==(PoolHandle, PoolHandle) = default;
+};
+
+template <typename T>
+class StablePool {
+ public:
+  // 256 slots per chunk: big enough that chunk allocations amortize away,
+  // small enough that a few-entity pool does not reserve megabytes.
+  static constexpr std::uint32_t kChunkSlots = 256;
+
+  StablePool() = default;
+  ~StablePool() { Clear(); }
+  StablePool(const StablePool&) = delete;
+  StablePool& operator=(const StablePool&) = delete;
+  StablePool(StablePool&& other) noexcept { *this = std::move(other); }
+  StablePool& operator=(StablePool&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      chunks_ = std::move(other.chunks_);
+      meta_ = std::move(other.meta_);
+      free_head_ = other.free_head_;
+      live_ = other.live_;
+      other.chunks_.clear();
+      other.meta_.clear();
+      other.free_head_ = kNoSlot;
+      other.live_ = 0;
+    }
+    return *this;
+  }
+
+  // Constructs a T in a free slot (reusing the most recently freed slot
+  // first, else appending) and returns its handle. O(1); allocates only
+  // when a fresh chunk is needed.
+  template <typename... Args>
+  PoolHandle Alloc(Args&&... args) {
+    std::uint32_t idx;
+    if (free_head_ != kNoSlot) {
+      idx = free_head_;
+      free_head_ = meta_[idx].next_free;
+    } else {
+      idx = static_cast<std::uint32_t>(meta_.size());
+      if (idx / kChunkSlots >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+      meta_.push_back({});
+    }
+    Slot& m = meta_[idx];
+    // Live generations are odd; freeing bumps to even, reallocating back
+    // to odd. A handle is valid iff its generation matches the slot's
+    // current (odd) generation.
+    m.generation |= 1u;
+    if (m.generation == 0) m.generation = 1;  // 32-bit wrap safety
+    ::new (RawSlot(idx)) T(std::forward<Args>(args)...);
+    ++live_;
+    return PoolHandle{idx, m.generation};
+  }
+
+  // Destroys the element behind a live handle. Returns false (and does
+  // nothing) for stale or never-valid handles: double-free and ABA misuse
+  // degrade to a no-op, never to corruption.
+  bool Free(PoolHandle h) {
+    T* p = TryGet(h);
+    if (p == nullptr) return false;
+    p->~T();
+    Slot& m = meta_[h.index];
+    ++m.generation;  // now even = free; stale handles stop matching
+    m.next_free = free_head_;
+    free_head_ = h.index;
+    --live_;
+    return true;
+  }
+
+  // Handle-checked access: nullptr when the handle is stale (its slot was
+  // freed, possibly reused) or out of range.
+  [[nodiscard]] T* TryGet(PoolHandle h) {
+    if (h.index >= meta_.size() || meta_[h.index].generation != h.generation ||
+        (h.generation & 1u) == 0) {
+      return nullptr;
+    }
+    return std::launder(reinterpret_cast<T*>(RawSlot(h.index)));
+  }
+  [[nodiscard]] const T* TryGet(PoolHandle h) const {
+    return const_cast<StablePool*>(this)->TryGet(h);
+  }
+  [[nodiscard]] T& Get(PoolHandle h) {
+    T* p = TryGet(h);
+    assert(p != nullptr && "stale or invalid pool handle");
+    return *p;
+  }
+  [[nodiscard]] const T& Get(PoolHandle h) const {
+    return const_cast<StablePool*>(this)->Get(h);
+  }
+
+  // Unchecked dense access for pools used as append-only entity tables
+  // (the simulator): the caller guarantees slot `idx` is live.
+  [[nodiscard]] T& at(std::uint32_t idx) {
+    assert(idx < meta_.size() && (meta_[idx].generation & 1u) != 0);
+    return *std::launder(reinterpret_cast<T*>(RawSlot(idx)));
+  }
+  [[nodiscard]] const T& at(std::uint32_t idx) const {
+    return const_cast<StablePool*>(this)->at(idx);
+  }
+
+  [[nodiscard]] bool IsLive(std::uint32_t idx) const {
+    return idx < meta_.size() && (meta_[idx].generation & 1u) != 0;
+  }
+  // Current generation of a slot (handle reconstruction for dense tables).
+  [[nodiscard]] PoolHandle HandleOf(std::uint32_t idx) const {
+    assert(IsLive(idx));
+    return PoolHandle{idx, meta_[idx].generation};
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  // Total slots ever created (live + free-listed); the dense index bound.
+  [[nodiscard]] std::uint32_t slot_count() const {
+    return static_cast<std::uint32_t>(meta_.size());
+  }
+
+  // Visits every live element in slot-index order (deterministic).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (std::uint32_t i = 0; i < meta_.size(); ++i) {
+      if ((meta_[i].generation & 1u) != 0) {
+        fn(i, *std::launder(reinterpret_cast<T*>(RawSlot(i))));
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < meta_.size(); ++i) {
+      if ((meta_[i].generation & 1u) != 0) {
+        fn(i, *std::launder(reinterpret_cast<const T*>(
+                  const_cast<StablePool*>(this)->RawSlot(i))));
+      }
+    }
+  }
+
+  // Destroys every live element. Chunks are released; generations are NOT
+  // preserved across Clear (a cleared pool is a new pool).
+  void Clear() {
+    ForEach([](std::uint32_t, T& value) { value.~T(); });
+    chunks_.clear();
+    meta_.clear();
+    free_head_ = kNoSlot;
+    live_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct alignas(T) ChunkStorage {
+    unsigned char bytes[sizeof(T) * kChunkSlots];
+  };
+  using Chunk = ChunkStorage;
+
+  struct Slot {
+    std::uint32_t generation = 0;  // odd = live, even = free
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  [[nodiscard]] void* RawSlot(std::uint32_t idx) {
+    return chunks_[idx / kChunkSlots]->bytes +
+           static_cast<std::size_t>(idx % kChunkSlots) * sizeof(T);
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<Slot> meta_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+};
+
+}  // namespace lachesis
+
+#endif  // LACHESIS_COMMON_STABLE_POOL_H_

@@ -87,6 +87,14 @@ SimDuration OpHealthTracker::BackoffDelay(const std::string& target,
   return delay;
 }
 
+std::uint32_t OpHealthTracker::IdOf(const std::string& target) const {
+  const std::uint32_t id = target_ids_.Lookup(target);
+  // Lookup reports both "never interned" and "" as 0; only the latter is a
+  // real id (the interner's reserved slot).
+  if (id == 0 && !target.empty()) return kAbsentTarget;
+  return id;
+}
+
 bool OpHealthTracker::AllowAttempt(OpClass cls, const std::string& target,
                                    SimTime now) {
   if (!config_.enabled) return true;
@@ -106,16 +114,18 @@ bool OpHealthTracker::AllowAttempt(OpClass cls, const std::string& target,
     // only triggers if a caller skipped Record*); stay conservative.
     return false;
   }
-  const auto& per_target = targets_[static_cast<int>(cls)];
-  const auto it = per_target.find(target);
-  return it == per_target.end() || now >= it->second.next_retry;
+  const std::uint32_t id = IdOf(target);
+  if (id == kAbsentTarget) return true;  // never failed: no backoff to check
+  const TargetHealth* t = targets_[static_cast<int>(cls)].Find(id);
+  return t == nullptr || now >= t->next_retry;
 }
 
 void OpHealthTracker::RecordSuccess(OpClass cls, const std::string& target,
                                     SimTime now) {
   if (!config_.enabled) return;
   auto& per_target = targets_[static_cast<int>(cls)];
-  per_target.erase(target);
+  const std::uint32_t id = IdOf(target);
+  if (id != kAbsentTarget) per_target.Erase(id);
   ClassHealth& ch = classes_[static_cast<int>(cls)];
   ch.consecutive_failures = 0;
   ch.probe_failures = 0;
@@ -124,7 +134,7 @@ void OpHealthTracker::RecordSuccess(OpClass cls, const std::string& target,
     // ended. Close the breaker and clear every backoff of the class so the
     // next tick re-applies everything that was suppressed.
     ch.state = BreakerState::kClosed;
-    per_target.clear();
+    per_target.Clear();
     if (recorder_ != nullptr) {
       recorder_->BreakerTransition(now, static_cast<int>(cls),
                                    StateInt(BreakerState::kHalfOpen),
@@ -136,7 +146,8 @@ void OpHealthTracker::RecordSuccess(OpClass cls, const std::string& target,
 void OpHealthTracker::RecordFailure(OpClass cls, const std::string& target,
                                     SimTime now, ErrorSeverity severity) {
   if (!config_.enabled) return;
-  TargetHealth& t = targets_[static_cast<int>(cls)][target];
+  TargetHealth& t =
+      *targets_[static_cast<int>(cls)].FindOrInsert(target_ids_.Intern(target));
   t.failures += severity == ErrorSeverity::kPermanent ? 2 : 1;
   t.next_retry = now + BackoffDelay(target, t.failures);
   if (recorder_ != nullptr) {
@@ -180,12 +191,17 @@ void OpHealthTracker::RecordFailure(OpClass cls, const std::string& target,
 }
 
 void OpHealthTracker::ForgetTarget(const std::string& target) {
-  for (auto& per_target : targets_) per_target.erase(target);
+  const std::uint32_t id = IdOf(target);
+  if (id == kAbsentTarget) return;
+  for (auto& per_target : targets_) per_target.Erase(id);
 }
 
 void OpHealthTracker::Reset() {
   classes_ = {};
-  for (auto& per_target : targets_) per_target.clear();
+  // The interner is deliberately kept: ids are internal, stable, and
+  // bounded by the set of distinct targets ever seen, so a Reset leaves a
+  // warmed tracker allocation-free.
+  for (auto& per_target : targets_) per_target.Clear();
 }
 
 int OpHealthTracker::open_breakers() const {
@@ -209,16 +225,18 @@ std::size_t OpHealthTracker::tracked_targets() const {
 
 int OpHealthTracker::target_failures(OpClass cls,
                                      const std::string& target) const {
-  const auto& per_target = targets_[static_cast<int>(cls)];
-  const auto it = per_target.find(target);
-  return it == per_target.end() ? 0 : it->second.failures;
+  const std::uint32_t id = IdOf(target);
+  if (id == kAbsentTarget) return 0;
+  const TargetHealth* t = targets_[static_cast<int>(cls)].Find(id);
+  return t == nullptr ? 0 : t->failures;
 }
 
 SimTime OpHealthTracker::target_next_retry(OpClass cls,
                                            const std::string& target) const {
-  const auto& per_target = targets_[static_cast<int>(cls)];
-  const auto it = per_target.find(target);
-  return it == per_target.end() ? 0 : it->second.next_retry;
+  const std::uint32_t id = IdOf(target);
+  if (id == kAbsentTarget) return 0;
+  const TargetHealth* t = targets_[static_cast<int>(cls)].Find(id);
+  return t == nullptr ? 0 : t->next_retry;
 }
 
 }  // namespace lachesis::core

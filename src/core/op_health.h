@@ -33,9 +33,9 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 
+#include "common/hash_index.h"
 #include "common/sim_time.h"
 
 namespace lachesis::obs {
@@ -140,6 +140,8 @@ class OpHealthTracker {
   }
 
  private:
+  static constexpr std::uint32_t kAbsentTarget = 0xffffffffu;
+
   struct TargetHealth {
     int failures = 0;
     SimTime next_retry = 0;
@@ -156,11 +158,21 @@ class OpHealthTracker {
 
   [[nodiscard]] SimDuration BackoffDelay(const std::string& target,
                                          int failures) const;
+  // Interned id of `target`, or kAbsent when the tracker has never seen it.
+  // (Id 0 is the interner's "" sentinel AND its miss value, so a plain
+  // Lookup cannot distinguish an unknown target from the empty string.)
+  [[nodiscard]] std::uint32_t IdOf(const std::string& target) const;
 
   HealthConfig config_;
   obs::Recorder* recorder_ = nullptr;
   std::array<ClassHealth, kOpClassCount> classes_{};
-  std::array<std::map<std::string, TargetHealth>, kOpClassCount> targets_;
+  // Targets are interned once (string -> dense uint32 id); per-class state
+  // lives in open-addressing maps keyed by id, so the tick-time
+  // AllowAttempt / RecordSuccess / RecordFailure cycle is O(1) and touches
+  // the heap only the first time a target is ever seen. Lookups on the
+  // allow path never allocate at all (StringInterner::Lookup contract).
+  StringInterner target_ids_;
+  std::array<FlatMap<std::uint32_t, TargetHealth>, kOpClassCount> targets_;
 };
 
 }  // namespace lachesis::core

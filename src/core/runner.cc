@@ -87,26 +87,24 @@ void LachesisRunner::RemoveQuery(std::size_t index) {
   // this binding could reach. A failed op against a detached query's
   // thread must not keep being retried (or hold tracker entries) forever;
   // threads still visible through another attached binding keep theirs.
-  using Key = std::tuple<const void*, std::uint64_t, long>;
-  const auto key_of = [](const ThreadHandle& t) {
-    return Key{t.machine, t.sim_tid.value(), t.os_tid};
-  };
-  std::set<Key> still_visible;
+  // The scratch sets are hash sets over the padding-free ThreadKey, so the
+  // purge costs one O(1) probe per entity instead of an O(log n) tree walk.
+  FlatSet<ThreadKey> still_visible;
   for (const Bound& other : bindings_) {
     if (!other.attached) continue;
     for (SpeDriver* driver : other.binding.drivers) {
       for (const EntityInfo& entity : driver->Entities()) {
         if (other.binding.filter && !other.binding.filter(entity)) continue;
-        still_visible.insert(key_of(entity.thread));
+        still_visible.Insert(ThreadKeyOf(entity.thread));
       }
     }
   }
-  std::set<Key> forgotten;
+  FlatSet<ThreadKey> forgotten;
   for (SpeDriver* driver : bound.binding.drivers) {
     for (const EntityInfo& entity : driver->Entities()) {
       if (bound.binding.filter && !bound.binding.filter(entity)) continue;
-      const Key key = key_of(entity.thread);
-      if (still_visible.count(key) || !forgotten.insert(key).second) continue;
+      const ThreadKey key = ThreadKeyOf(entity.thread);
+      if (still_visible.Contains(key) || !forgotten.Insert(key)) continue;
       delta_.ForgetThread(entity.thread);
     }
   }
@@ -121,8 +119,7 @@ void LachesisRunner::SetBindingEnabled(std::size_t index, bool enabled) {
 }
 
 std::size_t LachesisRunner::ReconcileWithBackend() {
-  using Key = std::tuple<const void*, std::uint64_t, long>;
-  std::set<Key> seen;
+  FlatSet<ThreadKey> seen;
   std::vector<ThreadHandle> threads;
   for (const Bound& bound : bindings_) {
     if (!bound.attached) continue;
@@ -130,9 +127,7 @@ std::size_t LachesisRunner::ReconcileWithBackend() {
       for (const EntityInfo& entity : driver->Entities()) {
         if (bound.binding.filter && !bound.binding.filter(entity)) continue;
         const ThreadHandle& t = entity.thread;
-        if (seen.insert({t.machine, t.sim_tid.value(), t.os_tid}).second) {
-          threads.push_back(t);
-        }
+        if (seen.Insert(ThreadKeyOf(t))) threads.push_back(t);
       }
     }
   }

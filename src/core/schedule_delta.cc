@@ -8,24 +8,27 @@
 namespace lachesis::core {
 
 void ScheduleDeltaAdapter::Reset() {
-  nice_.clear();
-  rt_.clear();
-  group_of_.clear();
-  shares_.clear();
-  quota_.clear();
+  nice_.Clear();
+  rt_.Clear();
+  group_of_.Clear();
+  shares_.Clear();
+  quota_.Clear();
 }
 
 void ScheduleDeltaAdapter::ForgetThread(const ThreadHandle& thread) {
   const ThreadKey key = KeyOf(thread);
-  nice_.erase(key);
-  rt_.erase(key);
-  group_of_.erase(key);
+  nice_.Erase(key);
+  rt_.Erase(key);
+  group_of_.Erase(key);
   health_.ForgetTarget(HealthKeyOf(thread));
 }
 
 void ScheduleDeltaAdapter::ForgetGroup(const std::string& group) {
-  shares_.erase(group);
-  quota_.erase(group);
+  const std::uint32_t gid = GroupIdOf(group);
+  if (gid != kUnknownGroup) {
+    shares_.Erase(gid);
+    quota_.Erase(gid);
+  }
   health_.ForgetTarget(HealthKeyOf(group));
 }
 
@@ -35,24 +38,24 @@ std::size_t ScheduleDeltaAdapter::SeedFromSnapshot(
   for (const OsStateSnapshot::ThreadState& ts : snapshot.threads) {
     const ThreadKey key = KeyOf(ts.thread);
     if (ts.nice) {
-      nice_[key] = *ts.nice;
+      nice_.Insert(key, *ts.nice);
       ++seeded;
     }
     if (ts.rt_priority && *ts.rt_priority > 0) {
-      rt_[key] = *ts.rt_priority;
+      rt_.Insert(key, *ts.rt_priority);
       ++seeded;
     }
     if (ts.group) {
-      group_of_[key] = *ts.group;
+      group_of_.Insert(key, group_ids_.Intern(*ts.group));
       ++seeded;
     }
   }
   for (const auto& [group, shares] : snapshot.group_shares) {
-    shares_[group] = shares;
+    shares_.Insert(group_ids_.Intern(group), shares);
     ++seeded;
   }
   for (const auto& [group, quota] : snapshot.group_quota) {
-    quota_[group] = quota;
+    quota_.Insert(group_ids_.Intern(group), quota);
     ++seeded;
   }
   // Groups the backend still holds from a previous incarnation count as
@@ -71,9 +74,9 @@ std::size_t ScheduleDeltaAdapter::ReconcileFromBackend(
 
 std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
   std::size_t count = 0;
-  for (const auto& [key, priority] : rt_) {
+  rt_.ForEach([&](const ThreadKey&, const int& priority) {
     if (priority > 0) ++count;
-  }
+  });
   return count;
 }
 
@@ -82,6 +85,18 @@ void ScheduleDeltaAdapter::RecordElided(OpClass cls,
                                         std::int64_t value) {
   recorder_->Op(now_, obs::EventKind::kOpElided, static_cast<int>(cls),
                 health_key, value);
+}
+
+void ScheduleDeltaAdapter::LogFailureOnce(OpClass cls,
+                                          const std::string& target,
+                                          const char* what) {
+  // One line per (operation, target): a permanently broken target (e.g. an
+  // unwritable cgroup root) must not flood the log every period.
+  const std::uint32_t id = log_names_.Intern(target);
+  if (logged_failures_[static_cast<int>(cls)].Insert(id)) {
+    std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
+                 target.c_str(), what);
+  }
 }
 
 template <typename Fn>
@@ -108,13 +123,7 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
       recorder_->Op(now_, obs::EventKind::kOpError, static_cast<int>(cls),
                     health_key, value, e.what());
     }
-    // One line per (operation, target): a permanently broken target (e.g.
-    // an unwritable cgroup root) must not flood the log every period.
-    const std::string key = std::string(OpClassName(cls)) + ":" + target;
-    if (logged_failures_.insert(key).second) {
-      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
-                   target.c_str(), e.what());
-    }
+    LogFailureOnce(cls, target, e.what());
     return false;
   } catch (const std::exception& e) {
     health_.RecordFailure(cls, health_key, now_, ErrorSeverity::kTransient);
@@ -124,11 +133,7 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
       recorder_->Op(now_, obs::EventKind::kOpError, static_cast<int>(cls),
                     health_key, value, e.what());
     }
-    const std::string key = std::string(OpClassName(cls)) + ":" + target;
-    if (logged_failures_.insert(key).second) {
-      std::fprintf(stderr, "lachesis: %s(%s) failed: %s\n", OpClassName(cls),
-                   target.c_str(), e.what());
-    }
+    LogFailureOnce(cls, target, e.what());
     return false;
   }
   health_.RecordSuccess(cls, health_key, now_);
@@ -144,8 +149,8 @@ bool ScheduleDeltaAdapter::Forward(OpClass cls, const std::string& health_key,
 void ScheduleDeltaAdapter::SetNice(const ThreadHandle& thread, int nice) {
   const ThreadKey key = KeyOf(thread);
   if (enabled_) {
-    const auto it = nice_.find(key);
-    if (it != nice_.end() && it->second == nice) {
+    const int* cached = nice_.Find(key);
+    if (cached != nullptr && *cached == nice) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -157,15 +162,17 @@ void ScheduleDeltaAdapter::SetNice(const ThreadHandle& thread, int nice) {
   if (Forward(OpClass::kSetNice, HealthKeyOf(thread),
               std::to_string(thread.os_tid), nice, {},
               [&] { next_->SetNice(thread, nice); })) {
-    nice_[key] = nice;
+    nice_.Insert(key, nice);
   }
 }
 
 void ScheduleDeltaAdapter::SetGroupShares(const std::string& group,
                                           std::uint64_t shares) {
+  const std::uint32_t gid = GroupIdOf(group);
   if (enabled_) {
-    const auto it = shares_.find(group);
-    if (it != shares_.end() && it->second == shares) {
+    const std::uint64_t* cached =
+        gid != kUnknownGroup ? shares_.Find(gid) : nullptr;
+    if (cached != nullptr && *cached == shares) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -178,7 +185,7 @@ void ScheduleDeltaAdapter::SetGroupShares(const std::string& group,
   if (Forward(OpClass::kSetGroupShares, HealthKeyOf(group), group,
               static_cast<std::int64_t>(shares), {},
               [&] { next_->SetGroupShares(group, shares); })) {
-    shares_[group] = shares;
+    shares_.Insert(group_ids_.Intern(group), shares);
   }
 }
 
@@ -186,8 +193,9 @@ void ScheduleDeltaAdapter::MoveToGroup(const ThreadHandle& thread,
                                        const std::string& group) {
   const ThreadKey key = KeyOf(thread);
   if (enabled_) {
-    const auto it = group_of_.find(key);
-    if (it != group_of_.end() && it->second == group) {
+    const std::uint32_t* cached = group_of_.Find(key);
+    const std::uint32_t gid = GroupIdOf(group);
+    if (cached != nullptr && gid != kUnknownGroup && *cached == gid) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -198,7 +206,7 @@ void ScheduleDeltaAdapter::MoveToGroup(const ThreadHandle& thread,
   }
   if (Forward(OpClass::kMoveToGroup, HealthKeyOf(thread), group, 0, group,
               [&] { next_->MoveToGroup(thread, group); })) {
-    group_of_[key] = group;
+    group_of_.Insert(key, group_ids_.Intern(group));
   }
 }
 
@@ -206,8 +214,8 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
                                          int rt_priority) {
   const ThreadKey key = KeyOf(thread);
   if (enabled_) {
-    const auto it = rt_.find(key);
-    if (it != rt_.end() && it->second == rt_priority) {
+    const int* cached = rt_.Find(key);
+    if (cached != nullptr && *cached == rt_priority) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -218,7 +226,7 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
     }
     // A demotion for a thread the delta layer never boosted is a no-op by
     // construction (fair class is the default state).
-    if (it == rt_.end() && rt_priority == 0) {
+    if (cached == nullptr && rt_priority == 0) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -230,15 +238,17 @@ void ScheduleDeltaAdapter::SetRtPriority(const ThreadHandle& thread,
   if (Forward(OpClass::kSetRtPriority, HealthKeyOf(thread),
               std::to_string(thread.os_tid), rt_priority, {},
               [&] { next_->SetRtPriority(thread, rt_priority); })) {
-    rt_[key] = rt_priority;
+    rt_.Insert(key, rt_priority);
   }
 }
 
 void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
                                          SimDuration quota, SimDuration period) {
+  const std::uint32_t gid = GroupIdOf(group);
   if (enabled_) {
-    const auto it = quota_.find(group);
-    if (it != quota_.end() && it->second == std::make_pair(quota, period)) {
+    const std::pair<SimDuration, SimDuration>* cached =
+        gid != kUnknownGroup ? quota_.Find(gid) : nullptr;
+    if (cached != nullptr && *cached == std::make_pair(quota, period)) {
       ++tick_.skipped;
       ++totals_.skipped;
       if (recorder_ != nullptr && recorder_->verbose()) {
@@ -250,7 +260,7 @@ void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
   if (Forward(OpClass::kSetGroupQuota, HealthKeyOf(group), group, quota,
               "period_ns=" + std::to_string(period),
               [&] { next_->SetGroupQuota(group, quota, period); })) {
-    quota_[group] = {quota, period};
+    quota_.Insert(group_ids_.Intern(group), {quota, period});
   }
 }
 

@@ -24,17 +24,37 @@
 #ifndef LACHESIS_CORE_SCHEDULE_DELTA_H_
 #define LACHESIS_CORE_SCHEDULE_DELTA_H_
 
-#include <map>
-#include <set>
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
-#include <tuple>
 #include <utility>
 
+#include "common/hash_index.h"
 #include "core/op_health.h"
 #include "core/os_adapter.h"
 
 namespace lachesis::core {
+
+// Identifies a thread across both backends: sim threads by (machine,
+// sim_tid), native threads by os_tid. Padding-free POD so the delta cache
+// (and the runner's purge/reconcile scratch sets) can hash the object
+// representation directly with PodHash.
+struct ThreadKey {
+  const void* machine = nullptr;
+  std::uint64_t sim_tid = 0;
+  long os_tid = 0;
+
+  friend constexpr bool operator==(const ThreadKey&,
+                                   const ThreadKey&) = default;
+};
+static_assert(sizeof(ThreadKey) ==
+                  sizeof(const void*) + sizeof(std::uint64_t) + sizeof(long),
+              "ThreadKey must stay padding-free: PodHash hashes its bytes");
+
+[[nodiscard]] inline ThreadKey ThreadKeyOf(const ThreadHandle& thread) {
+  return ThreadKey{thread.machine, thread.sim_tid.value(), thread.os_tid};
+}
 
 // Thrown by backends to signal that one OS operation failed (target
 // vanished, permission denied, ...). The delta layer absorbs it and uses
@@ -158,11 +178,8 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   }
 
  private:
-  // Identifies a thread across both backends: sim threads by
-  // (machine, sim_tid), native threads by os_tid.
-  using ThreadKey = std::tuple<const void*, std::uint64_t, long>;
   static ThreadKey KeyOf(const ThreadHandle& thread) {
-    return {thread.machine, thread.sim_tid.value(), thread.os_tid};
+    return ThreadKeyOf(thread);
   }
   // Runs `fn` (the backend call) under the health tracker; returns true
   // when it succeeded. Failures are counted and logged once per
@@ -176,6 +193,19 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   // Records a delta-layer elision (verbose recorders only).
   void RecordElided(OpClass cls, const std::string& health_key,
                     std::int64_t value);
+  // Once-per-(operation, target) stderr logging; O(1), allocation-free once
+  // the pair has been seen.
+  void LogFailureOnce(OpClass cls, const std::string& target,
+                      const char* what);
+  // Interned id of `group`, or kUnknownGroup when no group state was ever
+  // cached under that name (disambiguates the interner's 0-for-miss from
+  // 0-for-"").
+  [[nodiscard]] std::uint32_t GroupIdOf(const std::string& group) const {
+    const std::uint32_t id = group_ids_.Lookup(group);
+    return id == 0 && !group.empty() ? kUnknownGroup : id;
+  }
+
+  static constexpr std::uint32_t kUnknownGroup = 0xffffffffu;
 
   OsAdapter* next_;
   bool enabled_ = true;
@@ -185,12 +215,21 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   DeltaStats totals_;
   OpHealthTracker health_;
   std::size_t adopted_groups_ = 0;
-  std::map<ThreadKey, int> nice_;
-  std::map<ThreadKey, int> rt_;
-  std::map<ThreadKey, std::string> group_of_;
-  std::map<std::string, std::uint64_t> shares_;
-  std::map<std::string, std::pair<SimDuration, SimDuration>> quota_;
-  std::set<std::string> logged_failures_;
+  // The last-applied cache: open-addressing maps keyed by padding-free PODs
+  // (threads by ThreadKey, groups by interned id), so the per-tick
+  // skip-or-forward decision is an O(1) probe with zero heap traffic once
+  // the table is warm. Group names are interned once; cached group state
+  // compares dense uint32 ids instead of strings.
+  StringInterner group_ids_;
+  FlatMap<ThreadKey, int> nice_;
+  FlatMap<ThreadKey, int> rt_;
+  FlatMap<ThreadKey, std::uint32_t> group_of_;  // value: interned group id
+  FlatMap<std::uint32_t, std::uint64_t> shares_;
+  FlatMap<std::uint32_t, std::pair<SimDuration, SimDuration>> quota_;
+  // Failure-log dedup: targets interned once, membership per class is a
+  // FlatSet probe (exact, and allocation-free after the first occurrence).
+  StringInterner log_names_;
+  std::array<FlatSet<std::uint32_t>, kOpClassCount> logged_failures_;
 };
 
 }  // namespace lachesis::core

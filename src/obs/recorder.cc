@@ -29,24 +29,18 @@ const char* EventKindName(EventKind kind) {
 StrId Recorder::Intern(std::string_view s) {
   if (s.empty()) return kNoStr;
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = intern_.find(std::string(s));
-  if (it != intern_.end()) return it->second;
-  const StrId id = static_cast<StrId>(names_.size());
-  names_.emplace_back(s);
-  intern_.emplace(names_.back(), id);
-  return id;
+  return interner_.Intern(s);
 }
 
 StrId Recorder::Lookup(std::string_view s) const {
   if (s.empty()) return kNoStr;
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = intern_.find(std::string(s));
-  return it != intern_.end() ? it->second : kNoStr;
+  return interner_.Lookup(s);
 }
 
 std::string Recorder::Name(StrId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return id < names_.size() ? names_[id] : std::string();
+  return std::string(interner_.View(id));
 }
 
 void Recorder::SetRingCapacity(std::size_t capacity) {

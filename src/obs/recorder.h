@@ -23,9 +23,9 @@
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash_index.h"
 #include "common/sim_time.h"
 #include "obs/event_ring.h"
 
@@ -48,9 +48,7 @@ struct TickSummary {
 class Recorder {
  public:
   explicit Recorder(std::size_t capacity = kDefaultRingCapacity)
-      : ring_(capacity) {
-    names_.push_back("");  // StrId 0 = none
-  }
+      : ring_(capacity) {}  // StrId 0 = none (the interner's "" slot)
 
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
@@ -113,8 +111,10 @@ class Recorder {
   bool verbose_ = false;
   std::uint64_t next_seq_ = 0;
   EventRing ring_;
-  std::unordered_map<std::string, StrId> intern_;
-  std::vector<std::string> names_;
+  // Dense ids in intern-call order (StrId == StringInterner id; both
+  // reserve 0 for ""), payload bytes arena-backed so Lookup never copies
+  // the probe string to the heap the way the old unordered_map did.
+  StringInterner interner_;
 };
 
 }  // namespace lachesis::obs

@@ -21,12 +21,11 @@ Machine::Machine(Simulator& sim, int num_cores, CfsParams params,
   }
   params_.Validate();
   cores_.resize(static_cast<std::size_t>(num_cores));
-  auto root = std::make_unique<CgroupNode>();
-  root->name = "/";
-  root->is_root = true;
-  root->ent.is_group = true;
-  root->ent.id = 0;
-  cgroups_.push_back(std::move(root));
+  CgroupNode& root = cgroups_.Get(cgroups_.Alloc());
+  root.name = "/";
+  root.is_root = true;
+  root.ent.is_group = true;
+  root.ent.id = 0;
 }
 
 Machine::~Machine() = default;
@@ -43,20 +42,20 @@ CgroupId Machine::CreateCgroup(std::string name, CgroupId parent,
   }
   assert(depth <= kMaxCgroupDepth && "cgroup hierarchy too deep");
 #endif
-  auto node = std::make_unique<CgroupNode>();
-  node->name = std::move(name);
-  node->ent.is_group = true;
-  node->ent.id = cgroups_.size();
-  node->ent.weight = ClampShares(shares);
-  node->ent.parent = parent.value();
+  const PoolHandle handle = cgroups_.Alloc();
+  CgroupNode& node = cgroups_.Get(handle);
+  node.name = std::move(name);
+  node.ent.is_group = true;
+  node.ent.id = handle.index;  // dense: slot index == creation order
+  node.ent.weight = ClampShares(shares);
+  node.ent.parent = parent.value();
   // Start at the parent's current pace so a fresh group neither starves
   // others nor is starved.
-  node->ent.vruntime = Group(parent.value()).min_vruntime;
-  node->min_vruntime = node->ent.vruntime;
-  cgroups_.push_back(std::move(node));
+  node.ent.vruntime = Group(parent.value()).min_vruntime;
+  node.min_vruntime = node.ent.vruntime;
   // Cached thread paths stay valid: creating a leaf group never changes an
   // existing entity's ancestor chain (groups are never reparented).
-  return CgroupId(cgroups_.size() - 1);
+  return CgroupId(handle.index);
 }
 
 void Machine::SetShares(CgroupId group, std::uint64_t shares) {
@@ -170,18 +169,18 @@ ThreadId Machine::CreateThread(std::string name,
                                std::unique_ptr<ThreadBody> body, CgroupId group,
                                int nice) {
   assert(group.value() < cgroups_.size());
-  auto node = std::make_unique<ThreadNode>();
-  node->name = std::move(name);
-  node->body = std::move(body);
-  node->nice = std::clamp(nice, kMinNice, kMaxNice);
-  node->ent.is_group = false;
-  node->ent.id = threads_.size();
-  node->ent.weight = NiceToWeight(node->nice);
-  node->ent.parent = group.value();
-  node->ent.vruntime = Group(group.value()).min_vruntime;
-  BuildPath(*node);
-  threads_.push_back(std::move(node));
-  const std::uint64_t idx = threads_.size() - 1;
+  const PoolHandle handle = threads_.Alloc();
+  ThreadNode& node = threads_.Get(handle);
+  node.name = std::move(name);
+  node.body = std::move(body);
+  node.nice = std::clamp(nice, kMinNice, kMaxNice);
+  node.ent.is_group = false;
+  node.ent.id = handle.index;  // dense: slot index == creation order
+  node.ent.weight = NiceToWeight(node.nice);
+  node.ent.parent = group.value();
+  node.ent.vruntime = Group(group.value()).min_vruntime;
+  BuildPath(node);
+  const std::uint64_t idx = handle.index;
   WakeThread(idx, params_.wakeup_check_cost);
   return ThreadId(idx);
 }
@@ -279,9 +278,9 @@ int Machine::IdleCoreCount() const {
 
 int Machine::UnthrottledRunnableCount() const {
   int runnable = 0;
-  for (const auto& t : threads_) {
-    if (t->state == ThreadState::kRunnable && !PathThrottled(*t)) ++runnable;
-  }
+  threads_.ForEach([&](std::uint32_t, const ThreadNode& t) {
+    if (t.state == ThreadState::kRunnable && !PathThrottled(t)) ++runnable;
+  });
   return runnable;
 }
 
@@ -442,7 +441,7 @@ void Machine::PickNext(int core_idx) {
     Dispatch(core_idx, thread_idx);
     return;
   }
-  CgroupNode* current = cgroups_[0].get();
+  CgroupNode* current = &Group(0);
   while (true) {
     if (current->rq.empty()) {
       ++core.version;  // stay idle; cancel any stale events
@@ -450,7 +449,7 @@ void Machine::PickNext(int core_idx) {
     }
     SchedEntity& ent = *current->rq.Min().ent;
     if (ent.is_group) {
-      current = cgroups_[ent.id].get();
+      current = &Group(ent.id);
       continue;
     }
     DequeueEntity(ent);
@@ -485,7 +484,7 @@ void Machine::AdvanceBody(int core_idx, std::uint64_t thread_idx) {
         if (action.duration <= 0) continue;  // free action, ask again
         t.remaining_compute = action.duration;
         if (now() >= core.slice_end) {
-          if (!cgroups_[0]->rq.empty() || !rt_queues_.empty() ||
+          if (!Group(0).rq.empty() || !rt_queues_.empty() ||
               PathThrottled(t)) {
             // Slice exhausted and there is competition: involuntary switch.
             t.state = ThreadState::kRunnable;
@@ -720,7 +719,7 @@ void Machine::OnCoreEvent(std::uint64_t core_idx, std::uint64_t version) {
     return;
   }
   if (now() >= core.slice_end) {
-    const bool contested = !cgroups_[0]->rq.empty() || !rt_queues_.empty() ||
+    const bool contested = !Group(0).rq.empty() || !rt_queues_.empty() ||
                            PathThrottled(t);
     if (!contested) {
       // Nothing else runnable: extend the slice.

@@ -23,6 +23,7 @@
 
 #include "common/ids.h"
 #include "common/sim_time.h"
+#include "common/stable_pool.h"
 #include "sim/cfs_params.h"
 #include "sim/event_queue.h"
 #include "sim/runqueue.h"
@@ -225,10 +226,18 @@ class Machine final : public EventSink {
   // Rebuilds t.path from the current cgroup hierarchy.
   void BuildPath(ThreadNode& t);
 
-  CgroupNode& Group(std::uint64_t idx) { return *cgroups_[idx]; }
-  const CgroupNode& Group(std::uint64_t idx) const { return *cgroups_[idx]; }
-  ThreadNode& Thread(std::uint64_t idx) { return *threads_[idx]; }
-  const ThreadNode& Thread(std::uint64_t idx) const { return *threads_[idx]; }
+  CgroupNode& Group(std::uint64_t idx) {
+    return cgroups_.at(static_cast<std::uint32_t>(idx));
+  }
+  const CgroupNode& Group(std::uint64_t idx) const {
+    return cgroups_.at(static_cast<std::uint32_t>(idx));
+  }
+  ThreadNode& Thread(std::uint64_t idx) {
+    return threads_.at(static_cast<std::uint32_t>(idx));
+  }
+  const ThreadNode& Thread(std::uint64_t idx) const {
+    return threads_.at(static_cast<std::uint32_t>(idx));
+  }
 
   void EnqueueEntity(SchedEntity& ent, bool sleeper_clamp);
   void DequeueEntity(SchedEntity& ent);
@@ -276,8 +285,13 @@ class Machine final : public EventSink {
   // it triggers); -1 outside body callbacks.
   std::int64_t current_thread_ = -1;
   std::vector<Core> cores_;
-  std::vector<std::unique_ptr<CgroupNode>> cgroups_;
-  std::vector<std::unique_ptr<ThreadNode>> threads_;
+  // Entity tables: append-only slot pools (the sim never removes entities),
+  // so node addresses are stable across growth, slot indices are dense and
+  // equal creation order (== ThreadId/CgroupId values, exactly like the
+  // vector-of-unique_ptr these replace), and creating an entity costs one
+  // chunked-pool slot instead of a per-node heap allocation.
+  StablePool<CgroupNode> cgroups_;
+  StablePool<ThreadNode> threads_;
   // RT runqueues: fixed priority levels plus bitmap (SCHED_FIFO).
   RtRunQueue rt_queues_;
   SchedTraceObserver* trace_observer_ = nullptr;

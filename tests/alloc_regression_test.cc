@@ -1,0 +1,194 @@
+// Allocation-regression pin for the control plane's steady state.
+//
+// The storage-layer refactor (common/stable_pool.h, common/hash_index.h,
+// common/arena.h) exists to make the per-tick control loop allocation-free
+// once warm: the delta cache's skip-or-forward probe, the health tracker's
+// allow/record cycle, and recorder interning must not touch the heap in
+// steady state, or a million-target deployment spends its ticks inside the
+// allocator. This binary overrides global operator new to count every heap
+// allocation and asserts the count stays at ZERO across steady-state ticks
+// after warmup. If a future change sneaks a std::map, a std::string build,
+// or a rehash into the hot path, this test fails with the allocation count.
+//
+// Only this binary installs the counting hooks (they are file-local to the
+// test executable), so the rest of the suite is unaffected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/op_health.h"
+#include "core/schedule_delta.h"
+#include "obs/recorder.h"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// Global replacements: every heap allocation in the process bumps the
+// counter. Deletes are deliberately uncounted -- the contract under test is
+// "no allocations", not "balanced allocations".
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1)) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace lachesis::core {
+namespace {
+
+std::uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// Backend that accepts everything and allocates nothing.
+class NullAdapter final : public OsAdapter {
+ public:
+  void SetNice(const ThreadHandle&, int) override {}
+  void SetGroupShares(const std::string&, std::uint64_t) override {}
+  void MoveToGroup(const ThreadHandle&, const std::string&) override {}
+  void SetRtPriority(const ThreadHandle&, int) override {}
+  void SetGroupQuota(const std::string&, SimDuration, SimDuration) override {}
+};
+
+ThreadHandle HandleFor(long tid) {
+  ThreadHandle h;
+  h.sim_tid = ThreadId(static_cast<std::uint64_t>(tid));
+  h.os_tid = tid;
+  return h;
+}
+
+TEST(AllocRegressionTest, DeltaSkipPathAllocatesNothing) {
+  constexpr int kThreads = 500;
+  constexpr int kGroups = 32;
+  NullAdapter backend;
+  ScheduleDeltaAdapter delta(backend);
+
+  std::vector<std::string> groups;
+  for (int g = 0; g < kGroups; ++g) {
+    groups.push_back("spe.q" + std::to_string(g));
+  }
+  const auto apply_schedule = [&](SimTime now) {
+    delta.BeginTick(now);
+    for (int g = 0; g < kGroups; ++g) {
+      delta.SetGroupShares(groups[static_cast<std::size_t>(g)],
+                           1024 + static_cast<std::uint64_t>(g));
+      delta.SetGroupQuota(groups[static_cast<std::size_t>(g)], Millis(50),
+                          Millis(100));
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      const ThreadHandle h = HandleFor(t);
+      delta.SetNice(h, t % 40 - 20);
+      delta.MoveToGroup(h, groups[static_cast<std::size_t>(t % kGroups)]);
+      delta.SetRtPriority(h, 0);
+    }
+  };
+
+  // Warmup: tables grow, group names intern, caches fill.
+  apply_schedule(Millis(1));
+  apply_schedule(Millis(2));
+
+  const std::uint64_t skipped_before = delta.totals().skipped;
+  const std::uint64_t before = AllocCount();
+  for (int tick = 0; tick < 50; ++tick) {
+    apply_schedule(Millis(10 + tick));
+  }
+  const std::uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state delta ticks must not touch the heap";
+  // Every measured op was a cache hit: nothing reached the backend.
+  EXPECT_EQ(delta.totals().skipped - skipped_before,
+            static_cast<std::uint64_t>(50) * (kThreads * 3 + kGroups * 2));
+}
+
+TEST(AllocRegressionTest, HealthChurnAllocatesNothingAfterWarmup) {
+  constexpr int kTargets = 200;
+  HealthConfig config;
+  config.enabled = true;
+  config.backoff_base = Millis(1);
+  OpHealthTracker health(config);
+  obs::Recorder recorder(4096);
+  health.SetRecorder(&recorder);
+
+  std::vector<std::string> targets;
+  for (int t = 0; t < kTargets; ++t) {
+    targets.push_back("t:" + std::to_string(t) + "/" + std::to_string(t));
+  }
+  // One full fail -> succeed cycle per target warms the interner, the
+  // per-class tables, and the recorder's intern table.
+  const auto churn = [&](SimTime now) {
+    for (const std::string& target : targets) {
+      if (health.AllowAttempt(OpClass::kSetNice, target, now)) {
+        health.RecordFailure(OpClass::kSetNice, target, now,
+                             ErrorSeverity::kVanished);
+      }
+      health.RecordSuccess(OpClass::kSetNice, target, now + Millis(5));
+    }
+  };
+  churn(Millis(1));
+  churn(Seconds(1));
+
+  const std::uint64_t before = AllocCount();
+  for (int round = 0; round < 50; ++round) {
+    // Failure re-arms backoff (FlatMap reinsert into warmed table), success
+    // erases it (backward-shift, no tombstone growth): the exact churn a
+    // flapping backend produces every tick.
+    churn(Seconds(2 + round));
+  }
+  const std::uint64_t after = AllocCount();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state health churn must not touch the heap";
+  EXPECT_GT(recorder.total_recorded(), 0u);
+}
+
+TEST(AllocRegressionTest, RecorderInternLookupAllocatesNothingWhenWarm) {
+  obs::Recorder recorder(1024);
+  std::vector<std::string> names;
+  for (int i = 0; i < 300; ++i) {
+    names.push_back("spe.q" + std::to_string(i % 10) + ".op" +
+                    std::to_string(i));
+    (void)recorder.Intern(names.back());
+  }
+  const std::uint64_t before = AllocCount();
+  bool all_found = true;
+  for (int round = 0; round < 20; ++round) {
+    for (const std::string& name : names) {
+      all_found &= recorder.Intern(name) != obs::kNoStr;
+      all_found &= recorder.Lookup(name) != obs::kNoStr;
+    }
+  }
+  EXPECT_EQ(AllocCount() - before, 0u)
+      << "re-interning a known string must not touch the heap";
+  EXPECT_TRUE(all_found);
+}
+
+}  // namespace
+}  // namespace lachesis::core

@@ -286,6 +286,64 @@ TEST(RunnerDynamicTest, RemoveQueryKeepsHealthStateOfSharedThreads) {
   EXPECT_GT(runner.delta().health().tracked_targets(), 0u);
 }
 
+TEST(RunnerDynamicTest, RemoveQueryKeepsDeltaCacheOfSharedThreads) {
+  // Same shared-thread contract as the health test above, but for the
+  // delta layer's value cache (now a hash index over ThreadKey): when both
+  // bindings see every entity, detaching one must NOT forget the shared
+  // threads' cached nice values. The survivor's next identical tick has to
+  // keep skipping -- a purge that over-forgets would silently re-apply the
+  // whole schedule to the backend every RemoveQuery.
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int c0 = 0;
+  int c1 = 0;
+  runner.AddQuery(rig.Binding(&c0, Seconds(1)));
+  const std::size_t idx1 = runner.AddQuery(rig.Binding(&c1, Seconds(1)));
+
+  runner.Start(Seconds(4));
+  rig.sim.RunUntil(Seconds(2));  // tick 1 applies; tick 2 is all cache hits
+  ASSERT_GT(runner.delta_totals().skipped, 0u);
+  const std::uint64_t applied_before = runner.delta_totals().applied;
+
+  runner.RemoveQuery(idx1);
+  rig.sim.RunUntil(Seconds(4));
+  EXPECT_EQ(runner.delta_totals().applied, applied_before);
+  EXPECT_EQ(c0, 4);
+}
+
+TEST(RunnerDynamicTest, RemoveQueryForgetsDeltaCacheOfExclusiveThreads) {
+  // The flip side: a thread only the removed binding could reach loses its
+  // cache entry. A later binding over the same thread must re-apply its
+  // first schedule (the backend may have drifted while unmanaged), not
+  // skip against a stale cached value.
+  Rig rig;
+  LachesisRunner runner(rig.executor, rig.os);
+  int c0 = 0;
+  int c1 = 0;
+  PolicyBinding b0 = rig.Binding(&c0, Seconds(1));
+  b0.filter = [](const EntityInfo& e) { return e.query == QueryId(0); };
+  runner.AddQuery(std::move(b0));
+  PolicyBinding b1 = rig.Binding(&c1, Seconds(1));
+  b1.filter = [](const EntityInfo& e) { return e.query == QueryId(1); };
+  const std::size_t idx1 = runner.AddQuery(std::move(b1));
+
+  runner.Start(Seconds(6));
+  rig.sim.RunUntil(Seconds(2));
+  runner.RemoveQuery(idx1);
+
+  // Re-attach over query 1: the replacement computes the same schedule as
+  // the removed binding did, so a surviving cache entry would skip it.
+  const auto nice_calls_before = rig.os.nice_calls;
+  int c2 = 0;
+  PolicyBinding b2 = rig.Binding(&c2, Seconds(1));
+  b2.filter = [](const EntityInfo& e) { return e.query == QueryId(1); };
+  runner.AddQuery(std::move(b2));
+  rig.sim.RunUntil(Seconds(4));
+  EXPECT_GT(c2, 0);
+  EXPECT_GT(rig.os.nice_calls, nice_calls_before)
+      << "purged thread's first schedule must reach the backend";
+}
+
 TEST(RunnerDynamicTest, AddAndRemoveBeforeStart) {
   Rig rig;
   LachesisRunner runner(rig.executor, rig.os);

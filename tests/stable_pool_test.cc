@@ -1,0 +1,279 @@
+// Property/model tests for StablePool (common/stable_pool.h).
+//
+// The pool is pinned the same way the conformance harness pins the
+// scheduler: seeded randomized operation sequences are replayed against a
+// reference model (std::unordered_map keyed by handle), and a failing
+// sequence is greedily minimized before being reported, so a red run prints
+// the shortest reproducing op list plus the seed that generated it.
+#include "common/stable_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lachesis {
+namespace {
+
+// Payload with instrumented lifetime so leaks/double-destroys surface.
+struct Payload {
+  explicit Payload(std::uint64_t v = 0) : value(v) { ++live_count; }
+  Payload(const Payload& other) : value(other.value) { ++live_count; }
+  ~Payload() { --live_count; }
+  std::uint64_t value;
+  static int live_count;
+};
+int Payload::live_count = 0;
+
+// One step of a randomized pool workout. `arg` selects which live (or
+// retired) handle the op touches, modulo the current population.
+struct Op {
+  enum Kind { kAlloc, kFree, kLookupLive, kLookupStale, kFreeStale } kind;
+  std::uint64_t arg = 0;
+};
+
+std::string OpName(const Op& op) {
+  switch (op.kind) {
+    case Op::kAlloc: return "Alloc(" + std::to_string(op.arg) + ")";
+    case Op::kFree: return "Free(#" + std::to_string(op.arg) + ")";
+    case Op::kLookupLive: return "LookupLive(#" + std::to_string(op.arg) + ")";
+    case Op::kLookupStale: return "LookupStale(#" + std::to_string(op.arg) + ")";
+    case Op::kFreeStale: return "FreeStale(#" + std::to_string(op.arg) + ")";
+  }
+  return "?";
+}
+
+// Replays `ops` against a fresh pool and the reference model. Returns the
+// description of the first divergence, or nullopt when the sequence passes.
+std::optional<std::string> Replay(const std::vector<Op>& ops) {
+  StablePool<Payload> pool;
+  std::vector<std::pair<PoolHandle, std::uint64_t>> live;  // handle -> value
+  std::vector<PoolHandle> stale;
+  std::unordered_map<std::uint64_t, std::uint64_t> model;  // packed handle
+  const auto pack = [](PoolHandle h) {
+    return (static_cast<std::uint64_t>(h.index) << 32) | h.generation;
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const std::string at = "op " + std::to_string(i) + " " + OpName(op);
+    switch (op.kind) {
+      case Op::kAlloc: {
+        const PoolHandle h = pool.Alloc(op.arg);
+        if (!h.valid()) return at + ": Alloc returned invalid handle";
+        if (model.count(pack(h))) return at + ": handle reused while live";
+        live.push_back({h, op.arg});
+        model[pack(h)] = op.arg;
+        break;
+      }
+      case Op::kFree: {
+        if (live.empty()) break;
+        const std::size_t pick = op.arg % live.size();
+        const PoolHandle h = live[pick].first;
+        if (!pool.Free(h)) return at + ": Free of live handle failed";
+        model.erase(pack(h));
+        stale.push_back(h);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      case Op::kLookupLive: {
+        if (live.empty()) break;
+        const auto& [h, expected] = live[op.arg % live.size()];
+        const Payload* p = pool.TryGet(h);
+        if (p == nullptr) return at + ": live handle resolved to nullptr";
+        if (p->value != expected) {
+          return at + ": wrong value " + std::to_string(p->value) +
+                 " != " + std::to_string(expected);
+        }
+        break;
+      }
+      case Op::kLookupStale: {
+        if (stale.empty()) break;
+        if (pool.TryGet(stale[op.arg % stale.size()]) != nullptr) {
+          return at + ": stale handle resolved (ABA)";
+        }
+        break;
+      }
+      case Op::kFreeStale: {
+        if (stale.empty()) break;
+        if (pool.Free(stale[op.arg % stale.size()])) {
+          return at + ": double-free succeeded";
+        }
+        break;
+      }
+    }
+    if (pool.size() != model.size()) {
+      return at + ": size " + std::to_string(pool.size()) +
+             " != model " + std::to_string(model.size());
+    }
+  }
+  // Full sweep: every live handle resolves to its model value, every stale
+  // one is rejected.
+  for (const auto& [h, expected] : live) {
+    const Payload* p = pool.TryGet(h);
+    if (p == nullptr || p->value != expected) return "final sweep: live miss";
+  }
+  for (const PoolHandle h : stale) {
+    if (pool.TryGet(h) != nullptr) return "final sweep: stale hit";
+  }
+  if (static_cast<std::size_t>(Payload::live_count) != pool.size()) {
+    return "final sweep: payload leak (" +
+           std::to_string(Payload::live_count) + " constructed vs " +
+           std::to_string(pool.size()) + " live)";
+  }
+  return std::nullopt;
+}
+
+// Greedy minimization, conformance-fuzzer style: repeatedly drop chunks
+// (then single ops) while the sequence still fails.
+std::vector<Op> Minimize(std::vector<Op> ops) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t chunk = ops.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= ops.size();) {
+        std::vector<Op> candidate = ops;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start),
+                        candidate.begin() +
+                            static_cast<std::ptrdiff_t>(start + chunk));
+        if (Replay(candidate).has_value()) {
+          ops = std::move(candidate);
+          shrunk = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return ops;
+}
+
+TEST(StablePoolModelTest, RandomizedSequencesMatchReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    std::vector<Op> ops;
+    const int steps = 400 + static_cast<int>(rng.NextU64() % 800);
+    for (int i = 0; i < steps; ++i) {
+      const std::uint64_t roll = rng.NextU64() % 100;
+      Op op;
+      if (roll < 45) op.kind = Op::kAlloc;
+      else if (roll < 70) op.kind = Op::kFree;
+      else if (roll < 85) op.kind = Op::kLookupLive;
+      else if (roll < 95) op.kind = Op::kLookupStale;
+      else op.kind = Op::kFreeStale;
+      op.arg = rng.NextU64();
+      ops.push_back(op);
+    }
+    auto failure = Replay(ops);
+    if (failure.has_value()) {
+      const std::vector<Op> minimal = Minimize(ops);
+      std::string dump;
+      for (const Op& op : minimal) dump += "  " + OpName(op) + "\n";
+      FAIL() << "seed " << seed << ": " << *Replay(minimal)
+             << "\nminimized to " << minimal.size() << " ops:\n" << dump;
+    }
+  }
+  EXPECT_EQ(Payload::live_count, 0) << "payloads leaked across replays";
+}
+
+TEST(StablePoolTest, AddressesStableAcrossGrowth) {
+  StablePool<Payload> pool;
+  std::vector<std::pair<PoolHandle, const Payload*>> first;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const PoolHandle h = pool.Alloc(i);
+    first.push_back({h, pool.TryGet(h)});
+  }
+  // Grow well past several chunk boundaries.
+  for (std::uint64_t i = 100; i < 5000; ++i) pool.Alloc(i);
+  for (std::uint64_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(pool.TryGet(first[i].first), first[i].second)
+        << "address moved for slot " << i;
+    EXPECT_EQ(first[i].second->value, i);
+  }
+}
+
+TEST(StablePoolTest, StaleHandleRejectedAfterSlotReuse) {
+  StablePool<Payload> pool;
+  const PoolHandle a = pool.Alloc(1);
+  ASSERT_TRUE(pool.Free(a));
+  const PoolHandle b = pool.Alloc(2);  // reuses slot 0
+  ASSERT_EQ(b.index, a.index);
+  EXPECT_NE(b.generation, a.generation);
+  EXPECT_EQ(pool.TryGet(a), nullptr) << "ABA: stale handle aliased new value";
+  ASSERT_NE(pool.TryGet(b), nullptr);
+  EXPECT_EQ(pool.TryGet(b)->value, 2u);
+  EXPECT_FALSE(pool.Free(a)) << "double-free through stale handle";
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StablePoolTest, AppendOnlyPoolIsDenselyIndexed) {
+  // The simulator's entity tables rely on slot idx == creation order.
+  StablePool<Payload> pool;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    EXPECT_EQ(pool.Alloc(i).index, i);
+  }
+  EXPECT_EQ(pool.slot_count(), 600u);
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(pool.IsLive(i));
+    EXPECT_EQ(pool.at(i).value, i);
+    EXPECT_EQ(pool.HandleOf(i).index, i);
+  }
+}
+
+TEST(StablePoolTest, FreeListReusesMostRecentlyFreedFirst) {
+  StablePool<Payload> pool;
+  const PoolHandle a = pool.Alloc(1);
+  const PoolHandle b = pool.Alloc(2);
+  pool.Free(a);
+  pool.Free(b);
+  EXPECT_EQ(pool.Alloc(3).index, b.index);  // LIFO free list
+  EXPECT_EQ(pool.Alloc(4).index, a.index);
+  EXPECT_EQ(pool.slot_count(), 2u) << "reuse must not append fresh slots";
+}
+
+TEST(StablePoolTest, ForEachVisitsLiveInSlotOrder) {
+  StablePool<Payload> pool;
+  std::vector<PoolHandle> handles;
+  for (std::uint64_t i = 0; i < 10; ++i) handles.push_back(pool.Alloc(i));
+  pool.Free(handles[3]);
+  pool.Free(handles[7]);
+  std::vector<std::uint32_t> visited;
+  pool.ForEach([&](std::uint32_t idx, Payload&) { visited.push_back(idx); });
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(StablePoolTest, ClearDestroysEverything) {
+  const int before = Payload::live_count;
+  StablePool<Payload> pool;
+  for (std::uint64_t i = 0; i < 300; ++i) pool.Alloc(i);
+  pool.Free(pool.HandleOf(5));
+  EXPECT_EQ(Payload::live_count, before + 299);
+  pool.Clear();
+  EXPECT_EQ(Payload::live_count, before);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.slot_count(), 0u);
+}
+
+TEST(StablePoolTest, MoveTransfersOwnership) {
+  StablePool<Payload> pool;
+  const PoolHandle h = pool.Alloc(42);
+  StablePool<Payload> moved(std::move(pool));
+  ASSERT_NE(moved.TryGet(h), nullptr);
+  EXPECT_EQ(moved.TryGet(h)->value, 42u);
+  EXPECT_EQ(pool.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(StablePoolTest, DefaultHandleNeverResolves) {
+  StablePool<Payload> pool;
+  pool.Alloc(1);
+  EXPECT_FALSE(PoolHandle{}.valid());
+  EXPECT_EQ(pool.TryGet(PoolHandle{}), nullptr);
+  EXPECT_EQ(pool.TryGet(PoolHandle{99, 1}), nullptr) << "out of range";
+}
+
+}  // namespace
+}  // namespace lachesis
