@@ -19,15 +19,21 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
 # The container property suites (stable_pool_test, hash_index_test) run
 # here too: linear-probing deletions, pool free-list reuse, and arena
 # block recycling are exactly the code ASan/UBSan catches lying about.
+# The heterogeneous-core suites run here too: the conformance fuzzer
+# drives random capacity vectors and deadline triples through the sim, and
+# ASan/UBSan is where queue index arithmetic and budget accounting get
+# caught lying.
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target fault_tolerance_test failure_injection_test \
            schedule_delta_test runner_dynamic_test \
-           stable_pool_test hash_index_test alloc_regression_test
+           stable_pool_test hash_index_test alloc_regression_test \
+           hetero_machine_test conformance_test
 
 status=0
 for t in fault_tolerance_test failure_injection_test \
          schedule_delta_test runner_dynamic_test \
-         stable_pool_test hash_index_test alloc_regression_test; do
+         stable_pool_test hash_index_test alloc_regression_test \
+         hetero_machine_test conformance_test; do
   "$BUILD_DIR/tests/$t" --gtest_brief=1 || status=$?
 done
 if [ "$status" -ne 0 ]; then

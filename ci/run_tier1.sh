@@ -35,6 +35,13 @@ if [ "$status" -eq 0 ]; then
   # (exits non-zero on any determinism break), writes BENCH_fleet.json.
   (cd "$BUILD_DIR" && ./bench/bench_fleet) ||
     echo "run_tier1.sh: bench_fleet failed (non-fatal)" >&2
+  # Heterogeneous cores + SCHED_DEADLINE: capacity-aware vs capacity-blind
+  # placement, mixed-criticality SLO check, and deadline admission
+  # micro-bench. Self-gating (non-zero when aware placement stops beating
+  # blind or the deadline variant misses its SLO), writes
+  # BENCH_hetero.json.
+  (cd "$BUILD_DIR" && LACHESIS_BENCH_MODE=quick ./bench/bench_hetero) ||
+    echo "run_tier1.sh: bench_hetero failed (non-fatal)" >&2
   echo "run_tier1.sh: BENCH artifacts:"
   find "$BUILD_DIR" -maxdepth 1 -name 'BENCH_*.json' -print | sort |
     sed 's/^/  /'

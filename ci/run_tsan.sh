@@ -22,7 +22,7 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
   -DLACHESIS_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target fleet_sim_test fleet_golden_test \
-           stable_pool_test hash_index_test
+           stable_pool_test hash_index_test hetero_machine_test
 
 status=0
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
@@ -34,6 +34,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # suites in this lane so any future cross-thread use is instrumented.
 "$BUILD_DIR/tests/stable_pool_test" --gtest_brief=1 || status=$?
 "$BUILD_DIR/tests/hash_index_test" --gtest_brief=1 || status=$?
+
+# Heterogeneous-core suite: capacity scaling, misfit migration, and
+# deadline admission are single-threaded sim code, but fleet shards run
+# hetero machines concurrently -- instrument the suite in this lane so any
+# cross-shard sharing shows up under TSan.
+"$BUILD_DIR/tests/hetero_machine_test" --gtest_brief=1 || status=$?
 
 # Chaos soak: longer measurement window, churn on, pool saturated.
 LACHESIS_FLEET_SOAK_SCALE="${LACHESIS_FLEET_SOAK_SCALE:-3}" \

@@ -74,23 +74,74 @@ class LoggingOsAdapter final : public core::OsAdapter {
                 static_cast<long long>(quota / kMicrosecond),
                 static_cast<long long>(period / kMicrosecond));
   }
+  void SetDeadline(const core::ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    std::printf("  would set SCHED_DEADLINE(%ld) = %lld/%lld/%lld us\n",
+                thread.os_tid, static_cast<long long>(runtime / kMicrosecond),
+                static_cast<long long>(deadline / kMicrosecond),
+                static_cast<long long>(period / kMicrosecond));
+  }
+  void SetCpuAffinity(const core::ThreadHandle& thread,
+                      core::CpuPreference pref) override {
+    const char* name = pref == core::CpuPreference::kPreferBig ? "big"
+                       : pref == core::CpuPreference::kPreferLittle
+                           ? "little"
+                           : "any";
+    std::printf("  would bind tid %ld to %s cores\n", thread.os_tid, name);
+  }
 };
 
-std::unique_ptr<core::SchedulingPolicy> MakePolicy(const std::string& name) {
-  if (name == "queue-size") return std::make_unique<core::QueueSizePolicy>();
-  if (name == "fcfs") return std::make_unique<core::FcfsPolicy>();
-  if (name == "highest-rate") return std::make_unique<core::HighestRatePolicy>();
-  if (name == "random") return std::make_unique<core::RandomPolicy>();
-  if (name == "min-memory") return std::make_unique<core::MinMemoryPolicy>();
-  throw std::runtime_error("unknown policy: " + name);
+std::unique_ptr<core::SchedulingPolicy> MakePolicy(
+    const osctl::DaemonConfig& config) {
+  const std::string& name = config.policy;
+  std::unique_ptr<core::SchedulingPolicy> policy;
+  if (name == "queue-size") {
+    policy = std::make_unique<core::QueueSizePolicy>();
+  } else if (name == "fcfs") {
+    policy = std::make_unique<core::FcfsPolicy>();
+  } else if (name == "highest-rate") {
+    policy = std::make_unique<core::HighestRatePolicy>();
+  } else if (name == "random") {
+    policy = std::make_unique<core::RandomPolicy>();
+  } else if (name == "min-memory") {
+    policy = std::make_unique<core::MinMemoryPolicy>();
+  } else {
+    throw std::runtime_error("unknown policy: " + name);
+  }
+  // critical_queries tags those queries' operators latency-critical so
+  // deadline/RT translators give them hard guarantees.
+  if (!config.critical_queries.empty()) {
+    policy = std::make_unique<core::CriticalChainPolicy>(
+        std::move(policy), config.critical_queries);
+  }
+  return policy;
 }
 
-std::unique_ptr<core::Translator> MakeTranslator(const std::string& name) {
-  if (name == "nice") return std::make_unique<core::NiceTranslator>();
-  if (name == "cpu.shares") return std::make_unique<core::CpuSharesTranslator>();
-  if (name == "quota") return std::make_unique<core::QuotaTranslator>();
-  if (name == "rt") return std::make_unique<core::RtBoostTranslator>();
-  throw std::runtime_error("unknown translator: " + name);
+std::unique_ptr<core::Translator> MakeTranslator(
+    const osctl::DaemonConfig& config) {
+  const std::string& name = config.translator;
+  std::unique_ptr<core::Translator> translator;
+  if (name == "nice") {
+    translator = std::make_unique<core::NiceTranslator>();
+  } else if (name == "cpu.shares") {
+    translator = std::make_unique<core::CpuSharesTranslator>();
+  } else if (name == "quota") {
+    translator = std::make_unique<core::QuotaTranslator>();
+  } else if (name == "rt") {
+    translator = std::make_unique<core::RtBoostTranslator>();
+  } else if (name == "deadline") {
+    translator = std::make_unique<core::DeadlineTranslator>(
+        Millis(config.dl_runtime_ms), Millis(config.dl_period_ms));
+  } else {
+    throw std::runtime_error("unknown translator: " + name);
+  }
+  // With a big.LITTLE topology configured, decorate with big-core
+  // placement hints for the highest-priority / critical operators.
+  if (!config.big_cores.empty()) {
+    translator =
+        std::make_unique<core::CapacityHintTranslator>(std::move(translator));
+  }
+  return translator;
 }
 
 // Capability degradation ladder (best-first): mechanisms the runner falls
@@ -101,7 +152,13 @@ std::unique_ptr<core::Translator> MakeTranslator(const std::string& name) {
 std::vector<std::unique_ptr<core::Translator>> MakeFallbacks(
     const std::string& name) {
   std::vector<std::unique_ptr<core::Translator>> fallbacks;
-  if (name == "rt") {
+  if (name == "deadline") {
+    // A reservation needs sched_setattr + admission headroom; degrade to an
+    // RT boost (same "critical work preempts" intent), then weights.
+    fallbacks.push_back(std::make_unique<core::RtBoostTranslator>());
+    fallbacks.push_back(std::make_unique<core::CpuSharesTranslator>());
+    fallbacks.push_back(std::make_unique<core::NiceTranslator>());
+  } else if (name == "rt") {
     fallbacks.push_back(std::make_unique<core::CpuSharesTranslator>());
     fallbacks.push_back(std::make_unique<core::NiceTranslator>());
   } else if (name == "cpu.shares" || name == "quota") {
@@ -138,17 +195,20 @@ int main(int argc, char** argv) {
   try {
     const osctl::DaemonConfig config = osctl::LoadDaemonConfig(argv[1]);
     osctl::NativeSpeDriver driver(config.spe);
-    auto policy = MakePolicy(config.policy);
-    auto translator = MakeTranslator(config.translator);
+    auto policy = MakePolicy(config);
+    auto translator = MakeTranslator(config);
 
     osctl::LinuxNiceController nice;
     osctl::LinuxRtController rt;
+    osctl::LinuxDeadlineController deadline;
+    osctl::LinuxAffinityController affinity;
     const auto version = osctl::CgroupController::DetectVersion();
     osctl::CgroupController cgroups(
         config.cgroup_root.empty() ? "/tmp/lachesisd-cgroup"
                                    : config.cgroup_root,
         version);
-    osctl::LinuxOsAdapter real_os(nice, cgroups, &rt);
+    osctl::LinuxOsAdapter real_os(nice, cgroups, &rt, &deadline, &affinity);
+    real_os.SetCoreClasses(config.big_cores, config.little_cores);
     LoggingOsAdapter logging_os;
     core::OsAdapter& os =
         dry_run ? static_cast<core::OsAdapter&>(logging_os) : real_os;

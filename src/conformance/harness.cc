@@ -102,6 +102,11 @@ RunResult RunScenario(const ScenarioSpec& spec) {
                                            MakeBody(ts), group, ts.nice));
     if (ts.kind == ThreadKind::kRt) {
       machine.SetRtPriority(threads.back(), ts.rt_priority);
+    } else if (ts.kind == ThreadKind::kDeadline && !ts.dl.is_zero()) {
+      // Admission control may reject an over-committed reservation; the
+      // thread then runs as plain CFS, which is exactly what the kernel
+      // does when sched_setattr returns EBUSY.
+      (void)machine.SetDeadline(threads.back(), ts.dl);
     }
   }
 
@@ -144,6 +149,9 @@ RunResult RunScenario(const ScenarioSpec& spec) {
     }
     sample.idle_cores = machine.IdleCoreCount();
     sample.unthrottled_runnable = machine.UnthrottledRunnableCount();
+    sample.dl_admitted_util = machine.DlAdmittedUtilization();
+    sample.dl_util_bound = machine.DlUtilizationBound();
+    sample.misfit_runners = machine.MisfitRunnerCount();
     result.probes.push_back(std::move(sample));
     if (machine.now() + interval <= spec.duration) {
       sim.ScheduleAfter(interval, probe);
@@ -287,10 +295,18 @@ void CheckConservation(const RunResult& run, CheckReport& report) {
   }
   // Runtime still in flight on each core (charged to busy, not yet to a
   // thread) is bounded by one scheduling period plus the largest compute
-  // chunk a body can hold a core event off with.
+  // chunk a body can hold a core event off with. On a heterogeneous
+  // machine a chunk occupies up to 1/min_capacity of its work in
+  // wall-clock, so the chunk term stretches accordingly.
+  double min_capacity = 1.0;
+  for (const double c : run.spec.params.core_capacities) {
+    min_capacity = std::min(min_capacity, c);
+  }
   const SimDuration in_flight_bound =
       static_cast<SimDuration>(run.spec.cores) *
-      (run.spec.params.sched_latency + Millis(10));
+      (run.spec.params.sched_latency +
+       static_cast<SimDuration>(static_cast<double>(Millis(10)) /
+                                min_capacity));
   if (run.total_busy - sum > in_flight_bound) {
     report.Add("conservation: " + std::to_string(run.total_busy - sum) +
                "ns of busy time unaccounted to any thread (bound " +
@@ -371,6 +387,43 @@ void CheckTimesliceBounds(const RunResult& run, CheckReport& report) {
                  std::to_string(run.spec.params.min_granularity) + ", " +
                  std::to_string(run.spec.params.sched_latency) + "]ns)");
     }
+  }
+}
+
+// SCHED_DEADLINE admission control must never over-commit the machine: at
+// every probe the summed utilization of admitted reservations stays within
+// dl_admission_frac * total capacity, including across mid-run admissions
+// and releases.
+void CheckDlAdmission(const RunResult& run, CheckReport& report) {
+  for (const ProbeSample& sample : run.probes) {
+    if (sample.dl_admitted_util > sample.dl_util_bound + 1e-9) {
+      report.Add("dl admission: admitted utilization " +
+                 std::to_string(sample.dl_admitted_util) + " exceeds bound " +
+                 std::to_string(sample.dl_util_bound) + " at t=" +
+                 std::to_string(sample.at) + "ns");
+    }
+  }
+}
+
+// Capacity-aware migration must not strand a long-running CFS task on a
+// little core while a strictly bigger core idles. A misfit can only arise
+// at a compute-chunk boundary (remaining work only shrinks mid-chunk), and
+// both chunk starts (TryMisfitUpgrade) and idle transitions
+// (TryMisfitSteal) re-place it, so a misfit should never survive to the
+// next probe; requiring two consecutive nonzero probes additionally
+// forgives any same-timestamp event-ordering transient.
+void CheckMisfitMigration(const RunResult& run, CheckReport& report) {
+  if (!run.spec.Heterogeneous() || !run.spec.params.capacity_aware) return;
+  const ProbeSample* prev = nullptr;
+  for (const ProbeSample& sample : run.probes) {
+    if (prev != nullptr && prev->misfit_runners > 0 &&
+        sample.misfit_runners > 0) {
+      report.Add("misfit: " + std::to_string(sample.misfit_runners) +
+                 " CFS runner(s) stuck on a little core with a bigger core " +
+                 "idle from t=" + std::to_string(prev->at) + "ns through t=" +
+                 std::to_string(sample.at) + "ns");
+    }
+    prev = &sample;
   }
 }
 
@@ -490,6 +543,8 @@ CheckReport CheckInvariants(const RunResult& run) {
   CheckVruntimeMonotonicity(run, report);
   CheckWorkConservation(run, report);
   CheckTimesliceBounds(run, report);
+  CheckDlAdmission(run, report);
+  CheckMisfitMigration(run, report);
   CheckWeightedFairness(run, report);
   return report;
 }

@@ -34,6 +34,13 @@ struct ProbeSample {
   std::vector<double> thread_vruntime;     // indexed by thread id
   int idle_cores = 0;
   int unthrottled_runnable = 0;
+  // SCHED_DEADLINE admission state: summed admitted utilization must never
+  // exceed the bound (dl_admission_frac * total capacity).
+  double dl_admitted_util = 0.0;
+  double dl_util_bound = 0.0;
+  // Running CFS threads stuck on a too-small core while a strictly bigger
+  // core idles; capacity-aware migration must clear these promptly.
+  int misfit_runners = 0;
 };
 
 struct RunResult {

@@ -9,6 +9,7 @@ namespace lachesis::conformance {
 bool ScenarioSpec::FairnessEligible() const {
   if (!mutations.empty()) return false;
   if (cores > 1 && !groups.empty()) return false;
+  if (Heterogeneous()) return false;
   for (const ThreadSpec& t : threads) {
     if (t.kind != ThreadKind::kBusy) return false;
   }
@@ -48,6 +49,13 @@ bool ScenarioSpec::HasNestedGroups() const {
   return false;
 }
 
+bool ScenarioSpec::Heterogeneous() const {
+  for (const double c : params.core_capacities) {
+    if (c != 1.0) return true;
+  }
+  return false;
+}
+
 namespace {
 
 sim::CfsParams OverheadFreeParams() {
@@ -67,6 +75,26 @@ void GenerateGroups(Rng& rng, int count, ScenarioSpec& spec) {
     group.shares = static_cast<std::uint64_t>(rng.UniformInt(64, 8192));
     spec.groups.push_back(group);
   }
+}
+
+// About a quarter of multi-core scenarios run on an asymmetric machine.
+// Core 0 stays a full-capacity big core (so misfit migration always has a
+// destination worth upgrading to); the rest draw from the big.LITTLE-ish
+// palette. Capacities never go below 0.25: the conservation checker's
+// in-flight bound scales with 1/min_capacity (a compute chunk takes up to
+// 4x its work in wall-clock on the smallest little core).
+void MaybeGenerateHetero(Rng& rng, ScenarioSpec& spec) {
+  if (spec.cores < 2 || !rng.Chance(0.25)) return;
+  static constexpr double kPalette[] = {0.25, 0.5, 0.75, 1.0};
+  spec.params.core_capacities.assign(static_cast<std::size_t>(spec.cores),
+                                     1.0);
+  for (int c = 1; c < spec.cores; ++c) {
+    spec.params.core_capacities[static_cast<std::size_t>(c)] =
+        kPalette[rng.UniformInt(0, 3)];
+  }
+  // One in five heterogeneous scenarios runs capacity-blind: the placement
+  // control arm must satisfy every invariant except the misfit check.
+  spec.params.capacity_aware = !rng.Chance(0.2);
 }
 
 int PickGroup(Rng& rng, const ScenarioSpec& spec) {
@@ -143,7 +171,10 @@ ScenarioSpec GenerateScenario(std::uint64_t seed) {
   if (profile < 0.5) {
     // Pure-busy contested profile with default (overheadful) params and
     // optional mid-run mutations: drives the timeslice-bound checker.
+    // Heterogeneous capacities keep every slice wall-clock bounded (SliceFor
+    // and slice_end are wall-clock), so the checker still applies.
     spec.duration = Seconds(1);
+    MaybeGenerateHetero(rng, spec);
     GenerateGroups(rng, static_cast<int>(rng.UniformInt(0, 2)), spec);
     const int n = static_cast<int>(
         rng.UniformInt(spec.cores + 1, spec.cores + 6));
@@ -161,6 +192,7 @@ ScenarioSpec GenerateScenario(std::uint64_t seed) {
 
   // Mixed profile: every thread kind, hierarchies, and mutations.
   spec.duration = Seconds(1);
+  MaybeGenerateHetero(rng, spec);
   GenerateGroups(rng, static_cast<int>(rng.UniformInt(0, 4)), spec);
   const int n = static_cast<int>(rng.UniformInt(2, 12));
   for (int i = 0; i < n; ++i) {
@@ -168,23 +200,35 @@ ScenarioSpec GenerateScenario(std::uint64_t seed) {
     t.group = PickGroup(rng, spec);
     t.nice = static_cast<int>(rng.UniformInt(-15, 15));
     const double kind = rng.NextDouble();
-    if (kind < 0.4) {
+    if (kind < 0.37) {
       t.kind = ThreadKind::kBusy;
       t.busy = Micros(rng.UniformInt(50, 1000));
-    } else if (kind < 0.65) {
+    } else if (kind < 0.62) {
       t.kind = ThreadKind::kBursty;
       t.busy = Micros(rng.UniformInt(1000, 5000));
       t.sleep = Micros(rng.UniformInt(100, 2000));
-    } else if (kind < 0.92) {
+    } else if (kind < 0.85) {
       t.kind = ThreadKind::kPeriodic;
       t.busy = Micros(rng.UniformInt(50, 400));
       t.sleep = Millis(rng.UniformInt(1, 10));
-    } else {
+    } else if (kind < 0.93) {
       // RT tasks are periodic so they cannot starve a whole core forever.
       t.kind = ThreadKind::kRt;
       t.rt_priority = static_cast<int>(rng.UniformInt(1, 10));
       t.busy = Micros(rng.UniformInt(50, 500));
       t.sleep = Millis(rng.UniformInt(1, 5));
+    } else {
+      // Deadline tasks: periodic bodies under a random CBS reservation.
+      // Reservations deliberately range from generous to starvation-tight
+      // (budget smaller than the busy chunk forces throttle/replenish
+      // cycles); stacking several may trip admission control, which the
+      // harness tolerates -- the rejected thread stays plain CFS.
+      t.kind = ThreadKind::kDeadline;
+      t.busy = Micros(rng.UniformInt(100, 600));
+      t.sleep = Millis(rng.UniformInt(1, 5));
+      t.dl.runtime = Micros(rng.UniformInt(200, 2000));
+      t.dl.period = t.dl.runtime * rng.UniformInt(2, 8);
+      t.dl.deadline = t.dl.period;
     }
     spec.threads.push_back(t);
   }
@@ -200,18 +244,27 @@ std::string Describe(const ScenarioSpec& spec) {
       << " min_gran=" << spec.params.min_granularity
       << " wakeup_gran=" << spec.params.wakeup_granularity
       << " switch_cost=" << spec.params.context_switch_cost << "\n";
+  if (!spec.params.core_capacities.empty()) {
+    out << "capacities:";
+    for (const double c : spec.params.core_capacities) out << " " << c;
+    out << (spec.params.capacity_aware ? " (aware)" : " (blind)") << "\n";
+  }
   for (std::size_t g = 0; g < spec.groups.size(); ++g) {
     out << "group " << g << ": parent=" << spec.groups[g].parent
         << " shares=" << spec.groups[g].shares << "\n";
   }
   static constexpr const char* kKindNames[] = {"busy", "bursty", "periodic",
-                                               "rt"};
+                                               "rt", "deadline"};
   for (std::size_t t = 0; t < spec.threads.size(); ++t) {
     const ThreadSpec& spec_t = spec.threads[t];
     out << "thread " << t << ": "
         << kKindNames[static_cast<int>(spec_t.kind)]
         << " group=" << spec_t.group << " nice=" << spec_t.nice;
     if (spec_t.rt_priority > 0) out << " rt=" << spec_t.rt_priority;
+    if (!spec_t.dl.is_zero()) {
+      out << " dl=" << spec_t.dl.runtime << "/" << spec_t.dl.deadline << "/"
+          << spec_t.dl.period;
+    }
     out << " busy_ns=" << spec_t.busy << " sleep_ns=" << spec_t.sleep << "\n";
   }
   static constexpr const char* kMutNames[] = {"set_nice", "set_shares",

@@ -32,6 +32,7 @@ enum class ThreadKind : std::uint8_t {
   kBursty,    // long compute bursts separated by short sleeps
   kPeriodic,  // short compute, long sleep (interactive/timer task)
   kRt,        // SCHED_FIFO periodic task at `rt_priority`
+  kDeadline,  // SCHED_DEADLINE periodic task with a CBS reservation `dl`
 };
 
 struct ThreadSpec {
@@ -41,6 +42,11 @@ struct ThreadSpec {
   int rt_priority = 0;  // > 0 only for kRt
   SimDuration busy = Micros(100);
   SimDuration sleep = 0;  // unused for kBusy
+  // Reservation triple for kDeadline. Admission control may reject it
+  // (over-committed machine); the harness tolerates that -- the thread then
+  // just runs as a plain CFS task, and the admission invariant checks that
+  // whatever WAS admitted never exceeds the utilization bound.
+  sim::DeadlineParams dl;
 };
 
 enum class MutationKind : std::uint8_t {
@@ -68,8 +74,11 @@ struct ScenarioSpec {
   std::vector<MutationSpec> mutations;
 
   // True when long-run CPU ratios are predictable from the weight tree
-  // alone: every thread permanently CPU-bound, no RT class, no mid-run
-  // mutations, and either a single core or a flat (group-free) hierarchy.
+  // alone: every thread permanently CPU-bound, no RT/deadline class, no
+  // mid-run mutations, symmetric full-capacity cores (the water-filling
+  // model divides wall-clock seconds, which only equals delivered work on
+  // homogeneous cores), and either a single core or a flat (group-free)
+  // hierarchy.
   // (On SMP, a thread running on one core is dequeued from its group's
   // runqueue, so a low-weight sibling picked through the group entity by
   // another core briefly owns the whole group slice; intra-group ratios
@@ -90,12 +99,18 @@ struct ScenarioSpec {
   // slice end is contested). Enables the timeslice-bound checker.
   [[nodiscard]] bool PureBusyContested() const;
   [[nodiscard]] bool HasNestedGroups() const;
+  // True when params.core_capacities describes an asymmetric (big.LITTLE)
+  // machine: at least one core below full capacity.
+  [[nodiscard]] bool Heterogeneous() const;
 };
 
 // Deterministically derives a scenario from `seed`. Roughly 30% of seeds
 // produce fairness-profile scenarios (all-busy, overhead-free, checkable
 // against the hierarchical water-filling model), the rest mixed workloads
-// with sleep/wake threads, RT tasks and mid-run mutations.
+// with sleep/wake threads, RT tasks, SCHED_DEADLINE reservations and
+// mid-run mutations. Multi-core non-fairness seeds get a random big.LITTLE
+// capacity vector about a quarter of the time (occasionally capacity-blind,
+// exercising the control arm of the migration logic).
 ScenarioSpec GenerateScenario(std::uint64_t seed);
 
 // Human-readable dump (one line per element) used in failure reports and

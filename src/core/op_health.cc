@@ -26,6 +26,10 @@ const char* OpClassName(OpClass cls) {
       return "SetRtPriority";
     case OpClass::kSetGroupQuota:
       return "SetGroupQuota";
+    case OpClass::kSetDeadline:
+      return "SetDeadline";
+    case OpClass::kSetAffinity:
+      return "SetAffinity";
   }
   return "?";
 }

@@ -44,18 +44,22 @@ class Recorder;
 
 namespace lachesis::core {
 
-// The five operation classes of the OsAdapter surface. Health is tracked
-// per class because failure modes are per-mechanism: RT ops fail together
+// The operation classes of the OsAdapter surface. Health is tracked per
+// class because failure modes are per-mechanism: RT ops fail together
 // (missing CAP_SYS_NICE), cgroup ops fail together (unwritable root), nice
-// ops fail together (backend down).
+// ops fail together (backend down), deadline ops fail together (no
+// sched_setattr / admission disabled), affinity ops fail together (no
+// sched_setaffinity or a pinned cpuset).
 enum class OpClass {
   kSetNice = 0,
   kSetGroupShares,
   kMoveToGroup,
   kSetRtPriority,
   kSetGroupQuota,
+  kSetDeadline,
+  kSetAffinity,
 };
-inline constexpr int kOpClassCount = 5;
+inline constexpr int kOpClassCount = 7;
 
 [[nodiscard]] const char* OpClassName(OpClass cls);
 

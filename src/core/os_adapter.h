@@ -7,8 +7,10 @@
 #ifndef LACHESIS_CORE_OS_ADAPTER_H_
 #define LACHESIS_CORE_OS_ADAPTER_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +19,13 @@
 #include "sim/machine.h"
 
 namespace lachesis::core {
+
+// Capacity-class placement hint on heterogeneous (big.LITTLE) machines.
+enum class CpuPreference : std::uint8_t {
+  kNone = 0,       // no constraint (clears a previous hint)
+  kPreferBig = 1,  // bind/steer toward the highest-capacity cores
+  kPreferLittle = 2,
+};
 
 // Snapshot of the kernel-side scheduling state an adapter can observe, used
 // for crash-safe restart reconciliation: a restarted daemon seeds its
@@ -29,6 +38,8 @@ struct OsStateSnapshot {
     std::optional<int> nice;
     std::optional<int> rt_priority;
     std::optional<std::string> group;  // Lachesis group currently holding it
+    // Active SCHED_DEADLINE reservation, if the backend can observe one.
+    std::optional<sim::DeadlineParams> deadline;
   };
   std::vector<ThreadState> threads;
   std::map<std::string, std::uint64_t> group_shares;
@@ -64,6 +75,25 @@ class OsAdapter {
     (void)group;
     (void)quota;
     (void)period;
+  }
+  // SCHED_DEADLINE reservation (sched_setattr): `runtime` of CPU every
+  // `period`, due within `deadline`. The all-zero triple clears the
+  // reservation. Backends with admission control may reject by throwing;
+  // the schedule-delta layer absorbs and backs off. Default no-op so
+  // adapters without deadline support stay valid.
+  virtual void SetDeadline(const ThreadHandle& thread, SimDuration runtime,
+                           SimDuration deadline, SimDuration period) {
+    (void)thread;
+    (void)runtime;
+    (void)deadline;
+    (void)period;
+  }
+  // Capacity-class placement hint for heterogeneous machines: steer the
+  // thread toward big or little cores (sched_setaffinity over a capacity
+  // mask on Linux). kNone clears the hint. Default no-op.
+  virtual void SetCpuAffinity(const ThreadHandle& thread, CpuPreference pref) {
+    (void)thread;
+    (void)pref;
   }
 
   // --- restart reconciliation ----------------------------------------------
@@ -111,6 +141,33 @@ class SimOsAdapter final : public OsAdapter {
     }
   }
 
+  void SetDeadline(const ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    if (!thread.machine->SetDeadline(thread.sim_tid,
+                                     {runtime, deadline, period})) {
+      // Admission control rejected the reservation; surface it as a
+      // transient failure so the delta layer backs off and retries after
+      // other reservations are released.
+      throw std::runtime_error("SetDeadline: admission control rejected " +
+                               std::to_string(runtime) + "/" +
+                               std::to_string(deadline) + "/" +
+                               std::to_string(period));
+    }
+  }
+
+  void SetCpuAffinity(const ThreadHandle& thread, CpuPreference pref) override {
+    // The simulator has no hard-affinity mechanism (capacity-aware
+    // placement already steers misfit work to big cores); record the hint
+    // so tests can assert translator plumbing.
+    affinity_[std::make_pair(thread.machine, thread.sim_tid.value())] = pref;
+  }
+
+  [[nodiscard]] CpuPreference AffinityOf(const ThreadHandle& thread) const {
+    const auto it =
+        affinity_.find(std::make_pair(thread.machine, thread.sim_tid.value()));
+    return it == affinity_.end() ? CpuPreference::kNone : it->second;
+  }
+
  private:
   CgroupId EnsureGroup(sim::Machine& machine, const std::string& group) {
     const auto key = std::make_pair(&machine, group);
@@ -138,6 +195,7 @@ class SimOsAdapter final : public OsAdapter {
 
   std::map<std::pair<sim::Machine*, std::string>, CgroupId> groups_;
   std::map<sim::Machine*, CgroupId> roots_;
+  std::map<std::pair<sim::Machine*, std::uint64_t>, CpuPreference> affinity_;
   std::map<std::string, std::uint64_t> desired_shares_;
   std::map<std::string, std::pair<SimDuration, SimDuration>> desired_quota_;
 };

@@ -90,6 +90,30 @@ Schedule SwitchablePolicy::ComputeSchedule(const PolicyContext& ctx) {
   return candidates_[active_]->ComputeSchedule(ctx);
 }
 
+CriticalChainPolicy::CriticalChainPolicy(
+    std::unique_ptr<SchedulingPolicy> inner,
+    std::vector<std::string> critical_queries)
+    : inner_(std::move(inner)),
+      critical_queries_(std::move(critical_queries)),
+      name_("critical+" + inner_->name()) {}
+
+std::vector<MetricId> CriticalChainPolicy::RequiredMetrics() const {
+  return inner_->RequiredMetrics();
+}
+
+Schedule CriticalChainPolicy::ComputeSchedule(const PolicyContext& ctx) {
+  Schedule schedule = inner_->ComputeSchedule(ctx);
+  for (ScheduleEntry& entry : schedule.entries) {
+    for (const std::string& query : critical_queries_) {
+      if (entry.entity.query_name == query) {
+        entry.criticality = Criticality::kLatencyCritical;
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
 Schedule LogicalPriorityPolicy::ComputeSchedule(const PolicyContext& ctx) {
   Schedule schedule;
   schedule.spacing = PrioritySpacing::kLinear;

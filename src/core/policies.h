@@ -124,6 +124,24 @@ class SwitchablePolicy final : public SchedulingPolicy {
   std::string name_ = "switchable";
 };
 
+// Mixed-criticality decorator: delegates scheduling to the wrapped policy,
+// then tags every entry of the named queries Criticality::kLatencyCritical.
+// Deadline/RT-capable translators turn the tag into a hard guarantee; the
+// inner policy's priorities still order everything else.
+class CriticalChainPolicy final : public SchedulingPolicy {
+ public:
+  CriticalChainPolicy(std::unique_ptr<SchedulingPolicy> inner,
+                      std::vector<std::string> critical_queries);
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::vector<MetricId> RequiredMetrics() const override;
+  Schedule ComputeSchedule(const PolicyContext& ctx) override;
+
+ private:
+  std::unique_ptr<SchedulingPolicy> inner_;
+  std::vector<std::string> critical_queries_;
+  std::string name_;
+};
+
 // A user-defined high-level policy (paper §5.1 mode (2)): static priorities
 // on LOGICAL operators (e.g. "branch 1 over branch 2", Fig 2), converted to
 // a physical schedule with a transformation rule each period.

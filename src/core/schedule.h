@@ -8,6 +8,7 @@
 #ifndef LACHESIS_CORE_SCHEDULE_H_
 #define LACHESIS_CORE_SCHEDULE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,9 +22,19 @@ namespace lachesis::core {
 // logarithmically spaced ones (e.g. HR) are normalized on their logarithms.
 enum class PrioritySpacing { kLinear, kLogarithmic };
 
+// Mixed-criticality tag a policy may attach to an entry. Translators that
+// command real-time mechanisms (RT boost, SCHED_DEADLINE reservations) use
+// it to decide which entities get a hard guarantee; priority-only
+// translators (nice, shares) ignore it.
+enum class Criticality : std::uint8_t {
+  kNormal = 0,
+  kLatencyCritical = 1,  // deserves a deadline/RT guarantee if available
+};
+
 struct ScheduleEntry {
   EntityInfo entity;
   double priority;  // higher = more CPU
+  Criticality criticality = Criticality::kNormal;
 };
 
 struct Schedule {

@@ -10,6 +10,8 @@ namespace lachesis::core {
 void ScheduleDeltaAdapter::Reset() {
   nice_.Clear();
   rt_.Clear();
+  deadline_.Clear();
+  affinity_.Clear();
   group_of_.Clear();
   shares_.Clear();
   quota_.Clear();
@@ -19,6 +21,8 @@ void ScheduleDeltaAdapter::ForgetThread(const ThreadHandle& thread) {
   const ThreadKey key = KeyOf(thread);
   nice_.Erase(key);
   rt_.Erase(key);
+  deadline_.Erase(key);
+  affinity_.Erase(key);
   group_of_.Erase(key);
   health_.ForgetTarget(HealthKeyOf(thread));
 }
@@ -49,6 +53,11 @@ std::size_t ScheduleDeltaAdapter::SeedFromSnapshot(
       group_of_.Insert(key, group_ids_.Intern(*ts.group));
       ++seeded;
     }
+    if (ts.deadline && !ts.deadline->is_zero()) {
+      deadline_.Insert(key, {ts.deadline->runtime, ts.deadline->deadline,
+                             ts.deadline->period});
+      ++seeded;
+    }
   }
   for (const auto& [group, shares] : snapshot.group_shares) {
     shares_.Insert(group_ids_.Intern(group), shares);
@@ -76,6 +85,14 @@ std::size_t ScheduleDeltaAdapter::rt_boosted_count() const {
   std::size_t count = 0;
   rt_.ForEach([&](const ThreadKey&, const int& priority) {
     if (priority > 0) ++count;
+  });
+  return count;
+}
+
+std::size_t ScheduleDeltaAdapter::dl_reserved_count() const {
+  std::size_t count = 0;
+  deadline_.ForEach([&](const ThreadKey&, const std::array<SimDuration, 3>& d) {
+    if (d[0] != 0 || d[1] != 0 || d[2] != 0) ++count;
   });
   return count;
 }
@@ -261,6 +278,74 @@ void ScheduleDeltaAdapter::SetGroupQuota(const std::string& group,
               "period_ns=" + std::to_string(period),
               [&] { next_->SetGroupQuota(group, quota, period); })) {
     quota_.Insert(group_ids_.Intern(group), {quota, period});
+  }
+}
+
+void ScheduleDeltaAdapter::SetDeadline(const ThreadHandle& thread,
+                                       SimDuration runtime,
+                                       SimDuration deadline,
+                                       SimDuration period) {
+  const ThreadKey key = KeyOf(thread);
+  const std::array<SimDuration, 3> triple{runtime, deadline, period};
+  const bool is_clear = runtime == 0 && deadline == 0 && period == 0;
+  if (enabled_) {
+    const std::array<SimDuration, 3>* cached = deadline_.Find(key);
+    if (cached != nullptr && *cached == triple) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetDeadline, HealthKeyOf(thread), runtime);
+      }
+      return;
+    }
+    // Clearing a reservation the delta layer never applied is a no-op by
+    // construction (no reservation is the default state).
+    if (cached == nullptr && is_clear) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetDeadline, HealthKeyOf(thread), 0);
+      }
+      return;
+    }
+  }
+  if (Forward(OpClass::kSetDeadline, HealthKeyOf(thread),
+              std::to_string(thread.os_tid), runtime,
+              "deadline_ns=" + std::to_string(deadline) +
+                  " period_ns=" + std::to_string(period),
+              [&] { next_->SetDeadline(thread, runtime, deadline, period); })) {
+    deadline_.Insert(key, triple);
+  }
+}
+
+void ScheduleDeltaAdapter::SetCpuAffinity(const ThreadHandle& thread,
+                                          CpuPreference pref) {
+  const ThreadKey key = KeyOf(thread);
+  const auto value = static_cast<std::uint8_t>(pref);
+  if (enabled_) {
+    const std::uint8_t* cached = affinity_.Find(key);
+    if (cached != nullptr && *cached == value) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetAffinity, HealthKeyOf(thread), value);
+      }
+      return;
+    }
+    // Clearing a hint that was never set is a no-op by construction.
+    if (cached == nullptr && pref == CpuPreference::kNone) {
+      ++tick_.skipped;
+      ++totals_.skipped;
+      if (recorder_ != nullptr && recorder_->verbose()) {
+        RecordElided(OpClass::kSetAffinity, HealthKeyOf(thread), 0);
+      }
+      return;
+    }
+  }
+  if (Forward(OpClass::kSetAffinity, HealthKeyOf(thread),
+              std::to_string(thread.os_tid), value, {},
+              [&] { next_->SetCpuAffinity(thread, pref); })) {
+    affinity_.Insert(key, value);
   }
 }
 

@@ -152,6 +152,9 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   // (last applied rt priority > 0). Lets tests and translators reconcile
   // against applied -- not merely requested -- state.
   [[nodiscard]] std::size_t rt_boosted_count() const;
+  // Threads currently holding a SCHED_DEADLINE reservation as far as the
+  // delta layer knows (last applied triple non-zero).
+  [[nodiscard]] std::size_t dl_reserved_count() const;
 
   // Stable per-target health key, also the canonical target string in
   // recorded provenance events and explain queries. Deliberately excludes
@@ -172,6 +175,9 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   void SetRtPriority(const ThreadHandle& thread, int rt_priority) override;
   void SetGroupQuota(const std::string& group, SimDuration quota,
                      SimDuration period) override;
+  void SetDeadline(const ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override;
+  void SetCpuAffinity(const ThreadHandle& thread, CpuPreference pref) override;
   bool SnapshotState(const std::vector<ThreadHandle>& threads,
                      OsStateSnapshot& out) override {
     return next_->SnapshotState(threads, out);
@@ -223,6 +229,11 @@ class ScheduleDeltaAdapter final : public OsAdapter {
   StringInterner group_ids_;
   FlatMap<ThreadKey, int> nice_;
   FlatMap<ThreadKey, int> rt_;
+  // Last applied (runtime, deadline, period); the all-zero triple means
+  // "reservation cleared" and, like rt demotion, clearing a never-reserved
+  // thread is elided by construction.
+  FlatMap<ThreadKey, std::array<SimDuration, 3>> deadline_;
+  FlatMap<ThreadKey, std::uint8_t> affinity_;   // value: CpuPreference
   FlatMap<ThreadKey, std::uint32_t> group_of_;  // value: interned group id
   FlatMap<std::uint32_t, std::uint64_t> shares_;
   FlatMap<std::uint32_t, std::pair<SimDuration, SimDuration>> quota_;

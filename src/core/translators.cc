@@ -131,6 +131,73 @@ void RtBoostTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
   nice_.Apply(schedule, os);
 }
 
+void DeadlineTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  if (schedule.entries.empty()) return;
+  // The critical set: tagged entries, or the single top-priority entry.
+  std::map<std::string, ThreadHandle> critical;
+  for (const ScheduleEntry& entry : schedule.entries) {
+    if (entry.criticality == Criticality::kLatencyCritical) {
+      critical.emplace(entry.entity.path, entry.entity.thread);
+    }
+  }
+  if (critical.empty()) {
+    const ScheduleEntry* top = &schedule.entries.front();
+    for (const ScheduleEntry& entry : schedule.entries) {
+      if (entry.priority > top->priority) top = &entry;
+    }
+    critical.emplace(top->entity.path, top->entity.thread);
+  }
+  // Reconcile: clear every reservation whose holder left the critical set,
+  // via the stored handle (the entity may be gone from the schedule). The
+  // delta layer elides clears already applied.
+  for (const auto& [path, thread] : reserved_) {
+    if (critical.find(path) == critical.end()) {
+      os.SetDeadline(thread, 0, 0, 0);
+    }
+  }
+  for (const auto& [path, thread] : critical) {
+    os.SetDeadline(thread, runtime_, period_, period_);
+  }
+  reserved_ = std::move(critical);
+  nice_.Apply(schedule, os);
+}
+
+void CapacityHintTranslator::Apply(const Schedule& schedule, OsAdapter& os) {
+  inner_->Apply(schedule, os);
+  if (schedule.entries.empty()) return;
+  // Big-core set: the top ceil(big_frac * n) entries by priority, plus
+  // every latency-critical entry.
+  std::vector<const ScheduleEntry*> by_priority;
+  by_priority.reserve(schedule.entries.size());
+  for (const ScheduleEntry& entry : schedule.entries) {
+    by_priority.push_back(&entry);
+  }
+  std::stable_sort(by_priority.begin(), by_priority.end(),
+                   [](const ScheduleEntry* a, const ScheduleEntry* b) {
+                     return a->priority > b->priority;
+                   });
+  const auto big_count = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(by_priority.size()),
+      std::ceil(big_frac_ * static_cast<double>(by_priority.size()))));
+  std::map<std::string, ThreadHandle> big;
+  for (std::size_t i = 0; i < by_priority.size(); ++i) {
+    const ScheduleEntry& entry = *by_priority[i];
+    if (i < big_count ||
+        entry.criticality == Criticality::kLatencyCritical) {
+      big.emplace(entry.entity.path, entry.entity.thread);
+    }
+  }
+  for (const auto& [path, thread] : hinted_) {
+    if (big.find(path) == big.end()) {
+      os.SetCpuAffinity(thread, CpuPreference::kNone);
+    }
+  }
+  for (const auto& [path, thread] : big) {
+    os.SetCpuAffinity(thread, CpuPreference::kPreferBig);
+  }
+  hinted_ = std::move(big);
+}
+
 void QuerySharesPlusNiceTranslator::Apply(const Schedule& schedule,
                                           OsAdapter& os) {
   for (const ScheduleEntry& entry : schedule.entries) {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/op_health.h"
@@ -133,6 +134,66 @@ class RtBoostTranslator final : public Translator {
   // Entity path -> thread currently in the RT class (at most one entry).
   std::map<std::string, ThreadHandle> boosted_;
   std::string name_ = "rt+nice";
+};
+
+// SCHED_DEADLINE translator: gives latency-critical operators a hard CPU
+// reservation (`runtime` every `period`, deadline == period) and enforces
+// the rest of the schedule with nice. Critical operators are the entries
+// tagged Criticality::kLatencyCritical; when none are tagged the single
+// highest-priority entry is reserved (mirroring RtBoostTranslator).
+//
+// Unlike an RT boost, a reservation is admission-controlled: the backend
+// may reject it (utilization over-commit), which surfaces as an op error
+// the delta layer backs off on -- the nice enforcement below still applies,
+// so a rejected reservation degrades to priority scheduling instead of
+// nothing. Operators that leave the critical set (or the schedule) are
+// cleared via the stored handle with the all-zero triple.
+class DeadlineTranslator final : public Translator {
+ public:
+  explicit DeadlineTranslator(SimDuration runtime = Millis(4),
+                              SimDuration period = Millis(10),
+                              int nice_best = -20)
+      : runtime_(runtime), period_(period), nice_(nice_best) {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return OpClassBit(OpClass::kSetDeadline) | OpClassBit(OpClass::kSetNice);
+  }
+
+ private:
+  SimDuration runtime_;
+  SimDuration period_;
+  NiceTranslator nice_;
+  // Entity path -> thread currently holding a reservation.
+  std::map<std::string, ThreadHandle> reserved_;
+  std::string name_ = "deadline+nice";
+};
+
+// Capacity-hint decorator for heterogeneous machines: applies the wrapped
+// translator unchanged, then steers the top `big_frac` fraction of entries
+// (by priority; latency-critical entries always included) toward big cores
+// with SetCpuAffinity(kPreferBig). Hints are best-effort -- they are NOT
+// part of required_op_classes(), so a backend without affinity support
+// degrades to the wrapped translator alone rather than down the ladder.
+class CapacityHintTranslator final : public Translator {
+ public:
+  CapacityHintTranslator(std::unique_ptr<Translator> inner,
+                         double big_frac = 0.25)
+      : inner_(std::move(inner)),
+        big_frac_(big_frac),
+        name_(inner_->name() + "+affinity") {}
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  void Apply(const Schedule& schedule, OsAdapter& os) override;
+  [[nodiscard]] std::uint32_t required_op_classes() const override {
+    return inner_->required_op_classes();
+  }
+
+ private:
+  std::unique_ptr<Translator> inner_;
+  double big_frac_;
+  // Entity path -> thread currently hinted toward big cores.
+  std::map<std::string, ThreadHandle> hinted_;
+  std::string name_;
 };
 
 // The multi-dimensional scheme of §6.6 (Fig 18): each query is confined to

@@ -44,11 +44,33 @@ std::unique_ptr<core::Translator> MakeTranslator(TranslatorKind kind) {
       return std::make_unique<core::QuotaTranslator>();
     case TranslatorKind::kRtNice:
       return std::make_unique<core::RtBoostTranslator>();
+    case TranslatorKind::kDeadline:
+      return std::make_unique<core::DeadlineTranslator>();
   }
   throw std::invalid_argument("unknown translator kind");
 }
 
 namespace {
+
+// Honors the per-spec reservation shape (MakeTranslator keeps the
+// default-constructed signature shared with the fleet harness).
+std::unique_ptr<core::Translator> MakeTranslatorFor(const SchedulerSpec& s) {
+  if (s.translator == TranslatorKind::kDeadline) {
+    return std::make_unique<core::DeadlineTranslator>(s.dl_runtime, s.dl_period);
+  }
+  return MakeTranslator(s.translator);
+}
+
+// Wraps the policy so operators of the named queries come out tagged
+// latency-critical (reservation targets for deadline/RT translators).
+std::unique_ptr<core::SchedulingPolicy> MakePolicyFor(const SchedulerSpec& s) {
+  auto policy = MakePolicy(s.policy);
+  if (!s.critical_queries.empty()) {
+    policy = std::make_unique<core::CriticalChainPolicy>(std::move(policy),
+                                                         s.critical_queries);
+  }
+  return policy;
+}
 
 ulss::UlssPolicy ToUlssPolicy(PolicyKind kind) {
   switch (kind) {
@@ -76,9 +98,12 @@ RunResult RunScenario(const ScenarioSpec& spec) {
   // --- machines ----------------------------------------------------------------
   std::vector<std::unique_ptr<sim::Machine>> machine_storage;
   std::vector<sim::Machine*> machines;
+  sim::CfsParams machine_params;
+  machine_params.core_capacities = spec.core_capacities;
+  machine_params.capacity_aware = spec.capacity_aware;
   for (int n = 0; n < spec.nodes; ++n) {
     machine_storage.push_back(std::make_unique<sim::Machine>(
-        sim, spec.cores, sim::CfsParams{}, "node" + std::to_string(n)));
+        sim, spec.cores, machine_params, "node" + std::to_string(n)));
     machines.push_back(machine_storage.back().get());
   }
 
@@ -171,8 +196,8 @@ RunResult RunScenario(const ScenarioSpec& spec) {
       }
       if (spec.nodes == 1) {
         core::PolicyBinding binding;
-        binding.policy = MakePolicy(spec.scheduler.policy);
-        binding.translator = MakeTranslator(spec.scheduler.translator);
+        binding.policy = MakePolicyFor(spec.scheduler);
+        binding.translator = MakeTranslatorFor(spec.scheduler);
         binding.period = spec.scheduler.period;
         binding.drivers = driver_ptrs;
         runner->AddBinding(std::move(binding));
@@ -181,8 +206,8 @@ RunResult RunScenario(const ScenarioSpec& spec) {
         // scheduling only the local operators (no global knowledge).
         for (int n = 0; n < spec.nodes; ++n) {
           core::PolicyBinding binding;
-          binding.policy = MakePolicy(spec.scheduler.policy);
-          binding.translator = MakeTranslator(spec.scheduler.translator);
+          binding.policy = MakePolicyFor(spec.scheduler);
+          binding.translator = MakeTranslatorFor(spec.scheduler);
           binding.period = spec.scheduler.period;
           binding.drivers = driver_ptrs;
           sim::Machine* node = machines[static_cast<std::size_t>(n)];

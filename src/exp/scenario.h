@@ -47,6 +47,7 @@ enum class TranslatorKind {
   kQuerySharesNice,  // cgroup per query + nice within (Fig 18)
   kQuota,            // §8: hard CFS-bandwidth budgets per operator group
   kRtNice,           // §8: RT-boost the top operator + nice for the rest
+  kDeadline,         // SCHED_DEADLINE reservations for critical ops + nice
 };
 
 struct SchedulerSpec {
@@ -55,6 +56,13 @@ struct SchedulerSpec {
   TranslatorKind translator = TranslatorKind::kNice;
   SimDuration period = Seconds(1);  // Lachesis scheduling / Haren refresh
   int ulss_workers = 0;             // 0 -> #cores
+  // Queries whose operators are tagged latency-critical (the policy is
+  // wrapped in core::CriticalChainPolicy). Feeds the deadline/RT
+  // translators' reservation choice; priority-only translators ignore it.
+  std::vector<std::string> critical_queries;
+  // SCHED_DEADLINE reservation shape for TranslatorKind::kDeadline.
+  SimDuration dl_runtime = Millis(4);
+  SimDuration dl_period = Millis(10);
 };
 
 struct WorkloadSpec {
@@ -79,6 +87,12 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   // Flink chaining toggle (paper disables chaining; see Fig 11 footnote).
   bool chaining = false;
+  // Per-core relative capacities for heterogeneous (big.LITTLE) nodes, in
+  // (0, 1]; empty = symmetric full-capacity cores. Applied to every node.
+  std::vector<double> core_capacities;
+  // When false, the simulated kernel places work capacity-blind (the
+  // control arm of the heterogeneity benches).
+  bool capacity_aware = true;
 };
 
 struct QueryResult {

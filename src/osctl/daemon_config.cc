@@ -45,6 +45,20 @@ bool ParseBool(const std::string& value, int line, const std::string& key) {
   Fail(line, key + " must be a boolean (true/false), got '" + value + "'");
 }
 
+// Space-separated core id list, e.g. "4 5 6 7".
+std::vector<int> ParseCoreList(const std::string& value, int line,
+                               const std::string& key) {
+  std::vector<int> cores;
+  std::istringstream in(value);
+  std::string token;
+  while (in >> token) {
+    const long core = ParseLong(token, line, key);
+    if (core < 0) Fail(line, key + " core ids must be >= 0");
+    cores.push_back(static_cast<int>(core));
+  }
+  return cores;
+}
+
 core::MetricId MetricFromName(const std::string& name, int line) {
   static const std::map<std::string, core::MetricId> kNames = {
       {"tuples_in_total", core::MetricId::kTuplesInTotal},
@@ -135,6 +149,25 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
         config.degradation = ParseBool(value, line_number, key);
       } else if (key == "reconcile") {
         config.reconcile = ParseBool(value, line_number, key);
+      } else if (key == "dl_runtime_ms") {
+        config.dl_runtime_ms = ParseLong(value, line_number, key);
+        if (config.dl_runtime_ms <= 0) {
+          Fail(line_number, "dl_runtime_ms must be positive");
+        }
+      } else if (key == "dl_period_ms") {
+        config.dl_period_ms = ParseLong(value, line_number, key);
+        if (config.dl_period_ms <= 0) {
+          Fail(line_number, "dl_period_ms must be positive");
+        }
+      } else if (key == "critical_queries") {
+        std::istringstream names(value);
+        std::string name;
+        config.critical_queries.clear();
+        while (names >> name) config.critical_queries.push_back(name);
+      } else if (key == "big_cores") {
+        config.big_cores = ParseCoreList(value, line_number, key);
+      } else if (key == "little_cores") {
+        config.little_cores = ParseCoreList(value, line_number, key);
       } else if (key == "trace_file") {
         config.trace_file = value;
       } else if (key == "trace_every_ticks") {
@@ -228,6 +261,17 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
       config.backoff_cap_ms < config.backoff_base_ms) {
     throw std::runtime_error(
         "backoff_cap_ms must be >= backoff_base_ms when set");
+  }
+  if (config.dl_period_ms < config.dl_runtime_ms) {
+    throw std::runtime_error("dl_period_ms must be >= dl_runtime_ms");
+  }
+  for (const int core : config.big_cores) {
+    for (const int little : config.little_cores) {
+      if (core == little) {
+        throw std::runtime_error("core " + std::to_string(core) +
+                                 " listed in both big_cores and little_cores");
+      }
+    }
   }
   return config;
 }

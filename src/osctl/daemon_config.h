@@ -45,6 +45,20 @@ struct DaemonConfig {
   long breaker_probe_ms = 2000;  // half-open probe interval (>0)
   bool degradation = true;       // capability degradation ladder
   bool reconcile = true;         // seed delta cache from kernel state at boot
+  // SCHED_DEADLINE knobs (translator = deadline): each latency-critical
+  // operator gets a reservation of dl_runtime_ms CPU every dl_period_ms
+  // (deadline == period). Requires root or CAP_SYS_NICE; when the kernel
+  // rejects (EPERM/ENOSYS/EBUSY) the ladder degrades to rt, then shares,
+  // then nice.
+  long dl_runtime_ms = 4;   // must be positive
+  long dl_period_ms = 10;   // must be >= dl_runtime_ms
+  // Queries whose operators are tagged latency-critical (deadline/RT
+  // guarantees, big-core placement). Space-separated query names.
+  std::vector<std::string> critical_queries;
+  // big.LITTLE topology for the affinity hints: explicit core id lists.
+  // Both empty (default) disables capacity-aware placement.
+  std::vector<int> big_cores;
+  std::vector<int> little_cores;
   // Observability knobs (src/obs/): Chrome-trace dumps, Prometheus
   // textfile self-metrics, and provenance-ring tuning.
   std::string trace_file;      // empty: no trace dumps (SIGUSR1 still logs)

@@ -47,8 +47,19 @@ inline core::ErrorSeverity SeverityFromErrno(int err) {
 class LinuxOsAdapter final : public core::OsAdapter {
  public:
   LinuxOsAdapter(NiceController& nice, CgroupController& cgroups,
-                 RtController* rt = nullptr)
-      : nice_(&nice), cgroups_(&cgroups), rt_(rt) {}
+                 RtController* rt = nullptr,
+                 DeadlineController* deadline = nullptr,
+                 AffinityController* affinity = nullptr)
+      : nice_(&nice), cgroups_(&cgroups), rt_(rt), deadline_(deadline),
+        affinity_(affinity) {}
+
+  // Explicit core lists behind the CpuPreference hints (big.LITTLE
+  // topology, e.g. from DaemonConfig). Empty lists leave the hint a no-op.
+  void SetCoreClasses(std::vector<int> big_cores,
+                      std::vector<int> little_cores) {
+    big_cores_ = std::move(big_cores);
+    little_cores_ = std::move(little_cores);
+  }
 
   void SetNice(const core::ThreadHandle& thread, int nice) override {
     if (thread.os_tid < 0) return;
@@ -108,6 +119,53 @@ class LinuxOsAdapter final : public core::OsAdapter {
     }
   }
 
+  void SetDeadline(const core::ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    if (deadline_ == nullptr || thread.os_tid < 0) return;
+    errno = 0;
+    if (!deadline_->SetDeadline(thread.os_tid,
+                                static_cast<std::uint64_t>(runtime),
+                                static_cast<std::uint64_t>(deadline),
+                                static_cast<std::uint64_t>(period))) {
+      const int err = errno;
+      // EBUSY is the kernel's admission-control rejection: transient by
+      // errno classification, which is right -- capacity may free up.
+      throw core::OsOperationError(
+          "sched_setattr(" + std::to_string(thread.os_tid) + ", " +
+              std::to_string(runtime) + "/" + std::to_string(deadline) + "/" +
+              std::to_string(period) + ")",
+          SeverityFromErrno(err), err);
+    }
+  }
+
+  void SetCpuAffinity(const core::ThreadHandle& thread,
+                      core::CpuPreference pref) override {
+    if (affinity_ == nullptr || thread.os_tid < 0) return;
+    const std::vector<int>* cpus = nullptr;
+    static const std::vector<int> kAll;
+    switch (pref) {
+      case core::CpuPreference::kPreferBig:
+        cpus = &big_cores_;
+        break;
+      case core::CpuPreference::kPreferLittle:
+        cpus = &little_cores_;
+        break;
+      case core::CpuPreference::kNone:
+        cpus = &kAll;
+        break;
+    }
+    if (pref != core::CpuPreference::kNone && cpus->empty()) {
+      return;  // topology not configured: the hint is a no-op
+    }
+    errno = 0;
+    if (!affinity_->SetAffinity(thread.os_tid, *cpus)) {
+      const int err = errno;
+      throw core::OsOperationError(
+          "sched_setaffinity(" + std::to_string(thread.os_tid) + ")",
+          SeverityFromErrno(err), err);
+    }
+  }
+
   // Restart reconciliation: nice via getpriority, RT via sched_getscheduler
   // (when an RT controller is wired), group membership / shares / quota by
   // enumerating the Lachesis cgroup root. Groups found there from a
@@ -139,6 +197,14 @@ class LinuxOsAdapter final : public core::OsAdapter {
       if (rt_ != nullptr) {
         state.rt_priority = rt_->GetRtPriority(thread.os_tid);
       }
+      if (deadline_ != nullptr) {
+        if (const auto dl = deadline_->GetDeadline(thread.os_tid)) {
+          state.deadline = sim::DeadlineParams{
+              static_cast<SimDuration>(dl->runtime_ns),
+              static_cast<SimDuration>(dl->deadline_ns),
+              static_cast<SimDuration>(dl->period_ns)};
+        }
+      }
       if (const auto it = group_of.find(thread.os_tid);
           it != group_of.end()) {
         state.group = it->second;
@@ -152,6 +218,10 @@ class LinuxOsAdapter final : public core::OsAdapter {
   NiceController* nice_;
   CgroupController* cgroups_;
   RtController* rt_;
+  DeadlineController* deadline_;
+  AffinityController* affinity_;
+  std::vector<int> big_cores_;
+  std::vector<int> little_cores_;
 };
 
 }  // namespace lachesis::osctl

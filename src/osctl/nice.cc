@@ -1,8 +1,13 @@
 #include "osctl/nice.h"
 
 #include <cerrno>
+#include <cstring>
 #include <sched.h>
 #include <sys/resource.h>
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 namespace lachesis::osctl {
 
@@ -32,5 +37,90 @@ std::optional<int> LinuxRtController::GetRtPriority(long tid) {
   if (sched_getparam(static_cast<pid_t>(tid), &param) != 0) return std::nullopt;
   return param.sched_priority;
 }
+
+#if defined(__linux__) && defined(SYS_sched_setattr) && \
+    defined(SYS_sched_getattr)
+namespace {
+// glibc exposes no wrapper or struct for sched_setattr; this mirrors the
+// kernel's uapi layout (linux/sched/types.h).
+struct KernelSchedAttr {
+  std::uint32_t size;
+  std::uint32_t sched_policy;
+  std::uint64_t sched_flags;
+  std::int32_t sched_nice;
+  std::uint32_t sched_priority;
+  std::uint64_t sched_runtime;
+  std::uint64_t sched_deadline;
+  std::uint64_t sched_period;
+};
+constexpr std::uint32_t kSchedDeadlinePolicy = 6;  // SCHED_DEADLINE
+constexpr std::uint32_t kSchedOtherPolicy = 0;     // SCHED_OTHER
+}  // namespace
+
+bool LinuxDeadlineController::SetDeadline(long tid, std::uint64_t runtime_ns,
+                                          std::uint64_t deadline_ns,
+                                          std::uint64_t period_ns) {
+  KernelSchedAttr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  if (runtime_ns == 0 && deadline_ns == 0 && period_ns == 0) {
+    attr.sched_policy = kSchedOtherPolicy;  // clear: back to the fair class
+  } else {
+    attr.sched_policy = kSchedDeadlinePolicy;
+    attr.sched_runtime = runtime_ns;
+    attr.sched_deadline = deadline_ns;
+    attr.sched_period = period_ns;
+  }
+  return syscall(SYS_sched_setattr, static_cast<pid_t>(tid), &attr, 0u) == 0;
+}
+
+std::optional<DeadlineTriple> LinuxDeadlineController::GetDeadline(long tid) {
+  KernelSchedAttr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  if (syscall(SYS_sched_getattr, static_cast<pid_t>(tid), &attr,
+              static_cast<unsigned>(sizeof(attr)), 0u) != 0) {
+    return std::nullopt;
+  }
+  if (attr.sched_policy != kSchedDeadlinePolicy) return DeadlineTriple{};
+  return DeadlineTriple{attr.sched_runtime, attr.sched_deadline,
+                        attr.sched_period};
+}
+#else
+bool LinuxDeadlineController::SetDeadline(long, std::uint64_t, std::uint64_t,
+                                          std::uint64_t) {
+  errno = ENOSYS;
+  return false;
+}
+
+std::optional<DeadlineTriple> LinuxDeadlineController::GetDeadline(long) {
+  return std::nullopt;
+}
+#endif
+
+#if defined(__linux__)
+bool LinuxAffinityController::SetAffinity(long tid,
+                                          const std::vector<int>& cpus) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpus.empty()) {
+    // Restore the full mask: every CPU the set type can express. The kernel
+    // silently intersects with the online mask.
+    const long ncpu = sysconf(_SC_NPROCESSORS_CONF);
+    for (long c = 0; c < ncpu && c < CPU_SETSIZE; ++c) {
+      CPU_SET(static_cast<int>(c), &set);
+    }
+  } else {
+    for (const int c : cpus) {
+      if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+    }
+  }
+  return sched_setaffinity(static_cast<pid_t>(tid), sizeof(set), &set) == 0;
+}
+#else
+bool LinuxAffinityController::SetAffinity(long, const std::vector<int>&) {
+  errno = ENOSYS;
+  return false;
+}
+#endif
 
 }  // namespace lachesis::osctl

@@ -7,8 +7,10 @@
 #ifndef LACHESIS_OSCTL_NICE_H_
 #define LACHESIS_OSCTL_NICE_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace lachesis::osctl {
 
@@ -65,6 +67,91 @@ class FakeRtController final : public RtController {
 
  private:
   std::map<long, int> priorities_;
+};
+
+// SCHED_DEADLINE control (sched_setattr). The all-zero triple returns the
+// thread to SCHED_OTHER. Kernel-side admission control may reject a
+// reservation (EBUSY) and unprivileged callers get EPERM; callers must
+// treat a false return as "mechanism unavailable or over-committed" and
+// degrade (the daemon's ladder falls back to rt/nice).
+struct DeadlineTriple {
+  std::uint64_t runtime_ns = 0;
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t period_ns = 0;
+};
+
+class DeadlineController {
+ public:
+  virtual ~DeadlineController() = default;
+  // Returns false (errno set, for the real impl) on failure.
+  virtual bool SetDeadline(long tid, std::uint64_t runtime_ns,
+                           std::uint64_t deadline_ns,
+                           std::uint64_t period_ns) = 0;
+  // Current reservation (all-zero = not SCHED_DEADLINE); nullopt when the
+  // thread is gone or unobservable. Used by restart reconciliation.
+  virtual std::optional<DeadlineTriple> GetDeadline(long tid) {
+    (void)tid;
+    return std::nullopt;
+  }
+};
+
+// Real sched_setattr/sched_getattr syscalls; compiled to a graceful
+// errno=ENOSYS failure on kernels/libcs without the syscall numbers.
+class LinuxDeadlineController final : public DeadlineController {
+ public:
+  bool SetDeadline(long tid, std::uint64_t runtime_ns,
+                   std::uint64_t deadline_ns,
+                   std::uint64_t period_ns) override;
+  std::optional<DeadlineTriple> GetDeadline(long tid) override;
+};
+
+class FakeDeadlineController final : public DeadlineController {
+ public:
+  bool SetDeadline(long tid, std::uint64_t runtime_ns,
+                   std::uint64_t deadline_ns,
+                   std::uint64_t period_ns) override {
+    deadlines_[tid] = {runtime_ns, deadline_ns, period_ns};
+    return true;
+  }
+  std::optional<DeadlineTriple> GetDeadline(long tid) override {
+    const auto it = deadlines_.find(tid);
+    if (it == deadlines_.end()) return DeadlineTriple{};
+    return it->second;
+  }
+  [[nodiscard]] const std::map<long, DeadlineTriple>& deadlines() const {
+    return deadlines_;
+  }
+
+ private:
+  std::map<long, DeadlineTriple> deadlines_;
+};
+
+// CPU-set placement control (sched_setaffinity): binds a thread to an
+// explicit core list. An empty list restores the full affinity mask. Used
+// to steer latency-critical threads onto big cores on big.LITTLE hosts.
+class AffinityController {
+ public:
+  virtual ~AffinityController() = default;
+  virtual bool SetAffinity(long tid, const std::vector<int>& cpus) = 0;
+};
+
+class LinuxAffinityController final : public AffinityController {
+ public:
+  bool SetAffinity(long tid, const std::vector<int>& cpus) override;
+};
+
+class FakeAffinityController final : public AffinityController {
+ public:
+  bool SetAffinity(long tid, const std::vector<int>& cpus) override {
+    affinities_[tid] = cpus;
+    return true;
+  }
+  [[nodiscard]] const std::map<long, std::vector<int>>& affinities() const {
+    return affinities_;
+  }
+
+ private:
+  std::map<long, std::vector<int>> affinities_;
 };
 
 // Recording fake for tests and --dry-run tooling.

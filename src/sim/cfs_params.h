@@ -10,10 +10,78 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/sim_time.h"
 
 namespace lachesis::sim {
+
+// A SCHED_DEADLINE-style reservation: `runtime` of CPU service every
+// `period`, due within `deadline` of each activation. The kernel's
+// sched_setattr constraint 0 < runtime <= deadline <= period applies.
+struct DeadlineParams {
+  SimDuration runtime = 0;
+  SimDuration deadline = 0;
+  SimDuration period = 0;
+
+  // The all-zero triple clears a reservation instead of setting one.
+  [[nodiscard]] bool is_zero() const {
+    return runtime == 0 && deadline == 0 && period == 0;
+  }
+  // Bandwidth claimed from the admission budget.
+  [[nodiscard]] double utilization() const {
+    return period > 0 ? static_cast<double>(runtime) /
+                            static_cast<double>(period)
+                      : 0.0;
+  }
+
+  // Throws std::invalid_argument on triples the CBS math cannot serve.
+  void Validate() const {
+    const auto reject = [](const std::string& what) {
+      throw std::invalid_argument("DeadlineParams: " + what);
+    };
+    if (runtime <= 0) {
+      reject("runtime must be positive, got " + std::to_string(runtime) +
+             "ns");
+    }
+    if (deadline < runtime) {
+      reject("deadline (" + std::to_string(deadline) +
+             "ns) must be >= runtime (" + std::to_string(runtime) + "ns)");
+    }
+    if (period < deadline) {
+      reject("period (" + std::to_string(period) +
+             "ns) must be >= deadline (" + std::to_string(deadline) + "ns)");
+    }
+  }
+
+  friend bool operator==(const DeadlineParams&,
+                         const DeadlineParams&) = default;
+};
+
+// Validates an explicit per-core capacity vector for a machine with
+// `num_cores` cores: non-empty, one entry per core, every entry in (0, 1].
+// Machine construction applies this whenever CfsParams::core_capacities is
+// set; throws std::invalid_argument with the offending entry.
+inline void ValidateCoreCapacities(const std::vector<double>& capacities,
+                                   int num_cores) {
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("CfsParams: " + what);
+  };
+  if (capacities.empty()) {
+    reject("core capacity vector must not be empty");
+  }
+  if (static_cast<int>(capacities.size()) != num_cores) {
+    reject("core capacity vector has " + std::to_string(capacities.size()) +
+           " entries for " + std::to_string(num_cores) + " cores");
+  }
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const double c = capacities[i];
+    if (!(c > 0.0) || c > 1.0) {
+      reject("core capacity [" + std::to_string(i) + "] must be in (0, 1], " +
+             "got " + std::to_string(c));
+    }
+  }
+}
 
 struct CfsParams {
   // Base sysctl values are 6 ms / 0.75 ms / 1 ms, but the kernel multiplies
@@ -40,6 +108,23 @@ struct CfsParams {
   // CPU consumed by a woken thread re-checking its wait predicate before the
   // body resumes useful work (futex wake path, queue recheck).
   SimDuration wakeup_check_cost = Micros(5);
+  // Per-core relative compute capacity in (0, 1]: entry i scales how much
+  // work core i retires per wall-clock nanosecond (the kernel's
+  // SCHED_CAPACITY_SCALE view of big.LITTLE topologies, quantized to 1024
+  // steps at machine construction). Empty means every core runs at full
+  // capacity -- the symmetric-SMP behaviour, bit-identical to the
+  // pre-heterogeneity scheduler. When set, the size must equal the
+  // machine's core count (ValidateCoreCapacities, checked at construction).
+  std::vector<double> core_capacities;
+  // When false, wakeup placement, idle balancing and misfit migration
+  // ignore core capacities (capacity-blind): the control arm of the
+  // heterogeneity benches. No effect on symmetric machines.
+  bool capacity_aware = true;
+  // Fraction of total machine capacity SCHED_DEADLINE reservations may
+  // claim; admission control rejects reservations that would push the
+  // summed runtime/period utilization above capacity * this. Mirrors the
+  // kernel's 95% default (sched_rt_runtime_us / sched_rt_period_us).
+  double dl_admission_frac = 0.95;
 
   // Rejects configurations the scheduling math cannot handle (zero-length
   // target periods would yield zero timeslices and a livelocked core loop;
@@ -67,6 +152,17 @@ struct CfsParams {
     if (sleeper_bonus < 0) reject("sleeper_bonus must be >= 0");
     if (context_switch_cost < 0) reject("context_switch_cost must be >= 0");
     if (wakeup_check_cost < 0) reject("wakeup_check_cost must be >= 0");
+    for (std::size_t i = 0; i < core_capacities.size(); ++i) {
+      const double c = core_capacities[i];
+      if (!(c > 0.0) || c > 1.0) {
+        reject("core capacity [" + std::to_string(i) +
+               "] must be in (0, 1], got " + std::to_string(c));
+      }
+    }
+    if (!(dl_admission_frac > 0.0) || dl_admission_frac > 1.0) {
+      reject("dl_admission_frac must be in (0, 1], got " +
+             std::to_string(dl_admission_frac));
+    }
   }
 };
 

@@ -112,6 +112,16 @@ class Machine final : public EventSink {
   // quotas, as in the kernel.
   void SetRtPriority(ThreadId tid, int rt_priority);
   [[nodiscard]] int GetRtPriority(ThreadId tid) const;
+  // SCHED_DEADLINE-like reservation (EDF above RT and CFS, with a CBS-style
+  // budget): the thread receives `runtime` of CPU every `period`, replenished
+  // periodically, and is throttled off-CPU when the budget is exhausted.
+  // Throws std::invalid_argument for a malformed triple; returns false when
+  // utilization-based admission control rejects the reservation (the thread
+  // keeps its previous scheduling class). A zero triple clears the
+  // reservation and returns the thread to its rt_priority/CFS class.
+  bool SetDeadline(ThreadId tid, DeadlineParams dl);
+  [[nodiscard]] DeadlineParams GetDeadline(ThreadId tid) const;
+  [[nodiscard]] bool IsDeadline(ThreadId tid) const;
   void MoveToCgroup(ThreadId tid, CgroupId group);
   [[nodiscard]] CgroupId GetCgroup(ThreadId tid) const;
   [[nodiscard]] ThreadState GetState(ThreadId tid) const;
@@ -146,9 +156,51 @@ class Machine final : public EventSink {
   // Cores with no thread dispatched right now.
   [[nodiscard]] int IdleCoreCount() const;
   // Threads that are runnable (queued, not running) and not blocked behind a
-  // quota-throttled ancestor; with work-conserving scheduling this must be 0
-  // whenever IdleCoreCount() > 0.
+  // quota-throttled ancestor or an exhausted deadline budget; with
+  // work-conserving scheduling this must be 0 whenever IdleCoreCount() > 0.
   [[nodiscard]] int UnthrottledRunnableCount() const;
+
+  // --- heterogeneous capacity ----------------------------------------------
+  // The kernel's SCHED_CAPACITY_SCALE: a full-capacity core in the integer
+  // capacity frame all work accounting uses.
+  static constexpr std::uint32_t kFullCapacity = 1024;
+  // Per-core capacity in kFullCapacity units (1024 = full-speed core).
+  [[nodiscard]] std::uint32_t CoreCapacity(int core) const {
+    return cores_[static_cast<std::size_t>(core)].capacity;
+  }
+  // Work retired by `wall` nanoseconds on a core of `capacity`, and the
+  // wall-clock a core needs to retire `work` (ceiling). The full-capacity
+  // fast paths are exact identities, which keeps symmetric machines
+  // bit-identical to the pre-heterogeneity scheduler; for smaller cores the
+  // pair round-trips exactly (WorkFor(WallFor(w)) == w), so compute never
+  // over- or under-runs its scheduled end.
+  [[nodiscard]] static SimDuration WorkFor(SimDuration wall,
+                                           std::uint32_t capacity) {
+    return capacity == kFullCapacity ? wall : wall * capacity / kFullCapacity;
+  }
+  [[nodiscard]] static SimDuration WallFor(SimDuration work,
+                                           std::uint32_t capacity) {
+    return capacity == kFullCapacity
+               ? work
+               : (work * kFullCapacity + capacity - 1) / capacity;
+  }
+  // Sum of core capacities in full-core units (4.0 for 4 symmetric cores).
+  [[nodiscard]] double TotalCapacity() const;
+  // Running CFS threads whose remaining work would overrun a latency period
+  // on their current core while a strictly bigger core sits idle. With
+  // capacity-aware migration this is 0 at every quiescent point; the
+  // conformance fuzzer probes it (persistent nonzero = lost misfit task).
+  [[nodiscard]] int MisfitRunnerCount() const;
+
+  // --- SCHED_DEADLINE admission introspection ------------------------------
+  // Summed runtime/period utilization of admitted reservations, and the
+  // bound admission control enforces (dl_admission_frac * TotalCapacity()).
+  [[nodiscard]] double DlAdmittedUtilization() const {
+    return dl_admitted_util_;
+  }
+  [[nodiscard]] double DlUtilizationBound() const {
+    return params_.dl_admission_frac * TotalCapacity();
+  }
 
   // Installs (or clears, with nullptr) the transition observer.
   void set_trace_observer(SchedTraceObserver* observer) {
@@ -185,6 +237,17 @@ class Machine final : public EventSink {
     int nice = 0;
     int rt_priority = 0;        // 0 = CFS, 1..99 = SCHED_FIFO-like
     bool rt_queued = false;     // on an RT runqueue
+    // SCHED_DEADLINE state. While is_deadline, the EDF class overrides
+    // rt_priority/CFS; dl_budget is the wall-clock service remaining this
+    // period and dl_throttled parks the thread (runnable but off-queue)
+    // until the next replenishment.
+    bool is_deadline = false;
+    bool dl_queued = false;     // on the machine's EDF runqueue
+    bool dl_throttled = false;  // budget exhausted, awaiting replenishment
+    DeadlineParams dl;
+    SimDuration dl_budget = 0;
+    SimTime dl_deadline_at = 0;    // current absolute deadline
+    std::uint64_t dl_version = 0;  // invalidates stale replenish events
     SimTime enqueued_at = 0;    // for runnable-wait (PSI-like) accounting
     SchedEntity ent;
     SimDuration remaining_compute = 0;
@@ -210,12 +273,14 @@ class Machine final : public EventSink {
     SimTime slice_end = 0;
     std::uint64_t version = 0;  // invalidates stale core events
     SimDuration busy = 0;
+    std::uint32_t capacity = kFullCapacity;
   };
 
   // Event codes.
   static constexpr std::int32_t kCoreEvent = 1;
   static constexpr std::int32_t kTimerWake = 2;
   static constexpr std::int32_t kQuotaRefill = 3;
+  static constexpr std::int32_t kDlReplenish = 4;
 
   void Trace(SchedTransition kind, std::uint64_t thread_idx) {
     if (trace_observer_ != nullptr) {
@@ -257,6 +322,35 @@ class Machine final : public EventSink {
 
   void WakeThread(std::uint64_t thread_idx, SimDuration startup_cost);
   void TryDispatchWake(std::uint64_t thread_idx);
+  // Remaining work (pending overhead + compute) of a running thread after
+  // accounting for the wall time consumed since run_start.
+  [[nodiscard]] SimDuration RemainingWorkNow(const ThreadNode& t) const;
+  // Misfit upgrade: moves the CFS runner of `core_idx` to a strictly bigger
+  // idle core when its remaining work would overrun a latency period on the
+  // current core. Returns true if it migrated (core_idx was refilled).
+  bool TryMisfitUpgrade(int core_idx, std::uint64_t thread_idx);
+  // Misfit pull: an idle core steals a long-running CFS task from a
+  // strictly smaller core (called by PickNext when the runqueue is empty).
+  // Returns true when it stole and dispatched.
+  bool TryMisfitSteal(int core_idx);
+  // Capacity-aware dispatch filter helpers (PickNext on small cores):
+  // the first idle core strictly bigger than `core_idx`, or -1.
+  [[nodiscard]] int IdleBiggerCore(int core_idx) const;
+  // True when some strictly bigger core runs a slice- or budget-bounded
+  // thread (CFS or deadline) and is therefore guaranteed to re-pick from
+  // the shared runqueue soon. SCHED_FIFO runners give no such bound.
+  [[nodiscard]] bool BiggerCoreReleasesSoon(int core_idx) const;
+  // Capacity-aware SCHED_DEADLINE placement: true when `capacity` can
+  // serve the reservation's bandwidth (runtime/period <= capacity share).
+  // The CBS budget is wall-clock, so a core below this bound throttles the
+  // reservation every period without retiring the promised work.
+  [[nodiscard]] bool DlFits(const ThreadNode& t, std::uint32_t capacity) const;
+  // Preempts the weakest runner for a deadline wakee (CFS first, then the
+  // lowest-priority RT runner, then the deadline runner with the latest
+  // absolute deadline strictly after the wakee's). With `fit_only`, only
+  // cores whose capacity fits the wakee's bandwidth are considered.
+  // Returns true when a target core was marked for rescheduling.
+  bool PreemptForDeadline(std::uint64_t thread_idx, bool fit_only);
   // Requeues a runnable thread: RT threads to the front of their FIFO level
   // (they were preempted), CFS threads into their group's tree.
   void RequeueRunnable(ThreadNode& t, bool preempted);
@@ -272,6 +366,7 @@ class Machine final : public EventSink {
 
   void OnCoreEvent(std::uint64_t core_idx, std::uint64_t version);
   void OnTimerWake(std::uint64_t thread_idx, std::uint64_t version);
+  void OnDlReplenish(std::uint64_t thread_idx, std::uint64_t version);
 
   // Highest-priority waiting RT thread, or -1.
   [[nodiscard]] std::int64_t PeekRt() const;
@@ -294,6 +389,17 @@ class Machine final : public EventSink {
   StablePool<ThreadNode> threads_;
   // RT runqueues: fixed priority levels plus bitmap (SCHED_FIFO).
   RtRunQueue rt_queues_;
+  // EDF runqueue (SCHED_DEADLINE class, above RT).
+  DlRunQueue dl_queue_;
+  double dl_admitted_util_ = 0.0;
+  // True when any core runs below full capacity; every heterogeneity-only
+  // code path is gated on it so symmetric machines take the exact
+  // pre-heterogeneity branches.
+  bool hetero_ = false;
+  // Core indices ordered by (capacity descending, index ascending): the
+  // preference order for idle-core placement. The identity permutation on
+  // symmetric machines.
+  std::vector<int> core_order_;
   SchedTraceObserver* trace_observer_ = nullptr;
 };
 

@@ -67,6 +67,20 @@ class CfsRunQueue {
 
   [[nodiscard]] double MinVruntime() const { return Min().vruntime; }
 
+  // Smallest (vruntime, key) entry satisfying `fits`, or nullptr when none
+  // does. Linear scan over the heap array -- used only by the
+  // capacity-aware dispatch filter on the small cores of heterogeneous
+  // machines, where runqueues hold at most a few dozen entities.
+  template <typename Pred>
+  [[nodiscard]] const Entry* MinWhere(Pred&& fits) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : heap_) {
+      if (!fits(e)) continue;
+      if (best == nullptr || Less(e, *best)) best = &e;
+    }
+    return best;
+  }
+
   void Insert(SchedEntity& ent) {
     assert(ent.rq_pos < 0);
     heap_.push_back(Entry{ent.vruntime, ent.key(), &ent});
@@ -271,6 +285,83 @@ class RtRunQueue {
 
   std::array<Fifo, kLevels> levels_;
   std::uint64_t bitmap_[2] = {0, 0};
+};
+
+// EDF runqueue for SCHED_DEADLINE threads: earliest absolute deadline
+// first, thread index breaking ties deterministically. Utilization-based
+// admission control bounds the number of deadline threads to a handful, so
+// a flat vector with linear scans beats a heap on both code size and
+// constant factor.
+class DlRunQueue {
+ public:
+  struct Entry {
+    std::int64_t deadline;  // absolute deadline (SimTime)
+    std::uint64_t tid;
+  };
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  void Push(std::uint64_t tid, std::int64_t deadline) {
+    entries_.push_back(Entry{deadline, tid});
+  }
+
+  // The queued thread with the smallest (deadline, tid). Precondition:
+  // !empty().
+  [[nodiscard]] const Entry& Earliest() const {
+    return entries_[EarliestPos()];
+  }
+
+  // Smallest (deadline, tid) entry satisfying `fits`, or nullptr when none
+  // does -- the capacity-aware EDF pick on heterogeneous machines.
+  template <typename Pred>
+  [[nodiscard]] const Entry* EarliestWhere(Pred&& fits) const {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+      if (!fits(e)) continue;
+      if (best == nullptr || e.deadline < best->deadline ||
+          (e.deadline == best->deadline && e.tid < best->tid)) {
+        best = &e;
+      }
+    }
+    return best;
+  }
+
+  std::uint64_t PopEarliest() {
+    const std::size_t pos = EarliestPos();
+    const std::uint64_t tid = entries_[pos].tid;
+    entries_[pos] = entries_.back();
+    entries_.pop_back();
+    return tid;
+  }
+
+  // Removes `tid` wherever it sits (reservation changes of queued threads).
+  void Erase(std::uint64_t tid) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].tid != tid) continue;
+      entries_[i] = entries_.back();
+      entries_.pop_back();
+      return;
+    }
+    assert(false && "thread not on the deadline runqueue");
+  }
+
+ private:
+  [[nodiscard]] std::size_t EarliestPos() const {
+    assert(!entries_.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const Entry& b = entries_[best];
+      if (e.deadline < b.deadline ||
+          (e.deadline == b.deadline && e.tid < b.tid)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  std::vector<Entry> entries_;
 };
 
 }  // namespace lachesis::sim

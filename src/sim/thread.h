@@ -67,6 +67,11 @@ struct ThreadStats {
   std::uint64_t nr_switches = 0;       // context switches paid
   std::uint64_t nr_wakeups = 0;        // transitions blocked/sleeping -> runnable
   std::uint64_t nr_preemptions = 0;    // involuntary descheduling
+  std::uint64_t nr_dl_throttles = 0;   // SCHED_DEADLINE budget exhaustions
+                                       // (CBS throttles until replenishment)
+  std::uint64_t nr_migrations = 0;     // dispatches onto a different core than
+                                       // the last one (wake moves, misfit
+                                       // pulls/upgrades on hetero machines)
 };
 
 }  // namespace lachesis::sim

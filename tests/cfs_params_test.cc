@@ -66,6 +66,72 @@ TEST(CfsParamsValidate, ErrorMessageNamesTheParameter) {
   }
 }
 
+TEST(CfsParamsValidate, RejectsOutOfRangeCoreCapacities) {
+  CfsParams params;
+  params.core_capacities = {1.0, 0.0};
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.core_capacities = {1.0, -0.25};
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.core_capacities = {1.0, 1.0001};
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.core_capacities = {1.0, 0.25};
+  EXPECT_NO_THROW(params.Validate());
+  // Empty means symmetric full capacity, which is always valid.
+  params.core_capacities.clear();
+  EXPECT_NO_THROW(params.Validate());
+}
+
+TEST(CfsParamsValidate, RejectsOutOfRangeDlAdmissionFrac) {
+  CfsParams params;
+  params.dl_admission_frac = 0.0;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.dl_admission_frac = -0.5;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.dl_admission_frac = 1.5;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  // The full machine (1.0) is a legal, if aggressive, admission bound.
+  params.dl_admission_frac = 1.0;
+  EXPECT_NO_THROW(params.Validate());
+}
+
+TEST(ValidateCoreCapacitiesFn, RejectsSizeMismatchAndNamesTheCore) {
+  EXPECT_THROW(ValidateCoreCapacities({}, 2), std::invalid_argument);
+  EXPECT_THROW(ValidateCoreCapacities({1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(ValidateCoreCapacities({1.0, 0.5, 0.5}, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ValidateCoreCapacities({1.0, 0.5}, 2));
+  try {
+    ValidateCoreCapacities({1.0, 2.0}, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("[1]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DeadlineParamsValidate, EnforcesKernelTripleOrdering) {
+  // 0 < runtime <= deadline <= period, as sched_setattr enforces.
+  EXPECT_NO_THROW((DeadlineParams{Millis(2), Millis(5), Millis(10)}.Validate()));
+  EXPECT_NO_THROW((DeadlineParams{Millis(5), Millis(5), Millis(5)}.Validate()));
+  EXPECT_THROW((DeadlineParams{0, Millis(5), Millis(10)}.Validate()),
+               std::invalid_argument);
+  EXPECT_THROW((DeadlineParams{-Millis(1), Millis(5), Millis(10)}.Validate()),
+               std::invalid_argument);
+  EXPECT_THROW((DeadlineParams{Millis(6), Millis(5), Millis(10)}.Validate()),
+               std::invalid_argument);
+  EXPECT_THROW((DeadlineParams{Millis(2), Millis(12), Millis(10)}.Validate()),
+               std::invalid_argument);
+}
+
+TEST(DeadlineParamsValidate, ZeroTripleClearsAndClaimsNoUtilization) {
+  const DeadlineParams zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_DOUBLE_EQ(zero.utilization(), 0.0);
+  const DeadlineParams half{Millis(5), Millis(10), Millis(10)};
+  EXPECT_FALSE(half.is_zero());
+  EXPECT_DOUBLE_EQ(half.utilization(), 0.5);
+}
+
 TEST(MachineConstruction, RejectsNonPositiveCoreCount) {
   Simulator sim;
   EXPECT_THROW(Machine(sim, 0, CfsParams{}, "m"), std::invalid_argument);
@@ -82,6 +148,14 @@ TEST(MachineConstruction, RejectsInvalidParams) {
 TEST(MachineConstruction, AcceptsValidConfiguration) {
   Simulator sim;
   EXPECT_NO_THROW(Machine(sim, 4, CfsParams{}, "m"));
+}
+
+TEST(MachineConstruction, RejectsCapacityVectorNotMatchingCoreCount) {
+  Simulator sim;
+  CfsParams params;
+  params.core_capacities = {1.0, 0.5};
+  EXPECT_THROW(Machine(sim, 3, params, "m"), std::invalid_argument);
+  EXPECT_NO_THROW(Machine(sim, 2, params, "m"));
 }
 
 }  // namespace

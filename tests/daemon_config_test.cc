@@ -181,6 +181,84 @@ operator a = pat series
                std::runtime_error);
 }
 
+TEST(DaemonConfigTest, ParsesDeadlineAndTopologyKnobs) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[lachesis]
+translator = deadline
+dl_runtime_ms = 2
+dl_period_ms  = 20
+critical_queries = tolls accidents
+big_cores    = 4 5 6 7
+little_cores = 0 1 2 3
+[query tolls]
+operator a = pat series
+)");
+  EXPECT_EQ(config.translator, "deadline");
+  EXPECT_EQ(config.dl_runtime_ms, 2);
+  EXPECT_EQ(config.dl_period_ms, 20);
+  EXPECT_EQ(config.critical_queries,
+            (std::vector<std::string>{"tolls", "accidents"}));
+  EXPECT_EQ(config.big_cores, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(config.little_cores, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DaemonConfigTest, DeadlineAndTopologyKnobDefaults) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[query q]
+operator a = pat series
+)");
+  EXPECT_EQ(config.dl_runtime_ms, 4);
+  EXPECT_EQ(config.dl_period_ms, 10);
+  EXPECT_TRUE(config.critical_queries.empty());
+  EXPECT_TRUE(config.big_cores.empty());
+  EXPECT_TRUE(config.little_cores.empty());
+}
+
+TEST(DaemonConfigTest, RejectsMalformedDeadlineAndTopologyValues) {
+  const char* bad_bodies[] = {
+      "dl_runtime_ms = 0",      // must be > 0
+      "dl_runtime_ms = -4",     // negative
+      "dl_runtime_ms = slow",   // not a number
+      "dl_period_ms = 0",       // must be > 0
+      "dl_period_ms = 10ms",    // trailing junk
+      "big_cores = 0 -1",       // negative core id
+      "little_cores = one two", // not numbers
+  };
+  for (const char* body : bad_bodies) {
+    const std::string text = std::string("[lachesis]\n") + body +
+                             "\n[query q]\noperator a = pat series\n";
+    EXPECT_THROW(ParseDaemonConfig(text), std::runtime_error)
+        << "accepted: " << body;
+  }
+}
+
+TEST(DaemonConfigTest, RejectsPeriodShorterThanRuntime) {
+  // A reservation of 8ms CPU every 4ms is over-unity by construction.
+  EXPECT_THROW(ParseDaemonConfig(R"(
+[lachesis]
+dl_runtime_ms = 8
+dl_period_ms  = 4
+[query q]
+operator a = pat series
+)"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsCoreListedAsBothBigAndLittle) {
+  try {
+    ParseDaemonConfig(R"(
+[lachesis]
+big_cores    = 2 3
+little_cores = 0 1 2
+[query q]
+operator a = pat series
+)");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos) << e.what();
+  }
+}
+
 TEST(DaemonConfigTest, MalformedKnobErrorsCarryLineNumbers) {
   try {
     ParseDaemonConfig("[lachesis]\nbreaker_threshold = nope\n");

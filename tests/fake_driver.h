@@ -93,6 +93,15 @@ class RecordingOsAdapter final : public OsAdapter {
                      SimDuration period) override {
     group_quota[group] = {quota, period};
   }
+  void SetDeadline(const ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    deadlines[thread.sim_tid.value()] = {runtime, deadline, period};
+    ++deadline_calls;
+  }
+  void SetCpuAffinity(const ThreadHandle& thread, CpuPreference pref) override {
+    affinity[thread.sim_tid.value()] = pref;
+    ++affinity_calls;
+  }
 
   bool SnapshotState(const std::vector<ThreadHandle>& threads,
                      OsStateSnapshot& out) override {
@@ -112,6 +121,12 @@ class RecordingOsAdapter final : public OsAdapter {
           it != thread_group.end()) {
         state.group = it->second;
       }
+      if (const auto it = deadlines.find(thread.sim_tid.value());
+          it != deadlines.end()) {
+        state.deadline =
+            sim::DeadlineParams{it->second.runtime, it->second.deadline,
+                                it->second.period};
+      }
       out.threads.push_back(std::move(state));
     }
     out.group_shares = group_shares;
@@ -120,12 +135,22 @@ class RecordingOsAdapter final : public OsAdapter {
     return true;
   }
 
+  struct DeadlineTriple {
+    SimDuration runtime = 0;
+    SimDuration deadline = 0;
+    SimDuration period = 0;
+  };
+
   std::map<std::uint64_t, int> nices;
   std::map<std::uint64_t, int> rt_priorities;
   std::map<std::string, std::uint64_t> group_shares;
   std::map<std::uint64_t, std::string> thread_group;
   std::map<std::string, std::pair<SimDuration, SimDuration>> group_quota;
+  std::map<std::uint64_t, DeadlineTriple> deadlines;
+  std::map<std::uint64_t, CpuPreference> affinity;
   int nice_calls = 0;
+  int deadline_calls = 0;
+  int affinity_calls = 0;
 };
 
 }  // namespace lachesis::core::testing

@@ -154,9 +154,9 @@ struct Consumer final : sim::ThreadBody {
 // Kernel-feature mix on the bare machine: weighted cgroups, a quota group
 // that throttles, an RT thread, wait-channel producer/consumer pairs, and
 // mid-run SetNice/MoveToCgroup churn (scheduled via cold-lane closures).
-std::uint64_t MachineScenarioDigest(int cores) {
+std::uint64_t MachineScenarioDigest(int cores, sim::CfsParams params = {}) {
   sim::Simulator sim;
-  sim::Machine machine(sim, cores, {});
+  sim::Machine machine(sim, cores, params);
   DigestObserver observer;
   machine.set_trace_observer(&observer);
 
@@ -218,6 +218,19 @@ TEST(GoldenTraceTest, MachineScenarioIsDeterministicPerCoreCount) {
 TEST(GoldenTraceTest, MachineScenarioMatchesGoldenDigest) {
   EXPECT_EQ(MachineScenarioDigest(1), kGoldenMachine1Core);
   EXPECT_EQ(MachineScenarioDigest(2), kGoldenMachine2Core);
+}
+
+// An explicit all-full-capacity vector must be indistinguishable from the
+// default symmetric machine: every heterogeneity code path is gated on a
+// below-full-capacity core or reduces to an exact identity at capacity
+// 1024, so the pre-heterogeneity goldens must reproduce byte-for-byte.
+TEST(GoldenTraceTest, SymmetricCapacityVectorReproducesGoldenDigest) {
+  sim::CfsParams one_core;
+  one_core.core_capacities = {1.0};
+  sim::CfsParams two_cores;
+  two_cores.core_capacities = {1.0, 1.0};
+  EXPECT_EQ(MachineScenarioDigest(1, one_core), kGoldenMachine1Core);
+  EXPECT_EQ(MachineScenarioDigest(2, two_cores), kGoldenMachine2Core);
 }
 
 }  // namespace

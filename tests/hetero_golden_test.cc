@@ -1,0 +1,175 @@
+// Golden-trace pin for the heterogeneous (big.LITTLE + SCHED_DEADLINE)
+// scheduler paths.
+//
+// A fixed scenario on a 4-core asymmetric machine exercises everything the
+// symmetric goldens cannot: capacity-scaled work accounting, big-core-first
+// wake placement, misfit steal/upgrade migration, EDF dispatch above RT and
+// CFS, CBS budget throttling and replenishment, and a mid-run reservation
+// change. Every transition is serialized to JSON lines and compared
+// byte-for-byte against the checked-in golden, so any change to the
+// capacity or deadline math that perturbs the schedule fails loudly here.
+// Intentional changes are reviewed by regenerating:
+//
+//   LACHESIS_REGEN_GOLDEN=1 ./build/tests/hetero_golden_test
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+#include "sim/cfs_params.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "tests/sim_test_bodies.h"
+
+namespace lachesis::sim {
+namespace {
+
+using sim::testing::BusyLoop;
+using sim::testing::FiniteWork;
+using sim::testing::PeriodicTask;
+
+#ifndef LACHESIS_SOURCE_DIR
+#error "build must define LACHESIS_SOURCE_DIR"
+#endif
+constexpr const char kGoldenPath[] =
+    LACHESIS_SOURCE_DIR "/tests/golden/hetero_trace_golden.json";
+
+const char* KindName(SchedTransition kind) {
+  switch (kind) {
+    case SchedTransition::kWake: return "wake";
+    case SchedTransition::kDispatch: return "dispatch";
+    case SchedTransition::kPreempt: return "preempt";
+    case SchedTransition::kBlock: return "block";
+    case SchedTransition::kSleep: return "sleep";
+    case SchedTransition::kExit: return "exit";
+  }
+  return "?";
+}
+
+class JsonLinesObserver final : public SchedTraceObserver {
+ public:
+  void OnSchedTransition(SimTime time, ThreadId tid,
+                         SchedTransition kind) override {
+    out_ << "{\"t\":" << time << ",\"tid\":" << tid.value() << ",\"kind\":\""
+         << KindName(kind) << "\"}\n";
+  }
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+std::string RenderHeteroTrace() {
+  Simulator sim;
+  CfsParams params;
+  params.core_capacities = {1.0, 1.0, 0.5, 0.25};
+  Machine machine(sim, 4, params, "hetero");
+  JsonLinesObserver observer;
+  machine.set_trace_observer(&observer);
+
+  const CgroupId heavy =
+      machine.CreateCgroup("heavy", machine.root_cgroup(), 2048);
+  const CgroupId capped =
+      machine.CreateCgroup("capped", machine.root_cgroup(), 1024);
+  machine.SetQuota(capped, Millis(3), Millis(20));
+
+  // Five CPU hogs over four cores: one always waits, and the long 20ms
+  // chunks make whoever lands on the 0.25 core a misfit candidate.
+  std::vector<ThreadId> hogs;
+  for (int i = 0; i < 5; ++i) {
+    hogs.push_back(machine.CreateThread(
+        "hog" + std::to_string(i), std::make_unique<BusyLoop>(Millis(20)),
+        i < 3 ? heavy : machine.root_cgroup(), (i % 3) - 1));
+  }
+  machine.CreateThread("capped-spin", std::make_unique<BusyLoop>(Micros(400)),
+                       capped, 0);
+  machine.CreateThread(
+      "sleeper", std::make_unique<PeriodicTask>(Micros(600), Millis(4)),
+      machine.root_cgroup(), 0);
+  const ThreadId rt = machine.CreateThread(
+      "rt", std::make_unique<PeriodicTask>(Micros(300), Millis(6)),
+      machine.root_cgroup(), 0);
+  machine.SetRtPriority(rt, 40);
+
+  // One well-provisioned reservation and one deliberately starved one (its
+  // 2ms bursts overrun the 500us budget, forcing throttle/replenish
+  // cycles).
+  const ThreadId dl_ok = machine.CreateThread(
+      "dl-ok", std::make_unique<PeriodicTask>(Millis(2), Millis(6)),
+      machine.root_cgroup(), 0);
+  EXPECT_TRUE(machine.SetDeadline(dl_ok, {Millis(3), Millis(8), Millis(8)}))
+      << "admission rejected the seeded reservation";
+  const ThreadId dl_tight = machine.CreateThread(
+      "dl-tight", std::make_unique<PeriodicTask>(Millis(2), Millis(3)),
+      machine.root_cgroup(), 0);
+  EXPECT_TRUE(
+      machine.SetDeadline(dl_tight, {Micros(500), Millis(10), Millis(10)}))
+      << "admission rejected the seeded reservation";
+
+  // A short job that exits mid-run frees a big core: the misfit hog on the
+  // little core must get stolen onto it.
+  machine.CreateThread("short", std::make_unique<FiniteWork>(300, Micros(200)),
+                       machine.root_cgroup(), -5);
+
+  // Mid-run control churn over the new knobs.
+  sim.ScheduleAt(Millis(120), [&] {
+    (void)machine.SetDeadline(dl_tight, {Millis(2), Millis(10), Millis(10)});
+  });
+  sim.ScheduleAt(Millis(180), [&] { (void)machine.SetDeadline(dl_ok, {}); });
+  sim.ScheduleAt(Millis(200), [&] { machine.SetNice(hogs[0], 5); });
+
+  sim.RunUntil(Millis(300));
+  EXPECT_EQ(machine.MisfitRunnerCount(), 0);
+  return observer.str();
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(HeteroGoldenTest, TraceMatchesGoldenByteForByte) {
+  const std::string rendered = RenderHeteroTrace();
+  ASSERT_GT(rendered.size(), 1000u) << "scenario produced almost no schedule";
+
+  if (std::getenv("LACHESIS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << rendered;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  const std::string golden = ReadFileOrEmpty(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << "; run with LACHESIS_REGEN_GOLDEN=1 to create it";
+
+  if (rendered != golden) {
+    std::size_t i = 0;
+    while (i < rendered.size() && i < golden.size() &&
+           rendered[i] == golden[i]) {
+      ++i;
+    }
+    const std::size_t from = i > 80 ? i - 80 : 0;
+    FAIL() << "hetero trace diverges from golden at byte " << i
+           << "\n  golden:   ..." << golden.substr(from, 160)
+           << "\n  rendered: ..." << rendered.substr(from, 160)
+           << "\nIf the scheduling change is intentional, regenerate with "
+              "LACHESIS_REGEN_GOLDEN=1";
+  }
+}
+
+TEST(HeteroGoldenTest, TraceIsDeterministicAcrossRuns) {
+  EXPECT_EQ(RenderHeteroTrace(), RenderHeteroTrace());
+}
+
+}  // namespace
+}  // namespace lachesis::sim

@@ -1,0 +1,313 @@
+// Heterogeneous-capacity (big.LITTLE) and SCHED_DEADLINE behaviour of the
+// simulated machine: capacity work/wall accounting, capacity-aware wake
+// placement and misfit migration, utilization-based deadline admission
+// control, CBS budget enforcement, and the symmetric-equivalence guarantee
+// (an explicit all-full-capacity vector schedules bit-identically to the
+// default symmetric machine).
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+#include "sim/cfs_params.h"
+#include "sim/machine.h"
+#include "sim/simulator.h"
+#include "tests/sim_test_bodies.h"
+
+namespace lachesis::sim {
+namespace {
+
+using sim::testing::BusyLoop;
+using sim::testing::FiniteWork;
+using sim::testing::PeriodicTask;
+
+CfsParams HeteroParams(std::vector<double> capacities, bool aware = true) {
+  CfsParams p;
+  p.core_capacities = std::move(capacities);
+  p.capacity_aware = aware;
+  return p;
+}
+
+// --- capacity arithmetic -----------------------------------------------------
+
+TEST(CapacityMathTest, FullCapacityIsIdentity) {
+  EXPECT_EQ(Machine::WorkFor(Millis(7), Machine::kFullCapacity), Millis(7));
+  EXPECT_EQ(Machine::WallFor(Millis(7), Machine::kFullCapacity), Millis(7));
+}
+
+TEST(CapacityMathTest, WallForRoundTripsThroughWorkFor) {
+  // WallFor is the ceiling inverse of WorkFor: scheduling WallFor(work)
+  // of wall-clock retires at least `work`, and exactly `work` modulo the
+  // sub-capacity-unit remainder.
+  for (const std::uint32_t cap : {256u, 333u, 512u, 768u, 1000u, 1024u}) {
+    for (const SimDuration work : {SimDuration(1), Micros(1), Micros(333),
+                                   Millis(1), Millis(7) + 13}) {
+      const SimDuration wall = Machine::WallFor(work, cap);
+      EXPECT_GE(Machine::WorkFor(wall, cap), work)
+          << "cap=" << cap << " work=" << work;
+      // One less wall nanosecond must not still cover the work (tightness).
+      if (wall > 1) {
+        EXPECT_LT(Machine::WorkFor(wall - 1, cap), work)
+            << "cap=" << cap << " work=" << work;
+      }
+    }
+  }
+}
+
+TEST(CapacityMathTest, LittleCoreRetiresProportionallyLessWork) {
+  EXPECT_EQ(Machine::WorkFor(Millis(4), 512), Millis(2));
+  EXPECT_EQ(Machine::WallFor(Millis(2), 512), Millis(4));
+  EXPECT_EQ(Machine::WorkFor(Millis(4), 256), Millis(1));
+}
+
+// --- construction validation -------------------------------------------------
+
+TEST(HeteroMachineTest, RejectsCapacityVectorOfWrongSize) {
+  Simulator sim;
+  EXPECT_THROW(Machine(sim, 2, HeteroParams({1.0})), std::invalid_argument);
+  EXPECT_THROW(Machine(sim, 2, HeteroParams({1.0, 0.5, 0.5})),
+               std::invalid_argument);
+}
+
+TEST(HeteroMachineTest, RejectsOutOfRangeCapacities) {
+  Simulator sim;
+  EXPECT_THROW(Machine(sim, 2, HeteroParams({1.0, 0.0})),
+               std::invalid_argument);
+  EXPECT_THROW(Machine(sim, 2, HeteroParams({1.0, -0.5})),
+               std::invalid_argument);
+  EXPECT_THROW(Machine(sim, 2, HeteroParams({1.0, 1.5})),
+               std::invalid_argument);
+}
+
+TEST(HeteroMachineTest, QuantizesCapacitiesToCapacityScale) {
+  Simulator sim;
+  Machine machine(sim, 3, HeteroParams({1.0, 0.5, 0.25}));
+  EXPECT_EQ(machine.CoreCapacity(0), Machine::kFullCapacity);
+  EXPECT_EQ(machine.CoreCapacity(1), Machine::kFullCapacity / 2);
+  EXPECT_EQ(machine.CoreCapacity(2), Machine::kFullCapacity / 4);
+  EXPECT_DOUBLE_EQ(machine.TotalCapacity(), 1.75);
+}
+
+// --- capacity-aware placement and misfit migration ---------------------------
+
+// A single CPU-bound job on a [little, big] machine: capacity-aware wake
+// placement must start it on the big core even though the little core has
+// the lower index, so it finishes ~4x sooner than under blind placement.
+TEST(HeteroMachineTest, CapacityAwarePlacementPrefersBigCore) {
+  constexpr int kChunks = 1000;  // 1000 x 100us = 100ms of work
+  const auto finish_time = [&](bool aware) {
+    Simulator sim;
+    Machine machine(sim, 2, HeteroParams({0.25, 1.0}, aware));
+    const ThreadId tid = machine.CreateThread(
+        "job", std::make_unique<FiniteWork>(kChunks, Micros(100)),
+        machine.root_cgroup());
+    while (machine.GetState(tid) != ThreadState::kExited &&
+           machine.now() < Seconds(2)) {
+      sim.RunUntil(machine.now() + Millis(1));
+    }
+    EXPECT_EQ(machine.GetState(tid), ThreadState::kExited)
+        << "job never finished";
+    return machine.now();
+  };
+  const SimTime aware_done = finish_time(true);
+  const SimTime blind_done = finish_time(false);
+  EXPECT_LT(aware_done, Millis(150));
+  // Blind placement lands on core 0 (capacity 0.25): ~400ms.
+  EXPECT_GT(blind_done, Millis(350));
+}
+
+// Two jobs saturate both cores of a [little, big] machine; when the big
+// core's job exits, the long-running job stranded on the little core must
+// be migrated (misfit steal) instead of crawling along at quarter speed.
+TEST(HeteroMachineTest, MisfitJobMigratesToBigCoreWhenItIdles) {
+  Simulator sim;
+  Machine machine(sim, 2, HeteroParams({0.25, 1.0}));
+  // Created first: placed on the big core (capacity-descending order).
+  const ThreadId short_job = machine.CreateThread(
+      "short", std::make_unique<FiniteWork>(100, Micros(100)),
+      machine.root_cgroup());
+  // Long chunks keep remaining-work above sched_latency on the little core.
+  const ThreadId long_job = machine.CreateThread(
+      "long", std::make_unique<BusyLoop>(Millis(20)), machine.root_cgroup());
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(machine.GetState(short_job), ThreadState::kExited);
+  EXPECT_GE(machine.GetStats(long_job).nr_migrations, 1u);
+  EXPECT_EQ(machine.MisfitRunnerCount(), 0);
+  // After migrating, the long job owns the big core: over 1s it must retire
+  // far more than the 0.25-capacity core could ever deliver.
+  EXPECT_GT(machine.GetStats(long_job).cpu_time, Millis(800));
+}
+
+TEST(HeteroMachineTest, CapacityBlindMachineNeverMigratesForCapacity) {
+  Simulator sim;
+  Machine machine(sim, 2, HeteroParams({0.25, 1.0}, /*aware=*/false));
+  const ThreadId short_job = machine.CreateThread(
+      "short", std::make_unique<FiniteWork>(100, Micros(100)),
+      machine.root_cgroup());
+  const ThreadId long_job = machine.CreateThread(
+      "long", std::make_unique<BusyLoop>(Millis(20)), machine.root_cgroup());
+  sim.RunUntil(Seconds(1));
+  (void)short_job;
+  EXPECT_EQ(machine.GetStats(long_job).nr_migrations, 0u);
+}
+
+// --- SCHED_DEADLINE admission control ----------------------------------------
+
+TEST(DeadlineAdmissionTest, RejectsOverCommittedReservations) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  const ThreadId a = machine.CreateThread(
+      "a", std::make_unique<PeriodicTask>(Millis(1), Millis(5)),
+      machine.root_cgroup());
+  const ThreadId b = machine.CreateThread(
+      "b", std::make_unique<PeriodicTask>(Millis(1), Millis(5)),
+      machine.root_cgroup());
+  EXPECT_TRUE(machine.SetDeadline(a, {Millis(5), Millis(10), Millis(10)}));
+  EXPECT_DOUBLE_EQ(machine.DlAdmittedUtilization(), 0.5);
+  // 0.5 + 0.5 = 1.0 > 0.95 * 1 core: rejected, thread b stays CFS.
+  EXPECT_FALSE(machine.SetDeadline(b, {Millis(5), Millis(10), Millis(10)}));
+  EXPECT_FALSE(machine.IsDeadline(b));
+  EXPECT_DOUBLE_EQ(machine.DlAdmittedUtilization(), 0.5);
+  // Clearing a's reservation frees the budget; b then admits.
+  EXPECT_TRUE(machine.SetDeadline(a, {}));
+  EXPECT_FALSE(machine.IsDeadline(a));
+  EXPECT_TRUE(machine.SetDeadline(b, {Millis(5), Millis(10), Millis(10)}));
+  EXPECT_TRUE(machine.IsDeadline(b));
+  EXPECT_EQ(machine.GetDeadline(b),
+            (DeadlineParams{Millis(5), Millis(10), Millis(10)}));
+}
+
+TEST(DeadlineAdmissionTest, BoundScalesWithMachineCapacity) {
+  Simulator sim;
+  Machine machine(sim, 2, HeteroParams({1.0, 0.5}));
+  // A little core contributes only its fraction to the admission budget.
+  EXPECT_DOUBLE_EQ(machine.DlUtilizationBound(), 0.95 * 1.5);
+  std::vector<ThreadId> tids;
+  for (int i = 0; i < 3; ++i) {
+    tids.push_back(machine.CreateThread(
+        "t" + std::to_string(i),
+        std::make_unique<PeriodicTask>(Millis(1), Millis(5)),
+        machine.root_cgroup()));
+  }
+  // 0.9 + 0.5 = 1.4 fits under 1.425; another 0.1 would reach 1.5.
+  EXPECT_TRUE(machine.SetDeadline(tids[0], {Millis(9), Millis(10), Millis(10)}));
+  EXPECT_TRUE(machine.SetDeadline(tids[1], {Millis(5), Millis(10), Millis(10)}));
+  EXPECT_FALSE(
+      machine.SetDeadline(tids[2], {Millis(1), Millis(10), Millis(10)}));
+  EXPECT_DOUBLE_EQ(machine.DlAdmittedUtilization(), 1.4);
+}
+
+TEST(DeadlineAdmissionTest, RejectsMalformedTriples) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  const ThreadId t = machine.CreateThread(
+      "t", std::make_unique<PeriodicTask>(Millis(1), Millis(5)),
+      machine.root_cgroup());
+  // runtime <= 0
+  EXPECT_THROW(machine.SetDeadline(t, {0, Millis(5), Millis(10)}),
+               std::invalid_argument);
+  // deadline < runtime
+  EXPECT_THROW(machine.SetDeadline(t, {Millis(6), Millis(5), Millis(10)}),
+               std::invalid_argument);
+  // period < deadline
+  EXPECT_THROW(machine.SetDeadline(t, {Millis(2), Millis(12), Millis(10)}),
+               std::invalid_argument);
+  EXPECT_FALSE(machine.IsDeadline(t));
+  EXPECT_DOUBLE_EQ(machine.DlAdmittedUtilization(), 0.0);
+}
+
+// --- SCHED_DEADLINE scheduling behaviour -------------------------------------
+
+// A latency-critical periodic task (3ms of work every ~10ms) against three
+// CPU hogs on one core. Under plain CFS it gets roughly a fair quarter and
+// its activations stretch; under a 4ms/10ms reservation it preempts the
+// hogs on every replenishment and sustains its full demand.
+TEST(DeadlineSchedulingTest, ReservationShieldsPeriodicTaskFromHogs) {
+  const auto critical_cpu = [&](bool reserve) {
+    Simulator sim;
+    Machine machine(sim, 1);
+    const ThreadId critical = machine.CreateThread(
+        "critical", std::make_unique<PeriodicTask>(Millis(3), Millis(7)),
+        machine.root_cgroup());
+    for (int i = 0; i < 3; ++i) {
+      machine.CreateThread("hog" + std::to_string(i),
+                           std::make_unique<BusyLoop>(Micros(500)),
+                           machine.root_cgroup());
+    }
+    if (reserve) {
+      EXPECT_TRUE(
+          machine.SetDeadline(critical, {Millis(4), Millis(10), Millis(10)}));
+    }
+    sim.RunUntil(Seconds(1));
+    return machine.GetStats(critical).cpu_time;
+  };
+  const SimDuration with_dl = critical_cpu(true);
+  const SimDuration without_dl = critical_cpu(false);
+  // Full demand is ~0.3s (3ms busy per ~10ms cycle) plus small overheads.
+  EXPECT_GT(with_dl, Millis(270));
+  // The reservation must deliver measurably more than fair-share CFS.
+  EXPECT_GT(with_dl, without_dl + Millis(30));
+}
+
+// CBS enforcement: a deadline thread that overruns its budget is throttled
+// off-CPU until the next replenishment -- it cannot hoard the core beyond
+// runtime/period even with no competition for wakeups.
+TEST(DeadlineSchedulingTest, BudgetOverrunThrottlesUntilReplenishment) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  const ThreadId greedy = machine.CreateThread(
+      "greedy", std::make_unique<BusyLoop>(Millis(5)), machine.root_cgroup());
+  const ThreadId victim = machine.CreateThread(
+      "victim", std::make_unique<BusyLoop>(Micros(500)),
+      machine.root_cgroup());
+  ASSERT_TRUE(machine.SetDeadline(greedy, {Millis(1), Millis(10), Millis(10)}));
+  sim.RunUntil(Seconds(1));
+  const ThreadStats& gs = machine.GetStats(greedy);
+  EXPECT_GT(gs.nr_dl_throttles, 10u);
+  // ~10% reservation: the greedy body must be pinned near it, leaving the
+  // core to the CFS victim.
+  EXPECT_LT(gs.cpu_time, Millis(200));
+  EXPECT_GT(gs.cpu_time, Millis(50));
+  EXPECT_GT(machine.GetStats(victim).cpu_time, Millis(700));
+}
+
+// --- symmetric equivalence ---------------------------------------------------
+
+// An explicit all-1.0 capacity vector must schedule bit-identically to the
+// default symmetric machine: every hetero code path is either gated on a
+// below-full-capacity core or an exact identity at full capacity.
+TEST(HeteroMachineTest, AllFullCapacityVectorMatchesDefaultMachine) {
+  const auto run = [](CfsParams params) {
+    Simulator sim;
+    Machine machine(sim, 2, params);
+    std::vector<std::uint64_t> cpu;
+    const CgroupId heavy =
+        machine.CreateCgroup("heavy", machine.root_cgroup(), 2048);
+    std::vector<ThreadId> tids;
+    tids.push_back(machine.CreateThread(
+        "a", std::make_unique<BusyLoop>(Micros(150)), heavy, -2));
+    tids.push_back(machine.CreateThread(
+        "b", std::make_unique<BusyLoop>(Micros(130)), machine.root_cgroup(), 3));
+    tids.push_back(machine.CreateThread(
+        "c", std::make_unique<PeriodicTask>(Micros(300), Micros(700)),
+        machine.root_cgroup()));
+    sim.RunUntil(Seconds(1));
+    for (const ThreadId tid : tids) {
+      const ThreadStats& s = machine.GetStats(tid);
+      cpu.push_back(static_cast<std::uint64_t>(s.cpu_time));
+      cpu.push_back(s.nr_switches);
+      cpu.push_back(s.nr_preemptions);
+      cpu.push_back(s.nr_wakeups);
+    }
+    return cpu;
+  };
+  CfsParams explicit_symmetric;
+  explicit_symmetric.core_capacities = {1.0, 1.0};
+  EXPECT_EQ(run({}), run(explicit_symmetric));
+}
+
+}  // namespace
+}  // namespace lachesis::sim

@@ -237,6 +237,93 @@ TEST(LinuxOsAdapterTest, RoutesCallsToControllers) {
   EXPECT_EQ(ReadFile(tmp.path() / "q1" / "tasks"), "555\n");
 }
 
+TEST(FakeDeadlineTest, RecordsTriplesAndReportsZeroForUnknown) {
+  FakeDeadlineController fake;
+  EXPECT_TRUE(fake.SetDeadline(10, 4000000, 10000000, 10000000));
+  const auto dl = fake.GetDeadline(10);
+  ASSERT_TRUE(dl.has_value());
+  EXPECT_EQ(dl->runtime_ns, 4000000u);
+  EXPECT_EQ(dl->period_ns, 10000000u);
+  // Unknown threads are observable but hold no reservation.
+  const auto none = fake.GetDeadline(11);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->runtime_ns, 0u);
+}
+
+TEST(LinuxOsAdapterTest, RoutesDeadlineAndAffinityToControllers) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  FakeDeadlineController deadline;
+  FakeAffinityController affinity;
+  LinuxOsAdapter adapter(nice, cgroups, nullptr, &deadline, &affinity);
+  adapter.SetCoreClasses({4, 5}, {0, 1});
+
+  core::ThreadHandle handle;
+  handle.os_tid = 555;
+  adapter.SetDeadline(handle, Millis(4), Millis(10), Millis(10));
+  const auto dl = deadline.GetDeadline(555);
+  ASSERT_TRUE(dl.has_value());
+  EXPECT_EQ(dl->runtime_ns, static_cast<std::uint64_t>(Millis(4)));
+  EXPECT_EQ(dl->deadline_ns, static_cast<std::uint64_t>(Millis(10)));
+
+  adapter.SetCpuAffinity(handle, core::CpuPreference::kPreferBig);
+  EXPECT_EQ(affinity.affinities().at(555), (std::vector<int>{4, 5}));
+  adapter.SetCpuAffinity(handle, core::CpuPreference::kPreferLittle);
+  EXPECT_EQ(affinity.affinities().at(555), (std::vector<int>{0, 1}));
+  // kNone restores the full mask (empty list for the controller).
+  adapter.SetCpuAffinity(handle, core::CpuPreference::kNone);
+  EXPECT_TRUE(affinity.affinities().at(555).empty());
+}
+
+TEST(LinuxOsAdapterTest, AffinityHintWithoutTopologyIsNoop) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  FakeAffinityController affinity;
+  LinuxOsAdapter adapter(nice, cgroups, nullptr, nullptr, &affinity);
+  // No SetCoreClasses: hints must not bind threads to an empty cpuset.
+  core::ThreadHandle handle;
+  handle.os_tid = 7;
+  adapter.SetCpuAffinity(handle, core::CpuPreference::kPreferBig);
+  EXPECT_TRUE(affinity.affinities().empty());
+}
+
+TEST(LinuxOsAdapterTest, DeadlineWithoutControllerIsNoop) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  LinuxOsAdapter adapter(nice, cgroups);  // no deadline/affinity controllers
+  core::ThreadHandle handle;
+  handle.os_tid = 7;
+  EXPECT_NO_THROW(adapter.SetDeadline(handle, Millis(4), Millis(10), Millis(10)));
+  EXPECT_NO_THROW(adapter.SetCpuAffinity(handle, core::CpuPreference::kPreferBig));
+}
+
+TEST(LinuxOsAdapterTest, SnapshotReportsDeadlineReservations) {
+  TempDir tmp;
+  FakeNiceController nice;
+  CgroupController cgroups(tmp.path(), CgroupVersion::kV1);
+  FakeDeadlineController deadline;
+  LinuxOsAdapter adapter(nice, cgroups, nullptr, &deadline, nullptr);
+
+  core::ThreadHandle reserved;
+  reserved.os_tid = 100;
+  core::ThreadHandle plain;
+  plain.os_tid = 200;
+  adapter.SetDeadline(reserved, Millis(2), Millis(8), Millis(8));
+
+  core::OsStateSnapshot snapshot;
+  ASSERT_TRUE(adapter.SnapshotState({reserved, plain}, snapshot));
+  ASSERT_EQ(snapshot.threads.size(), 2u);
+  ASSERT_TRUE(snapshot.threads[0].deadline.has_value());
+  EXPECT_EQ(snapshot.threads[0].deadline->runtime, Millis(2));
+  EXPECT_EQ(snapshot.threads[0].deadline->period, Millis(8));
+  // The unreserved thread reports the zero triple, which seeds nothing.
+  ASSERT_TRUE(snapshot.threads[1].deadline.has_value());
+  EXPECT_TRUE(snapshot.threads[1].deadline->is_zero());
+}
+
 TEST(LinuxOsAdapterTest, IgnoresEntitiesWithoutOsTid) {
   TempDir tmp;
   FakeNiceController nice;

@@ -2,6 +2,7 @@
 #include "core/policies.h"
 
 #include <algorithm>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -155,6 +156,34 @@ TEST(PolicyFilterTest, FilterRestrictsScheduledEntities) {
   const Schedule s = policy.ComputeSchedule(ctx);
   ASSERT_EQ(s.entries.size(), 1u);
   EXPECT_EQ(s.entries[0].entity.id, b.id);
+}
+
+
+TEST(CriticalChainPolicyTest, TagsEntriesOfCriticalQueries) {
+  PolicyRig rig;
+  const EntityInfo a = rig.driver.AddEntity(QueryId(0), {0});
+  const EntityInfo b = rig.driver.AddEntity(QueryId(1), {0});
+  const EntityInfo c = rig.driver.AddEntity(QueryId(1), {1});
+  rig.driver.Provide(MetricId::kQueueSize);
+  rig.driver.SetValue(MetricId::kQueueSize, a.id, 5);
+  rig.driver.SetValue(MetricId::kQueueSize, b.id, 1);
+  rig.driver.SetValue(MetricId::kQueueSize, c.id, 2);
+
+  // Wraps the inner policy unchanged (same priorities, same metrics) and
+  // tags every entry of the named queries as latency-critical, regardless
+  // of the priority the inner policy computed.
+  CriticalChainPolicy policy(std::make_unique<QueueSizePolicy>(), {"q1"});
+  EXPECT_EQ(policy.name(), "critical+queue-size");
+  rig.Update(policy);
+  const Schedule s = policy.ComputeSchedule(rig.Context());
+  ASSERT_EQ(s.entries.size(), 3u);
+  for (const ScheduleEntry& entry : s.entries) {
+    const bool critical = entry.criticality == Criticality::kLatencyCritical;
+    EXPECT_EQ(critical, entry.entity.query == QueryId(1))
+        << entry.entity.path;
+  }
+  EXPECT_DOUBLE_EQ(PriorityOf(s, a.id), 5);
+  EXPECT_DOUBLE_EQ(PriorityOf(s, b.id), 1);
 }
 
 }  // namespace

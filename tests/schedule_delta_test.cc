@@ -4,6 +4,7 @@
 // cached.
 #include "core/schedule_delta.h"
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -56,19 +57,36 @@ class FlakyOsAdapter final : public OsAdapter {
     ++quota_calls;
     quotas[group] = {quota, period};
   }
+  void SetDeadline(const ThreadHandle& thread, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    ++deadline_calls;
+    if (thread.sim_tid.value() == failing_dl_tid) {
+      throw OsOperationError("admission control rejected");
+    }
+    deadlines[thread.sim_tid.value()] = {runtime, deadline, period};
+  }
+  void SetCpuAffinity(const ThreadHandle& thread, CpuPreference pref) override {
+    ++affinity_calls;
+    affinity[thread.sim_tid.value()] = pref;
+  }
 
   std::uint64_t failing_tid = ~0ull;
+  std::uint64_t failing_dl_tid = ~0ull;
   std::string failing_group;
   int nice_calls = 0;
   int shares_calls = 0;
   int move_calls = 0;
   int rt_calls = 0;
   int quota_calls = 0;
+  int deadline_calls = 0;
+  int affinity_calls = 0;
   std::map<std::uint64_t, int> nices;
   std::map<std::string, std::uint64_t> shares;
   std::map<std::uint64_t, std::string> thread_group;
   std::map<std::uint64_t, int> rt;
   std::map<std::string, std::pair<SimDuration, SimDuration>> quotas;
+  std::map<std::uint64_t, std::array<SimDuration, 3>> deadlines;
+  std::map<std::uint64_t, CpuPreference> affinity;
 };
 
 TEST(ScheduleDeltaTest, IdenticalOperationsAreSkipped) {
@@ -193,6 +211,94 @@ TEST(ScheduleDeltaTest, RtDemotionOfUnboostedThreadIsElided) {
   delta.SetRtPriority(Thread(0), 0);
   EXPECT_EQ(os.rt_calls, 2);
   EXPECT_EQ(delta.rt_boosted_count(), 0u);
+}
+
+TEST(ScheduleDeltaTest, IdenticalDeadlineTriplesAreSkipped) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.SetDeadline(Thread(0), Millis(4), Millis(10), Millis(10));
+  delta.SetDeadline(Thread(0), Millis(4), Millis(10), Millis(10));
+  EXPECT_EQ(os.deadline_calls, 1);
+  EXPECT_EQ(delta.dl_reserved_count(), 1u);
+
+  // Any component change re-forwards.
+  delta.SetDeadline(Thread(0), Millis(4), Millis(8), Millis(10));
+  EXPECT_EQ(os.deadline_calls, 2);
+  EXPECT_EQ((os.deadlines.at(0)),
+            (std::array<SimDuration, 3>{Millis(4), Millis(8), Millis(10)}));
+  EXPECT_EQ(delta.dl_reserved_count(), 1u);
+}
+
+TEST(ScheduleDeltaTest, ClearingNeverReservedThreadIsElided) {
+  // Mirrors the RT-demotion elision: the all-zero triple against a thread
+  // that never held a reservation must not reach the backend (translator
+  // reconciliation issues such clears wholesale every period).
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+  delta.SetDeadline(Thread(0), 0, 0, 0);
+  EXPECT_EQ(os.deadline_calls, 0);
+  EXPECT_EQ(delta.dl_reserved_count(), 0u);
+
+  delta.SetDeadline(Thread(0), Millis(2), Millis(10), Millis(10));
+  EXPECT_EQ(delta.dl_reserved_count(), 1u);
+  delta.SetDeadline(Thread(0), 0, 0, 0);
+  EXPECT_EQ(os.deadline_calls, 2);
+  EXPECT_EQ(delta.dl_reserved_count(), 0u);
+}
+
+TEST(ScheduleDeltaTest, RejectedReservationIsNotCached) {
+  // Admission rejection must behave like any backend failure: counted,
+  // absorbed, and retried once the admission picture can have changed.
+  FlakyOsAdapter os;
+  os.failing_dl_tid = 0;
+  ScheduleDeltaAdapter delta(os);
+
+  delta.SetDeadline(Thread(0), Millis(8), Millis(10), Millis(10));
+  EXPECT_EQ(delta.totals().errors, 1u);
+  EXPECT_EQ(delta.dl_reserved_count(), 0u);
+
+  os.failing_dl_tid = ~0ull;  // another query released its reservation
+  delta.SetDeadline(Thread(0), Millis(8), Millis(10), Millis(10));
+  EXPECT_EQ(os.deadlines.count(0), 1u);
+  EXPECT_EQ(delta.dl_reserved_count(), 1u);
+}
+
+TEST(ScheduleDeltaTest, IdenticalAffinityHintsAreSkipped) {
+  FlakyOsAdapter os;
+  ScheduleDeltaAdapter delta(os);
+
+  // Clearing a never-hinted thread is a no-op everywhere.
+  delta.SetCpuAffinity(Thread(0), CpuPreference::kNone);
+  EXPECT_EQ(os.affinity_calls, 0);
+
+  delta.SetCpuAffinity(Thread(0), CpuPreference::kPreferBig);
+  delta.SetCpuAffinity(Thread(0), CpuPreference::kPreferBig);
+  EXPECT_EQ(os.affinity_calls, 1);
+  delta.SetCpuAffinity(Thread(0), CpuPreference::kPreferLittle);
+  EXPECT_EQ(os.affinity_calls, 2);
+  EXPECT_EQ(os.affinity.at(0), CpuPreference::kPreferLittle);
+}
+
+TEST(ScheduleDeltaTest, SnapshotSeedElidesMatchingDeadline) {
+  // Restart reconciliation: the kernel still holds a reservation from the
+  // previous incarnation; re-applying the same triple costs zero backend
+  // calls, while a different triple is forwarded.
+  FlakyOsAdapter os;
+  OsStateSnapshot snapshot;
+  OsStateSnapshot::ThreadState state;
+  state.thread = Thread(0);
+  state.deadline = sim::DeadlineParams{Millis(4), Millis(10), Millis(10)};
+  snapshot.threads.push_back(state);
+
+  ScheduleDeltaAdapter delta(os);
+  EXPECT_EQ(delta.SeedFromSnapshot(snapshot), 1u);
+  EXPECT_EQ(delta.dl_reserved_count(), 1u);
+
+  delta.SetDeadline(Thread(0), Millis(4), Millis(10), Millis(10));
+  EXPECT_EQ(os.deadline_calls, 0);  // matched residual state
+  delta.SetDeadline(Thread(0), Millis(6), Millis(10), Millis(10));
+  EXPECT_EQ(os.deadline_calls, 1);
 }
 
 TEST(ScheduleDeltaTest, HealthBackoffStopsBlindPerTickRetry) {

@@ -4,6 +4,7 @@
 #include "core/translators.h"
 
 #include <limits>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -189,6 +190,82 @@ TEST(CpuSharesTranslatorTest, BuildGroupsExposesGroupingSchedule) {
   EXPECT_EQ(grouping.groups[0].gid, "qa");
   EXPECT_DOUBLE_EQ(grouping.groups[0].priority, 9.0);
   EXPECT_EQ(grouping.groups[0].members.size(), 2u);
+}
+
+TEST(DeadlineTranslatorTest, TaggedCriticalEntriesGetReservations) {
+  RecordingOsAdapter os;
+  DeadlineTranslator translator(Millis(4), Millis(10));
+  Schedule s = MakeSchedule({1.0, 5.0, 100.0});
+  s.entries[0].criticality = Criticality::kLatencyCritical;
+  s.entries[1].criticality = Criticality::kLatencyCritical;
+  translator.Apply(s, os);
+
+  // Both tagged entries hold a reservation (deadline == period), even the
+  // low-priority one; the untagged top-priority entry does not.
+  ASSERT_EQ(os.deadlines.size(), 2u);
+  EXPECT_EQ(os.deadlines.at(0).runtime, Millis(4));
+  EXPECT_EQ(os.deadlines.at(0).deadline, Millis(10));
+  EXPECT_EQ(os.deadlines.at(0).period, Millis(10));
+  EXPECT_EQ(os.deadlines.count(2), 0u);
+  // The rest of the schedule is still enforced through nice.
+  EXPECT_EQ(os.nices.at(2), -20);
+  EXPECT_EQ(os.nices.at(0), 19);
+}
+
+TEST(DeadlineTranslatorTest, FallsBackToTopPriorityWhenNoneTagged) {
+  RecordingOsAdapter os;
+  DeadlineTranslator translator;
+  translator.Apply(MakeSchedule({1.0, 100.0, 50.0}), os);
+  ASSERT_EQ(os.deadlines.size(), 1u);
+  EXPECT_EQ(os.deadlines.count(1), 1u);
+}
+
+TEST(DeadlineTranslatorTest, DepartedCriticalThreadIsCleared) {
+  RecordingOsAdapter os;
+  DeadlineTranslator translator;
+  Schedule s = MakeSchedule({1.0, 5.0});
+  s.entries[1].criticality = Criticality::kLatencyCritical;
+  translator.Apply(s, os);
+  EXPECT_EQ(os.deadlines.count(1), 1u);
+  EXPECT_FALSE(os.deadlines.at(1).runtime == 0);
+
+  // The critical operator terminates: it is gone from the next schedule
+  // entirely, so the clear must go through the stored handle.
+  translator.Apply(MakeSchedule({1.0}), os);
+  EXPECT_EQ(os.deadlines.at(1).runtime, 0);
+  EXPECT_EQ(os.deadlines.at(1).deadline, 0);
+  EXPECT_EQ(os.deadlines.at(1).period, 0);
+  // Entity 0 is now the critical fallback.
+  EXPECT_EQ(os.deadlines.count(0), 1u);
+}
+
+TEST(CapacityHintTranslatorTest, TopFractionAndCriticalGetBigHint) {
+  RecordingOsAdapter os;
+  CapacityHintTranslator translator(std::make_unique<NiceTranslator>(), 0.25);
+  Schedule s = MakeSchedule({10.0, 40.0, 30.0, 20.0});
+  s.entries[0].criticality = Criticality::kLatencyCritical;
+  translator.Apply(s, os);
+
+  // ceil(0.25 * 4) = 1 top entry (tid 1) plus the tagged lowest-priority
+  // entry (tid 0); the middle entries get no hint at all.
+  EXPECT_EQ(os.affinity.at(1), CpuPreference::kPreferBig);
+  EXPECT_EQ(os.affinity.at(0), CpuPreference::kPreferBig);
+  EXPECT_EQ(os.affinity.count(2), 0u);
+  EXPECT_EQ(os.affinity.count(3), 0u);
+  // The wrapped translator ran unchanged.
+  EXPECT_EQ(os.nices.at(1), -20);
+}
+
+TEST(CapacityHintTranslatorTest, DemotedEntriesHaveHintsCleared) {
+  RecordingOsAdapter os;
+  CapacityHintTranslator translator(std::make_unique<NiceTranslator>(), 0.25);
+  translator.Apply(MakeSchedule({40.0, 10.0, 10.0, 10.0}), os);
+  EXPECT_EQ(os.affinity.at(0), CpuPreference::kPreferBig);
+
+  // Priorities shift: tid 3 takes the top spot, tid 0 must be un-hinted.
+  translator.Apply(MakeSchedule({10.0, 10.0, 10.0, 40.0}), os);
+  EXPECT_EQ(os.affinity.at(3), CpuPreference::kPreferBig);
+  EXPECT_EQ(os.affinity.at(0), CpuPreference::kNone);
 }
 
 TEST(QuerySharesPlusNiceTest, QueriesGetEqualGroupsAndOperatorsGetNice) {
