@@ -77,6 +77,49 @@ int main() {
   std::printf("determinism: %s\n", digests_ok ? "OK (all digests equal)"
                                               : "FAILED (digest mismatch)");
 
+  // Fault-machinery overhead: the failure domain must be free when unused.
+  // An ARMED director (full rule set, probability 0) evaluates every
+  // per-epoch crash/partition/slow decision without ever firing one, so the
+  // schedules -- and the digest -- must match the plain run bit for bit,
+  // and the wall-clock delta is pure bookkeeping cost. Reps interleave
+  // plain/armed so host drift hits both arms equally; min-of-reps is the
+  // noise-resistant estimator.
+  exp::FleetSpec plain = spec;
+  plain.workers = std::min<int>(4, static_cast<int>(hw_cores));
+  exp::FleetSpec armed = plain;
+  for (const core::FleetFaultKind kind :
+       {core::FleetFaultKind::kMachineCrash, core::FleetFaultKind::kSlowShard,
+        core::FleetFaultKind::kPartition}) {
+    core::FleetFaultRule rule;
+    rule.kind = kind;
+    rule.probability = 0.0;
+    armed.fleet_faults.rules.push_back(rule);
+  }
+  double plain_wall = 0;
+  double armed_wall = 0;
+  std::uint64_t plain_digest = 0;
+  std::uint64_t armed_digest = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const exp::FleetResult p = exp::RunFleet(plain);
+    const exp::FleetResult a = exp::RunFleet(armed);
+    plain_wall = rep == 0 ? p.wall_seconds : std::min(plain_wall, p.wall_seconds);
+    armed_wall = rep == 0 ? a.wall_seconds : std::min(armed_wall, a.wall_seconds);
+    plain_digest = p.trace_digest;
+    armed_digest = a.trace_digest;
+  }
+  const bool fault_digest_ok = armed_digest == plain_digest;
+  const double overhead =
+      plain_wall > 0 ? (armed_wall - plain_wall) / plain_wall : 0.0;
+  // <2% relative, with an absolute floor so sub-100ms jitter on fast hosts
+  // cannot fail the gate.
+  const bool fault_overhead_ok =
+      overhead < 0.02 || (armed_wall - plain_wall) < 0.08;
+  std::printf(
+      "fault overhead: plain=%.3fs armed=%.3fs (%+.2f%%) digest %s -> %s\n",
+      plain_wall, armed_wall, overhead * 100,
+      fault_digest_ok ? "match" : "MISMATCH",
+      fault_digest_ok && fault_overhead_ok ? "OK" : "FAILED");
+
   const double base_wall = results.front().wall_seconds;
   std::FILE* out = std::fopen("BENCH_fleet.json", "w");
   if (out != nullptr) {
@@ -106,9 +149,15 @@ int main() {
           static_cast<unsigned long long>(r.trace_digest),
           i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n  \"fault_overhead\": {\"plain_wall_seconds\": %.3f, "
+                 "\"armed_wall_seconds\": %.3f, \"overhead_pct\": %.2f, "
+                 "\"digest_match\": %s, \"within_bar\": %s}\n}\n",
+                 plain_wall, armed_wall, overhead * 100,
+                 fault_digest_ok ? "true" : "false",
+                 fault_overhead_ok ? "true" : "false");
     std::fclose(out);
     std::printf("[bench-json] wrote BENCH_fleet.json\n");
   }
-  return digests_ok ? 0 : 1;
+  return digests_ok && fault_digest_ok && fault_overhead_ok ? 0 : 1;
 }

@@ -23,19 +23,31 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
 # drives random capacity vectors and deadline triples through the sim, and
 # ASan/UBSan is where queue index arithmetic and budget accounting get
 # caught lying.
+# fleet_chaos_test is the fleet-level failure domain: seeded machine
+# crash/restart, partitions and slow shards against real per-shard control
+# planes, with replay-determinism and reconvergence gates. ASan/UBSan is
+# where the reboot path (retired runner graveyard, re-placed bindings,
+# catch-up replay) would leak or index out of bounds.
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target fault_tolerance_test failure_injection_test \
            schedule_delta_test runner_dynamic_test \
            stable_pool_test hash_index_test alloc_regression_test \
-           hetero_machine_test conformance_test
+           hetero_machine_test conformance_test \
+           fleet_sim_test fleet_chaos_test
 
 status=0
 for t in fault_tolerance_test failure_injection_test \
          schedule_delta_test runner_dynamic_test \
          stable_pool_test hash_index_test alloc_regression_test \
-         hetero_machine_test conformance_test; do
+         hetero_machine_test conformance_test \
+         fleet_sim_test; do
   "$BUILD_DIR/tests/$t" --gtest_brief=1 || status=$?
 done
+# The soak's epoch count is trimmed under sanitizers: the schedule is a
+# pure hash of (seed, machine, epoch), so the shorter run replays an exact
+# prefix of the default-length chaos.
+LACHESIS_FLEET_CHAOS_EPOCHS="${LACHESIS_FLEET_CHAOS_EPOCHS:-4000}" \
+  "$BUILD_DIR/tests/fleet_chaos_test" --gtest_brief=1 || status=$?
 if [ "$status" -ne 0 ]; then
   echo "run_chaos.sh: chaos suites exited with status $status" >&2
 fi

@@ -21,7 +21,7 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}" \
   -DLACHESIS_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target fleet_sim_test fleet_golden_test \
+  --target fleet_sim_test fleet_golden_test fleet_chaos_test \
            stable_pool_test hash_index_test hetero_machine_test
 
 status=0
@@ -44,6 +44,14 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # Chaos soak: longer measurement window, churn on, pool saturated.
 LACHESIS_FLEET_SOAK_SCALE="${LACHESIS_FLEET_SOAK_SCALE:-3}" \
   "$BUILD_DIR/tests/fleet_golden_test" --gtest_brief=1 || status=$?
+
+# Fleet failure domain under TSan: dark shards freeze and catch up, agents
+# die and reboot mid-run, and the coordinator re-places bindings on the
+# barrier lane -- all while the worker pool steps survivors. The soak is
+# trimmed (the fault schedule is a pure hash of (seed, machine, epoch), so
+# the short run is an exact prefix of the default-length chaos).
+LACHESIS_FLEET_CHAOS_EPOCHS="${LACHESIS_FLEET_CHAOS_EPOCHS:-2000}" \
+  "$BUILD_DIR/tests/fleet_chaos_test" --gtest_brief=1 || status=$?
 
 if [ "$status" -ne 0 ]; then
   echo "run_tsan.sh: fleet suites exited with status $status" >&2

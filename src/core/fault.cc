@@ -1,5 +1,6 @@
 #include "core/fault.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 
@@ -184,6 +185,187 @@ double FaultInjectingDriver::Fetch(MetricId metric, const EntityInfo& entity) {
   const double value = next_->Fetch(metric, entity);
   last_real_[{metric, entity.id}] = value;
   return value;
+}
+
+// --------------------------------------------------------------------------
+// Fleet fault director.
+
+const char* FleetFaultKindName(FleetFaultKind kind) {
+  switch (kind) {
+    case FleetFaultKind::kMachineCrash: return "machine-crash";
+    case FleetFaultKind::kSlowShard: return "slow-shard";
+    case FleetFaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kEpochMax = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  return a > kEpochMax - b ? kEpochMax : a + b;
+}
+
+// Pure per-epoch decision hash: rule index, entity key (machine or link),
+// epoch. Independent of evaluation order and worker count.
+std::uint64_t FleetSalt(std::size_t rule, std::uint64_t key,
+                        std::uint64_t epoch) {
+  return (rule + 1) * 0xA24BAED4963EE407ULL +
+         (key + 1) * 0x9FB21C651E98DF25ULL + epoch * 0xD1B54A32D192ED03ULL;
+}
+
+}  // namespace
+
+std::uint64_t FleetFaultPlan::QuietAfterEpoch() const {
+  std::uint64_t quiet = 0;
+  for (const FleetFaultRule& rule : rules) {
+    if (rule.until_epoch == kEpochMax) return kEpochMax;
+    std::uint64_t end = rule.until_epoch;
+    if (rule.kind == FleetFaultKind::kMachineCrash) {
+      if (rule.down_epochs == 0) return kEpochMax;  // dark forever
+      // Last possible crash is at until_epoch - 1; the machine is revived
+      // down_epochs later and its restart hook fires one epoch after that.
+      end = SaturatingAdd(end, SaturatingAdd(rule.down_epochs, 2));
+    }
+    quiet = std::max(quiet, end);
+  }
+  return quiet;
+}
+
+FleetFaultDirector::FleetFaultDirector(sim::FleetSimulator& fleet,
+                                       FleetFaultPlan plan, Hooks hooks)
+    : fleet_(&fleet), plan_(std::move(plan)), hooks_(std::move(hooks)) {}
+
+void FleetFaultDirector::Arm(SimTime until) {
+  until_ = until;
+  const SimTime start = fleet_->now();
+  fleet_->CallAtBarrier(start, [this, start] { OnBarrier(start); });
+}
+
+bool FleetFaultDirector::AllClear() const {
+  if (!down_until_.empty() || pending_restart_hooks_ != 0) return false;
+  const std::size_t shards = fleet_->shard_count();
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (fleet_->ShardDark(s) || fleet_->ShardSlow(s) != 0) return false;
+    for (std::size_t d = 0; d < shards; ++d) {
+      if (s != d && fleet_->LinkDown(s, d)) return false;
+    }
+  }
+  return true;
+}
+
+SimTime FleetFaultDirector::QuietAfterTime() const {
+  const std::uint64_t epochs = plan_.QuietAfterEpoch();
+  const auto epoch = static_cast<std::uint64_t>(fleet_->epoch());
+  const auto limit = static_cast<std::uint64_t>(
+      std::numeric_limits<SimTime>::max());
+  if (epochs != 0 && epochs > limit / epoch) {
+    return std::numeric_limits<SimTime>::max();
+  }
+  return static_cast<SimTime>(epochs * epoch);
+}
+
+void FleetFaultDirector::OnBarrier(SimTime now) {
+  const std::size_t shards = fleet_->shard_count();
+  const auto epoch_len = static_cast<std::uint64_t>(fleet_->epoch());
+  const std::uint64_t epoch = static_cast<std::uint64_t>(now) / epoch_len;
+
+  // 1. Restarts due this epoch: revive the shard now (it catches up in the
+  //    next step), deliver the control-plane hook one epoch later so the
+  //    reboot schedules work in the shard's present, not its replayed past.
+  for (auto it = down_until_.begin(); it != down_until_.end();) {
+    if (it->second <= epoch) {
+      const std::size_t machine = it->first;
+      fleet_->SetShardDark(machine, false);
+      rebooting_.insert(machine);
+      ++pending_restart_hooks_;
+      const SimTime hook_at = now + fleet_->epoch();
+      fleet_->CallAtBarrier(hook_at, [this, machine, hook_at] {
+        ++restarts_;
+        --pending_restart_hooks_;
+        rebooting_.erase(machine);
+        if (hooks_.on_restart) hooks_.on_restart(machine, hook_at);
+      });
+      it = down_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Crash decisions, per (rule, machine), pure hash of (seed, rule,
+  //    machine, epoch). A machine already dark cannot crash again.
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FleetFaultRule& rule = plan_.rules[r];
+    if (rule.kind != FleetFaultKind::kMachineCrash) continue;
+    if (epoch < rule.from_epoch || epoch >= rule.until_epoch) continue;
+    for (std::size_t m = 0; m < shards; ++m) {
+      if (rule.machine >= 0 && static_cast<std::size_t>(rule.machine) != m) {
+        continue;
+      }
+      if (fleet_->ShardDark(m) || rebooting_.count(m) != 0) continue;
+      if (!FaultChance(plan_.seed, FleetSalt(r, m, epoch), rule.probability)) {
+        continue;
+      }
+      fleet_->SetShardDark(m, true);
+      down_until_[m] = rule.down_epochs == 0
+                           ? kEpochMax
+                           : SaturatingAdd(epoch, rule.down_epochs);
+      ++crashes_;
+      if (hooks_.on_crash) hooks_.on_crash(m, now);
+    }
+  }
+
+  // 3. Partitions: desired state per directed link is recomputed from
+  //    scratch each epoch (OR over matching rules), so links heal the
+  //    moment no rule holds them down.
+  for (std::size_t from = 0; from < shards; ++from) {
+    for (std::size_t to = 0; to < shards; ++to) {
+      if (from == to) continue;
+      bool down = false;
+      for (std::size_t r = 0; r < plan_.rules.size() && !down; ++r) {
+        const FleetFaultRule& rule = plan_.rules[r];
+        if (rule.kind != FleetFaultKind::kPartition) continue;
+        if (epoch < rule.from_epoch || epoch >= rule.until_epoch) continue;
+        if (rule.machine >= 0 &&
+            static_cast<std::size_t>(rule.machine) != from) {
+          continue;
+        }
+        if (rule.dest >= 0 && static_cast<std::size_t>(rule.dest) != to) {
+          continue;
+        }
+        down = FaultChance(plan_.seed, FleetSalt(r, from * shards + to, epoch),
+                           rule.probability);
+      }
+      if (fleet_->LinkDown(from, to) != down) {
+        fleet_->SetLinkDown(from, to, down);
+      }
+      if (down) ++partition_epochs_;
+    }
+  }
+
+  // 4. Slow shards: desired penalty is the max over matching rules.
+  for (std::size_t m = 0; m < shards; ++m) {
+    std::uint32_t penalty = 0;
+    for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+      const FleetFaultRule& rule = plan_.rules[r];
+      if (rule.kind != FleetFaultKind::kSlowShard) continue;
+      if (epoch < rule.from_epoch || epoch >= rule.until_epoch) continue;
+      if (rule.machine >= 0 && static_cast<std::size_t>(rule.machine) != m) {
+        continue;
+      }
+      if (FaultChance(plan_.seed, FleetSalt(r, m, epoch), rule.probability)) {
+        penalty = std::max(penalty, rule.slow_micros);
+      }
+    }
+    if (fleet_->ShardSlow(m) != penalty) fleet_->SetShardSlow(m, penalty);
+    if (penalty > 0) ++slow_epochs_;
+  }
+
+  const SimTime next = now + fleet_->epoch();
+  if (next <= until_) {
+    fleet_->CallAtBarrier(next, [this, next] { OnBarrier(next); });
+  }
 }
 
 }  // namespace lachesis::core

@@ -24,8 +24,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <optional>
 #include <string>
 #include <utility>
@@ -35,6 +37,7 @@
 #include "core/executor.h"
 #include "core/op_health.h"
 #include "core/os_adapter.h"
+#include "sim/fleet.h"
 
 namespace lachesis::core {
 
@@ -171,6 +174,108 @@ class FaultInjectingDriver final : public SpeDriver {
   // Last genuine value per (metric, entity), served while a stale rule is
   // active.
   std::map<std::pair<MetricId, OperatorId>, double> last_real_;
+};
+
+// ---------------------------------------------------------------------------
+// Fleet-scoped faults: whole machines and links misbehaving, decided -- like
+// every fault above -- by pure hashes of (seed, rule, machine, epoch), so a
+// fleet chaos run replays byte-identically at any worker count.
+
+enum class FleetFaultKind {
+  kMachineCrash = 0,  // shard goes dark; optional restart after down_epochs
+  kSlowShard,         // epoch step inflated (wall clock only)
+  kPartition,         // directed (machine, dest) mailbox link drops
+};
+inline constexpr int kFleetFaultKindCount = 3;
+
+[[nodiscard]] const char* FleetFaultKindName(FleetFaultKind kind);
+
+// One fleet fault rule, evaluated once per epoch per candidate machine (or
+// per directed link for kPartition). `machine`/`dest` of -1 mean "any";
+// epochs count barriers since time zero (epoch e covers simulated time
+// [e*epoch, (e+1)*epoch)).
+struct FleetFaultRule {
+  FleetFaultKind kind = FleetFaultKind::kMachineCrash;
+  std::uint64_t from_epoch = 0;
+  std::uint64_t until_epoch = std::numeric_limits<std::uint64_t>::max();
+  double probability = 1.0;
+  int machine = -1;  // crash/slow: the machine; partition: the sender
+  int dest = -1;     // partition only: the receiving machine
+  // kMachineCrash: epochs the machine stays dark before the director
+  // revives it (0 = down forever -- no restart).
+  std::uint64_t down_epochs = 2;
+  // kSlowShard: wall-clock penalty per epoch step while the rule matches.
+  std::uint32_t slow_micros = 200;
+};
+
+struct FleetFaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FleetFaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  // First epoch from which no rule can fire and every crash window's
+  // restarts have landed (windows + down time + the director's one-epoch
+  // restart deferral). max() when any window is unbounded. Chaos tests use
+  // this as the reconvergence anchor, mirroring FaultPlan::QuietAfter.
+  [[nodiscard]] std::uint64_t QuietAfterEpoch() const;
+};
+
+// Drives a FleetFaultPlan against a FleetSimulator from the barrier lane.
+// Each epoch it decides crashes, restarts, partitions and slowdowns by pure
+// hash, applies them through the barrier-lane-only toggles, and invokes the
+// caller's hooks so the control plane can model agent death (stop the
+// runner) and reboot (fresh runner + ReconcileWithBackend). Restart hooks
+// run one epoch AFTER the shard is revived: the revived shard first
+// catches up its backlog, so the hook schedules control work in the
+// present, not the past.
+class FleetFaultDirector {
+ public:
+  struct Hooks {
+    // Called at the crash barrier, after the shard went dark.
+    std::function<void(std::size_t shard, SimTime now)> on_crash;
+    // Called one epoch after the shard was revived (it has caught up).
+    std::function<void(std::size_t shard, SimTime now)> on_restart;
+  };
+
+  FleetFaultDirector(sim::FleetSimulator& fleet, FleetFaultPlan plan,
+                     Hooks hooks = {});
+
+  // Registers the per-epoch decision callback from now() through `until`.
+  // Call once, from the barrier lane, before RunUntil.
+  void Arm(SimTime until);
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  [[nodiscard]] std::uint64_t partition_epochs() const {
+    return partition_epochs_;
+  }
+  [[nodiscard]] std::uint64_t slow_epochs() const { return slow_epochs_; }
+  // True when every crashed machine has been revived (pending restarts all
+  // delivered) and no links are down or shards slowed.
+  [[nodiscard]] bool AllClear() const;
+  // Simulated time of FleetFaultPlan::QuietAfterEpoch (saturates to
+  // SimTime max for unbounded plans).
+  [[nodiscard]] SimTime QuietAfterTime() const;
+
+ private:
+  void OnBarrier(SimTime now);
+
+  sim::FleetSimulator* fleet_;
+  FleetFaultPlan plan_;
+  Hooks hooks_;
+  SimTime until_ = 0;
+  // Epoch at which each dark machine is due back (max() = never).
+  std::map<std::size_t, std::uint64_t> down_until_;
+  // Machines revived but whose restart hook has not yet fired: exempt from
+  // crash decisions, or the deferred hook would boot an agent onto a shard
+  // that went dark again in the meantime.
+  std::set<std::size_t> rebooting_;
+  std::uint64_t pending_restart_hooks_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t partition_epochs_ = 0;
+  std::uint64_t slow_epochs_ = 0;
 };
 
 }  // namespace lachesis::core

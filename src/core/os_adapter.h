@@ -7,6 +7,7 @@
 #ifndef LACHESIS_CORE_OS_ADAPTER_H_
 #define LACHESIS_CORE_OS_ADAPTER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -166,6 +167,49 @@ class SimOsAdapter final : public OsAdapter {
     const auto it =
         affinity_.find(std::make_pair(thread.machine, thread.sim_tid.value()));
     return it == affinity_.end() ? CpuPreference::kNone : it->second;
+  }
+
+  // Restart reconciliation against the simulated kernel: reads each
+  // thread's actual nice/RT/cgroup/deadline from its Machine and each
+  // Lachesis-owned group's shares from machine truth (quota comes from the
+  // adapter's desired map -- the sim has no per-group quota getter). This
+  // is what lets a rebooted fleet agent seed its delta cache instead of
+  // re-applying the whole schedule, mirroring LinuxOsAdapter's procfs/
+  // cgroupfs snapshot.
+  bool SnapshotState(const std::vector<ThreadHandle>& threads,
+                     OsStateSnapshot& out) override {
+    out = OsStateSnapshot{};
+    for (const ThreadHandle& thread : threads) {
+      if (thread.machine == nullptr) continue;
+      OsStateSnapshot::ThreadState state;
+      state.thread = thread;
+      state.nice = thread.machine->GetNice(thread.sim_tid);
+      const int rt = thread.machine->GetRtPriority(thread.sim_tid);
+      if (rt > 0) state.rt_priority = rt;
+      if (thread.machine->IsDeadline(thread.sim_tid)) {
+        state.deadline = thread.machine->GetDeadline(thread.sim_tid);
+      }
+      const CgroupId cgroup = thread.machine->GetCgroup(thread.sim_tid);
+      for (const auto& [key, group_id] : groups_) {
+        if (key.first == thread.machine && group_id == cgroup) {
+          state.group = key.second;
+          break;
+        }
+      }
+      out.threads.push_back(std::move(state));
+    }
+    for (const auto& [key, group_id] : groups_) {
+      out.group_shares[key.second] = key.first->GetShares(group_id);
+      if (const auto qit = desired_quota_.find(key.second);
+          qit != desired_quota_.end() && qit->second.first > 0) {
+        out.group_quota[key.second] = qit->second;
+      }
+      if (std::find(out.groups.begin(), out.groups.end(), key.second) ==
+          out.groups.end()) {
+        out.groups.push_back(key.second);
+      }
+    }
+    return true;
   }
 
  private:

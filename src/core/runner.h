@@ -100,6 +100,18 @@ class LachesisRunner {
   // Registers required metrics (Algorithm 1 L1) and starts the loop.
   void Start(SimTime until);
 
+  // Kills the loop: pending wakeups become no-ops (the stale-wakeup guard
+  // supersedes them) and the runner never ticks again. This models agent
+  // death in fleet chaos runs -- it is NOT a pause: a stopped runner is not
+  // restartable. A machine reboot builds a fresh runner over the same
+  // backend and seeds it through ReconcileWithBackend, exactly like a
+  // restarted lachesisd (docs/OPERATIONS.md, "Restart semantics").
+  void Stop() {
+    ++tick_seq_;
+    started_ = false;
+  }
+  [[nodiscard]] bool started() const { return started_; }
+
   // Called once per wakeup, after due policies ran (also on idle wakeups,
   // with policies_run == 0).
   void SetTickObserver(std::function<void(const RunnerTickInfo&)> observer) {

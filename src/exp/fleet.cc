@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/stats.h"
+#include "core/fault.h"
 #include "core/fleet_coordinator.h"
 #include "core/os_adapter.h"
 #include "core/sim_driver.h"
@@ -50,6 +51,65 @@ std::uint64_t FoldFnv(std::uint64_t hash, const std::string& bytes) {
   return hash;
 }
 
+// Pass-through adapter between a machine's runner and its SimOsAdapter that
+// knows whether the machine is dark. It never blocks an op -- it counts ops
+// observed while dark, which must be zero: a crashed machine's agent is
+// Stop()ped, so nothing should reach the adapter until the reboot. This is
+// the "no op issued to a dead machine" conformance surface.
+class DarkGuardAdapter final : public core::OsAdapter {
+ public:
+  explicit DarkGuardAdapter(core::OsAdapter& next) : next_(&next) {}
+
+  void set_dark(bool dark) { dark_ = dark; }
+  [[nodiscard]] std::uint64_t dark_ops() const { return dark_ops_; }
+
+  void SetNice(const core::ThreadHandle& t, int nice) override {
+    Note();
+    next_->SetNice(t, nice);
+  }
+  void SetGroupShares(const std::string& g, std::uint64_t s) override {
+    Note();
+    next_->SetGroupShares(g, s);
+  }
+  void MoveToGroup(const core::ThreadHandle& t,
+                   const std::string& g) override {
+    Note();
+    next_->MoveToGroup(t, g);
+  }
+  void SetRtPriority(const core::ThreadHandle& t, int rt) override {
+    Note();
+    next_->SetRtPriority(t, rt);
+  }
+  void SetGroupQuota(const std::string& g, SimDuration quota,
+                     SimDuration period) override {
+    Note();
+    next_->SetGroupQuota(g, quota, period);
+  }
+  void SetDeadline(const core::ThreadHandle& t, SimDuration runtime,
+                   SimDuration deadline, SimDuration period) override {
+    Note();
+    next_->SetDeadline(t, runtime, deadline, period);
+  }
+  void SetCpuAffinity(const core::ThreadHandle& t,
+                      core::CpuPreference pref) override {
+    Note();
+    next_->SetCpuAffinity(t, pref);
+  }
+  bool SnapshotState(const std::vector<core::ThreadHandle>& threads,
+                     core::OsStateSnapshot& out) override {
+    return next_->SnapshotState(threads, out);
+  }
+
+ private:
+  void Note() {
+    if (dark_) ++dark_ops_;
+  }
+
+  core::OsAdapter* next_;
+  bool dark_ = false;
+  std::uint64_t dark_ops_ = 0;
+};
+
 // Everything owned by one machine's shard. Declaration order is destruction
 // order in reverse: runner before driver before instance before machine.
 struct NodeContext {
@@ -62,8 +122,13 @@ struct NodeContext {
   std::unique_ptr<tsdb::TimeSeriesStore> store;
   std::unique_ptr<tsdb::Scraper> scraper;
   std::unique_ptr<core::SimOsAdapter> os;
+  std::unique_ptr<DarkGuardAdapter> guard;
   std::unique_ptr<core::SimControlExecutor> executor;
   std::unique_ptr<core::SimSpeDriver> driver;
+  // Runners of previous agent incarnations, kept alive until the executor
+  // drains: their stale tick closures (made no-ops by Stop()'s sequence
+  // bump) still capture `this`.
+  std::vector<std::unique_ptr<core::LachesisRunner>> retired_runners;
   std::unique_ptr<core::LachesisRunner> runner;
   std::vector<std::uint64_t> ingested_base;
   SimDuration busy_base = 0;
@@ -89,6 +154,7 @@ FleetResult RunFleet(const FleetSpec& spec) {
 
   sim::FleetSimulator fleet(spec.machines, spec.workers, epoch);
   core::FleetCoordinator coordinator;
+  coordinator.SetFailoverConfig(spec.failover);
   std::vector<NodeContext> nodes(static_cast<std::size_t>(spec.machines));
 
   // --- per-machine build (machine, SPE, sources, control plane) ---------------
@@ -140,11 +206,12 @@ FleetResult RunFleet(const FleetSpec& spec) {
       node.scraper->Start(end);
 
       node.os = std::make_unique<core::SimOsAdapter>();
+      node.guard = std::make_unique<DarkGuardAdapter>(*node.os);
       node.executor = std::make_unique<core::SimControlExecutor>(shard);
       node.driver = std::make_unique<core::SimSpeDriver>(
           *node.instance, *node.store, spec.scheduler.period);
       node.runner = std::make_unique<core::LachesisRunner>(
-          *node.executor, *node.os,
+          *node.executor, *node.guard,
           spec.seed + 3 + static_cast<std::uint64_t>(m));
 
       // Base binding: every steady query on this machine (the churn query
@@ -181,6 +248,7 @@ FleetResult RunFleet(const FleetSpec& spec) {
   if (lachesis) {
     merge_tick = [&coordinator, &merges, &fleet, &merge_tick, end,
                   period = spec.scrape_period](SimTime t) {
+      coordinator.NoteBarrier(t);  // liveness + failover before aggregation
       (void)coordinator.MergeTickTotals();
       ++merges;
       const SimTime next = t + period;
@@ -199,24 +267,35 @@ FleetResult RunFleet(const FleetSpec& spec) {
     churn = [&coordinator, &nodes, &fleet, &spec, &churn, &churn_live,
              end](SimTime t) {
       if (churn_live.empty()) {
-        const core::FleetQueryHandle handle = coordinator.AttachQuery(
-            "churn", [&nodes, &spec](std::size_t shard,
-                                     core::LachesisRunner& runner) {
-              NodeContext& node = nodes[shard];
-              core::PolicyBinding binding;
-              binding.policy = MakePolicy(spec.scheduler.policy);
-              binding.translator = MakeTranslator(spec.scheduler.translator);
-              binding.period = spec.scheduler.period;
-              binding.drivers = {node.driver.get()};
-              const std::string name = node.churn_query_name;
-              binding.filter = [name](const core::EntityInfo& e) {
-                return e.query_name == name;
-              };
-              return runner.AddQuery(std::move(binding));
-            });
-        churn_live.push_back(handle);
+        try {
+          const core::FleetQueryHandle handle = coordinator.AttachQuery(
+              "churn", [&nodes, &spec](std::size_t shard,
+                                       core::LachesisRunner& runner) {
+                NodeContext& node = nodes[shard];
+                core::PolicyBinding binding;
+                binding.policy = MakePolicy(spec.scheduler.policy);
+                binding.translator = MakeTranslator(spec.scheduler.translator);
+                binding.period = spec.scheduler.period;
+                binding.drivers = {node.driver.get()};
+                const std::string name = node.churn_query_name;
+                binding.filter = [name](const core::EntityInfo& e) {
+                  return e.query_name == name;
+                };
+                return runner.AddQuery(std::move(binding));
+              });
+          churn_live.push_back(handle);
+        } catch (const core::FleetPlacementError&) {
+          // Every machine dark this cycle; skip and retry next period.
+        }
       } else {
-        coordinator.DetachQuery(churn_live.back());
+        try {
+          coordinator.DetachQuery(churn_live.back());
+        } catch (const core::FleetPlacementError& e) {
+          if (e.code() != core::FleetErrorCode::kMachineDead) throw;
+          // The owning machine died and failover has not re-placed the
+          // query yet: the detach intent wins -- drop the record.
+          coordinator.AbandonQuery(churn_live.back());
+        }
         churn_live.pop_back();
       }
       const SimTime next = t + spec.churn_period;
@@ -226,6 +305,64 @@ FleetResult RunFleet(const FleetSpec& spec) {
     };
     fleet.CallAtBarrier(spec.churn_period,
                         [&churn, t = spec.churn_period] { churn(t); });
+  }
+
+  // --- barrier lane: fleet fault director (chaos runs only) -------------------
+  std::uint64_t reconcile_seeded = 0;
+  std::unique_ptr<core::FleetFaultDirector> director;
+  if (!spec.fleet_faults.empty()) {
+    core::FleetFaultDirector::Hooks hooks;
+    if (lachesis) {
+      // Crash = agent death: the runner stops ticking (pending wakeups are
+      // superseded) and the guard starts counting any op that would still
+      // reach the machine.
+      hooks.on_crash = [&nodes](std::size_t shard, SimTime) {
+        NodeContext& node = nodes[shard];
+        node.runner->Stop();
+        node.guard->set_dark(true);
+      };
+      // Reboot, one epoch after the shard caught its backlog up: a fresh
+      // runner over the same backend, seeded from the machine's residual
+      // kernel state exactly like a restarted lachesisd, then re-announced
+      // to the coordinator with a fresh liveness grace period.
+      hooks.on_restart = [&nodes, &coordinator, &spec, &reconcile_seeded,
+                          end](std::size_t shard, SimTime now) {
+        NodeContext& node = nodes[shard];
+        node.guard->set_dark(false);
+        node.retired_runners.push_back(std::move(node.runner));
+        node.runner = std::make_unique<core::LachesisRunner>(
+            *node.executor, *node.guard,
+            spec.seed + 3 + static_cast<std::uint64_t>(shard));
+        core::PolicyBinding binding;
+        binding.policy = MakePolicy(spec.scheduler.policy);
+        binding.translator = MakeTranslator(spec.scheduler.translator);
+        binding.period = spec.scheduler.period;
+        binding.drivers = {node.driver.get()};
+        if (!node.churn_query_name.empty()) {
+          const std::string churn_name = node.churn_query_name;
+          binding.filter = [churn_name](const core::EntityInfo& e) {
+            return e.query_name != churn_name;
+          };
+        }
+        node.runner->AddQuery(std::move(binding));
+        node.driver->Poll(now);
+        reconcile_seeded += node.runner->ReconcileWithBackend();
+        node.runner->Start(end);
+        coordinator.ReattachShardRunner(shard, *node.runner, now,
+                                        /*initial_queries=*/1);
+      };
+    } else {
+      // OS-default fleets have no agent; crashes only freeze the machine.
+      hooks.on_crash = [&nodes](std::size_t shard, SimTime) {
+        if (nodes[shard].guard) nodes[shard].guard->set_dark(true);
+      };
+      hooks.on_restart = [&nodes](std::size_t shard, SimTime) {
+        if (nodes[shard].guard) nodes[shard].guard->set_dark(false);
+      };
+    }
+    director = std::make_unique<core::FleetFaultDirector>(
+        fleet, spec.fleet_faults, std::move(hooks));
+    director->Arm(end);
   }
 
   // --- warmup -----------------------------------------------------------------
@@ -304,11 +441,28 @@ FleetResult RunFleet(const FleetSpec& spec) {
     result.delta = totals.delta;
     result.queries_attached = coordinator.attach_count();
     result.queries_detached = coordinator.detach_count();
+    result.shard_deaths = coordinator.shard_deaths();
+    result.queries_replaced = coordinator.queries_replaced();
+    result.queries_abandoned = coordinator.queries_abandoned();
+  }
+  if (director) {
+    result.machine_crashes = director->crashes();
+    result.machine_restarts = director->restarts();
+    result.partition_epochs = director->partition_epochs();
+    result.slow_epochs = director->slow_epochs();
+  }
+  result.reconcile_seeded = reconcile_seeded;
+  for (const NodeContext& node : nodes) {
+    if (node.guard) result.dark_ops += node.guard->dark_ops();
   }
   result.coordinator_merges = merges;
-  result.epochs = fleet.stats().epochs;
-  result.cross_messages = fleet.stats().cross_posted;
-  result.barrier_actions = fleet.stats().barrier_actions;
+  const sim::FleetSimulator::Stats fleet_stats = fleet.stats();
+  result.epochs = fleet_stats.epochs;
+  result.cross_messages = fleet_stats.cross_posted;
+  result.barrier_actions = fleet_stats.barrier_actions;
+  result.cross_dropped = fleet_stats.cross_dropped_partition +
+                         fleet_stats.cross_dropped_dark +
+                         fleet_stats.cross_dropped_late;
   result.events_dispatched = fleet.TotalDispatched();
   result.trace_digest = spec.collect_digest ? digest : 0;
   result.worker_count = fleet.worker_count();

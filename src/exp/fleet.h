@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "core/fault.h"
+#include "core/fleet_coordinator.h"
 #include "core/schedule_delta.h"
 #include "exp/scenario.h"
 #include "queries/synthetic.h"
@@ -54,6 +56,15 @@ struct FleetSpec {
   // Shape of the synthetic workloads (num_queries is ignored;
   // queries_per_machine governs).
   queries::SyntheticConfig synthetic;
+  // Fleet chaos: machine crash/restart, slow shards and mailbox partitions,
+  // driven from the barrier lane by a FleetFaultDirector. Empty (the
+  // default) builds no director and changes nothing -- fault-free results
+  // and digests are bit-identical to a spec without the field. A crashed
+  // machine's agent is killed (runner Stop()); its reboot builds a fresh
+  // runner seeded through ReconcileWithBackend, and the coordinator
+  // re-places coordinator-managed queries per `failover`.
+  core::FleetFaultPlan fleet_faults;
+  core::FleetFailoverConfig failover;
 };
 
 struct FleetNodeResult {
@@ -88,6 +99,20 @@ struct FleetResult {
   std::uint64_t cross_messages = 0;   // posted through shard mailboxes
   std::uint64_t barrier_actions = 0;
   std::uint64_t events_dispatched = 0;
+
+  // Failure domain (all zero for an empty fault plan).
+  std::uint64_t machine_crashes = 0;
+  std::uint64_t machine_restarts = 0;
+  std::uint64_t partition_epochs = 0;  // directed link-epochs spent down
+  std::uint64_t slow_epochs = 0;       // shard-epochs spent slowed
+  std::uint64_t cross_dropped = 0;     // partition + dark + late drops
+  std::uint64_t shard_deaths = 0;      // coordinator liveness transitions
+  std::uint64_t queries_replaced = 0;  // failover re-placements
+  std::uint64_t queries_abandoned = 0;
+  std::uint64_t reconcile_seeded = 0;  // delta entries seeded by reboots
+  // Ops issued to a dark machine's adapter; the conformance invariant is
+  // that this stays 0 (a dead agent issues nothing).
+  std::uint64_t dark_ops = 0;
 
   // FNV-1a over every machine's serialized scheduler trace, folded in
   // machine order; 0 when collect_digest is off. Equal digests mean

@@ -1,6 +1,7 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -20,6 +21,8 @@ FleetSimulator::FleetSimulator(int shards, int workers, SimDuration epoch)
     shard->outbox.resize(static_cast<std::size_t>(shards));
     shards_.push_back(std::move(shard));
   }
+  link_down_.assign(
+      static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards), 0);
   workers_ = std::min(workers, shards);
   if (workers_ > 1) {
     pool_.reserve(static_cast<std::size_t>(workers_));
@@ -59,8 +62,76 @@ void FleetSimulator::PostCross(std::size_t from, std::size_t to,
 
 FleetSimulator::Stats FleetSimulator::stats() const {
   Stats totals = stats_;
-  for (const auto& shard : shards_) totals.cross_posted += shard->cross_posted;
+  for (const auto& shard : shards_) {
+    totals.cross_posted += shard->cross_posted;
+    totals.slow_steps += shard->slow_steps;
+    for (const auto& box : shard->outbox) {
+      totals.cross_in_flight += box.size();
+    }
+  }
+  // Mailbox-hygiene invariant: every posted message is delivered, dropped
+  // (counted in exactly one bucket), or still waiting in an outbox. A shard
+  // throwing mid-epoch aborts RunUntil BEFORE the mailbox merge, so its
+  // epoch's messages must all still be in flight here -- a partial merge
+  // would break this identity.
+  const std::uint64_t accounted =
+      totals.cross_delivered + totals.cross_dropped_partition +
+      totals.cross_dropped_dark + totals.cross_dropped_late +
+      totals.cross_in_flight;
+  if (totals.cross_posted != accounted) {
+    throw std::logic_error(
+        "FleetSimulator::stats: cross-message conservation violated: posted " +
+        std::to_string(totals.cross_posted) + " != accounted " +
+        std::to_string(accounted) + " (delivered " +
+        std::to_string(totals.cross_delivered) + " + dropped " +
+        std::to_string(totals.cross_dropped_partition + totals.cross_dropped_dark +
+                       totals.cross_dropped_late) +
+        " + in-flight " + std::to_string(totals.cross_in_flight) + ")");
+  }
   return totals;
+}
+
+void FleetSimulator::RequireBarrierLane(const char* what) const {
+  if (stepping_) {
+    throw std::logic_error(std::string("FleetSimulator::") + what +
+                           " called from a shard event mid-epoch; failure "
+                           "toggles are barrier-lane-only -- register a "
+                           "barrier action instead");
+  }
+}
+
+void FleetSimulator::SetShardDark(std::size_t index, bool dark) {
+  RequireBarrierLane("SetShardDark");
+  shards_.at(index)->dark = dark;
+}
+
+bool FleetSimulator::ShardDark(std::size_t index) const {
+  return shards_.at(index)->dark;
+}
+
+void FleetSimulator::SetLinkDown(std::size_t from, std::size_t to, bool down) {
+  RequireBarrierLane("SetLinkDown");
+  if (from >= shards_.size() || to >= shards_.size()) {
+    throw std::out_of_range("FleetSimulator::SetLinkDown: bad shard index");
+  }
+  link_down_[from * shards_.size() + to] = down ? 1 : 0;
+}
+
+bool FleetSimulator::LinkDown(std::size_t from, std::size_t to) const {
+  if (from >= shards_.size() || to >= shards_.size()) {
+    throw std::out_of_range("FleetSimulator::LinkDown: bad shard index");
+  }
+  return link_down_[from * shards_.size() + to] != 0;
+}
+
+void FleetSimulator::SetShardSlow(std::size_t index,
+                                  std::uint32_t penalty_micros) {
+  RequireBarrierLane("SetShardSlow");
+  shards_.at(index)->slow_micros = penalty_micros;
+}
+
+std::uint32_t FleetSimulator::ShardSlow(std::size_t index) const {
+  return shards_.at(index)->slow_micros;
 }
 
 void FleetSimulator::CallAtBarrier(SimTime time, std::function<void()> fn) {
@@ -84,9 +155,10 @@ void FleetSimulator::WorkerLoop() {
     while (next_shard_ < shards_.size()) {
       const std::size_t index = next_shard_++;
       Shard& shard = *shards_[index];
+      if (shard.dark) continue;  // frozen: skip without releasing the lock
       lock.unlock();
       try {
-        shard.sim->RunUntil(target);
+        StepOneShard(shard, target);
       } catch (...) {
         shard.error = std::current_exception();
       }
@@ -96,12 +168,36 @@ void FleetSimulator::WorkerLoop() {
   }
 }
 
+void FleetSimulator::StepOneShard(Shard& shard, SimTime target) {
+  shard.sim->RunUntil(target);
+  if (shard.slow_micros > 0) {
+    // Straggler model: wall-clock only, so the barrier genuinely waits on
+    // this shard while simulated time stays deterministic.
+    std::this_thread::sleep_for(std::chrono::microseconds(shard.slow_micros));
+    ++shard.slow_steps;
+  }
+}
+
 void FleetSimulator::StepShardsTo(SimTime target) {
+  // Pre-dispatch bookkeeping on the driving thread, before any worker can
+  // observe the new generation: a revived shard whose clock trails the
+  // target by more than one epoch is catching up (its backlog replays at
+  // original timestamps, so messages it emits may be late -- dropped, not
+  // fatal); dark shards are counted but never stepped.
+  for (auto& shard : shards_) {
+    if (shard->dark) {
+      shard->catching_up = false;
+      ++stats_.dark_epochs;
+    } else {
+      shard->catching_up = shard->sim->now() + epoch_ < target;
+    }
+  }
   stepping_ = true;
   if (pool_.empty()) {
     for (auto& shard : shards_) {
+      if (shard->dark) continue;
       try {
-        shard->sim->RunUntil(target);
+        StepOneShard(*shard, target);
       } catch (...) {
         shard->error = std::current_exception();
       }
@@ -151,8 +247,29 @@ void FleetSimulator::DrainMailboxes() {
                      [](const CrossMessage& a, const CrossMessage& b) {
                        return a.at < b.at;
                      });
+    const bool dest_dark = shards_[to]->dark;
     for (CrossMessage& m : inbound) {
+      const Shard& sender = *shards_[m.from];
+      // Failure-domain drops, checked in a fixed order so counters are
+      // deterministic: a dark endpoint swallows the message (the machine
+      // is off), then a partitioned link, then lateness from a
+      // catching-up sender (its replayed backlog targets timestamps the
+      // destination already executed past). Each drop lands in exactly
+      // one bucket -- stats() asserts conservation over them.
+      if (dest_dark || sender.dark) {
+        ++stats_.cross_dropped_dark;
+        continue;
+      }
+      if (link_down_[static_cast<std::size_t>(m.from) * shards_.size() + to] !=
+          0) {
+        ++stats_.cross_dropped_partition;
+        continue;
+      }
       if (m.at < dest.now()) {
+        if (sender.catching_up) {
+          ++stats_.cross_dropped_late;
+          continue;
+        }
         throw std::logic_error(
             "FleetSimulator: cross-shard message from shard " +
             std::to_string(m.from) + " due at " + std::to_string(m.at) +

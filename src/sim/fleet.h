@@ -22,6 +22,25 @@
 // cross-machine dataflow need an epoch no longer than the network delay,
 // which FleetSimulator enforces (a message that should have arrived
 // mid-epoch throws instead of being silently reordered).
+//
+// Failure domain: the fleet can model machines and links misbehaving while
+// staying deterministic. A DARK shard (machine crash) is frozen -- it is
+// skipped by the epoch stepper, its clock stays at the crash barrier, and
+// every cross message to or from it is dropped (counted). Its event queue
+// is deliberately NOT cleared: dropping pending timers would corrupt the
+// machine's CFS state forever. When the shard is un-darked it catches up in
+// the next epoch, replaying its backlog at the original simulated
+// timestamps (machine-local work is stall-then-replay; the network and any
+// stopped control plane genuinely fail -- see docs/FAULT_TOLERANCE.md).
+// Cross messages a catching-up shard emits may already be late for their
+// destinations; those are dropped and counted instead of throwing, while a
+// late message from a healthy sender is still the hard configuration error
+// it always was. A DOWN link (partition) drops every message merged across
+// that (sender, dest) pair; a SLOW shard inflates its epoch step in wall
+// clock only (the barrier observes a straggler, simulated time is
+// untouched). All toggles are barrier-lane-only and every drop is counted,
+// so stats() can assert conservation: posted == delivered + dropped +
+// still-in-flight, for any fault schedule and any worker count.
 #ifndef LACHESIS_SIM_FLEET_H_
 #define LACHESIS_SIM_FLEET_H_
 
@@ -47,6 +66,15 @@ class FleetSimulator {
     std::uint64_t cross_posted = 0;      // PostCross calls
     std::uint64_t cross_delivered = 0;   // messages merged into shards
     std::uint64_t barrier_actions = 0;   // CallAtBarrier callbacks run
+    // Failure-domain accounting. Every posted message is eventually
+    // delivered, dropped (exactly one of the three buckets), or still
+    // sitting in an outbox; stats() asserts that conservation law.
+    std::uint64_t cross_dropped_partition = 0;  // link down at merge time
+    std::uint64_t cross_dropped_dark = 0;   // sender or dest dark at merge
+    std::uint64_t cross_dropped_late = 0;   // late from a catching-up sender
+    std::uint64_t cross_in_flight = 0;      // still in outboxes (computed)
+    std::uint64_t dark_epochs = 0;   // shard-epochs skipped while dark
+    std::uint64_t slow_steps = 0;    // shard-epochs stepped with a penalty
   };
 
   // `shards` independent event queues stepped by `workers` threads per
@@ -65,7 +93,10 @@ class FleetSimulator {
   [[nodiscard]] SimTime now() const { return now_; }
   // Snapshot of the counters. cross_posted is summed from per-shard
   // single-writer counters, so call this from the barrier lane (or between
-  // RunUntil calls), not from a shard event mid-epoch.
+  // RunUntil calls), not from a shard event mid-epoch. Throws
+  // std::logic_error if message conservation is violated (posted !=
+  // delivered + dropped + in-flight) -- the mailbox-hygiene invariant: a
+  // shard failure must never leave a partially merged mailbox.
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] Simulator& shard(std::size_t index) {
@@ -95,6 +126,31 @@ class FleetSimulator {
   // that wants coordinator attention posts itself a cross message instead.
   // Mid-epoch calls throw std::logic_error rather than silently racing.
   void CallAtBarrier(SimTime time, std::function<void()> fn);
+
+  // --- Failure-domain toggles -------------------------------------------
+  // All of these are barrier-lane-only, exactly like CallAtBarrier: they
+  // mutate state shared with the worker handshake, so calling them from a
+  // shard event mid-epoch throws std::logic_error. Register a barrier
+  // action (or drive them between RunUntil calls) instead.
+
+  // Darkens (crashes) or revives shard `index`. While dark the shard is
+  // not stepped -- its clock freezes at the current barrier -- and every
+  // cross message to or from it is dropped. Reviving does not clear its
+  // event queue: the next epoch steps it across the whole gap, replaying
+  // the backlog at the original simulated timestamps (catch-up replay).
+  void SetShardDark(std::size_t index, bool dark);
+  [[nodiscard]] bool ShardDark(std::size_t index) const;
+
+  // Partitions (or heals) the directed link from -> to: messages merged
+  // across a down link are dropped and counted, never delivered.
+  void SetLinkDown(std::size_t from, std::size_t to, bool down);
+  [[nodiscard]] bool LinkDown(std::size_t from, std::size_t to) const;
+
+  // Inflates shard `index`'s epoch step by `penalty_micros` of wall-clock
+  // sleep (0 clears it). Simulated time is untouched -- this makes the
+  // barrier observe a straggler without perturbing determinism.
+  void SetShardSlow(std::size_t index, std::uint32_t penalty_micros);
+  [[nodiscard]] std::uint32_t ShardSlow(std::size_t index) const;
 
   // Steps every shard to `end` epoch by epoch. Epoch boundaries are
   // aligned to multiples of epoch() from time zero, so periodic barrier
@@ -129,19 +185,34 @@ class FleetSimulator {
     // counter from concurrent workers.
     std::uint64_t cross_posted = 0;
     std::exception_ptr error;
+    // Failure-domain state. Written only from the barrier lane (dark,
+    // slow_micros) or by the thread driving StepShardsTo before dispatch
+    // (catching_up), read by workers after the handshake's acquire edge.
+    bool dark = false;
+    // True for the epoch in which a revived shard replays its backlog:
+    // its clock is behind the target by more than one epoch, so cross
+    // messages it emits may be late for destinations that kept running.
+    bool catching_up = false;
+    std::uint32_t slow_micros = 0;
+    std::uint64_t slow_steps = 0;  // single-writer, summed in stats()
   };
 
   void StepShardsTo(SimTime target);
   void WorkerLoop();
+  void StepOneShard(Shard& shard, SimTime target);
   void DrainMailboxes();
   void RunBarrierActionsUpTo(SimTime time);
   void RethrowShardErrors();
+  void RequireBarrierLane(const char* what) const;
 
   SimDuration epoch_;
   SimTime now_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::multimap<SimTime, std::function<void()>> barrier_actions_;
   Stats stats_;
+  // Directed link state, link_down_[from * shards + to]. Barrier-lane
+  // writes only; read during the (single-threaded) mailbox merge.
+  std::vector<char> link_down_;
 
   // Worker pool (empty when workers_ == 1). Dispatch is generation-based:
   // the main thread publishes (generation, target) under the mutex and

@@ -1,0 +1,566 @@
+// Fleet chaos soak: seeded machine crash/restart, mailbox partitions and
+// slow shards driven against a real per-shard control plane, checking the
+// three fleet-level robustness gates:
+//
+//   1. Replay determinism -- the same chaos run is byte-identical for
+//      worker counts 1, 2 and 4 (merged OS state, drop counters, failover
+//      counters, everything).
+//   2. Reconvergence -- once the last fault clears, the chaos fleet's
+//      base-query schedules match a fault-free twin within K epochs, and
+//      stay matched to the end of the run.
+//   3. Conformance -- at every barrier no query is double-placed, no
+//      non-orphaned query sits on a dead machine, a dark machine's agent
+//      never runs, and the mailbox conservation law holds (stats() throws
+//      on violation).
+//
+// Epoch count scales with LACHESIS_FLEET_CHAOS_EPOCHS (default 10000);
+// sanitizer lanes shrink it. The "faults happened at all" assertions are
+// only made for runs long enough that the seeded schedule provably fires.
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fault.h"
+#include "core/fleet_coordinator.h"
+#include "core/policies.h"
+#include "core/runner.h"
+#include "core/sim_executor.h"
+#include "core/translators.h"
+#include "exp/fleet.h"
+#include "sim/fleet.h"
+#include "tests/fake_driver.h"
+
+namespace lachesis::core {
+namespace {
+
+using testing::FakeDriver;
+using testing::RecordingOsAdapter;
+
+constexpr int kShards = 8;
+constexpr int kBaseEntities = 3;   // per shard, query 0 (never moves)
+constexpr int kFloatEntities = 2;  // per shard, query 1 (coordinator-placed)
+const SimDuration kSoakEpoch = Millis(100);
+constexpr std::uint64_t kSoakSeed = 42;
+
+std::uint64_t SoakEpochs() {
+  if (const char* env = std::getenv("LACHESIS_FLEET_CHAOS_EPOCHS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 10000;
+}
+
+// The chaos schedule, parameterized by run length so the quiet tail always
+// exists: crashes and slowdowns stop at N/2, partitions at 3N/5.
+core::FleetFaultPlan SoakPlan(std::uint64_t epochs) {
+  core::FleetFaultPlan plan;
+  plan.seed = kSoakSeed;
+  core::FleetFaultRule crash;
+  crash.kind = core::FleetFaultKind::kMachineCrash;
+  crash.from_epoch = 10;
+  crash.until_epoch = epochs / 2;
+  crash.probability = 0.0015;
+  crash.down_epochs = 25;
+  plan.rules.push_back(crash);
+  core::FleetFaultRule cut;
+  cut.kind = core::FleetFaultKind::kPartition;
+  cut.from_epoch = 10;
+  cut.until_epoch = epochs * 3 / 5;
+  cut.probability = 0.004;
+  plan.rules.push_back(cut);
+  core::FleetFaultRule slow;
+  slow.kind = core::FleetFaultKind::kSlowShard;
+  slow.from_epoch = 10;
+  slow.until_epoch = epochs / 2;
+  slow.probability = 0.002;
+  slow.slow_micros = 20;
+  plan.rules.push_back(slow);
+  return plan;
+}
+
+// One machine's control plane. `retired` keeps Stop()ped runner
+// incarnations alive: their stale tick closures still sit in the shard's
+// event queue (they no-op via the runner's tick-seq guard, but they capture
+// `this`).
+struct SoakShardRig {
+  std::unique_ptr<core::SimControlExecutor> executor;
+  std::unique_ptr<RecordingOsAdapter> os;
+  std::unique_ptr<FakeDriver> driver;
+  std::vector<std::unique_ptr<core::LachesisRunner>> retired;
+  std::unique_ptr<core::LachesisRunner> runner;
+};
+
+struct SoakOutcome {
+  std::map<std::uint64_t, int> nices;          // merged recorder state at end
+  std::map<std::uint64_t, int> base_at_quiet;  // base entities, quiet + K
+  std::map<std::uint64_t, int> base_at_end;
+  sim::FleetSimulator::Stats stats;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t replaced = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t metric_skips = 0;
+  std::uint64_t reattaches = 0;
+  std::uint64_t reconcile_seeded = 0;
+  std::uint64_t merges = 0;
+  bool all_clear = true;
+  std::string invariant;  // first placement violation ("" = clean)
+  std::string dark_tick;  // dark machine seen with a started agent
+};
+
+core::PolicyBinding MakeSoakBinding(FakeDriver* driver, bool floater) {
+  core::PolicyBinding binding;
+  binding.policy = std::make_unique<core::QueueSizePolicy>();
+  binding.translator = std::make_unique<core::NiceTranslator>();
+  binding.period = kSoakEpoch;
+  binding.drivers = {driver};
+  binding.filter = [floater](const core::EntityInfo& e) {
+    return (e.query_name == "q1") == floater;
+  };
+  return binding;
+}
+
+// Ring traffic: every epoch each shard posts one one-epoch-latency message
+// to its right neighbor, so partitions and dark machines have something to
+// drop and catch-up replays have something to emit late.
+void SchedulePing(sim::FleetSimulator& fleet, std::size_t shard, SimTime at,
+                  SimTime end) {
+  if (at >= end) return;
+  fleet.shard(shard).ScheduleAt(at, [&fleet, shard, at, end] {
+    fleet.PostCross(shard, (shard + 1) % fleet.shard_count(),
+                    at + fleet.epoch(), [] {});
+    SchedulePing(fleet, shard, at + fleet.epoch(), end);
+  });
+}
+
+SoakOutcome RunSoak(int workers, std::uint64_t epochs, bool with_faults,
+                    std::uint64_t snapshot_epoch) {
+  const SimTime end = static_cast<SimTime>(epochs) * kSoakEpoch;
+  sim::FleetSimulator fleet(kShards, workers, kSoakEpoch);
+  core::FleetCoordinator coordinator;
+  core::FleetFailoverConfig failover;
+  failover.stale_after = Millis(250);
+  failover.replace_backoff = Millis(300);
+  coordinator.SetFailoverConfig(failover);
+  SoakOutcome outcome;
+
+  std::vector<SoakShardRig> shards(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    SoakShardRig& rig = shards[s];
+    rig.executor = std::make_unique<core::SimControlExecutor>(fleet.shard(s));
+    rig.os = std::make_unique<RecordingOsAdapter>();
+    rig.driver = std::make_unique<FakeDriver>("fake" + std::to_string(s));
+    rig.driver->Provide(MetricId::kQueueSize);
+    for (int i = 0; i < kBaseEntities; ++i) {
+      core::EntityInfo& e = rig.driver->AddEntity(QueryId(0), {i});
+      e.thread.sim_tid = ThreadId(s * 100 + i);
+      rig.driver->SetValue(MetricId::kQueueSize, e.id, i);
+    }
+    for (int i = 0; i < kFloatEntities; ++i) {
+      core::EntityInfo& e = rig.driver->AddEntity(QueryId(1), {i});
+      e.thread.sim_tid = ThreadId(s * 100 + 50 + i);
+      rig.driver->SetValue(MetricId::kQueueSize, e.id, i);
+    }
+    rig.runner = std::make_unique<core::LachesisRunner>(*rig.executor, *rig.os,
+                                                        kSoakSeed + s);
+    rig.runner->AddQuery(MakeSoakBinding(rig.driver.get(), false));
+    rig.runner->Start(end);
+    coordinator.AddShard(*rig.runner, "m" + std::to_string(s), 1);
+    SchedulePing(fleet, s, Micros(500), end);
+  }
+
+  // One floater per machine initially (least-loaded placement round-robins
+  // them), so any crash strands at least one coordinator-placed query.
+  const core::FleetCoordinator::DeployFn deploy =
+      [&shards](std::size_t s, core::LachesisRunner& runner) {
+        return runner.AddQuery(MakeSoakBinding(shards[s].driver.get(), true));
+      };
+  for (int i = 0; i < kShards; ++i) {
+    coordinator.AttachQuery("float" + std::to_string(i), deploy);
+  }
+
+  const auto merge_base = [&shards](std::map<std::uint64_t, int>& out) {
+    out.clear();
+    for (const SoakShardRig& rig : shards) {
+      for (const auto& [tid, nice] : rig.os->nices) {
+        if (tid % 100 < 50) out[tid] = nice;
+      }
+    }
+  };
+
+  // The per-epoch barrier lane: metric wiggle (a pure function of epoch, so
+  // chaos and twin runs see identical inputs), coordinator liveness +
+  // merges, and the conformance probes.
+  for (std::uint64_t e = 0; e * kSoakEpoch < static_cast<std::uint64_t>(end);
+       ++e) {
+    const SimTime t = static_cast<SimTime>(e) * kSoakEpoch;
+    fleet.CallAtBarrier(t, [&fleet, &coordinator, &shards, &outcome, e, t] {
+      for (int s = 0; s < kShards; ++s) {
+        FakeDriver& driver = *shards[s].driver;
+        for (int i = 0; i < kBaseEntities + kFloatEntities; ++i) {
+          driver.SetValue(MetricId::kQueueSize, OperatorId(i),
+                          static_cast<double>((e * 7 + s * 13 + i * 31) % 50));
+        }
+      }
+      coordinator.NoteBarrier(t);
+      const core::FleetTickTotals totals = coordinator.MergeTickTotals();
+      (void)totals;
+      ++outcome.merges;
+      if (e % 10 == 0) {
+        (void)coordinator.MergeSelfMetrics();
+      }
+      if (outcome.invariant.empty()) {
+        outcome.invariant = coordinator.CheckPlacementInvariants();
+      }
+      for (int s = 0; s < kShards; ++s) {
+        if (fleet.ShardDark(s) && shards[s].runner->started() &&
+            outcome.dark_tick.empty()) {
+          outcome.dark_tick =
+              "machine " + std::to_string(s) + " dark with a started agent";
+        }
+      }
+    });
+  }
+  fleet.CallAtBarrier(static_cast<SimTime>(snapshot_epoch) * kSoakEpoch,
+                      [&merge_base, &outcome] {
+                        merge_base(outcome.base_at_quiet);
+                      });
+
+  std::unique_ptr<core::FleetFaultDirector> director;
+  if (with_faults) {
+    core::FleetFaultDirector::Hooks hooks;
+    hooks.on_crash = [&shards](std::size_t s, SimTime) {
+      shards[s].runner->Stop();
+    };
+    hooks.on_restart = [&shards, &coordinator, &outcome, end](std::size_t s,
+                                                              SimTime now) {
+      SoakShardRig& rig = shards[s];
+      rig.retired.push_back(std::move(rig.runner));
+      rig.runner = std::make_unique<core::LachesisRunner>(
+          *rig.executor, *rig.os, kSoakSeed + s);
+      rig.runner->AddQuery(MakeSoakBinding(rig.driver.get(), false));
+      outcome.reconcile_seeded += rig.runner->ReconcileWithBackend();
+      rig.runner->Start(end);
+      coordinator.ReattachShardRunner(s, *rig.runner, now, 1);
+    };
+    director = std::make_unique<core::FleetFaultDirector>(
+        fleet, SoakPlan(epochs), hooks);
+    director->Arm(end);
+  }
+
+  fleet.RunUntil(end);
+
+  merge_base(outcome.base_at_end);
+  for (const SoakShardRig& rig : shards) {
+    for (const auto& [tid, nice] : rig.os->nices) outcome.nices[tid] = nice;
+  }
+  outcome.stats = fleet.stats();  // throws on conservation violation
+  outcome.deaths = coordinator.shard_deaths();
+  outcome.replaced = coordinator.queries_replaced();
+  outcome.abandoned = coordinator.queries_abandoned();
+  outcome.deferred = coordinator.replacements_deferred();
+  outcome.metric_skips = coordinator.stale_metric_skips();
+  outcome.reattaches = coordinator.reattach_count();
+  if (director) {
+    outcome.crashes = director->crashes();
+    outcome.restarts = director->restarts();
+    outcome.all_clear = director->AllClear();
+  }
+  if (outcome.invariant.empty()) {
+    outcome.invariant = coordinator.CheckPlacementInvariants();
+  }
+  return outcome;
+}
+
+void ExpectSameOutcome(const SoakOutcome& a, const SoakOutcome& b) {
+  EXPECT_EQ(a.nices, b.nices);
+  EXPECT_EQ(a.base_at_quiet, b.base_at_quiet);
+  EXPECT_EQ(a.base_at_end, b.base_at_end);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_EQ(a.replaced, b.replaced);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_EQ(a.metric_skips, b.metric_skips);
+  EXPECT_EQ(a.reattaches, b.reattaches);
+  EXPECT_EQ(a.reconcile_seeded, b.reconcile_seeded);
+  EXPECT_EQ(a.stats.epochs, b.stats.epochs);
+  EXPECT_EQ(a.stats.cross_posted, b.stats.cross_posted);
+  EXPECT_EQ(a.stats.cross_delivered, b.stats.cross_delivered);
+  EXPECT_EQ(a.stats.cross_dropped_partition, b.stats.cross_dropped_partition);
+  EXPECT_EQ(a.stats.cross_dropped_dark, b.stats.cross_dropped_dark);
+  EXPECT_EQ(a.stats.cross_dropped_late, b.stats.cross_dropped_late);
+  EXPECT_EQ(a.stats.cross_in_flight, b.stats.cross_in_flight);
+  EXPECT_EQ(a.stats.dark_epochs, b.stats.dark_epochs);
+  EXPECT_EQ(a.stats.slow_steps, b.stats.slow_steps);
+}
+
+TEST(FleetChaosSoakTest, CrashPartitionSlowSoakIsDeterministicAndReconverges) {
+  const std::uint64_t epochs = SoakEpochs();
+  const std::uint64_t quiet = SoakPlan(epochs).QuietAfterEpoch();
+  ASSERT_LT(quiet + 5, epochs) << "quiet tail too short; raise the epoch "
+                                  "count";
+  const std::uint64_t snapshot = quiet + 5;
+
+  const SoakOutcome w1 = RunSoak(1, epochs, true, snapshot);
+  EXPECT_EQ(w1.invariant, "");
+  EXPECT_EQ(w1.dark_tick, "");
+  EXPECT_TRUE(w1.all_clear);
+  EXPECT_EQ(w1.stats.epochs, epochs);
+  if (epochs >= 2000) {
+    // The seeded schedule provably fires at this scale (it is a pure hash
+    // of (seed, machine, epoch) -- nothing here is run-to-run random).
+    EXPECT_GT(w1.crashes, 0u);
+    EXPECT_EQ(w1.restarts, w1.crashes);
+    EXPECT_GT(w1.deaths, 0u);
+    EXPECT_GT(w1.replaced, 0u);
+    EXPECT_GT(w1.reattaches, 0u);
+    EXPECT_GT(w1.reconcile_seeded, 0u);
+    EXPECT_GT(w1.metric_skips, 0u);
+    EXPECT_GT(w1.stats.cross_dropped_partition, 0u);
+    EXPECT_GT(w1.stats.cross_dropped_dark, 0u);
+    EXPECT_GT(w1.stats.cross_dropped_late, 0u);
+    EXPECT_GT(w1.stats.dark_epochs, 0u);
+    EXPECT_GT(w1.stats.slow_steps, 0u);
+  }
+
+  // Gate 1: replay determinism across worker counts.
+  const SoakOutcome w2 = RunSoak(2, epochs, true, snapshot);
+  const SoakOutcome w4 = RunSoak(4, epochs, true, snapshot);
+  ExpectSameOutcome(w1, w2);
+  ExpectSameOutcome(w1, w4);
+
+  // Gate 2: reconvergence against the fault-free twin. Base-query OS state
+  // is a pure function of the (shared) metric wiggle once every machine is
+  // back and ticking, so K epochs past the plan's quiet point the two
+  // fleets agree -- and stay agreed to the end.
+  const SoakOutcome twin = RunSoak(1, epochs, false, snapshot);
+  EXPECT_EQ(twin.invariant, "");
+  EXPECT_EQ(twin.crashes, 0u);
+  EXPECT_EQ(twin.stats.cross_dropped_partition, 0u);
+  EXPECT_EQ(twin.stats.cross_dropped_dark, 0u);
+  ASSERT_FALSE(twin.base_at_quiet.empty());
+  EXPECT_EQ(w1.base_at_quiet, twin.base_at_quiet);
+  EXPECT_EQ(w1.base_at_end, twin.base_at_end);
+}
+
+// ---------------------------------------------------------------------------
+// RunFleet chaos: the full experiment harness under a deterministic fault
+// plan stays worker-count invariant, reboots seed their delta caches via
+// backend reconcile, and a dead machine's adapter sees zero ops.
+
+exp::FleetSpec ChaosFleetSpec(int workers) {
+  exp::FleetSpec spec;
+  spec.label = "chaos";
+  spec.machines = 8;
+  spec.cores = 2;
+  spec.workers = workers;
+  spec.queries_per_machine = 2;
+  spec.rate_tps = 250;
+  spec.scheduler.kind = exp::SchedulerKind::kLachesis;
+  spec.warmup = Seconds(2);
+  spec.measure = Seconds(6);
+  spec.seed = 11;
+  spec.churn_period = Seconds(1);
+  core::FleetFaultRule crash;
+  crash.kind = core::FleetFaultKind::kMachineCrash;
+  crash.from_epoch = 2;
+  crash.until_epoch = 3;
+  crash.probability = 1.0;
+  crash.machine = 1;
+  crash.down_epochs = 4;
+  spec.fleet_faults.seed = 11;
+  spec.fleet_faults.rules.push_back(crash);
+  spec.failover.stale_after = Millis(2500);
+  spec.failover.replace_backoff = Seconds(1);
+  return spec;
+}
+
+TEST(FleetChaosSoakTest, RunFleetChaosIsWorkerCountInvariant) {
+  const exp::FleetResult r1 = exp::RunFleet(ChaosFleetSpec(1));
+  EXPECT_EQ(r1.machine_crashes, 1u);
+  EXPECT_EQ(r1.machine_restarts, 1u);
+  EXPECT_GT(r1.shard_deaths, 0u);
+  EXPECT_GT(r1.reconcile_seeded, 0u);
+  EXPECT_EQ(r1.dark_ops, 0u);
+  EXPECT_NE(r1.trace_digest, 0u);
+
+  for (const int workers : {2, 4}) {
+    const exp::FleetResult r = exp::RunFleet(ChaosFleetSpec(workers));
+    EXPECT_EQ(r.trace_digest, r1.trace_digest) << "workers=" << workers;
+    EXPECT_EQ(r.throughput_tps, r1.throughput_tps);
+    EXPECT_EQ(r.machine_crashes, r1.machine_crashes);
+    EXPECT_EQ(r.machine_restarts, r1.machine_restarts);
+    EXPECT_EQ(r.shard_deaths, r1.shard_deaths);
+    EXPECT_EQ(r.queries_replaced, r1.queries_replaced);
+    EXPECT_EQ(r.queries_abandoned, r1.queries_abandoned);
+    EXPECT_EQ(r.cross_dropped, r1.cross_dropped);
+    EXPECT_EQ(r.reconcile_seeded, r1.reconcile_seeded);
+    EXPECT_EQ(r.dark_ops, 0u);
+    EXPECT_EQ(r.ticks_total, r1.ticks_total);
+    EXPECT_EQ(r.schedules_applied, r1.schedules_applied);
+  }
+}
+
+TEST(FleetChaosSoakTest, FaultFreeSpecUnchangedByFailureDomainFields) {
+  // An empty fault plan must be byte-identical to a spec that predates the
+  // failure domain: same digest with and without a configured (but empty)
+  // failover block.
+  exp::FleetSpec spec = ChaosFleetSpec(2);
+  spec.fleet_faults.rules.clear();
+  const exp::FleetResult base = exp::RunFleet(spec);
+  EXPECT_EQ(base.machine_crashes, 0u);
+  EXPECT_EQ(base.shard_deaths, 0u);
+  EXPECT_EQ(base.cross_dropped, 0u);
+  EXPECT_EQ(base.dark_ops, 0u);
+
+  spec.failover.stale_after = Seconds(9);
+  spec.failover.replace_backoff = Seconds(9);
+  const exp::FleetResult tuned = exp::RunFleet(spec);
+  EXPECT_EQ(tuned.trace_digest, base.trace_digest);
+  EXPECT_EQ(tuned.throughput_tps, base.throughput_tps);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator failover unit coverage (the DetachQuery/AttachQuery liveness
+// regression): typed errors, record retention across failover, abandon.
+
+struct FailoverRig {
+  sim::Simulator sim;
+  core::SimControlExecutor executor{sim};
+  RecordingOsAdapter os0, os1;
+  FakeDriver d0{"d0"}, d1{"d1"};
+  std::unique_ptr<core::LachesisRunner> r0, r1;
+  core::FleetCoordinator coordinator;
+
+  FailoverRig() {
+    for (FakeDriver* d : {&d0, &d1}) {
+      d->Provide(MetricId::kQueueSize);
+    }
+    core::EntityInfo& e0 = d0.AddEntity(QueryId(0), {0});
+    e0.thread.sim_tid = ThreadId(10);
+    d0.SetValue(MetricId::kQueueSize, e0.id, 5);
+    core::EntityInfo& e1 = d1.AddEntity(QueryId(0), {0});
+    e1.thread.sim_tid = ThreadId(20);
+    d1.SetValue(MetricId::kQueueSize, e1.id, 7);
+    r0 = std::make_unique<core::LachesisRunner>(executor, os0);
+    r1 = std::make_unique<core::LachesisRunner>(executor, os1);
+    r0->AddQuery(MakeSoakBinding(&d0, false));
+    r1->AddQuery(MakeSoakBinding(&d1, false));
+    r0->Start(Seconds(60));
+    r1->Start(Seconds(60));
+    coordinator.AddShard(*r0, "m0", 1);
+    coordinator.AddShard(*r1, "m1", 1);
+  }
+
+  core::FleetCoordinator::DeployFn Deploy() {
+    return [this](std::size_t s, core::LachesisRunner& runner) {
+      return runner.AddQuery(MakeSoakBinding(s == 0 ? &d0 : &d1, true));
+    };
+  }
+};
+
+TEST(FleetFailoverTest, DetachValidatesLivenessAndFailoverMovesTheQuery) {
+  FailoverRig rig;
+  // Equal load: least-loaded placement ties toward shard 0.
+  const core::FleetQueryHandle h =
+      rig.coordinator.AttachQuery("float", rig.Deploy());
+  EXPECT_EQ(h.shard, 0u);
+
+  rig.sim.RunUntil(Seconds(1));  // both runners tick
+  rig.r0->Stop();                // machine 0's agent dies
+  rig.sim.RunUntil(Seconds(4));  // only machine 1 keeps heartbeating
+
+  rig.coordinator.NoteBarrier(Seconds(4));
+  EXPECT_FALSE(rig.coordinator.shard_live(0));
+  EXPECT_TRUE(rig.coordinator.shard_live(1));
+  EXPECT_EQ(rig.coordinator.shard_deaths(), 1u);
+  EXPECT_EQ(rig.coordinator.CheckPlacementInvariants(), "");
+
+  // Detaching a query stranded on the dead machine is a typed error and
+  // keeps the record (the caller may want failover to rescue it).
+  try {
+    rig.coordinator.DetachQuery(h);
+    FAIL() << "expected FleetPlacementError";
+  } catch (const core::FleetPlacementError& e) {
+    EXPECT_EQ(e.code(), core::FleetErrorCode::kMachineDead);
+  }
+
+  // Backoff elapses; the next barrier re-places it on the survivor. The
+  // stale handle copy keeps working because detach resolves the record.
+  rig.sim.RunUntil(Seconds(6));
+  rig.coordinator.NoteBarrier(Seconds(6));
+  EXPECT_EQ(rig.coordinator.queries_replaced(), 1u);
+  EXPECT_EQ(rig.coordinator.CheckPlacementInvariants(), "");
+  rig.coordinator.DetachQuery(h);
+  EXPECT_EQ(rig.coordinator.detach_count(), 1u);
+
+  // Second detach: the record is gone.
+  try {
+    rig.coordinator.DetachQuery(h);
+    FAIL() << "expected FleetPlacementError";
+  } catch (const core::FleetPlacementError& e) {
+    EXPECT_EQ(e.code(), core::FleetErrorCode::kUnknownHandle);
+  }
+
+  // Attach avoids the dead machine outright.
+  const core::FleetQueryHandle h2 =
+      rig.coordinator.AttachQuery("float2", rig.Deploy());
+  EXPECT_EQ(h2.shard, 1u);
+
+  // All machines dead: attach is a typed refusal, a stranded query can be
+  // abandoned without touching any runner, and re-placement defers.
+  rig.r1->Stop();
+  rig.sim.RunUntil(Seconds(20));
+  rig.coordinator.NoteBarrier(Seconds(20));
+  EXPECT_EQ(rig.coordinator.live_shard_count(), 0u);
+  try {
+    rig.coordinator.AttachQuery("float3", rig.Deploy());
+    FAIL() << "expected FleetPlacementError";
+  } catch (const core::FleetPlacementError& e) {
+    EXPECT_EQ(e.code(), core::FleetErrorCode::kNoLiveShards);
+  }
+  rig.coordinator.NoteBarrier(Seconds(21));
+  EXPECT_GT(rig.coordinator.replacements_deferred(), 0u);
+  rig.coordinator.AbandonQuery(h2);
+  EXPECT_EQ(rig.coordinator.queries_abandoned(), 1u);
+  EXPECT_EQ(rig.coordinator.CheckPlacementInvariants(), "");
+}
+
+TEST(FleetFailoverTest, ReattachKeepsFleetCountersMonotonic) {
+  FailoverRig rig;
+  rig.sim.RunUntil(Seconds(3));
+  const core::FleetTickTotals before = rig.coordinator.MergeTickTotals();
+  EXPECT_GT(before.ticks_total, 0u);
+
+  // Reboot machine 0: a fresh runner starts from zero, but the fleet-wide
+  // lifetime counters keep the old incarnation's history.
+  rig.r0->Stop();
+  auto fresh = std::make_unique<core::LachesisRunner>(rig.executor, rig.os0);
+  fresh->AddQuery(MakeSoakBinding(&rig.d0, false));
+  EXPECT_GT(fresh->ReconcileWithBackend(), 0u);
+  fresh->Start(Seconds(60));
+  rig.coordinator.ReattachShardRunner(0, *fresh, Seconds(3), 1);
+  EXPECT_EQ(rig.coordinator.reattach_count(), 1u);
+  EXPECT_TRUE(rig.coordinator.shard_live(0));
+
+  const core::FleetTickTotals after = rig.coordinator.MergeTickTotals();
+  EXPECT_GE(after.ticks_total, before.ticks_total);
+  rig.sim.RunUntil(Seconds(5));
+  const core::FleetTickTotals later = rig.coordinator.MergeTickTotals();
+  EXPECT_GT(later.ticks_total, after.ticks_total);
+  EXPECT_EQ(later.live_shards, 2);
+  std::swap(rig.r0, fresh);  // keep the fresh runner alive in the rig
+}
+
+}  // namespace
+}  // namespace lachesis::core

@@ -136,6 +136,140 @@ TEST(FleetSimTest, ShardExceptionPropagatesLowestIndexFirst) {
 }
 
 // ---------------------------------------------------------------------------
+// Failure domain: dark shards, partitions, drop accounting, mailbox hygiene.
+
+TEST(FleetFailureTest, ShardExceptionLeavesMailboxesUnmerged) {
+  // Satellite contract: a shard throwing mid-epoch aborts the epoch BEFORE
+  // the mailbox merge, so survivors never observe a partially merged
+  // mailbox -- the in-flight message is still in its outbox, and stats()
+  // proves conservation.
+  for (const int workers : {1, 3}) {
+    FleetSimulator fleet(3, workers, Millis(1));
+    bool fired = false;
+    fleet.shard(0).ScheduleAt(Micros(100), [&] {
+      fleet.PostCross(0, 2, Micros(1100), [&] { fired = true; });
+    });
+    fleet.shard(1).ScheduleAt(Micros(200),
+                              [] { throw std::runtime_error("shard1 died"); });
+    EXPECT_THROW(fleet.RunUntil(Millis(1)), std::runtime_error);
+    const FleetSimulator::Stats stats = fleet.stats();  // asserts conservation
+    EXPECT_EQ(stats.cross_posted, 1u);
+    EXPECT_EQ(stats.cross_delivered, 0u);
+    EXPECT_EQ(stats.cross_in_flight, 1u);
+    EXPECT_FALSE(fired);
+  }
+}
+
+TEST(FleetFailureTest, DarkShardFreezesAndCatchesUpAtOriginalTimestamps) {
+  FleetSimulator fleet(2, 1, Millis(1));
+  SimTime fired_at = -1;
+  fleet.shard(0).ScheduleAt(Micros(1500),
+                            [&] { fired_at = fleet.shard(0).now(); });
+  fleet.CallAtBarrier(Millis(1), [&] { fleet.SetShardDark(0, true); });
+  fleet.CallAtBarrier(Millis(2), [&] {
+    // Frozen at the crash barrier while the fleet marches on.
+    EXPECT_EQ(fleet.shard(0).now(), Millis(1));
+    EXPECT_EQ(fired_at, -1);
+  });
+  fleet.CallAtBarrier(Millis(3), [&] { fleet.SetShardDark(0, false); });
+  fleet.RunUntil(Millis(5));
+  // Catch-up replay ran the backlog at its original simulated time.
+  EXPECT_EQ(fired_at, Micros(1500));
+  EXPECT_EQ(fleet.shard(0).now(), Millis(5));
+  EXPECT_EQ(fleet.stats().dark_epochs, 2u);
+}
+
+TEST(FleetFailureTest, MessagesToAndFromDarkShardsAreDropped) {
+  FleetSimulator fleet(2, 1, Millis(1));
+  bool fired = false;
+  fleet.CallAtBarrier(Millis(1), [&] {
+    fleet.SetShardDark(0, true);
+    // Posted on behalf of the dark sender from the barrier lane.
+    fleet.PostCross(0, 1, Millis(2), [&] { fired = true; });
+  });
+  // Healthy shard sends toward the dark machine.
+  fleet.shard(1).ScheduleAt(Micros(1200), [&] {
+    fleet.PostCross(1, 0, Micros(2200), [&] { fired = true; });
+  });
+  fleet.RunUntil(Millis(4));
+  const FleetSimulator::Stats stats = fleet.stats();
+  EXPECT_EQ(stats.cross_dropped_dark, 2u);
+  EXPECT_EQ(stats.cross_delivered, 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(FleetFailureTest, PartitionDropsThenHealsWithConservation) {
+  FleetSimulator fleet(2, 1, Millis(1));
+  int delivered = 0;
+  const auto send = [&fleet, &delivered](SimTime at) {
+    fleet.shard(0).ScheduleAt(at, [&fleet, &delivered, at] {
+      fleet.PostCross(0, 1, at + Millis(1), [&delivered] { ++delivered; });
+    });
+  };
+  send(Micros(500));   // dropped: link down
+  send(Micros(1500));  // dropped: link down
+  send(Micros(3500));  // delivered: healed
+  fleet.SetLinkDown(0, 1, true);
+  EXPECT_TRUE(fleet.LinkDown(0, 1));
+  fleet.CallAtBarrier(Millis(3), [&] { fleet.SetLinkDown(0, 1, false); });
+  fleet.RunUntil(Millis(5));
+  const FleetSimulator::Stats stats = fleet.stats();  // asserts conservation
+  EXPECT_EQ(stats.cross_dropped_partition, 2u);
+  EXPECT_EQ(stats.cross_delivered, 1u);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(fleet.LinkDown(0, 1));
+}
+
+TEST(FleetFailureTest, LateMessageFromCatchingUpSenderIsDroppedNotFatal) {
+  FleetSimulator fleet(2, 1, Millis(1));
+  bool fired = false;
+  // This send would be perfectly timely (one-epoch latency) -- but the
+  // sender goes dark before it runs, and by the time the revived shard
+  // replays it, the destination has simulated far past the delivery time.
+  fleet.shard(0).ScheduleAt(Micros(1500), [&] {
+    fleet.PostCross(0, 1, Micros(2500), [&] { fired = true; });
+  });
+  fleet.CallAtBarrier(Millis(1), [&] { fleet.SetShardDark(0, true); });
+  fleet.CallAtBarrier(Millis(4), [&] { fleet.SetShardDark(0, false); });
+  fleet.RunUntil(Millis(6));
+  const FleetSimulator::Stats stats = fleet.stats();
+  EXPECT_EQ(stats.cross_dropped_late, 1u);
+  EXPECT_EQ(stats.cross_delivered, 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(FleetFailureTest, SlowShardInflatesWallClockOnly) {
+  FleetSimulator fleet(2, 2, Millis(1));
+  fleet.SetShardSlow(1, 200);
+  EXPECT_EQ(fleet.ShardSlow(1), 200u);
+  SimTime fired_at = -1;
+  fleet.shard(1).ScheduleAt(Micros(700),
+                            [&] { fired_at = fleet.shard(1).now(); });
+  fleet.RunUntil(Millis(3));
+  // Simulated behavior untouched; only the stepper observed stragglers.
+  EXPECT_EQ(fired_at, Micros(700));
+  EXPECT_EQ(fleet.shard(1).now(), Millis(3));
+  EXPECT_EQ(fleet.stats().slow_steps, 3u);
+}
+
+TEST(FleetFailureTest, FailureTogglesAreBarrierLaneOnly) {
+  FleetSimulator fleet(2, 1, Millis(1));
+  fleet.shard(0).ScheduleAt(Micros(100),
+                            [&] { fleet.SetShardDark(1, true); });
+  EXPECT_THROW(fleet.RunUntil(Millis(1)), std::logic_error);
+
+  FleetSimulator fleet2(2, 1, Millis(1));
+  fleet2.shard(0).ScheduleAt(Micros(100),
+                             [&] { fleet2.SetLinkDown(0, 1, true); });
+  EXPECT_THROW(fleet2.RunUntil(Millis(1)), std::logic_error);
+
+  FleetSimulator fleet3(2, 1, Millis(1));
+  fleet3.shard(0).ScheduleAt(Micros(100),
+                             [&] { fleet3.SetShardSlow(1, 100); });
+  EXPECT_THROW(fleet3.RunUntil(Millis(1)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
 // Conformance fuzz over the barrier stepper with real machines.
 
 struct FuzzSpinner final : sim::ThreadBody {
