@@ -23,7 +23,11 @@ if [ ! -x "$BUILD_DIR/examples/lachesisd" ]; then
   cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
     -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
   cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
-    --target lachesisd conformance_differential_test
+    --target lachesisd conformance_differential_test native_spe_load
+fi
+if [ ! -x "$BUILD_DIR/examples/native_spe_load" ]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
+    --target native_spe_load
 fi
 
 WORK_DIR=$(mktemp -d /tmp/lachesis-native-smoke.XXXXXX)
@@ -82,6 +86,27 @@ if renice -n 5 -p $$ >/dev/null 2>&1 && renice -n 0 -p $$ >/dev/null 2>&1; then
   "$BUILD_DIR/tests/conformance_differential_test"
 else
   echo "run_native_smoke.sh: SKIP conformance differential:" \
+    "host does not permit renice (no CAP_SYS_NICE / restricted container)"
+fi
+
+# --- 3. native SPE executor short soak ---------------------------------------
+# Real operator threads, lock-free rings, rate-controlled sources, and the
+# LachesisRunner scheduling the live kernel tids each tick. The counting
+# adapter needs no privileges; the binary itself exits non-zero unless
+# traffic flowed AND the throughput scraped from the executor's metric
+# registry is positive, so this asserts the full ingest->scrape->schedule
+# loop, not just that threads started.
+echo "run_native_smoke.sh: native executor soak (counting adapter, 2s)"
+"$BUILD_DIR/examples/native_spe_load" --seconds 2
+
+# The --real-os half drives actual setpriority/cgroupfs against the
+# executor's own threads; gate it on the same privilege probe as the
+# conformance differential.
+if renice -n 5 -p $$ >/dev/null 2>&1 && renice -n 0 -p $$ >/dev/null 2>&1; then
+  echo "run_native_smoke.sh: native executor soak (--real-os, 2s)"
+  "$BUILD_DIR/examples/native_spe_load" --seconds 2 --real-os
+else
+  echo "run_native_smoke.sh: SKIP native executor --real-os soak:" \
     "host does not permit renice (no CAP_SYS_NICE / restricted container)"
 fi
 

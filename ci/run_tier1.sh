@@ -42,6 +42,12 @@ if [ "$status" -eq 0 ]; then
   # BENCH_hetero.json.
   (cd "$BUILD_DIR" && LACHESIS_BENCH_MODE=quick ./bench/bench_hetero) ||
     echo "run_tier1.sh: bench_hetero failed (non-fatal)" >&2
+  # Native SPE executor: lock-free ring throughput (same-thread and
+  # cross-thread) and tuples/sec through 1/2/4-operator chains; records
+  # hw_cores so single-core CI numbers are not misread. Writes
+  # BENCH_native.json.
+  (cd "$BUILD_DIR" && LACHESIS_BENCH_MODE=quick ./bench/bench_native_spe) ||
+    echo "run_tier1.sh: bench_native_spe failed (non-fatal)" >&2
   echo "run_tier1.sh: BENCH artifacts:"
   find "$BUILD_DIR" -maxdepth 1 -name 'BENCH_*.json' -print | sort |
     sed 's/^/  /'

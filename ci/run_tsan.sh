@@ -22,7 +22,8 @@ cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
   -DLACHESIS_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target fleet_sim_test fleet_golden_test fleet_chaos_test \
-           stable_pool_test hash_index_test hetero_machine_test
+           stable_pool_test hash_index_test hetero_machine_test \
+           native_queue_test native_runtime_test
 
 status=0
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
@@ -34,6 +35,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # suites in this lane so any future cross-thread use is instrumented.
 "$BUILD_DIR/tests/stable_pool_test" --gtest_brief=1 || status=$?
 "$BUILD_DIR/tests/hash_index_test" --gtest_brief=1 || status=$?
+
+# Native SPE executor: the SPSC ring's entire correctness story is its
+# acquire/release pairs and the eventcount sleep/wake fences -- TSan over
+# the randomized FIFO-linearization and park/wake suites is the strongest
+# check we have that no edge is missing. The runtime suite then instruments
+# the thread-per-operator executor end to end (source -> rings -> egress,
+# metric scrapes racing live operator threads).
+"$BUILD_DIR/tests/native_queue_test" --gtest_brief=1 || status=$?
+"$BUILD_DIR/tests/native_runtime_test" --gtest_brief=1 || status=$?
 
 # Heterogeneous-core suite: capacity scaling, misfit migration, and
 # deadline admission are single-threaded sim code, but fleet shards run

@@ -40,7 +40,9 @@
 #include "osctl/linux_os_adapter.h"
 #include "osctl/native_driver.h"
 #include "osctl/native_executor.h"
+#include "osctl/native_runtime_driver.h"
 #include "osctl/nice.h"
+#include "spe/native_runtime.h"
 
 using namespace lachesis;
 
@@ -167,6 +169,27 @@ std::vector<std::unique_ptr<core::Translator>> MakeFallbacks(
   return fallbacks;
 }
 
+// A [native-query] section describes a linear chain; first operator is the
+// ingress, last the egress.
+spe::LogicalQuery BuildNativeChain(const osctl::NativeChainConfig& chain) {
+  spe::LogicalQuery query;
+  query.name = chain.name;
+  int prev = -1;
+  for (std::size_t i = 0; i < chain.operators.size(); ++i) {
+    const osctl::NativeChainOp& opc = chain.operators[i];
+    spe::LogicalOperator op;
+    op.name = opc.name;
+    op.role = i == 0 ? spe::OperatorRole::kIngress
+              : i + 1 == chain.operators.size() ? spe::OperatorRole::kEgress
+                                                : spe::OperatorRole::kTransform;
+    op.cost = Micros(opc.cost_us);
+    const int index = query.Add(std::move(op));
+    if (prev >= 0) query.Connect(prev, index);
+    prev = index;
+  }
+  return query;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,7 +217,36 @@ int main(int argc, char** argv) {
 
   try {
     const osctl::DaemonConfig config = osctl::LoadDaemonConfig(argv[1]);
-    osctl::NativeSpeDriver driver(config.spe);
+    // External engine processes ([query ...] sections): /proc + graphite.
+    std::unique_ptr<osctl::NativeSpeDriver> file_driver;
+    if (!config.spe.queries.empty()) {
+      file_driver = std::make_unique<osctl::NativeSpeDriver>(config.spe);
+    }
+    // In-process native executor ([native-query ...] sections): the daemon
+    // itself serves traffic, and the control plane schedules its threads.
+    std::unique_ptr<spe::NativeRuntime> runtime;
+    std::unique_ptr<osctl::NativeRuntimeDriver> exec_driver;
+    if (!config.native_queries.empty()) {
+      spe::NativeRuntimeOptions rt_options;
+      rt_options.name = "native-exec";
+      rt_options.pin_cpus = config.native_pin_cores;
+      runtime = std::make_unique<spe::NativeRuntime>(rt_options);
+      for (const osctl::NativeChainConfig& chain : config.native_queries) {
+        spe::NativeDeployOptions deploy;
+        deploy.source_rate_tps = chain.rate_tps;
+        deploy.queue_capacity = static_cast<std::size_t>(chain.queue_capacity);
+        deploy.source_channel_capacity =
+            static_cast<std::size_t>(chain.source_channel);
+        runtime->AddQuery(BuildNativeChain(chain), deploy);
+      }
+      runtime->Start();
+      exec_driver = std::make_unique<osctl::NativeRuntimeDriver>(*runtime);
+      std::printf(
+          "lachesisd: native executor serving %zu queries "
+          "(%zu operator threads, %zu sources)\n",
+          runtime->query_count(), runtime->ops().size(),
+          runtime->sources().size());
+    }
     auto policy = MakePolicy(config);
     auto translator = MakeTranslator(config);
 
@@ -278,7 +330,8 @@ int main(int argc, char** argv) {
       binding.fallback_translators = MakeFallbacks(config.translator);
     }
     binding.period = Millis(config.period_ms);
-    binding.drivers = {&driver};
+    if (file_driver != nullptr) binding.drivers.push_back(file_driver.get());
+    if (exec_driver != nullptr) binding.drivers.push_back(exec_driver.get());
     runner.AddQuery(std::move(binding));
 
     // Crash-safe restart: observe what the kernel already holds (nice
@@ -287,7 +340,8 @@ int main(int argc, char** argv) {
     // schedule costs zero operations on the first tick and orphaned
     // groups are adopted instead of fought.
     if (config.reconcile && !dry_run) {
-      driver.Poll(executor.Now());
+      if (file_driver != nullptr) file_driver->Poll(executor.Now());
+      if (exec_driver != nullptr) exec_driver->Poll(executor.Now());
       const std::size_t seeded = runner.ReconcileWithBackend();
       std::printf("lachesisd: reconciled %zu kernel state entries, adopted "
                   "%zu cgroups\n",
@@ -327,6 +381,19 @@ int main(int argc, char** argv) {
                              Millis(config.period_ms) / 2;
     runner.Start(until);
     executor.Run(until);
+
+    if (runtime != nullptr) {
+      runtime->Stop(/*drain=*/false);
+      for (std::size_t q = 0; q < runtime->query_count(); ++q) {
+        std::printf(
+            "lachesisd: native query '%s': source=%llu ingested=%llu "
+            "emitted=%llu\n",
+            runtime->query_name(q).c_str(),
+            static_cast<unsigned long long>(runtime->SourceEmitted(q)),
+            static_cast<unsigned long long>(runtime->TotalIngested(q)),
+            static_cast<unsigned long long>(runtime->TotalEmitted(q)));
+      }
+    }
 
     const core::DeltaStats& totals = runner.delta_totals();
     std::printf(

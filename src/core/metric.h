@@ -34,6 +34,8 @@ enum class MetricId : std::uint8_t {
   kHighestRate,      // HR policy goal            <- path selectivity / cost
   kCpuPressure,      // ns the thread spent runnable-but-not-running over the
                      // last window (PSI-style, read from the OS -- paper §8)
+  kQueueHighWater,   // peak input-queue length since deployment (leaf; only
+                     // engines whose registry tracks it provide it)
 };
 
 inline const char* MetricName(MetricId id) {
@@ -52,6 +54,7 @@ inline const char* MetricName(MetricId id) {
     case MetricId::kHeadTupleAge: return "head_tuple_age";
     case MetricId::kHighestRate: return "highest_rate";
     case MetricId::kCpuPressure: return "cpu_pressure";
+    case MetricId::kQueueHighWater: return "queue_high_water";
   }
   return "unknown";
 }

@@ -92,6 +92,8 @@ bool SimSpeDriver::Provides(MetricId metric) const {
       return has(spe::RawMetric::kSelectivity);
     case MetricId::kHeadTupleAge:
       return has(spe::RawMetric::kHeadTupleAgeNs);
+    case MetricId::kQueueHighWater:
+      return has(spe::RawMetric::kQueueHighWater);
     case MetricId::kCpuPressure:
       // PSI-style pressure comes from the OS, not the SPE; available for
       // every engine.
@@ -139,6 +141,8 @@ double SimSpeDriver::Fetch(MetricId metric, const EntityInfo& entity) {
       return latest(spe::RawMetric::kSelectivity);
     case MetricId::kHeadTupleAge:
       return latest(spe::RawMetric::kHeadTupleAgeNs);
+    case MetricId::kQueueHighWater:
+      return latest(spe::RawMetric::kQueueHighWater);
     case MetricId::kCpuPressure: {
       // Fresh read from the (simulated) kernel's per-task accounting.
       if (entity.thread.machine == nullptr) return 0.0;

@@ -59,6 +59,20 @@ std::vector<int> ParseCoreList(const std::string& value, int line,
   return cores;
 }
 
+double ParseDouble(const std::string& value, int line, const std::string& key) {
+  std::size_t consumed = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    Fail(line, key + " must be a number, got '" + value + "'");
+  }
+  if (consumed != value.size()) {
+    Fail(line, key + " must be a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
 core::MetricId MetricFromName(const std::string& name, int line) {
   static const std::map<std::string, core::MetricId> kNames = {
       {"tuples_in_total", core::MetricId::kTuplesInTotal},
@@ -72,6 +86,7 @@ core::MetricId MetricFromName(const std::string& name, int line) {
       {"cost", core::MetricId::kCost},
       {"selectivity", core::MetricId::kSelectivity},
       {"head_tuple_age", core::MetricId::kHeadTupleAge},
+      {"queue_high_water", core::MetricId::kQueueHighWater},
   };
   const auto it = kNames.find(name);
   if (it == kNames.end()) Fail(line, "unknown metric '" + name + "'");
@@ -86,6 +101,7 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
   std::string line;
   int line_number = 0;
   NativeQueryConfig* current_query = nullptr;
+  NativeChainConfig* current_chain = nullptr;
   std::map<std::string, int> operator_index;  // within current query
   bool in_lachesis_section = false;
 
@@ -102,8 +118,20 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
       if (header == "lachesis") {
         in_lachesis_section = true;
         current_query = nullptr;
+        current_chain = nullptr;
+      } else if (header.rfind("native-query", 0) == 0) {
+        in_lachesis_section = false;
+        current_query = nullptr;
+        NativeChainConfig chain;
+        chain.name = Trim(header.substr(12));
+        if (chain.name.empty()) {
+          Fail(line_number, "native-query section needs a name");
+        }
+        config.native_queries.push_back(std::move(chain));
+        current_chain = &config.native_queries.back();
       } else if (header.rfind("query", 0) == 0) {
         in_lachesis_section = false;
+        current_chain = nullptr;
         NativeQueryConfig query;
         query.name = Trim(header.substr(5));
         if (query.name.empty()) Fail(line_number, "query section needs a name");
@@ -164,6 +192,8 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
         std::string name;
         config.critical_queries.clear();
         while (names >> name) config.critical_queries.push_back(name);
+      } else if (key == "native_pin_cores") {
+        config.native_pin_cores = ParseCoreList(value, line_number, key);
       } else if (key == "big_cores") {
         config.big_cores = ParseCoreList(value, line_number, key);
       } else if (key == "little_cores") {
@@ -201,6 +231,50 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
         config.spe.proc_root = value;
       } else if (key == "name") {
         config.spe.name = value;
+      } else {
+        Fail(line_number, "unknown key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (current_chain != nullptr) {
+      if (key == "rate_tps") {
+        current_chain->rate_tps = ParseDouble(value, line_number, key);
+        if (current_chain->rate_tps <= 0) {
+          Fail(line_number, "rate_tps must be positive");
+        }
+      } else if (key == "queue_capacity") {
+        current_chain->queue_capacity = ParseLong(value, line_number, key);
+        if (current_chain->queue_capacity < 2) {
+          Fail(line_number, "queue_capacity must be >= 2");
+        }
+      } else if (key == "source_channel") {
+        current_chain->source_channel = ParseLong(value, line_number, key);
+        if (current_chain->source_channel < 2) {
+          Fail(line_number, "source_channel must be >= 2");
+        }
+      } else if (key == "operators") {
+        std::istringstream fields(value);
+        std::string token;
+        while (fields >> token) {
+          const auto colon = token.find(':');
+          if (colon == std::string::npos || colon == 0 ||
+              colon == token.size() - 1) {
+            Fail(line_number, "operators entries must be '<name>:<cost_us>'");
+          }
+          NativeChainOp op;
+          op.name = token.substr(0, colon);
+          op.cost_us =
+              ParseLong(token.substr(colon + 1), line_number, "cost_us");
+          if (op.cost_us < 0) Fail(line_number, "cost_us must be >= 0");
+          for (const NativeChainOp& existing : current_chain->operators) {
+            if (existing.name == op.name) {
+              Fail(line_number,
+                   "duplicate operator '" + op.name + "' in chain");
+            }
+          }
+          current_chain->operators.push_back(std::move(op));
+        }
       } else {
         Fail(line_number, "unknown key '" + key + "'");
       }
@@ -254,8 +328,21 @@ DaemonConfig ParseDaemonConfig(const std::string& text) {
       Fail(line_number, "unknown key '" + key + "'");
     }
   }
-  if (config.spe.queries.empty()) {
-    throw std::runtime_error("config declares no [query ...] sections");
+  if (config.spe.queries.empty() && config.native_queries.empty()) {
+    throw std::runtime_error(
+        "config declares no [query ...] or [native-query ...] sections");
+  }
+  for (const NativeChainConfig& chain : config.native_queries) {
+    if (chain.operators.size() < 2) {
+      throw std::runtime_error("native-query '" + chain.name +
+                               "' needs at least 2 operators "
+                               "(ingress + egress)");
+    }
+    for (const NativeChainConfig& other : config.native_queries) {
+      if (&chain != &other && chain.name == other.name) {
+        throw std::runtime_error("duplicate native-query '" + chain.name + "'");
+      }
+    }
   }
   if (config.backoff_cap_ms > 0 &&
       config.backoff_cap_ms < config.backoff_base_ms) {

@@ -22,6 +22,16 @@
 //   edge = spout parse
 //   edge = parse sink
 //   provides = queue_size tuples_in_total
+//
+// In-process native executor queries (spe/native_runtime.h) are linear
+// operator chains the daemon itself serves; first operator is the ingress,
+// last is the egress:
+//
+//   [native-query chain]
+//   rate_tps = 2000
+//   queue_capacity = 1024
+//   # operators = <name>:<cost_us> ...
+//   operators = in:20 work:150 out:10
 #ifndef LACHESIS_OSCTL_DAEMON_CONFIG_H_
 #define LACHESIS_OSCTL_DAEMON_CONFIG_H_
 
@@ -31,6 +41,24 @@
 #include "osctl/native_driver.h"
 
 namespace lachesis::osctl {
+
+// One operator of an in-process native chain: name plus emulated per-tuple
+// CPU cost in microseconds.
+struct NativeChainOp {
+  std::string name;
+  long cost_us = 0;
+};
+
+// One [native-query <name>] section: a linear operator chain served by the
+// daemon's in-process native SPE executor. The first operator runs as the
+// ingress (fed by a rate-controlled source thread), the last as the egress.
+struct NativeChainConfig {
+  std::string name;
+  double rate_tps = 1000.0;      // offered load of the source thread
+  long queue_capacity = 1024;    // inter-operator ring capacity
+  long source_channel = 8192;    // ingress channel ("Kafka lag" buffer)
+  std::vector<NativeChainOp> operators;
+};
 
 struct DaemonConfig {
   long period_ms = 1000;
@@ -68,6 +96,13 @@ struct DaemonConfig {
   long obs_ring_capacity = 8192;  // provenance ring size in events (>= 1)
   bool obs_verbose = false;  // record per-elision + per-sample events too
   NativeSpeConfig spe;
+  // In-process native executor ([native-query ...] sections). May coexist
+  // with external [query ...] engines; at least one of the two must be
+  // configured.
+  std::vector<NativeChainConfig> native_queries;
+  // Pin executor threads round-robin over these CPUs (operator + source
+  // threads). Empty: leave placement to the kernel.
+  std::vector<int> native_pin_cores;
 };
 
 // Parses the INI-like text; throws std::runtime_error with a line-numbered

@@ -1,0 +1,60 @@
+// SpeDriver for the in-process native SPE executor (spe/native_runtime.h).
+//
+// Where NativeSpeDriver bridges an *external* engine process (thread
+// discovery via /proc, metrics via a graphite file), this driver hosts the
+// executor in-process: Poll() live-scrapes the runtime's raw-metric
+// registry (NativeRuntime::ForEachRawMetric) into an owned TimeSeriesStore
+// -- the same reporting pipeline shape as the sim's tsdb::Scraper -- and
+// Entities() hands the control plane ThreadHandles carrying the real
+// kernel tids of the operator threads. The runner/policies/translators are
+// untouched: they see one more SpeDriver whose nice/cgroup decisions a
+// LinuxOsAdapter applies to live threads.
+#ifndef LACHESIS_OSCTL_NATIVE_RUNTIME_DRIVER_H_
+#define LACHESIS_OSCTL_NATIVE_RUNTIME_DRIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "spe/native_runtime.h"
+#include "tsdb/tsdb.h"
+
+namespace lachesis::osctl {
+
+class NativeRuntimeDriver final : public core::SpeDriver {
+ public:
+  explicit NativeRuntimeDriver(spe::NativeRuntime& runtime,
+                               SimDuration delta_window = Seconds(1));
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  // Scrapes every operator's raw metrics into the store at `now`. The
+  // control loop calls this at the start of every period, so Lachesis'
+  // view is as stale as the scheduling period -- matching the paper's
+  // scrape-resolution staleness (§6.1).
+  void Poll(SimTime now) override;
+
+  std::vector<core::EntityInfo> Entities() override;
+  const core::LogicalTopology& Topology(QueryId query) override;
+  [[nodiscard]] bool Provides(core::MetricId metric) const override;
+  double Fetch(core::MetricId metric, const core::EntityInfo& entity) override;
+
+  [[nodiscard]] const tsdb::TimeSeriesStore& store() const { return store_; }
+
+  // Series prefix for one operator: "<query>.<op>" (names are only unique
+  // per query).
+  [[nodiscard]] static std::string SeriesPrefix(
+      const spe::NativeRuntime& runtime, const spe::NativeOperator& op);
+
+ private:
+  spe::NativeRuntime* runtime_;
+  SimDuration delta_window_;
+  std::string name_;
+  tsdb::TimeSeriesStore store_;
+  std::map<QueryId, core::LogicalTopology> topologies_;
+};
+
+}  // namespace lachesis::osctl
+
+#endif  // LACHESIS_OSCTL_NATIVE_RUNTIME_DRIVER_H_

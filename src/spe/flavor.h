@@ -36,6 +36,9 @@ enum class RawMetric : std::uint8_t {
   kCost,             // per-tuple cost, directly measured (Liebre-style)
   kSelectivity,      // out/in ratio, directly measured (Liebre-style)
   kHeadTupleAgeNs,   // age of the head-of-line tuple (Liebre-style)
+  kQueueHighWater,   // peak input-queue length since deployment; makes
+                     // backpressure collapse on unbounded queues visible
+                     // before OOM (bounded queues report ring peaks)
 };
 
 struct SpeFlavor {
@@ -66,7 +69,8 @@ inline SpeFlavor StormFlavor() {
   f.per_tuple_overhead = Micros(25);  // ack tracking per tuple
   f.max_pending = 1024;
   f.exposed_metrics = {RawMetric::kTuplesIn, RawMetric::kTuplesOut,
-                       RawMetric::kQueueSize, RawMetric::kAvgExecLatencyUs};
+                       RawMetric::kQueueSize, RawMetric::kAvgExecLatencyUs,
+                       RawMetric::kQueueHighWater};
   return f;
 }
 
@@ -96,7 +100,8 @@ inline SpeFlavor LiebreFlavor() {
   f.max_pending = 1024;
   f.exposed_metrics = {RawMetric::kTuplesIn,  RawMetric::kTuplesOut,
                        RawMetric::kQueueSize, RawMetric::kCost,
-                       RawMetric::kSelectivity, RawMetric::kHeadTupleAgeNs};
+                       RawMetric::kSelectivity, RawMetric::kHeadTupleAgeNs,
+                       RawMetric::kQueueHighWater};
   return f;
 }
 

@@ -39,6 +39,11 @@ class TupleQueue {
   void Push(const Tuple& tuple) {
     items_.push_back(tuple);
     ++pushed_;
+    // Peak occupancy. Bounded queues are capped by construction, but
+    // unbounded (Storm/Liebre) queues previously reported only
+    // pushed/popped: a collapsing operator was invisible until OOM. The
+    // high-water mark surfaces the collapse in the metric registry.
+    if (items_.size() > high_water_) high_water_ = items_.size();
     not_empty_.NotifyOne();
     if (push_listener_ != nullptr) push_listener_->NotifyOne();
   }
@@ -63,6 +68,7 @@ class TupleQueue {
 
   [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
   [[nodiscard]] std::uint64_t total_popped() const { return popped_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
   // Age of the head-of-line tuple (time since it entered the system); 0 when
   // empty. Used by the FCFS policy goal.
@@ -79,6 +85,7 @@ class TupleQueue {
   sim::WaitChannel* push_listener_ = nullptr;
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace lachesis::spe

@@ -419,6 +419,9 @@ void SpeInstance::ForEachRawMetric(const RawMetricFn& fn,
           case RawMetric::kHeadTupleAgeNs:
             value = static_cast<double>(op.input().HeadAge(machine.now()));
             break;
+          case RawMetric::kQueueHighWater:
+            value = static_cast<double>(op.input().high_water());
+            break;
         }
         fn(*query, d, m, value);
       }

@@ -32,6 +32,7 @@ inline const char* RawMetricName(spe::RawMetric m) {
     case spe::RawMetric::kCost: return "cost_ns";
     case spe::RawMetric::kSelectivity: return "selectivity";
     case spe::RawMetric::kHeadTupleAgeNs: return "head_tuple_age_ns";
+    case spe::RawMetric::kQueueHighWater: return "queue_high_water";
   }
   return "unknown";
 }

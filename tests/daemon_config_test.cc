@@ -292,5 +292,104 @@ operator a = pat series
   EXPECT_EQ(config.spe.queries[0].pid, 7);
 }
 
+// --- [native-query ...] sections: the daemon's in-process executor ---------
+
+TEST(DaemonConfigTest, ParsesNativeQuerySections) {
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[lachesis]
+period_ms = 200
+native_pin_cores = 0 2
+
+[native-query etl]
+rate_tps = 2500.5
+queue_capacity = 256
+source_channel = 4096
+operators = in:5 work:150 out:10
+
+[native-query light]
+operators = src:1 sink:1
+)");
+  EXPECT_EQ(config.native_pin_cores, (std::vector<int>{0, 2}));
+  ASSERT_EQ(config.native_queries.size(), 2u);
+  const NativeChainConfig& etl = config.native_queries[0];
+  EXPECT_EQ(etl.name, "etl");
+  EXPECT_DOUBLE_EQ(etl.rate_tps, 2500.5);
+  EXPECT_EQ(etl.queue_capacity, 256);
+  EXPECT_EQ(etl.source_channel, 4096);
+  ASSERT_EQ(etl.operators.size(), 3u);
+  EXPECT_EQ(etl.operators[0].name, "in");
+  EXPECT_EQ(etl.operators[0].cost_us, 5);
+  EXPECT_EQ(etl.operators[1].name, "work");
+  EXPECT_EQ(etl.operators[1].cost_us, 150);
+  EXPECT_EQ(etl.operators[2].name, "out");
+  EXPECT_EQ(etl.operators[2].cost_us, 10);
+  // Second section picks up the documented defaults.
+  const NativeChainConfig& light = config.native_queries[1];
+  EXPECT_DOUBLE_EQ(light.rate_tps, 1000.0);
+  EXPECT_EQ(light.queue_capacity, 1024);
+  EXPECT_EQ(light.source_channel, 8192);
+}
+
+TEST(DaemonConfigTest, NativeQueryAloneSatisfiesTheNoQueriesCheck) {
+  // A config with only an in-process chain (no external [query ...]) is
+  // complete: the daemon serves traffic itself.
+  const DaemonConfig config = ParseDaemonConfig(R"(
+[native-query solo]
+operators = in:1 out:1
+)");
+  EXPECT_TRUE(config.spe.queries.empty());
+  ASSERT_EQ(config.native_queries.size(), 1u);
+  EXPECT_TRUE(config.native_pin_cores.empty());  // default: kernel placement
+}
+
+TEST(DaemonConfigTest, RejectsMalformedNativeQuerySections) {
+  // Chain too short for ingress + egress.
+  EXPECT_THROW(
+      ParseDaemonConfig("[native-query q]\noperators = only:1\n"),
+      std::runtime_error);
+  // Section must be named.
+  EXPECT_THROW(
+      ParseDaemonConfig("[native-query]\noperators = a:1 b:1\n"),
+      std::runtime_error);
+  // Duplicate chain names.
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\noperators = a:1 b:1\n"
+                                 "[native-query q]\noperators = c:1 d:1\n"),
+               std::runtime_error);
+  // Duplicate operator within a chain.
+  EXPECT_THROW(
+      ParseDaemonConfig("[native-query q]\noperators = a:1 a:2\n"),
+      std::runtime_error);
+  // operators entries must be <name>:<cost_us>.
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\noperators = a b\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\noperators = a: :1\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\noperators = a:-5 b:1\n"),
+               std::runtime_error);
+  // Range checks on the chain knobs.
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\nrate_tps = 0\n"
+                                 "operators = a:1 b:1\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\nqueue_capacity = 1\n"
+                                 "operators = a:1 b:1\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\nsource_channel = 1\n"
+                                 "operators = a:1 b:1\n"),
+               std::runtime_error);
+  // Unknown key inside a native section.
+  EXPECT_THROW(ParseDaemonConfig("[native-query q]\npid = 3\n"
+                                 "operators = a:1 b:1\n"),
+               std::runtime_error);
+}
+
+TEST(DaemonConfigTest, RejectsMalformedNativePinCores) {
+  EXPECT_THROW(ParseDaemonConfig("[lachesis]\nnative_pin_cores = -1\n"
+                                 "[native-query q]\noperators = a:1 b:1\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseDaemonConfig("[lachesis]\nnative_pin_cores = zero\n"
+                                 "[native-query q]\noperators = a:1 b:1\n"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace lachesis::osctl

@@ -1,0 +1,270 @@
+// Sim-vs-native shape differential (contract in docs/SPE_RUNTIME.md).
+//
+// The same 2-query workload -- a light chain the offered rate sustains and
+// a heavy chain whose bottleneck operator saturates -- runs on both
+// backends under comparable conditions: the simulator on a 1-core machine
+// with bounded (Flink-style) queues, the native executor with every thread
+// pinned to one CPU under the real kernel's CFS. The native numbers are
+// wall-clock measurements on a shared host, so the test asserts SHAPE, not
+// absolute values:
+//   * saturation classification matches (ingested < 85% of offered);
+//   * per-operator input-rate ordering matches WITHIN each query wherever
+//     the sim separates two operators by more than 25% (cross-query rates
+//     are deliberately out of contract: the sim's CFS model spreads a core
+//     across runnable threads more aggressively than the real scheduler,
+//     so a spin-heavy bottleneck keeps ~25% of a contended core in sim vs
+//     ~95% natively -- measured and documented in docs/SPE_RUNTIME.md);
+//   * both backends collapse the heavy query onto its bottleneck: ingested
+//     throughput lands in a generous [0.1, 1.2] band around the bottleneck
+//     operator's service bound (1 / cost), i.e. it saturates to the slow
+//     operator, not to zero and not above the physical limit.
+// Skips cleanly without the needed environment: under sanitizers (the spin
+// cost emulation is meaningless there), when LACHESIS_NATIVE_SHAPE=0, or
+// when the host refuses CPU pinning.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "spe/native_runtime.h"
+#include "spe/runtime.h"
+#include "spe/source.h"
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define LACHESIS_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define LACHESIS_UNDER_SANITIZER 1
+#endif
+
+namespace lachesis {
+namespace {
+
+constexpr double kLightRate = 1500;
+constexpr double kHeavyRate = 5000;
+constexpr double kSaturationBar = 0.85;  // ingested/offered below => saturated
+constexpr double kOrderingMargin = 1.25; // sim separation needed to compare
+constexpr double kHeavyCostUs = 300;     // heavy bottleneck cost (work op)
+constexpr double kBottleneckLow = 0.1;   // heavy throughput vs service bound
+constexpr double kBottleneckHigh = 1.2;
+
+spe::LogicalQuery LightQuery() {
+  spe::LogicalQuery q;
+  q.name = "light";
+  const int in = q.Add(spe::MakeIngress("in", Micros(5)));
+  const int half = q.Add(spe::MakeTransform("half", Micros(20), [] {
+    return std::make_unique<spe::FnLogic>(
+        [](const spe::Tuple& t, std::vector<spe::Tuple>& out) {
+          if (t.key % 2 == 0) out.push_back(t);  // exact 50% on seq keys
+        });
+  }));
+  const int out = q.Add(spe::MakeEgress("out", Micros(5)));
+  q.Connect(in, half);
+  q.Connect(half, out);
+  return q;
+}
+
+spe::LogicalQuery HeavyQuery() {
+  spe::LogicalQuery q;
+  q.name = "heavy";
+  const int in = q.Add(spe::MakeIngress("in", Micros(5)));
+  const int work = q.Add(spe::MakeTransform(
+      "work", Micros(static_cast<std::int64_t>(kHeavyCostUs)), [] {
+    return std::make_unique<spe::IdentityLogic>();
+  }));
+  const int out = q.Add(spe::MakeEgress("out", Micros(5)));
+  q.Connect(in, work);
+  q.Connect(work, out);
+  return q;
+}
+
+struct BackendResult {
+  // Input tuples/sec per operator, keyed "<query>.<op>".
+  std::map<std::string, double> op_in_rate;
+  // Ingested tuples/sec per query.
+  std::map<std::string, double> ingested_rate;
+};
+
+BackendResult RunSim(SimDuration window) {
+  sim::Simulator sim;
+  sim::Machine machine(sim, /*cores=*/1);
+  // Flink flavor: bounded queues with producer backpressure -- the regime
+  // the native executor's bounded rings implement.
+  spe::SpeInstance instance(spe::FlinkFlavor(),
+                            std::vector<sim::Machine*>{&machine}, "shape-sim");
+  spe::DeployedQuery& light = instance.Deploy(LightQuery(), {});
+  spe::DeployedQuery& heavy = instance.Deploy(HeavyQuery(), {});
+
+  spe::ExternalSource light_source(
+      sim, light.source_channels(),
+      [](Rng&, std::uint64_t seq) {
+        spe::Tuple t;
+        t.key = static_cast<std::int64_t>(seq);
+        return t;
+      },
+      7);
+  spe::ExternalSource heavy_source(
+      sim, heavy.source_channels(),
+      [](Rng&, std::uint64_t seq) {
+        spe::Tuple t;
+        t.key = static_cast<std::int64_t>(seq);
+        return t;
+      },
+      11);
+  light_source.Start(kLightRate, window);
+  heavy_source.Start(kHeavyRate, window);
+  sim.RunUntil(window);
+
+  const double seconds = static_cast<double>(window) / 1e9;
+  BackendResult result;
+  for (spe::DeployedQuery* dq : {&light, &heavy}) {
+    for (const spe::DeployedOp& op : dq->ops) {
+      // Key by logical name ("<query>.<op>") so the two backends line up;
+      // the deployment surface guarantees one replica per logical op.
+      EXPECT_EQ(op.logical_indices.size(), 1u);
+      result.op_in_rate[dq->name + "." +
+                        dq->logical.operators[static_cast<std::size_t>(
+                                                  op.logical_indices[0])]
+                            .name] =
+          static_cast<double>(op.op->tuples_in()) / seconds;
+    }
+    result.ingested_rate[dq->name] =
+        static_cast<double>(dq->TotalIngested()) / seconds;
+  }
+  return result;
+}
+
+BackendResult RunNative(int pin_cpu, double seconds, bool& pin_ok) {
+  spe::NativeRuntimeOptions options;
+  options.name = "shape-native";
+  options.pin_cpus = {pin_cpu};
+  spe::NativeRuntime runtime(options);
+  spe::NativeDeployOptions light_deploy;
+  light_deploy.source_rate_tps = kLightRate;
+  runtime.AddQuery(LightQuery(), light_deploy);
+  spe::NativeDeployOptions heavy_deploy;
+  heavy_deploy.source_rate_tps = kHeavyRate;
+  runtime.AddQuery(HeavyQuery(), heavy_deploy);
+
+  runtime.Start();
+  pin_ok = runtime.pin_failures() == 0;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  runtime.Stop(/*drain=*/false);
+
+  BackendResult result;
+  for (const auto& op : runtime.ops()) {
+    const std::string query =
+        runtime.query_name(static_cast<std::size_t>(op->query_index()));
+    result.op_in_rate[query + "." + op->name()] =
+        static_cast<double>(op->tuples_in()) / seconds;
+  }
+  for (std::size_t q = 0; q < runtime.query_count(); ++q) {
+    result.ingested_rate[runtime.query_name(q)] =
+        static_cast<double>(runtime.TotalIngested(q)) / seconds;
+  }
+  return result;
+}
+
+TEST(NativeShapeTest, ThroughputCurvesMatchSimShape) {
+#ifdef LACHESIS_UNDER_SANITIZER
+  GTEST_SKIP() << "spin-based cost emulation is meaningless under sanitizers";
+#endif
+#ifndef __linux__
+  GTEST_SKIP() << "needs Linux CPU pinning";
+#else
+  const char* env = std::getenv("LACHESIS_NATIVE_SHAPE");
+  if (env != nullptr && std::strcmp(env, "0") == 0) {
+    GTEST_SKIP() << "disabled via LACHESIS_NATIVE_SHAPE=0";
+  }
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0 ||
+      CPU_COUNT(&allowed) == 0) {
+    GTEST_SKIP() << "cannot read CPU affinity";
+  }
+  int pin_cpu = -1;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed)) {
+      pin_cpu = cpu;
+      break;
+    }
+  }
+  ASSERT_GE(pin_cpu, 0);
+
+  const BackendResult sim = RunSim(Seconds(4));
+  bool pin_ok = false;
+  const BackendResult native = RunNative(pin_cpu, /*seconds=*/2.0, pin_ok);
+  if (!pin_ok) {
+    GTEST_SKIP() << "host refused sched_setaffinity; shapes not comparable";
+  }
+
+  // 1. Saturation classification: the light query keeps up, the heavy one
+  //    collapses onto its bottleneck -- on BOTH backends.
+  const auto saturated = [](const BackendResult& r, const std::string& query,
+                            double offered) {
+    return r.ingested_rate.at(query) < kSaturationBar * offered;
+  };
+  EXPECT_FALSE(saturated(sim, "light", kLightRate));
+  EXPECT_FALSE(saturated(native, "light", kLightRate));
+  EXPECT_TRUE(saturated(sim, "heavy", kHeavyRate));
+  EXPECT_TRUE(saturated(native, "heavy", kHeavyRate));
+
+  // 2. Per-operator input-rate ordering WITHIN each query: wherever the
+  //    sim separates two operators of the same query by more than the
+  //    margin, the native run must order them the same way. Cross-query
+  //    pairs are excluded: how much of the contended core each query wins
+  //    is exactly where the sim's CFS model and the real scheduler
+  //    diverge (see the contract note in docs/SPE_RUNTIME.md).
+  const auto query_of = [](const std::string& name) {
+    return name.substr(0, name.find('.'));
+  };
+  for (const auto& [name_a, sim_a] : sim.op_in_rate) {
+    for (const auto& [name_b, sim_b] : sim.op_in_rate) {
+      if (query_of(name_a) != query_of(name_b)) continue;
+      if (sim_a <= kOrderingMargin * sim_b) continue;
+      ASSERT_TRUE(native.op_in_rate.count(name_a)) << name_a;
+      ASSERT_TRUE(native.op_in_rate.count(name_b)) << name_b;
+      EXPECT_GT(native.op_in_rate.at(name_a), native.op_in_rate.at(name_b))
+          << "sim orders " << name_a << " (" << sim_a << " t/s) above "
+          << name_b << " (" << sim_b << " t/s); native disagrees ("
+          << native.op_in_rate.at(name_a) << " vs "
+          << native.op_in_rate.at(name_b) << ")";
+    }
+  }
+
+  // 3. Saturation point: on both backends the heavy query's ingested
+  //    throughput lands in a generous band around the bottleneck
+  //    operator's service bound 1/cost -- it collapses onto the slow
+  //    operator, not to zero and never above the physical limit. The band
+  //    is wide because the two backends split a contended core very
+  //    differently (native ~95% of the bound, sim ~25%; documented in
+  //    docs/SPE_RUNTIME.md).
+  const double service_bound = 1e6 / kHeavyCostUs;  // tuples/sec
+  for (const auto* r : {&sim, &native}) {
+    const double heavy_rate = r->ingested_rate.at("heavy");
+    const char* backend = r == &sim ? "sim" : "native";
+    EXPECT_GE(heavy_rate, kBottleneckLow * service_bound)
+        << backend << " heavy throughput " << heavy_rate
+        << " t/s collapsed far below the " << service_bound
+        << " t/s service bound";
+    EXPECT_LE(heavy_rate, kBottleneckHigh * service_bound)
+        << backend << " heavy throughput " << heavy_rate
+        << " t/s exceeds the " << service_bound << " t/s service bound";
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace lachesis

@@ -288,6 +288,54 @@ TEST(RuntimeTest, StormFlowControlThrottlesIngress) {
   EXPECT_GT(dq.source_channels()[0]->size(), 10000u);
 }
 
+TEST(RuntimeTest, QueueHighWaterSurvivesTheDrain) {
+  // Unbounded (Storm/Liebre) queues used to report only pushed/popped: a
+  // collapsing operator was invisible once it recovered. The high-water
+  // mark must capture the backlog peak and keep reporting it through the
+  // metric registry after the queue drains.
+  TestRig rig(StormFlavor(), /*cores=*/4);
+  LogicalQuery q;
+  q.name = "hw";
+  const int in = q.Add(MakeIngress("in", Micros(1)));
+  const int slow = q.Add(MakeTransform("slow", Millis(1), [] {
+    return std::make_unique<IdentityLogic>();
+  }));
+  const int out = q.Add(MakeEgress("out", Micros(1)));
+  q.Connect(in, slow);
+  q.Connect(slow, out);
+  DeployedQuery& dq = rig.instance->Deploy(q, {});
+  ExternalSource source(rig.sim, dq.source_channels(),
+                        [](Rng&, std::uint64_t) { return Tuple{}; }, 7);
+  // 1s burst at 2x the slow operator's service rate, then silence: the
+  // backlog builds, then fully drains.
+  source.Start(2000, Seconds(1));
+  rig.sim.RunUntil(Seconds(1));
+  const PhysicalOp* slow_op = nullptr;
+  for (const DeployedOp& op : dq.ops) {
+    if (op.op->config().name.find("slow") != std::string::npos) {
+      slow_op = op.op;
+    }
+  }
+  ASSERT_NE(slow_op, nullptr);
+  const std::size_t peak_seen = slow_op->input().size();
+  EXPECT_GT(peak_seen, 100u);  // overload really backed the queue up
+
+  rig.sim.RunUntil(Seconds(4));
+  EXPECT_EQ(slow_op->input().size(), 0u);  // recovered...
+  EXPECT_GE(slow_op->input().high_water(), peak_seen);  // ...but not forgotten
+
+  // The registry reports the same mark (Storm exposes kQueueHighWater).
+  double reported = -1;
+  rig.instance->ForEachRawMetric(
+      [&](const DeployedQuery&, const DeployedOp& op, RawMetric m, double v) {
+        if (m == RawMetric::kQueueHighWater && op.op == slow_op) {
+          reported = v;
+        }
+      });
+  EXPECT_DOUBLE_EQ(reported,
+                   static_cast<double>(slow_op->input().high_water()));
+}
+
 TEST(RuntimeTest, RawMetricsFollowFlavorExposure) {
   TestRig storm_rig(StormFlavor());
   storm_rig.instance->Deploy(SimplePipeline(1), {});
@@ -297,6 +345,7 @@ TEST(RuntimeTest, RawMetricsFollowFlavorExposure) {
         seen.insert(m);
       });
   EXPECT_TRUE(seen.count(RawMetric::kQueueSize));
+  EXPECT_TRUE(seen.count(RawMetric::kQueueHighWater));
   EXPECT_TRUE(seen.count(RawMetric::kAvgExecLatencyUs));
   EXPECT_FALSE(seen.count(RawMetric::kBusyTimeNs));
   EXPECT_FALSE(seen.count(RawMetric::kCost));
@@ -309,6 +358,7 @@ TEST(RuntimeTest, RawMetricsFollowFlavorExposure) {
         seen.insert(m);
       });
   EXPECT_FALSE(seen.count(RawMetric::kQueueSize));
+  EXPECT_FALSE(seen.count(RawMetric::kQueueHighWater));
   EXPECT_TRUE(seen.count(RawMetric::kBufferUsage));
   EXPECT_TRUE(seen.count(RawMetric::kBusyTimeNs));
 }
